@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Shared helpers for the experiment-reproduction benchmark binaries:
+ * per-app baseline selection, tuned "VersaPipe" configurations, and
+ * paper-vs-measured table formatting.
+ */
+
+#ifndef VP_BENCH_BENCH_UTIL_HH
+#define VP_BENCH_BENCH_UTIL_HH
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "apps/registry.hh"
+#include "common/table.hh"
+#include "core/engine.hh"
+#include "tuner/offline_tuner.hh"
+
+namespace vp::bench {
+
+/** The baseline ("original implementation") model of an app. */
+PipelineConfig baselineConfig(AppDriver& app, const DeviceConfig& dev);
+
+/** Display name of an app's baseline model (Fig. 11 x-axis note). */
+std::string baselineName(const std::string& app);
+
+/**
+ * Autotune @p app (at small scale) on @p dev and return the best
+ * configuration — the "VersaPipe" entry of every experiment. Results
+ * are memoized per (app, device) within the process.
+ */
+PipelineConfig versapipeConfig(const std::string& appName,
+                               const DeviceConfig& dev);
+
+/** Run @p app under @p cfg on @p dev; fatal if verification fails. */
+RunResult runOn(AppDriver& app, const DeviceConfig& dev,
+                const PipelineConfig& cfg);
+
+/**
+ * Longest-stage time (Table 2, "Longest Stage" column): the summed
+ * execution time of the busiest stage divided by the number of
+ * blocks the configuration dedicates to it (the paper's
+ * no-queuing-overhead single-stage measurement).
+ */
+double longestStageMs(const RunResult& run, const DeviceConfig& dev,
+                      const PipelineConfig& cfg, Pipeline& pipe);
+
+/** Parse --device=<name> (default: both devices are used). */
+std::optional<std::string> parseDeviceArg(int argc, char** argv);
+
+/** Print a section header. */
+void header(const std::string& title);
+
+} // namespace vp::bench
+
+#endif // VP_BENCH_BENCH_UTIL_HH

@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Extension ablations beyond the paper's evaluation:
+ *
+ *  1. Distributed per-SM work queues with stealing — the direction
+ *     sec 8.5 proposes for reducing queue overhead — versus the
+ *     central per-stage queues, on the queue-heaviest apps.
+ *  2. Task-scheduler fetch policies (sec 5's low-level control):
+ *     later-stage-first vs earlier-stage-first vs longest-queue.
+ *  3. The online idle-SM refill adaptation on recursive workloads.
+ */
+
+#include <iostream>
+
+#include "bench_util.hh"
+
+using namespace vp;
+using namespace vp::bench;
+
+int
+main(int argc, char** argv)
+{
+    auto device = parseDeviceArg(argc, argv);
+    DeviceConfig dev = DeviceConfig::byName(device.value_or("k20c"));
+
+    header("Ablation 1: central vs distributed work queues ("
+           + dev.name + ")");
+    TextTable dq({"app", "central ms", "contention ms",
+                  "distributed ms", "contention ms ", "steals"});
+    for (const std::string& name :
+         std::vector<std::string>{"reyes", "facedetect", "ldpc"}) {
+        auto app = makeApp(name);
+        PipelineConfig central = versapipeConfig(name, dev);
+        central.distributedQueues = false;
+        PipelineConfig dist = central;
+        dist.distributedQueues = true;
+
+        RunResult c = runOn(*app, dev, central);
+        RunResult d = runOn(*app, dev, dist);
+        auto contention = [&](const RunResult& r) {
+            double total = 0.0;
+            for (const auto& s : r.stages)
+                total += s.queue.contentionCycles;
+            return dev.cyclesToMs(total);
+        };
+        dq.addRow({name, TextTable::num(c.ms, 3),
+                   TextTable::num(contention(c), 3),
+                   TextTable::num(d.ms, 3),
+                   TextTable::num(contention(d), 3),
+                   TextTable::num(d.extra.get("steals"), 0)});
+    }
+    std::cout << dq.render();
+    std::cout << "\nsec 8.5: \"more efficient queue schemes (e.g., "
+              << "distributed queues...) could help\" — sharding "
+              << "cuts contention; stealing rebalances.\n";
+
+    header("Ablation 2: task-scheduler fetch policy");
+    TextTable sched({"app", "later-first ms", "earlier-first ms",
+                     "longest-queue ms"});
+    for (const std::string& name :
+         std::vector<std::string>{"reyes", "facedetect"}) {
+        auto app = makeApp(name);
+        PipelineConfig cfg = makeMegakernelConfig(app->pipeline());
+        std::vector<std::string> row = {name};
+        for (SchedulePolicy p : {SchedulePolicy::LaterStageFirst,
+                                 SchedulePolicy::EarlierStageFirst,
+                                 SchedulePolicy::LongestQueueFirst}) {
+            cfg.schedule = p;
+            row.push_back(TextTable::num(runOn(*app, dev, cfg).ms,
+                                         3));
+        }
+        sched.addRow(row);
+    }
+    std::cout << sched.render();
+    std::cout << "\nlater-stage-first bounds queue growth on "
+              << "recursive pipelines (Fig. 8's priority order).\n";
+
+    header("Ablation 3: online idle-SM refill adaptation");
+    TextTable online({"app", "static ms", "adaptive ms", "refills"});
+    for (const std::string& name :
+         std::vector<std::string>{"reyes", "pyramid", "facedetect"}) {
+        auto app = makeApp(name);
+        PipelineConfig cfg = versapipeConfig(name, dev);
+        RunResult stat = runOn(*app, dev, cfg);
+        PipelineConfig adaptive = cfg;
+        adaptive.onlineAdaptation = true;
+        RunResult adapt = runOn(*app, dev, adaptive);
+        online.addRow({name, TextTable::num(stat.ms, 3),
+                       TextTable::num(adapt.ms, 3),
+                       std::to_string(adapt.refills)});
+    }
+    std::cout << online.render();
+    return 0;
+}

@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Figure 11 reproduction: speedup of Megakernel and VersaPipe over
+ * the original (RTC/KBK) implementations, on K20c (Fig. 11a) and
+ * GTX 1080 (Fig. 11b). Speedups are normalized to the baseline of
+ * each application, exactly as in the paper.
+ *
+ * Usage: fig11_overall [--device=k20c|gtx1080]
+ */
+
+#include <cmath>
+#include <iostream>
+#include <map>
+
+#include "bench_util.hh"
+
+using namespace vp;
+using namespace vp::bench;
+
+namespace {
+
+struct PaperRow
+{
+    double megakernel;
+    double versapipe;
+};
+
+// Speedups read off Figure 11 / derived from Table 2 (K20c) and the
+// overall statements for GTX 1080 (avg 2.7x over baseline, 1.2x
+// over Megakernel).
+const std::map<std::string, PaperRow> kPaperK20c = {
+    {"pyramid", {14.41 / 1.59, 14.41 / 1.37}},
+    {"facedetect", {18.27 / 9.09, 18.27 / 5.38}},
+    {"reyes", {15.6 / 12.5, 15.6 / 7.7}},
+    {"cfd", {5820.0 / 5430.0, 5820.0 / 3270.0}},
+    {"raster", {32.8 / 30.8, 32.8 / 30.7}},
+    {"ldpc", {560.0 / 394.0, 560.0 / 352.0}},
+};
+
+void
+runDevice(const std::string& device_name)
+{
+    DeviceConfig dev = DeviceConfig::byName(device_name);
+    header("Figure 11 (" + device_name + "): speedup over original");
+
+    TextTable table({"app", "baseline", "mega x", "versa x",
+                     "paper mega x", "paper versa x", "versa config"});
+    double geo_mega = 1.0, geo_versa = 1.0;
+    int count = 0;
+    for (const std::string& name : appNames()) {
+        auto app = makeApp(name);
+        PipelineConfig base_cfg = baselineConfig(*app, dev);
+        PipelineConfig mega_cfg = makeMegakernelConfig(
+            app->pipeline());
+        PipelineConfig versa_cfg = versapipeConfig(name, dev);
+
+        RunResult base = runOn(*app, dev, base_cfg);
+        RunResult mega = runOn(*app, dev, mega_cfg);
+        RunResult versa = runOn(*app, dev, versa_cfg);
+
+        double sm = base.ms / mega.ms;
+        double sv = base.ms / versa.ms;
+        geo_mega *= sm;
+        geo_versa *= sv;
+        ++count;
+
+        std::string paper_m = "-", paper_v = "-";
+        if (device_name == "k20c") {
+            paper_m = TextTable::num(kPaperK20c.at(name).megakernel);
+            paper_v = TextTable::num(kPaperK20c.at(name).versapipe);
+        }
+        table.addRow({name, baselineName(name), TextTable::num(sm),
+                      TextTable::num(sv), paper_m, paper_v,
+                      versa.configName});
+    }
+    std::cout << table.render();
+    std::cout << "\ngeomean speedup: Megakernel "
+              << TextTable::num(std::pow(geo_mega, 1.0 / count))
+              << "x, VersaPipe "
+              << TextTable::num(std::pow(geo_versa, 1.0 / count))
+              << "x  (paper K20c: avg 2.88x over baseline, up to "
+              << "1.66x over Megakernel)\n";
+}
+
+} // namespace
+
+int
+main(int argc, char** argv)
+{
+    auto only = parseDeviceArg(argc, argv);
+    if (only) {
+        runDevice(*only);
+    } else {
+        runDevice("k20c");
+        runDevice("gtx1080");
+    }
+    return 0;
+}

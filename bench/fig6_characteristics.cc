@@ -1,0 +1,35 @@
+/**
+ * @file
+ * Figure 6 reproduction: the qualitative characteristics matrix of
+ * the five primary execution models over the seven metrics A-G.
+ */
+
+#include <iostream>
+
+#include "bench_util.hh"
+
+using namespace vp;
+using namespace vp::bench;
+
+int
+main()
+{
+    header("Figure 6: characteristics of each pipeline model");
+
+    std::vector<std::string> headers = {"metric"};
+    for (ExecModel m : kFigure6Models)
+        headers.push_back(execModelName(m));
+    TextTable table(headers);
+    for (ModelMetric metric : kAllMetrics) {
+        std::vector<std::string> row = {modelMetricName(metric)};
+        for (ExecModel m : kFigure6Models)
+            row.push_back(metricLevelName(
+                modelCharacteristic(m, metric)));
+        table.addRow(row);
+    }
+    std::cout << table.render();
+    std::cout << "\nlevels: poor < fair < good (paper Fig. 6). No "
+              << "single model is best on all metrics, motivating "
+              << "the hybrid pipeline.\n";
+    return 0;
+}

@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Diagnostic harness: per-stage breakdown of one application under
+ * the baseline, Megakernel and tuned VersaPipe configurations.
+ *
+ * Usage: inspect_app [--device=k20c|gtx1080] [app...]
+ */
+
+#include <iostream>
+
+#include "bench_util.hh"
+
+using namespace vp;
+using namespace vp::bench;
+
+namespace {
+
+void
+show(const std::string& name, const DeviceConfig& dev)
+{
+    header(name + " on " + dev.name);
+    auto app = makeApp(name);
+    struct Entry { std::string label; PipelineConfig cfg; };
+    std::vector<Entry> entries = {
+        {"baseline", baselineConfig(*app, dev)},
+        {"megakernel", makeMegakernelConfig(app->pipeline())},
+        {"versapipe", versapipeConfig(name, dev)},
+    };
+    for (auto& [label, cfg] : entries) {
+        RunResult r = runOn(*app, dev, cfg);
+        std::cout << label << ": " << TextTable::num(r.ms, 3)
+                  << " ms  [" << r.configName << "]\n";
+        TextTable t({"stage", "items", "batches", "exec ms",
+                     "queue ops ms", "contention ms", "max depth"});
+        for (const auto& s : r.stages) {
+            t.addRow({s.name, std::to_string(s.items),
+                      std::to_string(s.batches),
+                      TextTable::num(dev.cyclesToMs(s.execCycles), 3),
+                      TextTable::num(
+                          dev.cyclesToMs(s.queue.opCycles), 3),
+                      TextTable::num(
+                          dev.cyclesToMs(s.queue.contentionCycles),
+                          3),
+                      std::to_string(s.queue.maxDepth)});
+        }
+        std::cout << t.render();
+        std::cout << "launches=" << r.device.kernelLaunches
+                  << " peakBlocks=" << r.device.peakResidentBlocks
+                  << " polls=" << r.polls
+                  << " retreats=" << r.retreats
+                  << " util=" << TextTable::num(r.smUtilization, 3)
+                  << "\n\n";
+    }
+}
+
+} // namespace
+
+int
+main(int argc, char** argv)
+{
+    auto device = parseDeviceArg(argc, argv);
+    DeviceConfig dev = DeviceConfig::byName(device.value_or("k20c"));
+    std::vector<std::string> apps;
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        if (arg.rfind("--", 0) != 0)
+            apps.push_back(arg);
+    }
+    if (apps.empty())
+        apps = appNames();
+    for (const std::string& name : apps)
+        show(name, dev);
+    return 0;
+}

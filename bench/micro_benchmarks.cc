@@ -1,0 +1,118 @@
+/**
+ * @file
+ * Google-benchmark micro-benchmarks of the substrate: event engine
+ * throughput, occupancy calculator, SM processor sharing, and
+ * work-queue operations. These guard the simulator's own
+ * performance (host wall time), not modeled GPU time.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "gpu/occupancy.hh"
+#include "gpu/sm.hh"
+#include "queueing/work_queue.hh"
+#include "sim/simulator.hh"
+
+namespace {
+
+using namespace vp;
+
+void
+BM_EventQueueChain(benchmark::State& state)
+{
+    for (auto _ : state) {
+        Simulator sim;
+        int depth = 0;
+        std::function<void()> chain = [&] {
+            if (++depth < 1000)
+                sim.after(1.0, chain);
+        };
+        sim.after(1.0, chain);
+        sim.run();
+        benchmark::DoNotOptimize(depth);
+    }
+    state.SetItemsProcessed(state.iterations() * 1000);
+}
+BENCHMARK(BM_EventQueueChain);
+
+void
+BM_EventQueueFanout(benchmark::State& state)
+{
+    const int n = static_cast<int>(state.range(0));
+    for (auto _ : state) {
+        Simulator sim;
+        for (int i = 0; i < n; ++i)
+            sim.at(double(i % 97), [] {});
+        sim.run();
+    }
+    state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_EventQueueFanout)->Arg(1000)->Arg(10000);
+
+void
+BM_OccupancyCalculator(benchmark::State& state)
+{
+    DeviceConfig cfg = DeviceConfig::k20c();
+    ResourceUsage res;
+    int regs = 16;
+    for (auto _ : state) {
+        res.regsPerThread = regs;
+        regs = regs % 255 + 1;
+        auto r = maxBlocksPerSm(cfg, res, 256);
+        benchmark::DoNotOptimize(r.blocksPerSm);
+    }
+}
+BENCHMARK(BM_OccupancyCalculator);
+
+void
+BM_SmProcessorSharing(benchmark::State& state)
+{
+    DeviceConfig cfg = DeviceConfig::k20c();
+    const int execs = static_cast<int>(state.range(0));
+    for (auto _ : state) {
+        Simulator sim;
+        Sm sm(sim, cfg, 0);
+        WorkSpec w;
+        w.warpInsts = 1000.0;
+        w.warps = 8.0;
+        w.memRatio = 0.2;
+        w.l1Hit = 0.5;
+        for (int i = 0; i < execs; ++i)
+            sm.beginWork(w, 0, [] {});
+        sim.run();
+    }
+    state.SetItemsProcessed(state.iterations() * execs);
+}
+BENCHMARK(BM_SmProcessorSharing)->Arg(4)->Arg(16);
+
+void
+BM_WorkQueuePushPop(benchmark::State& state)
+{
+    WorkQueue<int> q("bench");
+    for (auto _ : state) {
+        for (int i = 0; i < 256; ++i)
+            q.push(i);
+        std::vector<int> out;
+        q.popBatch(out, 256);
+        benchmark::DoNotOptimize(out.data());
+    }
+    state.SetItemsProcessed(state.iterations() * 256);
+}
+BENCHMARK(BM_WorkQueuePushPop);
+
+void
+BM_QueueAccessCost(benchmark::State& state)
+{
+    DeviceConfig cfg = DeviceConfig::k20c();
+    WorkQueue<int> q("bench");
+    double now = 0.0;
+    for (auto _ : state) {
+        now += 10.0;
+        benchmark::DoNotOptimize(q.accessCost(cfg, now, 8));
+    }
+}
+BENCHMARK(BM_QueueAccessCost);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,103 @@
+/**
+ * @file
+ * Section 8.3 structural claims: per-stage register usage and
+ * occupancy, megakernel register merging, concurrent block counts,
+ * and KBK kernel-launch counts, checked against the numbers quoted
+ * in the paper's per-application analysis.
+ */
+
+#include <iostream>
+
+#include "apps/cfd/cfd_app.hh"
+#include "bench_util.hh"
+#include "gpu/occupancy.hh"
+
+using namespace vp;
+using namespace vp::bench;
+
+namespace {
+
+void
+stageTable(const std::string& name, const DeviceConfig& dev)
+{
+    auto app = makeApp(name);
+    Pipeline& pipe = app->pipeline();
+    std::cout << name << ":\n";
+    TextTable t({"stage", "regs/thread", "blockThreads",
+                 "max blocks/SM", "limiter", "code KiB"});
+    for (int s = 0; s < pipe.stageCount(); ++s) {
+        const StageBase& st = pipe.stage(s);
+        int bt = st.blockThreads > 0 ? st.blockThreads : 256;
+        auto occ = maxBlocksPerSm(dev, st.resources, bt);
+        t.addRow({st.name,
+                  std::to_string(st.resources.regsPerThread),
+                  std::to_string(bt),
+                  std::to_string(occ.blocksPerSm),
+                  limiterName(occ.limiter),
+                  TextTable::num(st.resources.codeBytes / 1024.0,
+                                 1)});
+    }
+    // Megakernel merge.
+    std::vector<int> all(pipe.stageCount());
+    for (int s = 0; s < pipe.stageCount(); ++s)
+        all[s] = s;
+    ResourceUsage merged = mergedResources(pipe, all);
+    merged.regsPerThread = std::min(
+        255, merged.regsPerThread + pipe.megakernelExtraRegs);
+    auto mocc = maxBlocksPerSm(dev, merged, 256);
+    t.addRow({"(megakernel)",
+              std::to_string(merged.regsPerThread), "256",
+              std::to_string(mocc.blocksPerSm),
+              limiterName(mocc.limiter),
+              TextTable::num(merged.codeBytes / 1024.0, 1)});
+    std::cout << t.render();
+
+    // Concurrent blocks: Megakernel vs VersaPipe.
+    RunResult mk = runOn(*app, dev, makeMegakernelConfig(pipe));
+    RunResult vp = runOn(*app, dev, versapipeConfig(name, dev));
+    std::cout << "peak concurrent blocks: Megakernel "
+              << mk.device.peakResidentBlocks << ", VersaPipe "
+              << vp.device.peakResidentBlocks << "  ["
+              << vp.configName << "]\n\n";
+}
+
+} // namespace
+
+int
+main(int argc, char** argv)
+{
+    auto device = parseDeviceArg(argc, argv);
+    DeviceConfig dev = DeviceConfig::byName(device.value_or("k20c"));
+    header("Section 8.3 structural details (" + dev.name + ")");
+
+    std::cout
+        << "paper quotes (K20c): Reyes stages 111/255/61 regs, "
+        << "megakernel 255 -> 1 block/SM;\nFace Detection stages "
+        << "56/69/56/61/37 regs (3..6 blocks/SM), megakernel 87 -> "
+        << "2 blocks/SM;\nPyramid: VersaPipe 60 vs Megakernel 39 "
+        << "concurrent blocks; LDPC megakernel 60 regs -> 4 "
+        << "blocks/SM.\n\n";
+
+    for (const std::string& name : appNames())
+        stageTable(name, dev);
+
+    // KBK kernel-call structure (paper: Reyes 16 calls; CFD 7 per
+    // outer iteration, i.e., 14000 calls at 2000 iterations).
+    header("KBK kernel-launch counts");
+    TextTable t({"app", "kbk launches", "paper note"});
+    {
+        auto reyes_app = makeApp("reyes");
+        RunResult r = runOn(*reyes_app, dev, makeKbkConfig());
+        t.addRow({"reyes", std::to_string(r.device.kernelLaunches),
+                  "paper: 16 calls"});
+        cfd::CfdApp capp{};
+        RunResult c = runOn(capp, dev, makeKbkConfig());
+        t.addRow({"cfd", std::to_string(c.device.kernelLaunches),
+                  "7 per outer iteration (paper: 14000 at 2000 "
+                  "iterations; here "
+                      + std::to_string(capp.params().outerIters)
+                      + " iterations)"});
+    }
+    std::cout << t.render();
+    return 0;
+}

@@ -1,0 +1,109 @@
+/**
+ * @file
+ * Table 2 reproduction (K20c): absolute execution times of the
+ * baseline (RTC/KBK), Megakernel and VersaPipe, the longest-stage
+ * time under the VersaPipe configuration, and the data-item size.
+ * Pyramid and Face Detection use 32 input images, as in the table.
+ *
+ * Absolute milliseconds are simulator time: the shape (ordering and
+ * ratios) is the reproduction target, not the absolute values.
+ */
+
+#include <iostream>
+
+#include "apps/facedetect/facedetect_app.hh"
+#include "apps/pyramid/pyramid_app.hh"
+#include "bench_util.hh"
+
+using namespace vp;
+using namespace vp::bench;
+
+namespace {
+
+struct PaperRow
+{
+    double kbk, mega, versa, longest;
+    int item;
+};
+
+PaperRow
+paperRow(const std::string& name)
+{
+    if (name == "pyramid")
+        return {14.41, 1.59, 1.37, 0.80, 12};
+    if (name == "facedetect")
+        return {18.27, 9.09, 5.38, 5.29, 16};
+    if (name == "reyes")
+        return {15.6, 12.5, 7.7, 4.02, 272};
+    if (name == "cfd")
+        return {5820, 5430, 3270, 2970, 12};
+    if (name == "raster")
+        return {32.8, 30.8, 30.7, 30.6, 4};
+    return {560, 394, 352, 185, 12}; // ldpc
+}
+
+std::unique_ptr<AppDriver>
+makeTable2App(const std::string& name)
+{
+    // Table 2 uses 32 images for Pyramid and Face Detection.
+    if (name == "pyramid") {
+        pyramid::PyrParams p;
+        p.images = 32;
+        return std::make_unique<pyramid::PyramidApp>(p);
+    }
+    if (name == "facedetect") {
+        facedetect::FdParams p;
+        p.images = 32;
+        return std::make_unique<facedetect::FaceDetectApp>(p);
+    }
+    return makeApp(name);
+}
+
+} // namespace
+
+int
+main()
+{
+    DeviceConfig dev = DeviceConfig::k20c();
+    header("Table 2 (K20c): execution times");
+    std::cout << "(32 images for Pyramid and Face Detection; "
+              << "CFD/LDPC iteration counts are scaled down vs the "
+              << "paper — compare ratios, not absolute ms)\n\n";
+
+    TextTable table({"program", "kbk/rtc ms", "mega ms", "versa ms",
+                     "longest ms", "itemSz", "paper(k/m/v/l)"});
+    for (const std::string& name : appNames()) {
+        auto app = makeTable2App(name);
+        PipelineConfig base_cfg = baselineConfig(*app, dev);
+        PipelineConfig mega_cfg = makeMegakernelConfig(
+            app->pipeline());
+        PipelineConfig versa_cfg = versapipeConfig(name, dev);
+
+        RunResult base = runOn(*app, dev, base_cfg);
+        RunResult mega = runOn(*app, dev, mega_cfg);
+        RunResult versa = runOn(*app, dev, versa_cfg);
+        double longest = longestStageMs(versa, dev, versa_cfg,
+                                        app->pipeline());
+
+        int item_bytes = 0;
+        for (int s = 0; s < app->pipeline().stageCount(); ++s) {
+            item_bytes = std::max(item_bytes,
+                                  app->pipeline().stage(s)
+                                      .itemBytes());
+        }
+
+        PaperRow p = paperRow(name);
+        table.addRow({name, TextTable::num(base.ms),
+                      TextTable::num(mega.ms),
+                      TextTable::num(versa.ms),
+                      TextTable::num(longest),
+                      std::to_string(item_bytes) + "B",
+                      TextTable::num(p.kbk, 1) + "/"
+                          + TextTable::num(p.mega, 1) + "/"
+                          + TextTable::num(p.versa, 1) + "/"
+                          + TextTable::num(p.longest, 1) + " "
+                          + std::to_string(p.item) + "B"});
+    }
+    std::cout << table.render();
+    return 0;
+}

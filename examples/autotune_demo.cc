@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Auto-tuner walkthrough: profiles the Image Pyramid, prints the
+ * per-stage profile, enumerates part of the configuration space, and
+ * shows the best configurations the timeout-execute search found.
+ *
+ * Build & run:  ./build/examples/autotune_demo
+ */
+
+#include <algorithm>
+#include <iostream>
+
+#include "apps/pyramid/pyramid_app.hh"
+#include "tuner/offline_tuner.hh"
+
+using namespace vp;
+
+int
+main()
+{
+    pyramid::PyramidApp app(pyramid::PyrParams::small());
+    Engine engine(DeviceConfig::k20c());
+
+    std::cout << "== profiling component ==\n";
+    ProfileResult profile = profileApp(engine, app);
+    for (const StageProfile& s : profile.stages) {
+        std::cout << "  " << s.name << ": maxBlocks/SM="
+                  << s.maxBlocksPerSm << " items=" << s.items
+                  << " work=" << s.totalWork << " warp-insts\n";
+    }
+
+    std::cout << "\n== search space ==\n";
+    auto configs = enumerateConfigs(app.pipeline(),
+                                    engine.deviceConfig(), profile);
+    std::cout << "  " << configs.size()
+              << " candidate configurations (grouping x model x SM "
+              << "mapping x block mapping, pruned)\n";
+
+    std::cout << "\n== offline tuner (timeout-execute) ==\n";
+    TunerResult tuned = autotune(engine, app);
+    std::cout << "  evaluated " << tuned.evaluated << ", pruned "
+              << tuned.timedOut << " by timeout\n";
+
+    std::sort(tuned.finished.begin(), tuned.finished.end(),
+              [](const auto& a, const auto& b) {
+                  return a.second < b.second;
+              });
+    std::cout << "  top configurations:\n";
+    for (std::size_t i = 0; i < tuned.finished.size() && i < 5;
+         ++i) {
+        std::cout << "    "
+                  << engine.deviceConfig().cyclesToMs(
+                         tuned.finished[i].second)
+                  << " ms  " << tuned.finished[i].first << "\n";
+    }
+
+    RunResult best = engine.run(app, tuned.best);
+    std::cout << "\nbest rerun: " << best.ms << " ms (verified: "
+              << (best.completed ? "yes" : "NO") << ")\n";
+    return 0;
+}

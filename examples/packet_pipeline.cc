@@ -1,0 +1,302 @@
+/**
+ * @file
+ * Network packet-processing example (one of the paper's motivating
+ * domains, sec 1): a 4-stage pipeline — Parse -> Classify ->
+ * Transform -> Emit — over a synthetic packet trace with mixed
+ * packet sizes and flow types, built from scratch on the public API.
+ *
+ * Demonstrates a user-defined pipeline (not one of the six
+ * evaluation apps) and the composite-item granularity advice of
+ * section 6: packets are batched 32 per data item.
+ *
+ * Build & run:  ./build/examples/packet_pipeline
+ */
+
+#include <algorithm>
+#include <iostream>
+#include <vector>
+
+#include "common/rng.hh"
+#include "core/versapipe.hh"
+#include "tuner/offline_tuner.hh"
+
+using namespace vp;
+
+namespace {
+
+/** A batch of 32 packets (sec 6: composite items cut queue costs). */
+struct PacketBatch
+{
+    std::int32_t first;
+    std::int32_t count;
+};
+
+struct Packet
+{
+    std::uint32_t header;
+    std::uint16_t length;
+    std::uint8_t proto;
+    std::uint8_t flags;
+    std::uint32_t payloadSum; // stands in for payload contents
+};
+
+class PacketApp;
+
+struct ClassifyStage;
+struct TransformStage;
+struct EmitStage;
+
+/** Header parse + checksum validation. */
+struct ParseStage : Stage<PacketBatch>
+{
+    explicit ParseStage(PacketApp& app) : app_(app)
+    {
+        name = "parse";
+        threadNum = 32;
+        resources.regsPerThread = 40;
+        resources.codeBytes = 6144;
+    }
+
+    TaskCost
+    cost(const PacketBatch& b) const override
+    {
+        TaskCost c;
+        c.computeInsts = 60.0 * b.count / 32;
+        c.memInsts = 20.0 * b.count / 32;
+        c.l1HitRate = 0.6;
+        return c;
+    }
+
+    void execute(ExecContext& ctx, PacketBatch& b) override;
+
+    PacketApp& app_;
+};
+
+/** Flow classification (table lookups, memory heavy). */
+struct ClassifyStage : Stage<PacketBatch>
+{
+    explicit ClassifyStage(PacketApp& app) : app_(app)
+    {
+        name = "classify";
+        threadNum = 32;
+        resources.regsPerThread = 72;
+        resources.codeBytes = 12288;
+    }
+
+    TaskCost
+    cost(const PacketBatch& b) const override
+    {
+        TaskCost c;
+        c.computeInsts = 90.0 * b.count / 32;
+        c.memInsts = 70.0 * b.count / 32;
+        c.l1HitRate = 0.35; // table walks miss
+        return c;
+    }
+
+    void execute(ExecContext& ctx, PacketBatch& b) override;
+
+    PacketApp& app_;
+};
+
+/** Payload transform (encryption-like compute). */
+struct TransformStage : Stage<PacketBatch>
+{
+    explicit TransformStage(PacketApp& app) : app_(app)
+    {
+        name = "transform";
+        threadNum = 32;
+        resources.regsPerThread = 96;
+        resources.codeBytes = 10240;
+    }
+
+    TaskCost
+    cost(const PacketBatch& b) const override
+    {
+        TaskCost c;
+        c.computeInsts = 350.0 * b.count / 32;
+        c.memInsts = 40.0 * b.count / 32;
+        c.l1HitRate = 0.7;
+        return c;
+    }
+
+    void execute(ExecContext& ctx, PacketBatch& b) override;
+
+    PacketApp& app_;
+};
+
+/** Egress accounting. */
+struct EmitStage : Stage<PacketBatch>
+{
+    explicit EmitStage(PacketApp& app) : app_(app)
+    {
+        name = "emit";
+        threadNum = 32;
+        resources.regsPerThread = 36;
+        resources.codeBytes = 4096;
+    }
+
+    TaskCost
+    cost(const PacketBatch& b) const override
+    {
+        TaskCost c;
+        c.computeInsts = 30.0 * b.count / 32;
+        c.memInsts = 15.0 * b.count / 32;
+        return c;
+    }
+
+    void execute(ExecContext& ctx, PacketBatch& b) override;
+
+    PacketApp& app_;
+};
+
+class PacketApp : public AppDriver
+{
+  public:
+    explicit PacketApp(int packets = 64 * 1024)
+    {
+        pipe_.addStage<ParseStage>(*this);
+        pipe_.addStage<ClassifyStage>(*this);
+        pipe_.addStage<TransformStage>(*this);
+        pipe_.addStage<EmitStage>(*this);
+        pipe_.link<ParseStage, ClassifyStage>();
+        pipe_.link<ClassifyStage, TransformStage>();
+        pipe_.link<ClassifyStage, EmitStage>(); // bypass path
+        pipe_.link<TransformStage, EmitStage>();
+
+        Rng rng(2026);
+        for (int i = 0; i < packets; ++i) {
+            Packet p;
+            p.header = rng.nextU32();
+            p.length = static_cast<std::uint16_t>(
+                64 + rng.nextBelow(1436));
+            p.proto = static_cast<std::uint8_t>(rng.nextBelow(4));
+            p.flags = 0;
+            p.payloadSum = rng.nextU32();
+            trace_.push_back(p);
+        }
+        reset();
+    }
+
+    std::string name() const override { return "packets"; }
+    Pipeline& pipeline() override { return pipe_; }
+
+    void
+    reset() override
+    {
+        parsed_ = 0;
+        transformed_ = 0;
+        emittedBytes_ = 0;
+        emittedPackets_ = 0;
+    }
+
+    void
+    seedFlow(Seeder& seeder, int) override
+    {
+        std::vector<PacketBatch> batches;
+        for (int first = 0; first < static_cast<int>(trace_.size());
+             first += 32) {
+            int count = std::min<int>(
+                32, static_cast<int>(trace_.size()) - first);
+            batches.push_back(PacketBatch{first, count});
+        }
+        seeder.insert<ParseStage>(std::move(batches));
+    }
+
+    bool
+    verify() override
+    {
+        // Every packet parsed and emitted exactly once; payload
+        // transforms only on the encrypt-protocol packets.
+        std::uint64_t want_bytes = 0;
+        int want_transformed = 0;
+        for (const Packet& p : trace_) {
+            want_bytes += p.length;
+            want_transformed += p.proto == 1;
+        }
+        return parsed_ == static_cast<int>(trace_.size())
+            && emittedPackets_ == static_cast<int>(trace_.size())
+            && transformed_ == want_transformed
+            && emittedBytes_ == want_bytes;
+    }
+
+    Pipeline pipe_;
+    std::vector<Packet> trace_;
+    int parsed_ = 0;
+    int transformed_ = 0;
+    std::uint64_t emittedBytes_ = 0;
+    int emittedPackets_ = 0;
+};
+
+void
+ParseStage::execute(ExecContext& ctx, PacketBatch& b)
+{
+    app_.parsed_ += b.count;
+    ctx.enqueue<ClassifyStage>(b);
+}
+
+void
+ClassifyStage::execute(ExecContext& ctx, PacketBatch& b)
+{
+    // Split the batch: protocol 1 goes through the transform path,
+    // the rest bypasses straight to emit. (Batches stay intact per
+    // path; counts are tracked per packet.)
+    int transform_count = 0;
+    for (int i = 0; i < b.count; ++i)
+        transform_count +=
+            app_.trace_[b.first + i].proto == 1;
+    if (transform_count > 0)
+        ctx.enqueue<TransformStage>(b);
+    else
+        ctx.enqueue<EmitStage>(b);
+}
+
+void
+TransformStage::execute(ExecContext& ctx, PacketBatch& b)
+{
+    for (int i = 0; i < b.count; ++i) {
+        Packet& p = app_.trace_[b.first + i];
+        if (p.proto == 1) {
+            p.payloadSum = p.payloadSum * 2654435761u + 12345;
+            p.flags |= 1;
+            ++app_.transformed_;
+        }
+    }
+    ctx.enqueue<EmitStage>(b);
+}
+
+void
+EmitStage::execute(ExecContext&, PacketBatch& b)
+{
+    for (int i = 0; i < b.count; ++i)
+        app_.emittedBytes_ += app_.trace_[b.first + i].length;
+    app_.emittedPackets_ += b.count;
+}
+
+} // namespace
+
+int
+main()
+{
+    PacketApp app;
+    Engine engine(DeviceConfig::gtx1080());
+
+    std::cout << "packet pipeline: " << app.trace_.size()
+              << " packets in 32-packet composite items\n\n";
+
+    RunResult kbk = engine.run(app, makeKbkConfig());
+    std::cout << "KBK:        " << kbk.ms << " ms (verified: "
+              << (kbk.completed ? "yes" : "NO") << ")\n";
+
+    RunResult mk = engine.run(app,
+                              makeMegakernelConfig(app.pipeline()));
+    std::cout << "Megakernel: " << mk.ms << " ms\n";
+
+    TunerResult tuned = autotune(engine, app);
+    RunResult vp = engine.run(app, tuned.best);
+    std::cout << "VersaPipe:  " << vp.ms << " ms  ["
+              << tuned.best.describe(app.pipeline()) << "]\n";
+    std::cout << "\nthroughput (VersaPipe): "
+              << app.trace_.size() / (vp.ms * 1e-3) / 1e6
+              << " Mpps simulated\n";
+    return 0;
+}

@@ -1,0 +1,120 @@
+/**
+ * @file
+ * Minimal image container and procedural test-image generation used
+ * by the image-processing applications (Pyramid, Face Detection,
+ * Rasterization output).
+ */
+
+#ifndef VP_APPS_COMMON_IMAGE_HH
+#define VP_APPS_COMMON_IMAGE_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/rng.hh"
+
+namespace vp {
+
+/** A single-channel 8-bit image. */
+class GrayImage
+{
+  public:
+    GrayImage() = default;
+
+    GrayImage(int w, int h)
+        : width_(w), height_(h),
+          pixels_(static_cast<std::size_t>(w) * h, 0)
+    {}
+
+    int width() const { return width_; }
+    int height() const { return height_; }
+
+    std::uint8_t&
+    at(int x, int y)
+    {
+        return pixels_[static_cast<std::size_t>(y) * width_ + x];
+    }
+
+    std::uint8_t
+    at(int x, int y) const
+    {
+        return pixels_[static_cast<std::size_t>(y) * width_ + x];
+    }
+
+    const std::vector<std::uint8_t>& pixels() const { return pixels_; }
+    std::vector<std::uint8_t>& pixels() { return pixels_; }
+
+    /** FNV-1a checksum of the pixel data (for verification). */
+    std::uint64_t checksum() const;
+
+  private:
+    int width_ = 0;
+    int height_ = 0;
+    std::vector<std::uint8_t> pixels_;
+};
+
+/** An interleaved RGB 8-bit image. */
+class RgbImage
+{
+  public:
+    RgbImage() = default;
+
+    RgbImage(int w, int h)
+        : width_(w), height_(h),
+          pixels_(static_cast<std::size_t>(w) * h * 3, 0)
+    {}
+
+    int width() const { return width_; }
+    int height() const { return height_; }
+
+    std::uint8_t&
+    at(int x, int y, int c)
+    {
+        return pixels_[(static_cast<std::size_t>(y) * width_ + x) * 3
+                       + c];
+    }
+
+    std::uint8_t
+    at(int x, int y, int c) const
+    {
+        return pixels_[(static_cast<std::size_t>(y) * width_ + x) * 3
+                       + c];
+    }
+
+    double
+    bytes() const
+    {
+        return static_cast<double>(pixels_.size());
+    }
+
+    /** Write a binary PPM (P6) file; returns false on I/O error. */
+    bool writePpm(const std::string& path) const;
+
+  private:
+    int width_ = 0;
+    int height_ = 0;
+    std::vector<std::uint8_t> pixels_;
+};
+
+/**
+ * Deterministic procedural RGB test image: low-frequency gradients
+ * plus texture noise, with optional bright square "face" markers at
+ * the given centers (used by Face Detection's ground truth).
+ */
+RgbImage makeTestImage(int w, int h, std::uint64_t seed,
+                       const std::vector<std::pair<int, int>>& faces
+                       = {});
+
+/** Reference RGB-to-luma conversion (BT.601 integer approximation). */
+GrayImage referenceGrayscale(const RgbImage& src);
+
+/** Reference histogram equalization over a gray image. */
+GrayImage referenceHistEq(const GrayImage& src);
+
+/** Reference 2x box-filter downsample (floor dimensions). */
+GrayImage referenceDownsample(const GrayImage& src);
+
+} // namespace vp
+
+#endif // VP_APPS_COMMON_IMAGE_HH

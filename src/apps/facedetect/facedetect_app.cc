@@ -1,0 +1,440 @@
+#include "apps/facedetect/facedetect_app.hh"
+
+#include <algorithm>
+
+namespace vp::facedetect {
+
+namespace {
+constexpr int kThreads = 256;
+
+/** LBP code of a pixel: 8 neighbor comparisons packed into a byte. */
+std::uint8_t
+lbpCode(const GrayImage& img, int x, int y)
+{
+    static const int dx[8] = {-1, 0, 1, 1, 1, 0, -1, -1};
+    static const int dy[8] = {-1, -1, -1, 0, 1, 1, 1, 0};
+    std::uint8_t center = img.at(x, y);
+    std::uint8_t code = 0;
+    for (int k = 0; k < 8; ++k) {
+        int nx = std::clamp(x + dx[k], 0, img.width() - 1);
+        int ny = std::clamp(y + dy[k], 0, img.height() - 1);
+        if (img.at(nx, ny) >= center)
+            code |= std::uint8_t(1) << k;
+    }
+    return code;
+}
+
+/** True when an LBP code is "uniform" (<= 2 bit transitions). */
+bool
+uniform(std::uint8_t code)
+{
+    std::uint8_t rotated = static_cast<std::uint8_t>(
+        (code << 1) | (code >> 7));
+    int transitions = __builtin_popcount(
+        static_cast<unsigned>(code ^ rotated));
+    return transitions <= 2;
+}
+
+} // namespace
+
+FdParams
+FdParams::small()
+{
+    FdParams p;
+    p.images = 2;
+    p.width = 640;
+    p.height = 360;
+    p.minDim = 48;
+    p.facesPerImage = 2;
+    return p;
+}
+
+// ------------------------------ stages -------------------------- //
+
+FdGrayscale::FdGrayscale(FaceDetectApp& app)
+    : app_(app)
+{
+    name = "fd_gray";
+    threadNum = kThreads;
+    resources.regsPerThread = 56;  // 4 blocks/SM (paper sec 8.3)
+    resources.codeBytes = 7168;
+}
+
+TaskCost
+FdGrayscale::cost(const FdItem& item) const
+{
+    int rows = std::min(app_.params_.bandRows,
+                        app_.params_.height
+                        - item.a * app_.params_.bandRows);
+    double px = double(app_.params_.width) * rows / kThreads;
+    TaskCost c;
+    c.computeInsts = px * 3.0;
+    c.memInsts = px * 2.0;
+    c.l1HitRate = 0.55;
+    return c;
+}
+
+void
+FdGrayscale::execute(ExecContext& ctx, FdItem& item)
+{
+    const RgbImage& src = app_.inputs_[item.image];
+    GrayImage& dst = app_.gray_[item.image];
+    int y0 = item.a * app_.params_.bandRows;
+    int y1 = std::min(src.height(), y0 + app_.params_.bandRows);
+    for (int y = y0; y < y1; ++y) {
+        for (int x = 0; x < src.width(); ++x) {
+            int v = (299 * src.at(x, y, 0) + 587 * src.at(x, y, 1)
+                     + 114 * src.at(x, y, 2)) / 1000;
+            dst.at(x, y) = static_cast<std::uint8_t>(v);
+        }
+    }
+    if (--app_.grayRemaining_[item.image] == 0)
+        ctx.enqueue<FdHistEq>(FdItem{item.image, 0, 0, 0});
+}
+
+FdHistEq::FdHistEq(FaceDetectApp& app)
+    : app_(app)
+{
+    name = "fd_histeq";
+    threadNum = kThreads;
+    resources.regsPerThread = 69;  // 3 blocks/SM (paper sec 8.3)
+    resources.codeBytes = 13312;
+}
+
+TaskCost
+FdHistEq::cost(const FdItem&) const
+{
+    double px = double(app_.params_.width) * app_.params_.height
+        / kThreads;
+    TaskCost c;
+    c.computeInsts = px * 1.5;
+    c.memInsts = px * 0.8;
+    c.serialInsts = 2500.0;
+    c.l1HitRate = 0.60;
+    return c;
+}
+
+void
+FdHistEq::execute(ExecContext& ctx, FdItem& item)
+{
+    app_.levels_[item.image][0] =
+        referenceHistEq(app_.gray_[item.image]);
+    int fbands = app_.bandsInLevel(0);
+    app_.featureRemaining_[item.image][0] = fbands;
+    for (int b = 0; b < fbands; ++b)
+        ctx.enqueue<FdFeature>(FdItem{item.image, 0, b, 0});
+    if (app_.levelCount() > 1) {
+        int bands = app_.bandsInLevel(1);
+        app_.levelRemaining_[item.image][1] = bands;
+        for (int b = 0; b < bands; ++b)
+            ctx.enqueue<FdResize>(FdItem{item.image, 1, b, 0});
+    }
+}
+
+FdResize::FdResize(FaceDetectApp& app)
+    : app_(app)
+{
+    name = "fd_resize";
+    threadNum = kThreads;
+    resources.regsPerThread = 56;  // 4 blocks/SM
+    resources.codeBytes = 11264;
+}
+
+TaskCost
+FdResize::cost(const FdItem& item) const
+{
+    auto [w, h] = app_.levelDims(item.level);
+    int rows = std::min(app_.params_.bandRows,
+                        h - item.a * app_.params_.bandRows);
+    double px = double(w) * rows / kThreads;
+    TaskCost c;
+    c.computeInsts = px * 3.5;
+    c.memInsts = px * 2.5;
+    c.l1HitRate = 0.50;
+    return c;
+}
+
+void
+FdResize::execute(ExecContext& ctx, FdItem& item)
+{
+    const GrayImage& src = app_.levels_[item.image][item.level - 1];
+    GrayImage& dst = app_.levels_[item.image][item.level];
+    auto [w, h] = app_.levelDims(item.level);
+    if (dst.width() == 0)
+        dst = GrayImage(w, h);
+    int y0 = item.a * app_.params_.bandRows;
+    int y1 = std::min(h, y0 + app_.params_.bandRows);
+    for (int y = y0; y < y1; ++y) {
+        for (int x = 0; x < w; ++x) {
+            int sum = src.at(2 * x, 2 * y) + src.at(2 * x + 1, 2 * y)
+                + src.at(2 * x, 2 * y + 1)
+                + src.at(2 * x + 1, 2 * y + 1);
+            dst.at(x, y) = static_cast<std::uint8_t>(sum / 4);
+        }
+    }
+    if (--app_.levelRemaining_[item.image][item.level] == 0) {
+        int fbands = app_.bandsInLevel(item.level);
+        app_.featureRemaining_[item.image][item.level] = fbands;
+        for (int b = 0; b < fbands; ++b) {
+            ctx.enqueue<FdFeature>(
+                FdItem{item.image, item.level, b, 0});
+        }
+        if (item.level + 1 < app_.levelCount()) {
+            int bands = app_.bandsInLevel(item.level + 1);
+            app_.levelRemaining_[item.image][item.level + 1] = bands;
+            for (int b = 0; b < bands; ++b) {
+                ctx.enqueue<FdResize>(
+                    FdItem{item.image, item.level + 1, b, 0});
+            }
+        }
+    }
+}
+
+FdFeature::FdFeature(FaceDetectApp& app)
+    : app_(app)
+{
+    name = "fd_feature";
+    threadNum = kThreads;
+    resources.regsPerThread = 61;  // 4 blocks/SM
+    resources.codeBytes = 10240;
+}
+
+TaskCost
+FdFeature::cost(const FdItem& item) const
+{
+    auto [w, h] = app_.levelDims(item.level);
+    int rows = std::min(app_.params_.bandRows,
+                        h - item.a * app_.params_.bandRows);
+    double px = double(w) * rows / kThreads;
+    TaskCost c;
+    c.computeInsts = px * 11.0; // 8 neighbor compares + pack
+    c.memInsts = px * 9.0;
+    c.l1HitRate = 0.70;
+    return c;
+}
+
+void
+FdFeature::execute(ExecContext& ctx, FdItem& item)
+{
+    const GrayImage& src = app_.levels_[item.image][item.level];
+    GrayImage& dst = app_.lbp_[item.image][item.level];
+    if (dst.width() == 0)
+        dst = GrayImage(src.width(), src.height());
+    int y0 = item.a * app_.params_.bandRows;
+    int y1 = std::min(src.height(), y0 + app_.params_.bandRows);
+    for (int y = y0; y < y1; ++y)
+        for (int x = 0; x < src.width(); ++x)
+            dst.at(x, y) = lbpCode(src, x, y);
+
+    // Join: once the level's codes are complete, emit one scan item
+    // per search window (paper: the load-balance choice).
+    if (--app_.featureRemaining_[item.image][item.level] > 0)
+        return;
+    const FdParams& p = app_.params_;
+    for (int wy = 0; wy + p.window <= src.height(); wy += p.stride) {
+        for (int wx = 0; wx + p.window <= src.width();
+             wx += p.stride) {
+            ctx.enqueue<FdScan>(
+                FdItem{item.image, item.level, wx, wy});
+        }
+    }
+}
+
+FdScan::FdScan(FaceDetectApp& app)
+    : app_(app)
+{
+    name = "fd_scan";
+    threadNum = 1; // one thread per window
+    resources.regsPerThread = 37;  // 6 blocks/SM
+    resources.codeBytes = 9216;
+}
+
+TaskCost
+FdScan::cost(const FdItem& item) const
+{
+    int depth = app_.cascadeDepth(item);
+    TaskCost c;
+    c.computeInsts = 150.0 + 420.0 * depth;
+    c.memInsts = 30.0 + 70.0 * depth;
+    c.l1HitRate = 0.75;
+    return c;
+}
+
+void
+FdScan::execute(ExecContext&, FdItem& item)
+{
+    if (app_.cascadeDepth(item) == FaceDetectApp::kCascadeStages) {
+        app_.detections_.emplace_back(item.image, item.level, item.a,
+                                      item.b);
+    }
+}
+
+// ------------------------------ driver -------------------------- //
+
+FaceDetectApp::FaceDetectApp(FdParams params)
+    : params_(params)
+{
+    VP_REQUIRE(params_.images > 0 && params_.width >= 2
+               * params_.window, "bad face-detection parameters");
+    pipe_.addStage<FdGrayscale>(*this);
+    pipe_.addStage<FdHistEq>(*this);
+    pipe_.addStage<FdResize>(*this);
+    pipe_.addStage<FdFeature>(*this);
+    pipe_.addStage<FdScan>(*this);
+    pipe_.link<FdGrayscale, FdHistEq>();
+    pipe_.link<FdHistEq, FdResize>();
+    pipe_.link<FdHistEq, FdFeature>();
+    pipe_.link<FdResize, FdResize>();
+    pipe_.link<FdResize, FdFeature>();
+    pipe_.link<FdFeature, FdScan>();
+    pipe_.setStructure(PipelineStructure::Recursion);
+    pipe_.megakernelExtraRegs = 18; // 69 + 18 = 87 (paper sec 8.3)
+
+    Rng face_rng(params_.seed * 7919);
+    for (int i = 0; i < params_.images; ++i) {
+        std::vector<std::pair<int, int>> faces;
+        for (int f = 0; f < params_.facesPerImage; ++f) {
+            int margin = params_.window;
+            int cx = margin + static_cast<int>(face_rng.nextBelow(
+                std::max(1, params_.width - 2 * margin)));
+            int cy = margin + static_cast<int>(face_rng.nextBelow(
+                std::max(1, params_.height - 2 * margin)));
+            faces.emplace_back(cx, cy);
+        }
+        inputs_.push_back(makeTestImage(params_.width, params_.height,
+                                        params_.seed + i, faces));
+    }
+    reset();
+}
+
+int
+FaceDetectApp::levelCount() const
+{
+    int count = 1;
+    int w = params_.width, h = params_.height;
+    while (std::min(w / 2, h / 2) >= params_.minDim) {
+        w /= 2;
+        h /= 2;
+        ++count;
+    }
+    return count;
+}
+
+std::pair<int, int>
+FaceDetectApp::levelDims(int level) const
+{
+    int w = params_.width, h = params_.height;
+    for (int l = 0; l < level; ++l) {
+        w /= 2;
+        h /= 2;
+    }
+    return {w, h};
+}
+
+int
+FaceDetectApp::bandsInLevel(int level) const
+{
+    auto [w, h] = levelDims(level);
+    (void)w;
+    return (h + params_.bandRows - 1) / params_.bandRows;
+}
+
+int
+FaceDetectApp::cascadeDepth(const FdItem& item) const
+{
+    const GrayImage& codes = lbp_[item.image][item.level];
+    const int w = params_.window;
+    // Each cascade stage samples 16 LBP codes from a ring at growing
+    // radius and requires enough uniform patterns. The planted face
+    // pattern (high-contrast frame) yields uniform codes; texture
+    // noise rarely does for all rings.
+    for (int stage = 0; stage < kCascadeStages; ++stage) {
+        int radius = 2 + stage;
+        int hits = 0;
+        for (int k = 0; k < 16; ++k) {
+            // Fixed integer ring offsets (no trig for determinism).
+            int ox = ((k * 2 + stage) % w - w / 2) * radius / (w / 2);
+            int oy = ((k * 5 + 3) % w - w / 2) * radius / (w / 2);
+            int x = std::clamp(item.a + w / 2 + ox, 0,
+                               codes.width() - 1);
+            int y = std::clamp(item.b + w / 2 + oy, 0,
+                               codes.height() - 1);
+            if (uniform(codes.at(x, y)))
+                ++hits;
+        }
+        if (hits < 12)
+            return stage;
+    }
+    return kCascadeStages;
+}
+
+void
+FaceDetectApp::reset()
+{
+    gray_.assign(params_.images,
+                 GrayImage(params_.width, params_.height));
+    grayRemaining_.assign(params_.images, bandsInLevel(0));
+    levels_.assign(params_.images,
+                   std::vector<GrayImage>(levelCount()));
+    levelRemaining_.assign(params_.images,
+                           std::vector<int>(levelCount() + 1, 0));
+    featureRemaining_.assign(params_.images,
+                             std::vector<int>(levelCount(), 0));
+    lbp_.assign(params_.images,
+                std::vector<GrayImage>(levelCount()));
+    detections_.clear();
+}
+
+void
+FaceDetectApp::seedFlow(Seeder& seeder, int flow)
+{
+    std::vector<FdItem> bands;
+    for (int b = 0; b < bandsInLevel(0); ++b)
+        bands.push_back(FdItem{flow, 0, b, 0});
+    seeder.insert<FdGrayscale>(std::move(bands));
+}
+
+void
+FaceDetectApp::buildReference()
+{
+    // Sequential CPU pipeline: same math, canonical order.
+    for (int i = 0; i < params_.images; ++i) {
+        GrayImage level = referenceHistEq(
+            referenceGrayscale(inputs_[i]));
+        for (int l = 0; l < levelCount(); ++l) {
+            if (l > 0)
+                level = referenceDownsample(level);
+            GrayImage codes(level.width(), level.height());
+            for (int y = 0; y < level.height(); ++y)
+                for (int x = 0; x < level.width(); ++x)
+                    codes.at(x, y) = lbpCode(level, x, y);
+            lbp_[i][l] = std::move(codes);
+            const FdParams& p = params_;
+            for (int wy = 0; wy + p.window <= level.height();
+                 wy += p.stride) {
+                for (int wx = 0; wx + p.window <= level.width();
+                     wx += p.stride) {
+                    FdItem item{i, l, wx, wy};
+                    if (cascadeDepth(item) == kCascadeStages)
+                        refDetections_.emplace(i, l, wx, wy);
+                }
+            }
+        }
+    }
+    refBuilt_ = true;
+    reset();
+}
+
+bool
+FaceDetectApp::verify()
+{
+    if (!refBuilt_) {
+        std::vector<Detection> got = detections_;
+        buildReference();
+        detections_ = std::move(got);
+    }
+    std::set<Detection> got(detections_.begin(), detections_.end());
+    return got == refDetections_;
+}
+
+} // namespace vp::facedetect

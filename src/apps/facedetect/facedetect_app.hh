@@ -1,0 +1,191 @@
+/**
+ * @file
+ * LBP Face Detection application (paper sec 8.3, Fig. 14): a 5-stage
+ * recursive pipeline — Grayscale -> Histogram equalization -> Resize
+ * (image pyramid) -> LBP feature extraction -> window Scanning with
+ * cascade early termination.
+ *
+ * A search window is the Scanning data item (paper: chosen for load
+ * balance); most windows are rejected after one or two cascade
+ * stages while windows over a face evaluate the full cascade.
+ */
+
+#ifndef VP_APPS_FACEDETECT_FACEDETECT_APP_HH
+#define VP_APPS_FACEDETECT_FACEDETECT_APP_HH
+
+#include <cstdint>
+#include <set>
+#include <tuple>
+#include <vector>
+
+#include "apps/common/image.hh"
+#include "core/versapipe.hh"
+
+namespace vp::facedetect {
+
+/** Workload parameters. */
+struct FdParams
+{
+    int images = 8;
+    int width = 1280;
+    int height = 720;
+    int minDim = 48;     //!< smallest pyramid level scanned
+    int bandRows = 32;   //!< rows per grayscale/resize band
+    int window = 24;     //!< square search-window side
+    int stride = 6;      //!< window step in both axes
+    int facesPerImage = 3;
+    std::uint64_t seed = 20170202;
+
+    static FdParams small();
+};
+
+/** Data item (Table 2: 16 B). */
+struct FdItem
+{
+    std::int32_t image;
+    std::int32_t level;
+    std::int32_t a; //!< band (early stages) / window x (scan)
+    std::int32_t b; //!< window y (scan)
+};
+static_assert(sizeof(FdItem) == 16, "paper reports 16-byte items");
+
+class FaceDetectApp;
+
+/** RGB -> luma over one band. */
+class FdGrayscale : public Stage<FdItem>
+{
+  public:
+    explicit FdGrayscale(FaceDetectApp& app);
+    TaskCost cost(const FdItem& item) const override;
+    void execute(ExecContext& ctx, FdItem& item) override;
+
+  private:
+    FaceDetectApp& app_;
+};
+
+/** Whole-image histogram equalization (limited parallelism). */
+class FdHistEq : public Stage<FdItem>
+{
+  public:
+    explicit FdHistEq(FaceDetectApp& app);
+    TaskCost cost(const FdItem& item) const override;
+    void execute(ExecContext& ctx, FdItem& item) override;
+
+  private:
+    FaceDetectApp& app_;
+};
+
+/** Pyramid level band; recursive. */
+class FdResize : public Stage<FdItem>
+{
+  public:
+    explicit FdResize(FaceDetectApp& app);
+    TaskCost cost(const FdItem& item) const override;
+    void execute(ExecContext& ctx, FdItem& item) override;
+
+  private:
+    FaceDetectApp& app_;
+};
+
+/** LBP code computation for one pyramid level. */
+class FdFeature : public Stage<FdItem>
+{
+  public:
+    explicit FdFeature(FaceDetectApp& app);
+    TaskCost cost(const FdItem& item) const override;
+    void execute(ExecContext& ctx, FdItem& item) override;
+
+  private:
+    FaceDetectApp& app_;
+};
+
+/** Cascade evaluation of one search window. */
+class FdScan : public Stage<FdItem>
+{
+  public:
+    explicit FdScan(FaceDetectApp& app);
+    TaskCost cost(const FdItem& item) const override;
+    void execute(ExecContext& ctx, FdItem& item) override;
+
+  private:
+    FaceDetectApp& app_;
+};
+
+/** A detected face: (image, level, x, y). */
+using Detection = std::tuple<int, int, int, int>;
+
+/** The Face Detection application driver. */
+class FaceDetectApp : public AppDriver
+{
+  public:
+    explicit FaceDetectApp(FdParams params = {});
+
+    std::string name() const override { return "facedetect"; }
+    Pipeline& pipeline() override { return pipe_; }
+    void reset() override;
+    int flowCount() const override { return params_.images; }
+    void seedFlow(Seeder& seeder, int flow) override;
+    bool verify() override;
+
+    const FdParams& params() const { return params_; }
+
+    /** Detections of the last run (unsorted). */
+    const std::vector<Detection>& detections() const
+    {
+        return detections_;
+    }
+
+    /** Ground-truth face count planted in the inputs. */
+    int plantedFaces() const
+    {
+        return params_.images * params_.facesPerImage;
+    }
+
+    /** Number of pyramid levels scanned. */
+    int levelCount() const;
+
+    /** Dimensions of a level. */
+    std::pair<int, int> levelDims(int level) const;
+
+    /** Bands of rows in a level. */
+    int bandsInLevel(int level) const;
+
+    /**
+     * Cascade evaluation on LBP codes: returns the depth reached
+     * (kCascadeStages = accepted). Shared by cost() and execute().
+     */
+    int cascadeDepth(const FdItem& item) const;
+
+    static constexpr int kCascadeStages = 8;
+
+  private:
+    friend class FdGrayscale;
+    friend class FdHistEq;
+    friend class FdResize;
+    friend class FdFeature;
+    friend class FdScan;
+
+    FdParams params_;
+    Pipeline pipe_;
+
+    std::vector<RgbImage> inputs_;
+    std::vector<GrayImage> gray_;
+    std::vector<int> grayRemaining_;
+    std::vector<std::vector<GrayImage>> levels_;
+    std::vector<std::vector<int>> levelRemaining_;
+    /** Per-image, per-level remaining feature bands (join). */
+    std::vector<std::vector<int>> featureRemaining_;
+    /** LBP code images per (image, level). */
+    std::vector<std::vector<GrayImage>> lbp_;
+
+    std::vector<Detection> detections_;
+    /** Reference detections from the sequential CPU pipeline. */
+    std::set<Detection> refDetections_;
+    bool refBuilt_ = false;
+
+    void buildReference();
+};
+
+} // namespace vp::facedetect
+
+#endif // VP_APPS_FACEDETECT_FACEDETECT_APP_HH

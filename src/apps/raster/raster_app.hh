@@ -1,0 +1,144 @@
+/**
+ * @file
+ * Rasterization application (paper Fig. 16): a linear 3-stage
+ * pipeline — Clip -> Interpolate -> Shade — rendering 100 cubes into
+ * a 1024x768 framebuffer. Items are 4-byte ids (Table 2), the
+ * smallest of any evaluated pipeline.
+ */
+
+#ifndef VP_APPS_RASTER_RASTER_APP_HH
+#define VP_APPS_RASTER_RASTER_APP_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "core/versapipe.hh"
+
+namespace vp::raster {
+
+/** Workload parameters. */
+struct RasterParams
+{
+    int cubes = 100;
+    int width = 1024;
+    int height = 768;
+    int tile = 32; //!< shading tile side in pixels
+    std::uint64_t seed = 20170606;
+
+    static RasterParams small();
+};
+
+/** Data item (Table 2: 4 B): a triangle id, or a packed
+ * (triangle, tile) pair for the Shade stage. */
+struct RasterItem
+{
+    std::int32_t id;
+};
+static_assert(sizeof(RasterItem) == 4, "paper reports 4-byte items");
+
+class RasterApp;
+
+/** Transform + frustum cull one triangle. */
+class ClipStage : public Stage<RasterItem>
+{
+  public:
+    explicit ClipStage(RasterApp& app);
+    TaskCost cost(const RasterItem& item) const override;
+    void execute(ExecContext& ctx, RasterItem& item) override;
+
+  private:
+    RasterApp& app_;
+};
+
+/** Coverage setup: emit (triangle, tile) work for touched tiles. */
+class InterpolateStage : public Stage<RasterItem>
+{
+  public:
+    explicit InterpolateStage(RasterApp& app);
+    TaskCost cost(const RasterItem& item) const override;
+    void execute(ExecContext& ctx, RasterItem& item) override;
+
+  private:
+    RasterApp& app_;
+};
+
+/** Shade covered pixels of one (triangle, tile) pair. */
+class RShadeStage : public Stage<RasterItem>
+{
+  public:
+    explicit RShadeStage(RasterApp& app);
+    TaskCost cost(const RasterItem& item) const override;
+    void execute(ExecContext& ctx, RasterItem& item) override;
+
+  private:
+    RasterApp& app_;
+};
+
+/** The Rasterization application driver. */
+class RasterApp : public AppDriver
+{
+  public:
+    explicit RasterApp(RasterParams params = {});
+
+    std::string name() const override { return "raster"; }
+    Pipeline& pipeline() override { return pipe_; }
+    void reset() override;
+    void seedFlow(Seeder& seeder, int flow) override;
+    bool verify() override;
+
+    const RasterParams& params() const { return params_; }
+
+    /** Depth/triangle packed framebuffer (min-combined). */
+    const std::vector<std::uint64_t>& framebuffer() const
+    {
+        return fb_;
+    }
+
+    /** Triangles surviving the clip stage in the last run. */
+    int trianglesDrawn() const { return drawn_; }
+
+    /** Total input triangles (12 per cube). */
+    int triangles() const { return params_.cubes * 12; }
+
+    /** Tiles across / down. */
+    int tilesX() const;
+    int tilesY() const;
+
+  private:
+    friend class ClipStage;
+    friend class InterpolateStage;
+    friend class RShadeStage;
+
+    /** A screen-space triangle. */
+    struct Tri
+    {
+        float x[3], y[3], z[3];
+        bool culled = false;
+    };
+
+    /** Object-space triangle corners (set up in the constructor). */
+    struct SourceTri
+    {
+        float v[3][3];
+    };
+
+    void clipTri(int id);
+    void shadeTriTile(int tri, int tx, int ty,
+                      std::vector<std::uint64_t>& fb) const;
+    int tilesTouched(int tri, std::vector<int>* out) const;
+
+    RasterParams params_;
+    Pipeline pipe_;
+
+    std::vector<SourceTri> source_;
+    std::vector<Tri> screen_;
+    std::vector<std::uint64_t> fb_;
+    int drawn_ = 0;
+
+    std::uint64_t refChecksum_ = 0;
+    bool refBuilt_ = false;
+};
+
+} // namespace vp::raster
+
+#endif // VP_APPS_RASTER_RASTER_APP_HH

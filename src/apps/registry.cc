@@ -1,0 +1,55 @@
+#include "apps/registry.hh"
+
+#include "apps/cfd/cfd_app.hh"
+#include "apps/facedetect/facedetect_app.hh"
+#include "apps/ldpc/ldpc_app.hh"
+#include "apps/pyramid/pyramid_app.hh"
+#include "apps/raster/raster_app.hh"
+#include "apps/reyes/reyes_app.hh"
+#include "common/error.hh"
+
+namespace vp {
+
+std::vector<std::string>
+appNames()
+{
+    return {"pyramid", "facedetect", "reyes", "cfd", "raster",
+            "ldpc"};
+}
+
+std::unique_ptr<AppDriver>
+makeApp(const std::string& name, AppScale scale)
+{
+    bool small = scale == AppScale::Small;
+    if (name == "pyramid") {
+        return std::make_unique<pyramid::PyramidApp>(
+            small ? pyramid::PyrParams::small()
+                  : pyramid::PyrParams{});
+    }
+    if (name == "facedetect") {
+        return std::make_unique<facedetect::FaceDetectApp>(
+            small ? facedetect::FdParams::small()
+                  : facedetect::FdParams{});
+    }
+    if (name == "reyes") {
+        return std::make_unique<reyes::ReyesApp>(
+            small ? reyes::ReyesParams::small()
+                  : reyes::ReyesParams{});
+    }
+    if (name == "cfd") {
+        return std::make_unique<cfd::CfdApp>(
+            small ? cfd::CfdParams::small() : cfd::CfdParams{});
+    }
+    if (name == "raster") {
+        return std::make_unique<raster::RasterApp>(
+            small ? raster::RasterParams::small()
+                  : raster::RasterParams{});
+    }
+    if (name == "ldpc") {
+        return std::make_unique<ldpc::LdpcApp>(
+            small ? ldpc::LdpcParams::small() : ldpc::LdpcParams{});
+    }
+    VP_FATAL("unknown application `" << name << "`");
+}
+
+} // namespace vp

@@ -1,0 +1,41 @@
+/**
+ * @file
+ * Application registry: creates the paper's six evaluation
+ * applications by name, at full (paper) or reduced (tuner/test)
+ * scale.
+ */
+
+#ifndef VP_APPS_REGISTRY_HH
+#define VP_APPS_REGISTRY_HH
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/runtime.hh"
+
+namespace vp {
+
+/** Workload scale of a created application. */
+enum class AppScale
+{
+    /** Paper-like workload (possibly iteration-scaled; see docs). */
+    Full,
+    /** Reduced workload for tuner searches and unit tests. */
+    Small,
+};
+
+/** Names of the six evaluation applications (Table 1). */
+std::vector<std::string> appNames();
+
+/**
+ * Instantiate application @p name ("pyramid", "facedetect", "reyes",
+ * "cfd", "raster", "ldpc") at the given scale. Fatal on unknown
+ * names.
+ */
+std::unique_ptr<AppDriver> makeApp(const std::string& name,
+                                   AppScale scale = AppScale::Full);
+
+} // namespace vp
+
+#endif // VP_APPS_REGISTRY_HH

@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Error-reporting primitives for the VersaPipe reproduction.
+ *
+ * Follows the gem5 convention of distinguishing user errors ("fatal",
+ * recoverable by fixing inputs or configuration) from internal
+ * invariant violations ("panic", a bug in this library). Both raise
+ * typed exceptions so tests can assert on them.
+ */
+
+#ifndef VP_COMMON_ERROR_HH
+#define VP_COMMON_ERROR_HH
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace vp {
+
+/** Raised when the user supplied an invalid configuration or input. */
+class FatalError : public std::runtime_error
+{
+  public:
+    explicit FatalError(const std::string& msg)
+        : std::runtime_error(msg)
+    {}
+};
+
+/** Raised when an internal invariant of the library is violated. */
+class PanicError : public std::logic_error
+{
+  public:
+    explicit PanicError(const std::string& msg)
+        : std::logic_error(msg)
+    {}
+};
+
+namespace detail {
+
+/** Accumulates a message via stream inserters then throws on commit. */
+template <typename Exc>
+[[noreturn]] inline void
+throwFormatted(const char* kind, const char* file, int line,
+               const std::string& msg)
+{
+    std::ostringstream os;
+    os << kind << ": " << msg << " (" << file << ":" << line << ")";
+    throw Exc(os.str());
+}
+
+} // namespace detail
+
+} // namespace vp
+
+/** Report an unrecoverable user/configuration error. */
+#define VP_FATAL(msg)                                                       \
+    do {                                                                    \
+        std::ostringstream vp_os_;                                          \
+        vp_os_ << msg;                                                      \
+        ::vp::detail::throwFormatted<::vp::FatalError>(                     \
+            "fatal", __FILE__, __LINE__, vp_os_.str());                     \
+    } while (0)
+
+/** Report an internal bug (invariant violation). */
+#define VP_PANIC(msg)                                                       \
+    do {                                                                    \
+        std::ostringstream vp_os_;                                          \
+        vp_os_ << msg;                                                      \
+        ::vp::detail::throwFormatted<::vp::PanicError>(                     \
+            "panic", __FILE__, __LINE__, vp_os_.str());                     \
+    } while (0)
+
+/** Check an internal invariant; panics with the condition text. */
+#define VP_ASSERT(cond, msg)                                                \
+    do {                                                                    \
+        if (!(cond)) {                                                      \
+            VP_PANIC("assertion `" #cond "` failed: " << msg);              \
+        }                                                                   \
+    } while (0)
+
+/** Validate a user-visible precondition; fatal on failure. */
+#define VP_REQUIRE(cond, msg)                                               \
+    do {                                                                    \
+        if (!(cond)) {                                                      \
+            VP_FATAL("requirement `" #cond "` failed: " << msg);            \
+        }                                                                   \
+    } while (0)
+
+#endif // VP_COMMON_ERROR_HH

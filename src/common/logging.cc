@@ -1,0 +1,68 @@
+#include "common/logging.hh"
+
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+#include <mutex>
+
+namespace vp {
+
+namespace {
+
+LogLevel
+initialLevel()
+{
+    const char* env = std::getenv("VP_LOG");
+    if (!env)
+        return LogLevel::Warn;
+    if (!std::strcmp(env, "trace"))
+        return LogLevel::Trace;
+    if (!std::strcmp(env, "debug"))
+        return LogLevel::Debug;
+    if (!std::strcmp(env, "info"))
+        return LogLevel::Info;
+    return LogLevel::Warn;
+}
+
+LogLevel&
+levelRef()
+{
+    static LogLevel lvl = initialLevel();
+    return lvl;
+}
+
+const char*
+levelName(LogLevel lvl)
+{
+    switch (lvl) {
+      case LogLevel::Trace: return "TRACE";
+      case LogLevel::Debug: return "DEBUG";
+      case LogLevel::Info: return "INFO";
+      case LogLevel::Warn: return "WARN";
+    }
+    return "?";
+}
+
+} // namespace
+
+LogLevel
+Logger::level()
+{
+    return levelRef();
+}
+
+void
+Logger::setLevel(LogLevel lvl)
+{
+    levelRef() = lvl;
+}
+
+void
+Logger::emit(LogLevel lvl, const std::string& msg)
+{
+    static std::mutex mtx;
+    std::lock_guard<std::mutex> lock(mtx);
+    std::cerr << "[" << levelName(lvl) << "] " << msg << "\n";
+}
+
+} // namespace vp

@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Minimal leveled logging used by the simulator and framework.
+ *
+ * Logging is off by default (level Warn) so tests and benchmarks stay
+ * quiet; raise the level with Logger::setLevel or the VP_LOG
+ * environment variable (trace|debug|info|warn).
+ */
+
+#ifndef VP_COMMON_LOGGING_HH
+#define VP_COMMON_LOGGING_HH
+
+#include <sstream>
+#include <string>
+
+namespace vp {
+
+/** Severity of a log record, lowest first. */
+enum class LogLevel { Trace = 0, Debug = 1, Info = 2, Warn = 3 };
+
+/** Process-wide logging front end. */
+class Logger
+{
+  public:
+    /** Current minimum level that will be emitted. */
+    static LogLevel level();
+
+    /** Set the minimum level that will be emitted. */
+    static void setLevel(LogLevel lvl);
+
+    /** Emit one record to stderr with a level prefix. */
+    static void emit(LogLevel lvl, const std::string& msg);
+
+    /** True when records at @p lvl would be emitted. */
+    static bool enabled(LogLevel lvl) { return lvl >= level(); }
+};
+
+} // namespace vp
+
+#define VP_LOG_AT(lvl, msg)                                                 \
+    do {                                                                    \
+        if (::vp::Logger::enabled(lvl)) {                                   \
+            std::ostringstream vp_log_os_;                                  \
+            vp_log_os_ << msg;                                              \
+            ::vp::Logger::emit(lvl, vp_log_os_.str());                      \
+        }                                                                   \
+    } while (0)
+
+#define VP_TRACE(msg) VP_LOG_AT(::vp::LogLevel::Trace, msg)
+#define VP_DEBUG(msg) VP_LOG_AT(::vp::LogLevel::Debug, msg)
+#define VP_INFO(msg) VP_LOG_AT(::vp::LogLevel::Info, msg)
+#define VP_WARN(msg) VP_LOG_AT(::vp::LogLevel::Warn, msg)
+
+#endif // VP_COMMON_LOGGING_HH

@@ -1,0 +1,65 @@
+#include "common/rng.hh"
+
+namespace vp {
+
+Rng::Rng(std::uint64_t seed, std::uint64_t seq)
+    : state_(0), inc_((seq << 1u) | 1u)
+{
+    nextU32();
+    state_ += seed;
+    nextU32();
+}
+
+std::uint32_t
+Rng::nextU32()
+{
+    std::uint64_t old = state_;
+    state_ = old * 6364136223846793005ULL + inc_;
+    std::uint32_t xorshifted =
+        static_cast<std::uint32_t>(((old >> 18u) ^ old) >> 27u);
+    std::uint32_t rot = static_cast<std::uint32_t>(old >> 59u);
+    return (xorshifted >> rot) | (xorshifted << ((-rot) & 31u));
+}
+
+std::uint32_t
+Rng::nextBelow(std::uint32_t bound)
+{
+    if (bound == 0)
+        return 0;
+    // Rejection sampling to avoid modulo bias.
+    std::uint32_t threshold = (-bound) % bound;
+    for (;;) {
+        std::uint32_t r = nextU32();
+        if (r >= threshold)
+            return r % bound;
+    }
+}
+
+double
+Rng::nextDouble()
+{
+    return nextU32() * (1.0 / 4294967296.0);
+}
+
+double
+Rng::nextRange(double lo, double hi)
+{
+    return lo + (hi - lo) * nextDouble();
+}
+
+double
+Rng::nextGaussian()
+{
+    double sum = 0.0;
+    for (int i = 0; i < 12; ++i)
+        sum += nextDouble();
+    return sum - 6.0;
+}
+
+bool
+Rng::nextBool(double p)
+{
+    return nextDouble() < p;
+}
+
+} // namespace vp

@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generation.
+ *
+ * The whole reproduction must be bit-reproducible across runs and
+ * platforms, so we carry our own PCG32 generator instead of relying on
+ * std::mt19937 distributions (whose results are implementation-defined
+ * for floating point).
+ */
+
+#ifndef VP_COMMON_RNG_HH
+#define VP_COMMON_RNG_HH
+
+#include <cstdint>
+
+namespace vp {
+
+/**
+ * PCG32 generator (O'Neill, 2014): small, fast, statistically solid,
+ * and fully deterministic given (seed, sequence).
+ */
+class Rng
+{
+  public:
+    /** Construct from a seed and an optional stream-selection value. */
+    explicit Rng(std::uint64_t seed = 0x853c49e6748fea9bULL,
+                 std::uint64_t seq = 0xda3e39cb94b95bdbULL);
+
+    /** Next uniformly distributed 32-bit value. */
+    std::uint32_t nextU32();
+
+    /** Uniform integer in [0, bound), bias-free via rejection. */
+    std::uint32_t nextBelow(std::uint32_t bound);
+
+    /** Uniform double in [0, 1). */
+    double nextDouble();
+
+    /** Uniform double in [lo, hi). */
+    double nextRange(double lo, double hi);
+
+    /** Approximate standard normal via sum of uniforms (CLT, 12x). */
+    double nextGaussian();
+
+    /** True with probability @p p. */
+    bool nextBool(double p);
+
+  private:
+    std::uint64_t state_;
+    std::uint64_t inc_;
+};
+
+} // namespace vp
+
+#endif // VP_COMMON_RNG_HH

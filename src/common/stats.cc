@@ -1,0 +1,57 @@
+#include "common/stats.hh"
+
+#include <algorithm>
+
+namespace vp {
+
+void
+Accumulator::add(double v)
+{
+    ++count_;
+    sum_ += v;
+    min_ = std::min(min_, v);
+    max_ = std::max(max_, v);
+}
+
+void
+Accumulator::merge(const Accumulator& other)
+{
+    count_ += other.count_;
+    sum_ += other.sum_;
+    min_ = std::min(min_, other.min_);
+    max_ = std::max(max_, other.max_);
+}
+
+void
+Accumulator::clear()
+{
+    *this = Accumulator();
+}
+
+void
+StatGroup::inc(const std::string& name, double v)
+{
+    vals_[name] += v;
+}
+
+void
+StatGroup::set(const std::string& name, double v)
+{
+    vals_[name] = v;
+}
+
+double
+StatGroup::get(const std::string& name) const
+{
+    auto it = vals_.find(name);
+    return it == vals_.end() ? 0.0 : it->second;
+}
+
+void
+StatGroup::merge(const StatGroup& other)
+{
+    for (const auto& [k, v] : other.vals_)
+        vals_[k] += v;
+}
+
+} // namespace vp

@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Lightweight statistics containers used throughout the simulator.
+ */
+
+#ifndef VP_COMMON_STATS_HH
+#define VP_COMMON_STATS_HH
+
+#include <cstdint>
+#include <limits>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace vp {
+
+/** Running summary (count / sum / min / max / mean) of a scalar. */
+class Accumulator
+{
+  public:
+    /** Fold one sample into the summary. */
+    void add(double v);
+
+    /** Merge another accumulator into this one. */
+    void merge(const Accumulator& other);
+
+    /** Number of samples folded in so far. */
+    std::uint64_t count() const { return count_; }
+
+    /** Sum of all samples. */
+    double sum() const { return sum_; }
+
+    /** Smallest sample, or +inf when empty. */
+    double min() const { return min_; }
+
+    /** Largest sample, or -inf when empty. */
+    double max() const { return max_; }
+
+    /** Arithmetic mean, or 0 when empty. */
+    double mean() const { return count_ ? sum_ / count_ : 0.0; }
+
+    /** Reset to the empty state. */
+    void clear();
+
+  private:
+    std::uint64_t count_ = 0;
+    double sum_ = 0.0;
+    double min_ = std::numeric_limits<double>::infinity();
+    double max_ = -std::numeric_limits<double>::infinity();
+};
+
+/** Named counters grouped under one component, for run reports. */
+class StatGroup
+{
+  public:
+    /** Add @p v to counter @p name (creating it at zero). */
+    void inc(const std::string& name, double v = 1.0);
+
+    /** Set counter @p name to @p v. */
+    void set(const std::string& name, double v);
+
+    /** Value of counter @p name, or 0 when absent. */
+    double get(const std::string& name) const;
+
+    /** All counters in name order. */
+    const std::map<std::string, double>& all() const { return vals_; }
+
+    /** Merge counters from @p other by addition. */
+    void merge(const StatGroup& other);
+
+  private:
+    std::map<std::string, double> vals_;
+};
+
+} // namespace vp
+
+#endif // VP_COMMON_STATS_HH

@@ -1,0 +1,38 @@
+/**
+ * @file
+ * ASCII table formatter used by the benchmark harnesses to print
+ * paper-style tables and figure series.
+ */
+
+#ifndef VP_COMMON_TABLE_HH
+#define VP_COMMON_TABLE_HH
+
+#include <string>
+#include <vector>
+
+namespace vp {
+
+/** Column-aligned text table with a header row. */
+class TextTable
+{
+  public:
+    /** Create a table with the given column headers. */
+    explicit TextTable(std::vector<std::string> headers);
+
+    /** Append one row; must have as many cells as there are headers. */
+    void addRow(std::vector<std::string> cells);
+
+    /** Render the table, headers underlined, columns padded. */
+    std::string render() const;
+
+    /** Format a double with @p prec digits after the point. */
+    static std::string num(double v, int prec = 2);
+
+  private:
+    std::vector<std::string> headers_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+} // namespace vp
+
+#endif // VP_COMMON_TABLE_HH

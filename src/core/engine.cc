@@ -1,0 +1,56 @@
+#include "core/engine.hh"
+
+#include "common/logging.hh"
+
+namespace vp {
+
+Engine::Engine(DeviceConfig cfg)
+    : cfg_(std::move(cfg))
+{
+}
+
+RunResult
+Engine::run(AppDriver& driver, const PipelineConfig& config)
+{
+    auto r = runTimed(driver, config,
+                      std::numeric_limits<double>::infinity());
+    VP_ASSERT(r.has_value(), "untimed run reported a timeout");
+    return *r;
+}
+
+std::optional<RunResult>
+Engine::runTimed(AppDriver& driver, const PipelineConfig& config,
+                 double cycleLimit)
+{
+    Pipeline& pipe = driver.pipeline();
+    pipe.validate();
+    config.validate(pipe, cfg_);
+    driver.reset();
+    pipe.resetStages();
+
+    Simulator sim;
+    Device dev(sim, cfg_);
+    Host host(sim, dev);
+    auto runner = makeRunner(sim, dev, host, pipe, config);
+
+    runner->start(driver);
+    bool drained = sim.runUntil(cycleLimit, eventLimit_);
+    if (!drained) {
+        VP_REQUIRE(sim.eventsRun() < eventLimit_,
+                   "run exceeded the event limit ("
+                   << eventLimit_ << ") — livelock in config `"
+                   << config.describe(pipe) << "`?");
+        VP_DEBUG("engine: timeout at " << sim.now() << " cycles for `"
+                 << config.describe(pipe) << "`");
+        return std::nullopt;
+    }
+    VP_REQUIRE(runner->pending().value() == 0,
+               "run drained events but left work pending (config `"
+               << config.describe(pipe) << "`)");
+
+    RunResult result = runner->collect();
+    result.completed = driver.verify();
+    return result;
+}
+
+} // namespace vp

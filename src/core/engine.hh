@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Engine: builds a fresh simulated device per run and executes a
+ * pipeline application under a given configuration.
+ */
+
+#ifndef VP_CORE_ENGINE_HH
+#define VP_CORE_ENGINE_HH
+
+#include <cstdint>
+#include <optional>
+
+#include "core/model_config.hh"
+#include "core/run_result.hh"
+#include "core/runtime.hh"
+#include "gpu/device_config.hh"
+
+namespace vp {
+
+/** Executes pipeline applications on a simulated device. */
+class Engine
+{
+  public:
+    /** @param cfg the device to simulate. */
+    explicit Engine(DeviceConfig cfg);
+
+    /** The device configuration runs execute on. */
+    const DeviceConfig& deviceConfig() const { return cfg_; }
+
+    /**
+     * Run @p driver under @p config to completion.
+     * Fatal when the run livelocks or leaves work pending.
+     */
+    RunResult run(AppDriver& driver, const PipelineConfig& config);
+
+    /**
+     * Timeout-execute (the auto-tuner primitive of Fig. 10): run,
+     * but abandon once virtual time exceeds @p cycleLimit.
+     * @return the result, or nullopt on timeout.
+     */
+    std::optional<RunResult> runTimed(AppDriver& driver,
+                                      const PipelineConfig& config,
+                                      double cycleLimit);
+
+    /** Cap on simulation events per run (livelock guard). */
+    void setEventLimit(std::uint64_t limit) { eventLimit_ = limit; }
+
+  private:
+    DeviceConfig cfg_;
+    std::uint64_t eventLimit_ = 400000000ULL;
+};
+
+} // namespace vp
+
+#endif // VP_CORE_ENGINE_HH

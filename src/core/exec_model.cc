@@ -1,0 +1,126 @@
+#include "core/exec_model.hh"
+
+#include "common/error.hh"
+
+namespace vp {
+
+const char*
+execModelName(ExecModel m)
+{
+    switch (m) {
+      case ExecModel::RTC: return "RTC";
+      case ExecModel::KBK: return "KBK";
+      case ExecModel::KbkStream: return "KBK+Stream";
+      case ExecModel::Megakernel: return "Megakernel";
+      case ExecModel::CoarsePipeline: return "CoarsePipeline";
+      case ExecModel::FinePipeline: return "FinePipeline";
+      case ExecModel::Hybrid: return "Hybrid";
+      case ExecModel::DynamicParallelism: return "DynamicParallelism";
+    }
+    return "?";
+}
+
+const char*
+modelMetricName(ModelMetric m)
+{
+    switch (m) {
+      case ModelMetric::Applicability: return "A:Applicability";
+      case ModelMetric::TaskParallelism: return "B:Task parallelism";
+      case ModelMetric::HardwareUsage: return "C:Hardware usage";
+      case ModelMetric::LoadBalance: return "D:Load balance";
+      case ModelMetric::DataLocality: return "E:Data locality";
+      case ModelMetric::CodeFootprint: return "F:Code footprint";
+      case ModelMetric::SimplicityControl: return "G:Simplicity control";
+    }
+    return "?";
+}
+
+const char*
+metricLevelName(MetricLevel l)
+{
+    switch (l) {
+      case MetricLevel::Poor: return "poor";
+      case MetricLevel::Fair: return "fair";
+      case MetricLevel::Good: return "good";
+    }
+    return "?";
+}
+
+MetricLevel
+modelCharacteristic(ExecModel m, ModelMetric metric)
+{
+    using M = ModelMetric;
+    using L = MetricLevel;
+    switch (m) {
+      case ExecModel::RTC:
+        // One kernel, one pass: great locality, but cannot express
+        // recursion/global sync, merges resource usage and code.
+        switch (metric) {
+          case M::Applicability: return L::Poor;
+          case M::TaskParallelism: return L::Poor;
+          case M::HardwareUsage: return L::Poor;
+          case M::LoadBalance: return L::Fair;
+          case M::DataLocality: return L::Good;
+          case M::CodeFootprint: return L::Poor;
+          case M::SimplicityControl: return L::Good;
+        }
+        break;
+      case ExecModel::KBK:
+        // Small kernels, any structure, but serial stages and launch
+        // overhead; no cross-stage parallelism or locality.
+        switch (metric) {
+          case M::Applicability: return L::Good;
+          case M::TaskParallelism: return L::Poor;
+          case M::HardwareUsage: return L::Good;
+          case M::LoadBalance: return L::Fair;
+          case M::DataLocality: return L::Poor;
+          case M::CodeFootprint: return L::Good;
+          case M::SimplicityControl: return L::Good;
+        }
+        break;
+      case ExecModel::Megakernel:
+        // Full task parallelism, but merged register/code pressure.
+        switch (metric) {
+          case M::Applicability: return L::Good;
+          case M::TaskParallelism: return L::Good;
+          case M::HardwareUsage: return L::Poor;
+          case M::LoadBalance: return L::Good;
+          case M::DataLocality: return L::Fair;
+          case M::CodeFootprint: return L::Poor;
+          case M::SimplicityControl: return L::Good;
+        }
+        break;
+      case ExecModel::CoarsePipeline:
+        // Per-stage kernels on exclusive SMs: small kernels, task
+        // parallel, but whole-SM granularity wastes partial SMs.
+        switch (metric) {
+          case M::Applicability: return L::Good;
+          case M::TaskParallelism: return L::Good;
+          case M::HardwareUsage: return L::Good;
+          case M::LoadBalance: return L::Poor;
+          case M::DataLocality: return L::Fair;
+          case M::CodeFootprint: return L::Good;
+          case M::SimplicityControl: return L::Fair;
+        }
+        break;
+      case ExecModel::FinePipeline:
+        // Block-granular mapping: best utilization and locality, but
+        // a large, tricky configuration space.
+        switch (metric) {
+          case M::Applicability: return L::Good;
+          case M::TaskParallelism: return L::Good;
+          case M::HardwareUsage: return L::Good;
+          case M::LoadBalance: return L::Good;
+          case M::DataLocality: return L::Good;
+          case M::CodeFootprint: return L::Good;
+          case M::SimplicityControl: return L::Poor;
+        }
+        break;
+      default:
+        break;
+    }
+    VP_FATAL("no Figure-6 characteristics for model "
+             << execModelName(m));
+}
+
+} // namespace vp

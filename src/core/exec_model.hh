@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Execution-model taxonomy for pipelined computing on GPU, following
+ * sections 4.1-4.2 of the VersaPipe paper, plus the qualitative
+ * characteristics matrix of Figure 6.
+ */
+
+#ifndef VP_CORE_EXEC_MODEL_HH
+#define VP_CORE_EXEC_MODEL_HH
+
+#include <array>
+#include <string>
+
+namespace vp {
+
+/**
+ * How a pipeline (or one stage group of a hybrid pipeline) executes.
+ *
+ * The first five values are the models the paper analyzes; Hybrid
+ * composes them per stage group; KbkStream and DynamicParallelism are
+ * the additional comparison points of Figure 13 and section 8.4.
+ */
+enum class ExecModel
+{
+    /** All stages inlined in one kernel, one pass (Fig. 3a). */
+    RTC,
+    /** One kernel per stage, host-sequenced (Fig. 3b). */
+    KBK,
+    /** KBK with independent flows in concurrent streams (Fig. 13). */
+    KbkStream,
+    /** One persistent kernel scheduling all stages (Fig. 3c). */
+    Megakernel,
+    /** Per-stage persistent kernels bound to exclusive SMs (Fig. 4). */
+    CoarsePipeline,
+    /** Per-stage persistent kernels sharing SMs block-wise (Fig. 5). */
+    FinePipeline,
+    /** Stage groups with per-group models (Fig. 7). */
+    Hybrid,
+    /** Each produced item spawns a device-side sub-kernel (sec 8.4). */
+    DynamicParallelism,
+};
+
+/** Short display name of a model. */
+const char* execModelName(ExecModel m);
+
+/** The seven qualitative metrics of Figure 6. */
+enum class ModelMetric
+{
+    Applicability,
+    TaskParallelism,
+    HardwareUsage,
+    LoadBalance,
+    DataLocality,
+    CodeFootprint,
+    SimplicityControl,
+};
+
+/** Display name of a metric (Figure 6's A-G legend). */
+const char* modelMetricName(ModelMetric m);
+
+/** Qualitative level used in Figure 6. */
+enum class MetricLevel { Poor = 1, Fair = 2, Good = 3 };
+
+/** Display name of a level. */
+const char* metricLevelName(MetricLevel l);
+
+/**
+ * The Figure 6 characteristics matrix: qualitative strengths and
+ * weaknesses of the five primary models.
+ */
+MetricLevel modelCharacteristic(ExecModel m, ModelMetric metric);
+
+/** All metrics, in Figure 6 (A..G) order. */
+constexpr std::array<ModelMetric, 7> kAllMetrics = {
+    ModelMetric::Applicability, ModelMetric::TaskParallelism,
+    ModelMetric::HardwareUsage, ModelMetric::LoadBalance,
+    ModelMetric::DataLocality, ModelMetric::CodeFootprint,
+    ModelMetric::SimplicityControl,
+};
+
+/** The five primary models charted in Figure 6. */
+constexpr std::array<ExecModel, 5> kFigure6Models = {
+    ExecModel::RTC, ExecModel::KBK, ExecModel::Megakernel,
+    ExecModel::CoarsePipeline, ExecModel::FinePipeline,
+};
+
+} // namespace vp
+
+#endif // VP_CORE_EXEC_MODEL_HH

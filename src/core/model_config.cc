@@ -1,0 +1,304 @@
+#include "core/model_config.hh"
+
+#include <algorithm>
+#include <numeric>
+#include <set>
+#include <sstream>
+
+#include "gpu/occupancy.hh"
+
+namespace vp {
+
+const char*
+schedulePolicyName(SchedulePolicy p)
+{
+    switch (p) {
+      case SchedulePolicy::LaterStageFirst: return "later-stage-first";
+      case SchedulePolicy::EarlierStageFirst:
+        return "earlier-stage-first";
+      case SchedulePolicy::LongestQueueFirst:
+        return "longest-queue-first";
+    }
+    return "?";
+}
+
+std::string
+PipelineConfig::describe(const Pipeline& pipe) const
+{
+    std::ostringstream os;
+    switch (top) {
+      case Top::Kbk:
+        return "KBK";
+      case Top::KbkStream:
+        os << "KBK+" << numStreams << "streams";
+        return os.str();
+      case Top::DynamicParallelism:
+        return "DynamicParallelism";
+      case Top::Groups:
+        break;
+    }
+    for (std::size_t g = 0; g < groups.size(); ++g) {
+        const StageGroup& grp = groups[g];
+        if (g)
+            os << " | ";
+        os << execModelName(grp.model) << "{";
+        for (std::size_t i = 0; i < grp.stages.size(); ++i) {
+            if (i)
+                os << ",";
+            os << pipe.stage(grp.stages[i]).name;
+        }
+        os << "}";
+        if (!grp.sms.empty())
+            os << "@" << grp.sms.size() << "sm";
+        for (const auto& [stage, blocks] : grp.blocksPerSm) {
+            if (blocks > 0)
+                os << " b" << stage << "=" << blocks;
+        }
+    }
+    if (distributedQueues)
+        os << " +distq";
+    return os.str();
+}
+
+void
+PipelineConfig::validate(const Pipeline& pipe,
+                         const DeviceConfig& dev) const
+{
+    VP_REQUIRE(threadsPerBlock > 0 && threadsPerBlock % dev.warpSize == 0,
+               "threadsPerBlock must be a positive warp multiple");
+    if (top == Top::KbkStream || top == Top::DynamicParallelism)
+        return;
+    if (top == Top::Kbk && groups.empty())
+        return; // plain per-stage KBK
+
+    VP_REQUIRE(!groups.empty(), "Groups config with no groups");
+    std::set<int> covered;
+    std::set<int> sms_used;
+    for (const StageGroup& grp : groups) {
+        VP_REQUIRE(!grp.stages.empty(), "empty stage group");
+        for (int s : grp.stages) {
+            VP_REQUIRE(s >= 0 && s < pipe.stageCount(),
+                       "group references stage " << s
+                       << " outside the pipeline");
+            VP_REQUIRE(covered.insert(s).second,
+                       "stage " << s << " is in two groups");
+        }
+        for (int sm : grp.sms) {
+            VP_REQUIRE(sm >= 0 && sm < dev.numSms,
+                       "group references SM " << sm
+                       << " outside the device");
+            VP_REQUIRE(sms_used.insert(sm).second,
+                       "SM " << sm << " assigned to two groups");
+        }
+        VP_REQUIRE(grp.model == ExecModel::RTC
+                   || grp.model == ExecModel::Megakernel
+                   || grp.model == ExecModel::FinePipeline,
+                   "group model must be RTC, Megakernel or "
+                   "FinePipeline, got " << execModelName(grp.model));
+        if (grp.model == ExecModel::RTC) {
+            // Inline chains require: no external producer may target
+            // a non-entry stage, and no internal cycles.
+            StageMask in_group = 0;
+            for (int s : grp.stages)
+                in_group |= StageMask(1) << s;
+            for (std::size_t i = 1; i < grp.stages.size(); ++i) {
+                int s = grp.stages[i];
+                StageMask external =
+                    pipe.producersOf(s) & ~in_group;
+                VP_REQUIRE(external == 0,
+                           "RTC group: stage `" << pipe.stage(s).name
+                           << "` has producers outside the group");
+            }
+            for (int s : grp.stages) {
+                VP_REQUIRE((pipe.ancestorsOf(s)
+                            & in_group
+                            & (StageMask(1) << s)) == 0,
+                           "RTC group contains a cycle through `"
+                           << pipe.stage(s).name << "`");
+            }
+        }
+        // Block counts must be occupancy-feasible in combination.
+        if (grp.model == ExecModel::FinePipeline) {
+            int regs = 0, threads = 0, blocks = 0, smem = 0;
+            for (int s : grp.stages) {
+                auto it = grp.blocksPerSm.find(s);
+                int want = it == grp.blocksPerSm.end() ? 0 : it->second;
+                if (want <= 0)
+                    continue;
+                const StageBase& stage = pipe.stage(s);
+                const ResourceUsage& r = stage.resources;
+                int bt = stage.blockThreads > 0 ? stage.blockThreads
+                                                : threadsPerBlock;
+                regs += want * r.regsPerThread * bt;
+                smem += want * r.smemPerBlock;
+                threads += want * bt;
+                blocks += want;
+            }
+            VP_REQUIRE(regs <= dev.regsPerSm
+                       && threads <= dev.maxThreadsPerSm
+                       && blocks <= dev.maxBlocksPerSm
+                       && smem <= dev.smemPerSm,
+                       "fine-pipeline block mapping exceeds SM "
+                       "resources");
+        }
+    }
+    VP_REQUIRE(static_cast<int>(covered.size()) == pipe.stageCount(),
+               "groups cover " << covered.size() << " of "
+               << pipe.stageCount() << " stages");
+}
+
+ResourceUsage
+mergedResources(const Pipeline& pipe, const std::vector<int>& stages)
+{
+    VP_REQUIRE(!stages.empty(), "merging zero stages");
+    ResourceUsage r = pipe.stage(stages[0]).resources;
+    for (std::size_t i = 1; i < stages.size(); ++i)
+        r = r.mergedWith(pipe.stage(stages[i]).resources);
+    return r;
+}
+
+namespace {
+
+std::vector<int>
+allStages(const Pipeline& pipe)
+{
+    std::vector<int> v(pipe.stageCount());
+    std::iota(v.begin(), v.end(), 0);
+    return v;
+}
+
+} // namespace
+
+PipelineConfig
+makeRtcConfig(const Pipeline& pipe)
+{
+    PipelineConfig cfg;
+    StageGroup g;
+    g.stages = allStages(pipe);
+    g.model = ExecModel::RTC;
+    cfg.groups.push_back(std::move(g));
+    return cfg;
+}
+
+PipelineConfig
+makeKbkConfig()
+{
+    PipelineConfig cfg;
+    cfg.top = PipelineConfig::Top::Kbk;
+    return cfg;
+}
+
+PipelineConfig
+makeKbkStreamConfig(int numStreams)
+{
+    PipelineConfig cfg;
+    cfg.top = PipelineConfig::Top::KbkStream;
+    cfg.numStreams = numStreams;
+    return cfg;
+}
+
+PipelineConfig
+makeMegakernelConfig(const Pipeline& pipe)
+{
+    PipelineConfig cfg;
+    StageGroup g;
+    g.stages = allStages(pipe);
+    g.model = ExecModel::Megakernel;
+    cfg.groups.push_back(std::move(g));
+    return cfg;
+}
+
+PipelineConfig
+makeCoarseConfig(const Pipeline& pipe, const DeviceConfig& dev,
+                 const std::vector<double>& smShare)
+{
+    PipelineConfig cfg;
+    int n = pipe.stageCount();
+    VP_REQUIRE(dev.numSms >= n,
+               "coarse pipeline needs at least one SM per stage");
+    std::vector<double> share = smShare;
+    if (share.empty())
+        share.assign(n, 1.0);
+    VP_REQUIRE(static_cast<int>(share.size()) == n,
+               "smShare size mismatch");
+    double total = std::accumulate(share.begin(), share.end(), 0.0);
+
+    // Largest-remainder apportionment with a floor of one SM each.
+    std::vector<int> count(n, 1);
+    int remaining = dev.numSms - n;
+    std::vector<std::pair<double, int>> order;
+    for (int i = 0; i < n; ++i)
+        order.emplace_back(share[i] / total, i);
+    std::sort(order.rbegin(), order.rend());
+    // Hand out the remaining SMs round-robin by descending share.
+    for (int give = 0; give < remaining; ++give)
+        count[order[give % n].second] += 1;
+
+    int next_sm = 0;
+    for (int s = 0; s < n; ++s) {
+        StageGroup g;
+        g.stages = {s};
+        g.model = ExecModel::Megakernel;
+        for (int k = 0; k < count[s]; ++k)
+            g.sms.push_back(next_sm++);
+        cfg.groups.push_back(std::move(g));
+    }
+    VP_ASSERT(next_sm <= dev.numSms, "SM apportionment overflow");
+    return cfg;
+}
+
+PipelineConfig
+makeFineConfig(const Pipeline& pipe, const DeviceConfig& dev)
+{
+    PipelineConfig cfg;
+    StageGroup g;
+    g.stages = allStages(pipe);
+    g.model = ExecModel::FinePipeline;
+
+    // Start every stage at its occupancy max, then shrink the largest
+    // allocations until the combination fits on one SM.
+    auto block_threads = [&](int s) {
+        int bt = pipe.stage(s).blockThreads;
+        return bt > 0 ? bt : cfg.threadsPerBlock;
+    };
+    std::vector<int> want(pipe.stageCount());
+    for (int s = 0; s < pipe.stageCount(); ++s) {
+        want[s] = std::max(1, maxBlocksPerSm(dev,
+                                             pipe.stage(s).resources,
+                                             block_threads(s))
+                                  .blocksPerSm);
+    }
+    auto fits = [&] {
+        long regs = 0, threads = 0, blocks = 0, smem = 0;
+        for (int s = 0; s < pipe.stageCount(); ++s) {
+            const ResourceUsage& r = pipe.stage(s).resources;
+            regs += long(want[s]) * r.regsPerThread
+                * block_threads(s);
+            smem += long(want[s]) * r.smemPerBlock;
+            threads += long(want[s]) * block_threads(s);
+            blocks += want[s];
+        }
+        return regs <= dev.regsPerSm && threads <= dev.maxThreadsPerSm
+            && blocks <= dev.maxBlocksPerSm && smem <= dev.smemPerSm;
+    };
+    while (!fits()) {
+        auto it = std::max_element(want.begin(), want.end());
+        VP_REQUIRE(*it > 1, "fine pipeline cannot fit all stages on "
+                   "one SM even at one block each");
+        --*it;
+    }
+    for (int s = 0; s < pipe.stageCount(); ++s)
+        g.blocksPerSm[s] = want[s];
+    cfg.groups.push_back(std::move(g));
+    return cfg;
+}
+
+PipelineConfig
+makeDynamicParallelismConfig()
+{
+    PipelineConfig cfg;
+    cfg.top = PipelineConfig::Top::DynamicParallelism;
+    return cfg;
+}
+
+} // namespace vp

@@ -1,0 +1,149 @@
+/**
+ * @file
+ * Pipeline execution configuration: the object the auto-tuner
+ * searches. A configuration partitions the stages into groups, picks
+ * an execution model per group, binds groups to SM sets (the coarse
+ * inter-group binding of the hybrid model), and assigns per-SM block
+ * counts for fine-pipeline groups (Figure 7).
+ */
+
+#ifndef VP_CORE_MODEL_CONFIG_HH
+#define VP_CORE_MODEL_CONFIG_HH
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/exec_model.hh"
+#include "core/pipeline.hh"
+#include "gpu/device_config.hh"
+
+namespace vp {
+
+/** Task-fetch order used by persistent-block schedulers. */
+enum class SchedulePolicy
+{
+    /** Query later (deeper) stages first; bounds queue growth. */
+    LaterStageFirst,
+    /** Query earlier stages first. */
+    EarlierStageFirst,
+    /** Query the longest queue first. */
+    LongestQueueFirst,
+};
+
+/** Display name of a scheduling policy. */
+const char* schedulePolicyName(SchedulePolicy p);
+
+/** One stage group of a (possibly hybrid) configuration. */
+struct StageGroup
+{
+    /** Stage indices in this group, in pipeline order. */
+    std::vector<int> stages;
+
+    /**
+     * Execution model inside the group: RTC (inline chain),
+     * Megakernel (one scheduler kernel), or FinePipeline (per-stage
+     * kernels with block-level SM sharing).
+     */
+    ExecModel model = ExecModel::Megakernel;
+
+    /** SMs this group is bound to; empty = all SMs. */
+    std::vector<int> sms;
+
+    /**
+     * Per-SM block count per stage (FinePipeline groups), or for the
+     * group's single kernel under key -1 (RTC/Megakernel groups).
+     * 0 / missing = occupancy maximum.
+     */
+    std::map<int, int> blocksPerSm;
+};
+
+/** A complete execution configuration for one pipeline. */
+struct PipelineConfig
+{
+    /**
+     * Top-level strategy. Groups covers RTC / Megakernel / coarse /
+     * fine / hybrid uniformly via the groups vector; KBK variants and
+     * DynamicParallelism use dedicated host-driven runners.
+     */
+    enum class Top { Groups, Kbk, KbkStream, DynamicParallelism };
+
+    Top top = Top::Groups;
+
+    /** Stage groups (top == Groups). */
+    std::vector<StageGroup> groups;
+
+    /** Block size used for all kernels (paper: 256). */
+    int threadsPerBlock = 256;
+
+    /** Task-fetch policy of persistent-block schedulers. */
+    SchedulePolicy schedule = SchedulePolicy::LaterStageFirst;
+
+    /** Enable the online tuner's idle-SM refill adaptation. */
+    bool onlineAdaptation = false;
+
+    /**
+     * Use distributed per-SM work queues with work stealing instead
+     * of one central queue per stage (the future-work direction of
+     * the paper's sec 8.5; cf. Cederman/Tsigas and Chen et al.).
+     * Groups runners only.
+     */
+    bool distributedQueues = false;
+
+    /** Concurrent streams (top == KbkStream). */
+    int numStreams = 4;
+
+    /** Human-readable synopsis for logs and tuner reports. */
+    std::string describe(const Pipeline& pipe) const;
+
+    /**
+     * Validate against a pipeline and device: groups partition the
+     * stages, SM sets are disjoint and in range, RTC groups are
+     * inlinable (linear, no external in-edges to internal stages, no
+     * internal cycles), block counts are occupancy-feasible.
+     * Fatal on violations.
+     */
+    void validate(const Pipeline& pipe, const DeviceConfig& dev) const;
+};
+
+/** @name Canonical configurations (sections 4.1-4.2) @{ */
+
+/** All stages in one inline-chain kernel on all SMs (Fig. 3a). */
+PipelineConfig makeRtcConfig(const Pipeline& pipe);
+
+/** Host-sequenced kernel-by-kernel execution (Fig. 3b). */
+PipelineConfig makeKbkConfig();
+
+/** KBK with @p numStreams concurrent flows (Fig. 13). */
+PipelineConfig makeKbkStreamConfig(int numStreams);
+
+/** One persistent scheduler kernel for all stages (Fig. 3c). */
+PipelineConfig makeMegakernelConfig(const Pipeline& pipe);
+
+/**
+ * Per-stage persistent kernels on exclusive SM partitions (Fig. 4).
+ * SMs are split proportionally to @p smShare (uniform when empty).
+ */
+PipelineConfig makeCoarseConfig(const Pipeline& pipe,
+                                const DeviceConfig& dev,
+                                const std::vector<double>& smShare = {});
+
+/** Per-stage persistent kernels sharing all SMs block-wise (Fig. 5). */
+PipelineConfig makeFineConfig(const Pipeline& pipe,
+                              const DeviceConfig& dev);
+
+/** Dynamic-parallelism execution (sec 8.4). */
+PipelineConfig makeDynamicParallelismConfig();
+
+/** @} */
+
+/**
+ * Merged resource usage of a set of stages compiled into one kernel:
+ * max registers/shared memory, summed code bytes.
+ */
+ResourceUsage mergedResources(const Pipeline& pipe,
+                              const std::vector<int>& stages);
+
+} // namespace vp
+
+#endif // VP_CORE_MODEL_CONFIG_HH

@@ -1,0 +1,131 @@
+#include "core/pipeline.hh"
+
+#include <optional>
+
+namespace vp {
+
+const char*
+structureName(PipelineStructure s)
+{
+    switch (s) {
+      case PipelineStructure::Linear: return "linear";
+      case PipelineStructure::Loop: return "loop";
+      case PipelineStructure::Recursion: return "recursion";
+    }
+    return "?";
+}
+
+void
+Pipeline::link(int from, int to)
+{
+    VP_REQUIRE(from >= 0 && from < stageCount(),
+               "link: bad source stage " << from);
+    VP_REQUIRE(to >= 0 && to < stageCount(),
+               "link: bad target stage " << to);
+    for (const auto& [f, t] : edges_)
+        if (f == from && t == to)
+            return; // idempotent
+    edges_.emplace_back(from, to);
+}
+
+StageBase&
+Pipeline::stage(int i)
+{
+    VP_REQUIRE(i >= 0 && i < stageCount(), "stage index " << i
+               << " out of range");
+    return *stages_[i];
+}
+
+const StageBase&
+Pipeline::stage(int i) const
+{
+    VP_REQUIRE(i >= 0 && i < stageCount(), "stage index " << i
+               << " out of range");
+    return *stages_[i];
+}
+
+int
+Pipeline::indexOfType(std::type_index ti) const
+{
+    auto it = byType_.find(ti);
+    VP_REQUIRE(it != byType_.end(),
+               "stage type not registered in this pipeline");
+    return it->second;
+}
+
+StageMask
+Pipeline::producersOf(int s) const
+{
+    StageMask m = 0;
+    for (const auto& [f, t] : edges_)
+        if (t == s)
+            m |= StageMask(1) << f;
+    return m;
+}
+
+StageMask
+Pipeline::consumersOf(int s) const
+{
+    StageMask m = 0;
+    for (const auto& [f, t] : edges_)
+        if (f == s)
+            m |= StageMask(1) << t;
+    return m;
+}
+
+StageMask
+Pipeline::ancestorsOf(int s) const
+{
+    // Fixed-point over the reverse edges.
+    StageMask frontier = producersOf(s);
+    StageMask seen = frontier;
+    while (frontier) {
+        StageMask next = 0;
+        for (int i = 0; i < stageCount(); ++i)
+            if (frontier & (StageMask(1) << i))
+                next |= producersOf(i);
+        frontier = next & ~seen;
+        seen |= next;
+    }
+    return seen;
+}
+
+bool
+Pipeline::hasCycle() const
+{
+    for (int i = 0; i < stageCount(); ++i)
+        if (ancestorsOf(i) & (StageMask(1) << i))
+            return true;
+    return false;
+}
+
+PipelineStructure
+Pipeline::structure() const
+{
+    if (explicit_)
+        return *explicit_;
+    return hasCycle() ? PipelineStructure::Recursion
+                      : PipelineStructure::Linear;
+}
+
+void
+Pipeline::resetStages()
+{
+    for (auto& s : stages_)
+        s->reset();
+}
+
+void
+Pipeline::validate() const
+{
+    VP_REQUIRE(stageCount() > 0, "pipeline has no stages");
+    // Every stage other than the first must be reachable from some
+    // other stage; isolated stages indicate a missing link().
+    for (int i = 1; i < stageCount(); ++i) {
+        VP_REQUIRE(producersOf(i) != 0 || consumersOf(i) != 0,
+                   "stage `" << stage(i).name
+                   << "` is disconnected; declare link()s");
+    }
+}
+
+} // namespace vp

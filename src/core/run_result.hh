@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Result record of one simulated pipeline execution.
+ */
+
+#ifndef VP_CORE_RUN_RESULT_HH
+#define VP_CORE_RUN_RESULT_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/stats.hh"
+#include "gpu/device.hh"
+#include "gpu/host.hh"
+#include "queueing/work_queue.hh"
+
+namespace vp {
+
+/** Per-stage accounting of one run. */
+struct StageRunStats
+{
+    std::string name;
+    /** Data items processed by this stage. */
+    std::uint64_t items = 0;
+    /** Block-batches executed. */
+    std::uint64_t batches = 0;
+    /** Warp instructions attributed to this stage. */
+    double warpInsts = 0.0;
+    /** Summed wall duration of this stage's batch executions. */
+    double execCycles = 0.0;
+    /** Queue statistics of the stage's input queue. */
+    QueueStats queue;
+};
+
+/** Everything measured during one pipeline run. */
+struct RunResult
+{
+    /** End-to-end virtual time, cycles. */
+    double cycles = 0.0;
+    /** End-to-end virtual time, milliseconds of device wall time. */
+    double ms = 0.0;
+    /** Configuration synopsis the run used. */
+    std::string configName;
+    /** Device name. */
+    std::string deviceName;
+
+    DeviceStats device;
+    HostStats host;
+    std::vector<StageRunStats> stages;
+
+    /** SM issue-slot utilization averaged over SMs and time [0,1]. */
+    double smUtilization = 0.0;
+
+    /** Empty-queue polls by persistent blocks. */
+    std::uint64_t polls = 0;
+    /** Blocks that retreated (wrong SM / block budget exceeded). */
+    std::uint64_t retreats = 0;
+    /** Refill kernels launched by the online tuner. */
+    std::uint64_t refills = 0;
+
+    /** Extra counters (model-specific). */
+    StatGroup extra;
+
+    /** True when the run drained all work and verified cleanly. */
+    bool completed = false;
+};
+
+} // namespace vp
+
+#endif // VP_CORE_RUN_RESULT_HH

@@ -1,0 +1,277 @@
+/**
+ * @file
+ * GroupsRunner: executes RTC / Megakernel / coarse / fine / hybrid
+ * configurations with persistent blocks, SM-centric mapping, block
+ * mapping, and the online idle-SM refill adaptation of section 7.
+ */
+
+#include <algorithm>
+#include <sstream>
+
+#include "common/logging.hh"
+#include "core/runtime.hh"
+#include "core/stage_impl.hh"
+#include "gpu/occupancy.hh"
+
+namespace vp {
+
+GroupsRunner::GroupsRunner(Simulator& sim, Device& dev, Host& host,
+                           Pipeline& pipe, const PipelineConfig& cfg)
+    : RunnerBase(sim, dev, host, pipe, cfg)
+{
+    buildSpecs();
+    if (cfg_.distributedQueues) {
+        // One queue shard per SM; blocks work on their home shard
+        // and steal from the others when it runs dry (sec 8.5's
+        // distributed-queue direction).
+        for (int i = 0; i < dev_.numSms(); ++i) {
+            shards_.push_back(std::make_unique<QueueSet>());
+            makeQueues(*shards_.back());
+            extraQueueSets_.push_back(shards_.back().get());
+        }
+    }
+}
+
+QueueSet&
+GroupsRunner::homeQueues(int smId)
+{
+    if (shards_.empty())
+        return queues_;
+    return *shards_[smId % shards_.size()];
+}
+
+int
+GroupsRunner::findWork(int smId, const std::vector<int>& stages,
+                       QueueSet*& qs)
+{
+    qs = &homeQueues(smId);
+    int s = pickStage(*qs, stages);
+    if (s >= 0 || shards_.empty())
+        return s;
+    // Steal scan over the other shards, nearest-first.
+    int n = static_cast<int>(shards_.size());
+    for (int d = 1; d < n; ++d) {
+        QueueSet& victim = *shards_[(smId + d) % n];
+        int found = pickStage(victim, stages);
+        if (found >= 0) {
+            ++steals_;
+            qs = &victim;
+            return found;
+        }
+    }
+    return -1;
+}
+
+void
+GroupsRunner::buildSpecs()
+{
+    for (std::size_t g = 0; g < cfg_.groups.size(); ++g) {
+        const StageGroup& grp = cfg_.groups[g];
+        auto configured_blocks = [&](int key) {
+            auto it = grp.blocksPerSm.find(key);
+            return it == grp.blocksPerSm.end() ? 0 : it->second;
+        };
+        if (grp.model == ExecModel::FinePipeline) {
+            // One kernel per stage; blocks of several stages share
+            // each assigned SM.
+            for (int s : grp.stages) {
+                KernelSpec spec;
+                spec.name = pipe_.stage(s).name + "_fine";
+                spec.stages = {s};
+                spec.res = pipe_.stage(s).resources;
+                spec.sms = grp.sms;
+                spec.threads = stageBlockThreads(s);
+                int want = configured_blocks(s);
+                if (want <= 0) {
+                    want = maxBlocksPerSm(dev_.config(), spec.res,
+                                          spec.threads)
+                               .blocksPerSm;
+                }
+                spec.blocksPerSm = std::max(1, want);
+                spec.groupIdx = static_cast<int>(g);
+                specs_.push_back(std::move(spec));
+            }
+        } else {
+            // RTC or Megakernel: one kernel for the whole group.
+            KernelSpec spec;
+            std::ostringstream name;
+            name << (grp.model == ExecModel::RTC ? "rtc" : "mega");
+            for (int s : grp.stages)
+                name << "_" << pipe_.stage(s).name;
+            spec.name = name.str();
+            spec.res = mergedResources(pipe_, grp.stages);
+            if (grp.model == ExecModel::Megakernel
+                && grp.stages.size() > 1) {
+                spec.res.regsPerThread = std::min(
+                    255, spec.res.regsPerThread
+                         + pipe_.megakernelExtraRegs);
+            }
+            spec.sms = grp.sms;
+            spec.threads = cfg_.threadsPerBlock;
+            spec.groupIdx = static_cast<int>(g);
+            if (grp.model == ExecModel::RTC) {
+                // The kernel serves the entry stage; the rest of the
+                // group is inlined into the same tasks.
+                spec.stages = {grp.stages.front()};
+                for (std::size_t i = 1; i < grp.stages.size(); ++i) {
+                    spec.inlineMask |=
+                        StageMask(1) << grp.stages[i];
+                }
+            } else {
+                spec.stages = grp.stages;
+            }
+            int want = configured_blocks(-1);
+            if (want <= 0) {
+                want = maxBlocksPerSm(dev_.config(), spec.res,
+                                      cfg_.threadsPerBlock)
+                           .blocksPerSm;
+            }
+            VP_REQUIRE(want > 0, "group kernel `" << spec.name
+                       << "` cannot be launched: zero occupancy");
+            spec.blocksPerSm = want;
+            specs_.push_back(std::move(spec));
+        }
+    }
+}
+
+void
+GroupsRunner::start(AppDriver& driver)
+{
+    if (cfg_.distributedQueues) {
+        // Seed flows round-robin across the shards; stealing
+        // rebalances single-flow workloads at runtime.
+        for (int f = 0; f < driver.flowCount(); ++f)
+            seedFlow(driver, *shards_[f % shards_.size()], f);
+    } else {
+        seedAll(driver, queues_);
+    }
+    // The input transfer happens once, identically for every model.
+    host_.memcpy(driver.inputBytes(), [this] {
+        for (std::size_t i = 0; i < specs_.size(); ++i)
+            launchSpec(static_cast<int>(i), specs_[i].sms, false);
+    });
+}
+
+void
+GroupsRunner::launchSpec(int specIdx, const std::vector<int>& sms,
+                         bool isRefill)
+{
+    const KernelSpec& spec = specs_[specIdx];
+    int sm_count = sms.empty() ? dev_.numSms()
+                               : static_cast<int>(sms.size());
+    int grid = spec.blocksPerSm * sm_count;
+    auto kernel = std::make_shared<Kernel>(
+        isRefill ? spec.name + "_refill" : spec.name, spec.res,
+        spec.threads, grid,
+        [this, specIdx](BlockContext& ctx) {
+            blockMain(ctx, specIdx);
+        });
+    kernel->setAllowedSms(sms);
+    ++liveKernels_;
+    kernel->notifyOnComplete([this] {
+        --liveKernels_;
+        onKernelComplete();
+    });
+    Stream* stream = dev_.createStream();
+    host_.launchAsync(stream, kernel);
+    // Record which kernel ids serve which stages (for locality and
+    // the SM-mapping introspection in tests). The id is assigned at
+    // device launch; bind after the launch is enqueued.
+    std::vector<int> stages = spec.stages;
+    Kernel* kp = kernel.get();
+    sim_.after(0.0, [this, kp, stages] {
+        if (kp->id() >= 0)
+            for (int s : stages)
+                bindStageKernel(s, kp->id());
+    });
+}
+
+void
+GroupsRunner::blockMain(BlockContext& ctx, int specIdx)
+{
+    const KernelSpec& spec = specs_[specIdx];
+    // Block-mapping check (filling-retreating): each stage keeps a
+    // per-SM block counter; blocks beyond the budget retreat.
+    auto key = std::make_pair(specIdx, ctx.smId());
+    int& count = blockCount_[key];
+    if (count >= spec.blocksPerSm) {
+        ++retreats_;
+        ctx.delay(20.0, [&ctx] { ctx.exit(); });
+        return;
+    }
+    ++count;
+    blockLoop(ctx, specIdx, dev_.config().pollIntervalCycles);
+}
+
+void
+GroupsRunner::blockLoop(BlockContext& ctx, int specIdx,
+                        Tick pollBackoff)
+{
+    const KernelSpec& spec = specs_[specIdx];
+    if (!anyFutureWork(spec.stages)) {
+        // This stage group has fully drained: retire the block.
+        auto key = std::make_pair(specIdx, ctx.smId());
+        --blockCount_[key];
+        ctx.exit();
+        return;
+    }
+    QueueSet* qs = nullptr;
+    int s = findWork(ctx.smId(), spec.stages, qs);
+    if (s < 0) {
+        // Upstream still working: poll with exponential backoff.
+        ++polls_;
+        Tick next_backoff = std::min(
+            pollBackoff * 1.5, dev_.config().pollIntervalCycles * 3.0);
+        ctx.delay(pollBackoff, [this, &ctx, specIdx, next_backoff] {
+            blockLoop(ctx, specIdx, next_backoff);
+        });
+        return;
+    }
+    processBatch(ctx, *qs, s, spec.inlineMask, -1,
+                 [this, &ctx, specIdx] {
+                     blockLoop(ctx, specIdx,
+                               dev_.config().pollIntervalCycles);
+                 },
+                 &homeQueues(ctx.smId()));
+}
+
+void
+GroupsRunner::onKernelComplete()
+{
+    if (cfg_.onlineAdaptation && !pending_.done())
+        maybeRefill();
+}
+
+void
+GroupsRunner::maybeRefill()
+{
+    if (refillBudget_ <= 0)
+        return;
+    // Pick the stage with the most stalled items (sec 7: "it chooses
+    // the stage group with the most data items stalled in its
+    // queues") and widen its kernel onto all SMs.
+    int best = -1;
+    std::size_t depth = 0;
+    for (int s = 0; s < pipe_.stageCount(); ++s) {
+        if (totalQueued(s) > depth) {
+            depth = totalQueued(s);
+            best = s;
+        }
+    }
+    if (best < 0)
+        return;
+    for (std::size_t i = 0; i < specs_.size(); ++i) {
+        const KernelSpec& spec = specs_[i];
+        if (std::find(spec.stages.begin(), spec.stages.end(), best)
+            == spec.stages.end())
+            continue;
+        --refillBudget_;
+        ++refills_;
+        VP_DEBUG("online tuner: refilling `" << spec.name << "` ("
+                 << depth << " items stalled)");
+        launchSpec(static_cast<int>(i), {}, true);
+        return;
+    }
+}
+
+} // namespace vp

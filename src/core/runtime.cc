@@ -1,0 +1,292 @@
+#include "core/runtime.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+#include "core/stage_impl.hh"
+#include "gpu/occupancy.hh"
+
+namespace vp {
+
+RunnerBase::RunnerBase(Simulator& sim, Device& dev, Host& host,
+                       Pipeline& pipe, const PipelineConfig& cfg)
+    : sim_(sim), dev_(dev), host_(host), pipe_(pipe), cfg_(cfg)
+{
+    makeQueues(queues_);
+    inFlight_.assign(pipe_.stageCount(), 0);
+    stageStats_.resize(pipe_.stageCount());
+    stageKernels_.resize(pipe_.stageCount());
+    for (int s = 0; s < pipe_.stageCount(); ++s)
+        stageStats_[s].name = pipe_.stage(s).name;
+    configName_ = cfg.describe(pipe);
+}
+
+void
+RunnerBase::makeQueues(QueueSet& qs)
+{
+    qs.clear();
+    for (int s = 0; s < pipe_.stageCount(); ++s)
+        qs.push_back(pipe_.stage(s).makeQueue());
+}
+
+void
+RunnerBase::seedAll(AppDriver& driver, QueueSet& qs)
+{
+    for (int f = 0; f < driver.flowCount(); ++f)
+        seedFlow(driver, qs, f);
+}
+
+void
+RunnerBase::seedFlow(AppDriver& driver, QueueSet& qs, int flow)
+{
+    Seeder seeder;
+    seeder.pipe_ = &pipe_;
+    seeder.queues_ = &qs;
+    seeder.noteSeeded_ = [this](int stage, int n) {
+        (void)stage;
+        pending_.add(n);
+    };
+    driver.seedFlow(seeder, flow);
+}
+
+bool
+RunnerBase::futureWorkPossible(int s) const
+{
+    StageMask relevant = pipe_.ancestorsOf(s) | (StageMask(1) << s);
+    for (int i = 0; i < pipe_.stageCount(); ++i) {
+        if (!(relevant & (StageMask(1) << i)))
+            continue;
+        if (inFlight_[i] > 0)
+            return true;
+        if (!queues_[i]->empty())
+            return true;
+        for (const QueueSet* qs : extraQueueSets_)
+            if (!(*qs)[i]->empty())
+                return true;
+    }
+    return false;
+}
+
+std::size_t
+RunnerBase::totalQueued(int s) const
+{
+    std::size_t total = queues_[s]->size();
+    for (const QueueSet* qs : extraQueueSets_)
+        total += (*qs)[s]->size();
+    return total;
+}
+
+bool
+RunnerBase::anyFutureWork(const std::vector<int>& stages) const
+{
+    for (int s : stages)
+        if (futureWorkPossible(s))
+            return true;
+    return false;
+}
+
+int
+RunnerBase::pickStage(const QueueSet& qs,
+                      const std::vector<int>& stages) const
+{
+    switch (cfg_.schedule) {
+      case SchedulePolicy::LaterStageFirst:
+        for (auto it = stages.rbegin(); it != stages.rend(); ++it)
+            if (!qs[*it]->empty())
+                return *it;
+        return -1;
+      case SchedulePolicy::EarlierStageFirst:
+        for (int s : stages)
+            if (!qs[s]->empty())
+                return s;
+        return -1;
+      case SchedulePolicy::LongestQueueFirst: {
+        int best = -1;
+        std::size_t depth = 0;
+        for (int s : stages) {
+            if (qs[s]->size() > depth) {
+                depth = qs[s]->size();
+                best = s;
+            }
+        }
+        return best;
+      }
+    }
+    return -1;
+}
+
+int
+RunnerBase::stageBlockThreads(int s) const
+{
+    int bt = pipe_.stage(s).blockThreads;
+    return bt > 0 ? bt : cfg_.threadsPerBlock;
+}
+
+int
+RunnerBase::batchCapacity(int s) const
+{
+    int tn = std::max(1, pipe_.stage(s).threadNum);
+    return std::max(1, stageBlockThreads(s) / tn);
+}
+
+bool
+RunnerBase::producerResidentOn(int s, int sm) const
+{
+    StageMask producers = pipe_.producersOf(s);
+    for (int p = 0; p < pipe_.stageCount(); ++p) {
+        if (!(producers & (StageMask(1) << p)))
+            continue;
+        for (int kid : stageKernels_[p])
+            if (dev_.sm(sm).residentBlocksOf(kid) > 0)
+                return true;
+    }
+    return false;
+}
+
+void
+RunnerBase::bindStageKernel(int s, int kernelId)
+{
+    stageKernels_[s].push_back(kernelId);
+}
+
+void
+RunnerBase::processBatch(BlockContext& ctx, QueueSet& qs, int s,
+                         StageMask inlineMask, int maxItems,
+                         std::function<void()> next,
+                         QueueSet* pushInto)
+{
+    StageBase& st = pipe_.stage(s);
+    QueueBase& q = *qs[s];
+    const DeviceConfig& dcfg = dev_.config();
+
+    int cap = batchCapacity(s);
+    if (maxItems >= 0)
+        cap = std::min(cap, maxItems);
+    VP_ASSERT(cap > 0, "zero batch capacity");
+
+    ExecContext ectx(pipe_, inlineMask, ctx.smId(),
+                     std::max(1, st.threadNum));
+    int avail = static_cast<int>(std::min<std::size_t>(q.size(), cap));
+    Tick pop_cost = q.accessCost(dcfg, sim_.now(), std::max(avail, 1));
+    BatchResult br = st.runBatch(ectx, q, cap);
+    VP_ASSERT(br.items > 0, "processBatch on an empty queue for stage `"
+              << st.name << "`");
+
+    inFlight_[s] += br.items;
+    stageStats_[s].items += br.items;
+    stageStats_[s].batches += 1;
+    for (const auto& [inl, count] : ectx.inlineRuns()) {
+        stageStats_[inl].items += count;
+        stageStats_[inl].batches += 1;
+    }
+
+    // Data-locality bonus: producers co-resident on this SM (fine
+    // pipeline / megakernel) or inline chaining (RTC) keep
+    // intermediate data in the on-chip caches.
+    TaskCost cost = br.total;
+    bool chained = (inlineMask & ~(StageMask(1) << s)) != 0;
+    if (ctx.smId() >= 0
+        && (chained || producerResidentOn(s, ctx.smId()))) {
+        cost.l1HitRate = std::min(0.95, cost.l1HitRate
+                                  + dcfg.localityBonus);
+    }
+
+    WorkSpec w = makeWorkSpec(dcfg, cost, std::max(1, st.threadNum),
+                              br.items, br.maxTaskInsts);
+    stageStats_[s].warpInsts += w.warpInsts;
+
+    auto outputs = std::make_shared<std::vector<StagedOutput>>(
+        std::move(ectx.outputs()));
+    int items = br.items;
+    BlockContext* cp = &ctx;
+    QueueSet* qsp = pushInto ? pushInto : &qs;
+
+    cp->delay(pop_cost, [this, cp, qsp, s, w, outputs, items,
+                         next = std::move(next)]() mutable {
+        Tick exec_start = sim_.now();
+        cp->exec(w, [this, cp, qsp, s, outputs, items, exec_start,
+                     next = std::move(next)]() mutable {
+            stageStats_[s].execCycles += sim_.now() - exec_start;
+            const DeviceConfig& dcfg2 = dev_.config();
+            // Group outputs by target queue for push costing.
+            std::map<int, int> counts;
+            for (const StagedOutput& o : *outputs)
+                counts[o.stage] += 1;
+            Tick push_cost = 0.0;
+            for (const auto& [t, c] : counts)
+                push_cost += (*qsp)[t]->accessCost(dcfg2, sim_.now(), c);
+
+            auto commit = [this, qsp, s, outputs, items,
+                           next = std::move(next)] {
+                pending_.add(static_cast<std::int64_t>(
+                    outputs->size()));
+                for (StagedOutput& o : *outputs)
+                    o.push(*(*qsp)[o.stage]);
+                inFlight_[s] -= items;
+                pending_.sub(items);
+                next();
+            };
+            if (push_cost > 0.0 && !outputs->empty())
+                cp->delay(push_cost, std::move(commit));
+            else
+                commit();
+        });
+    });
+}
+
+RunResult
+RunnerBase::collect()
+{
+    RunResult r;
+    r.cycles = sim_.now();
+    r.ms = dev_.config().cyclesToMs(r.cycles);
+    r.configName = configName_;
+    r.deviceName = dev_.config().name;
+    r.device = dev_.stats();
+    r.host = host_.stats();
+    r.polls = polls_;
+    r.retreats = retreats_;
+    r.refills = refills_;
+    r.extra.set("steals", static_cast<double>(steals_));
+
+    for (int s = 0; s < pipe_.stageCount(); ++s) {
+        StageRunStats st = stageStats_[s];
+        st.queue = queues_[s]->stats();
+        for (const QueueSet* qs : extraQueueSets_) {
+            const QueueStats& extra = (*qs)[s]->stats();
+            st.queue.pushes += extra.pushes;
+            st.queue.pops += extra.pops;
+            st.queue.maxDepth = std::max(st.queue.maxDepth,
+                                         extra.maxDepth);
+            st.queue.opCycles += extra.opCycles;
+            st.queue.contentionCycles += extra.contentionCycles;
+        }
+        r.stages.push_back(std::move(st));
+    }
+
+    double issue = 0.0;
+    for (int i = 0; i < dev_.numSms(); ++i)
+        issue += dev_.sm(i).stats().issueCycles;
+    if (r.cycles > 0.0)
+        r.smUtilization = issue / (r.cycles * dev_.numSms());
+    return r;
+}
+
+std::unique_ptr<RunnerBase>
+makeRunner(Simulator& sim, Device& dev, Host& host, Pipeline& pipe,
+           const PipelineConfig& cfg)
+{
+    switch (cfg.top) {
+      case PipelineConfig::Top::Groups:
+        return std::make_unique<GroupsRunner>(sim, dev, host, pipe,
+                                              cfg);
+      case PipelineConfig::Top::Kbk:
+      case PipelineConfig::Top::KbkStream:
+        return std::make_unique<KbkRunner>(sim, dev, host, pipe, cfg);
+      case PipelineConfig::Top::DynamicParallelism:
+        return std::make_unique<DpRunner>(sim, dev, host, pipe, cfg);
+    }
+    VP_PANIC("unknown runner top");
+}
+
+} // namespace vp

@@ -1,0 +1,336 @@
+/**
+ * @file
+ * The VersaPipe runtime: runners translate a PipelineConfig into
+ * kernels, streams, SM bindings and block programs on the simulated
+ * device, implementing the execution models of sections 4-5.
+ *
+ *  - GroupsRunner: RTC / Megakernel / coarse / fine / hybrid via
+ *    persistent blocks, SM mapping and block mapping (Fig. 8).
+ *  - KbkRunner: host-sequenced kernel-by-kernel, optionally with
+ *    per-flow streams (Fig. 3b / Fig. 13).
+ *  - DpRunner: CUDA dynamic-parallelism comparison (sec 8.4).
+ */
+
+#ifndef VP_CORE_RUNTIME_HH
+#define VP_CORE_RUNTIME_HH
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/model_config.hh"
+#include "core/pipeline.hh"
+#include "core/run_result.hh"
+#include "core/stage.hh"
+#include "gpu/block.hh"
+#include "gpu/host.hh"
+#include "queueing/pending_counter.hh"
+
+namespace vp {
+
+class RunnerBase;
+
+/** One stage's input queues (per execution flow). */
+using QueueSet = std::vector<std::unique_ptr<QueueBase>>;
+
+/**
+ * Handed to AppDriver::seed to push initial data items into stage
+ * input queues (the paper's VersaPipe::insertIntoQueue).
+ */
+class Seeder
+{
+  public:
+    /** Insert @p items into the input queue of stage @p S. */
+    template <typename S>
+    void
+    insert(std::vector<typename S::DataItemType> items)
+    {
+        using T = typename S::DataItemType;
+        int idx = pipe_->indexOf<S>();
+        auto& q = typedQueue<T>(*(*queues_)[idx]);
+        int n = static_cast<int>(items.size());
+        for (auto& it : items)
+            q.push(std::move(it));
+        noteSeeded_(idx, n);
+    }
+
+    /** Single-item convenience overload. */
+    template <typename S>
+    void
+    insert(typename S::DataItemType item)
+    {
+        std::vector<typename S::DataItemType> v;
+        v.push_back(std::move(item));
+        insert<S>(std::move(v));
+    }
+
+  private:
+    friend class RunnerBase;
+    Pipeline* pipe_ = nullptr;
+    QueueSet* queues_ = nullptr;
+    std::function<void(int, int)> noteSeeded_;
+};
+
+/**
+ * An application the engine can run: owns the pipeline, seeds input,
+ * and verifies output against a reference implementation.
+ */
+class AppDriver
+{
+  public:
+    virtual ~AppDriver() = default;
+
+    /** Application name. */
+    virtual std::string name() const = 0;
+
+    /** The stage graph. */
+    virtual Pipeline& pipeline() = 0;
+
+    /** Reset application state before a run. */
+    virtual void reset() = 0;
+
+    /**
+     * Number of independent input flows (e.g., images). Flows matter
+     * to the KBK runners: plain KBK processes flows sequentially (the
+     * original implementations), KbkStream overlaps them in streams.
+     */
+    virtual int flowCount() const { return 1; }
+
+    /** Seed the initial items of flow @p flow. */
+    virtual void seedFlow(Seeder& seeder, int flow) = 0;
+
+    /** Bytes of input copied host-to-device before the first kernel. */
+    virtual double inputBytes() const { return 0.0; }
+
+    /** Check results against the reference; true when correct. */
+    virtual bool verify() { return true; }
+};
+
+/** Shared machinery of all runners. */
+class RunnerBase
+{
+  public:
+    RunnerBase(Simulator& sim, Device& dev, Host& host, Pipeline& pipe,
+               const PipelineConfig& cfg);
+
+    virtual ~RunnerBase() = default;
+
+    /** Seed input and launch the configured execution. */
+    virtual void start(AppDriver& driver) = 0;
+
+    /** Gather statistics after the simulation has drained. */
+    RunResult collect();
+
+    /** Outstanding-work counter. */
+    PendingCounter& pending() { return pending_; }
+
+    /** Primary input queue of stage @p s. */
+    QueueBase& queue(int s) { return *queues_[s]; }
+
+  protected:
+    /** Create one queue per stage into @p qs. */
+    void makeQueues(QueueSet& qs);
+
+    /** Seed every flow of @p driver into @p qs. */
+    void seedAll(AppDriver& driver, QueueSet& qs);
+
+    /** Seed one flow of @p driver into @p qs. */
+    void seedFlow(AppDriver& driver, QueueSet& qs, int flow);
+
+    /**
+     * True when stage @p s might still receive work: itself or any
+     * transitive producer has queued items or in-flight tasks.
+     */
+    bool futureWorkPossible(int s) const;
+
+    /** futureWorkPossible over a set of stages. */
+    bool anyFutureWork(const std::vector<int>& stages) const;
+
+    /**
+     * Choose the next stage to serve among @p stages (those with a
+     * non-empty queue in @p qs), honoring the configured policy.
+     * @return stage index or -1 when all queues are empty.
+     */
+    int pickStage(const QueueSet& qs,
+                  const std::vector<int>& stages) const;
+
+    /**
+     * Run one batch of stage @p s on block @p ctx: pop (queue cost),
+     * execute (processor sharing), push (queue cost), commit outputs,
+     * then invoke @p next. @p maxItems bounds the batch (-1 = the
+     * block's natural capacity). Outputs commit into @p pushInto
+     * when given (distributed queues push to the block's home
+     * shard), otherwise back into @p qs.
+     */
+    void processBatch(BlockContext& ctx, QueueSet& qs, int s,
+                      StageMask inlineMask, int maxItems,
+                      std::function<void()> next,
+                      QueueSet* pushInto = nullptr);
+
+    /** Tasks a block of stage @p s processes per fetch. */
+    int batchCapacity(int s) const;
+
+    /** Block size of stage @p s in its own kernel. */
+    int stageBlockThreads(int s) const;
+
+    /** True when a producer of @p s has blocks resident on SM @p sm. */
+    bool producerResidentOn(int s, int sm) const;
+
+    /** Register that kernel @p kernelId serves stage @p s. */
+    void bindStageKernel(int s, int kernelId);
+
+    Simulator& sim_;
+    Device& dev_;
+    Host& host_;
+    Pipeline& pipe_;
+    const PipelineConfig& cfg_;
+
+    QueueSet queues_;
+    /** Additional queue sets (flow replicas) included in stats. */
+    std::vector<QueueSet*> extraQueueSets_;
+    PendingCounter pending_;
+    std::vector<std::int64_t> inFlight_;
+    std::vector<StageRunStats> stageStats_;
+    std::vector<std::vector<int>> stageKernels_;
+
+    std::uint64_t polls_ = 0;
+    std::uint64_t retreats_ = 0;
+    std::uint64_t refills_ = 0;
+    std::uint64_t steals_ = 0;
+    std::string configName_;
+
+    /** Items queued for stage @p s across all queue sets. */
+    std::size_t totalQueued(int s) const;
+};
+
+/** Persistent-block runner for Groups configurations. */
+class GroupsRunner : public RunnerBase
+{
+  public:
+    GroupsRunner(Simulator& sim, Device& dev, Host& host,
+                 Pipeline& pipe, const PipelineConfig& cfg);
+
+    void start(AppDriver& driver) override;
+
+  private:
+    /** One kernel to launch (a group, or one stage of a fine group). */
+    struct KernelSpec
+    {
+        std::string name;
+        std::vector<int> stages;  //!< stages this kernel serves
+        StageMask inlineMask = 0; //!< RTC groups: inlined stages
+        ResourceUsage res;
+        std::vector<int> sms;     //!< allowed SMs (empty = all)
+        int blocksPerSm = 1;
+        int threads = 256;        //!< block size of this kernel
+        int groupIdx = 0;
+    };
+
+    void buildSpecs();
+    void launchSpec(int specIdx, const std::vector<int>& sms,
+                    bool isRefill);
+    void blockMain(BlockContext& ctx, int specIdx);
+    void blockLoop(BlockContext& ctx, int specIdx, Tick pollBackoff);
+    void onKernelComplete();
+    void maybeRefill();
+
+    /** The queue set a block on SM @p smId works against. */
+    QueueSet& homeQueues(int smId);
+
+    /**
+     * Find a queue set holding work for one of @p stages, starting
+     * at SM @p smId's home shard and stealing from the others
+     * (distributed queues). @return the chosen stage, or -1; sets
+     * @p qs to the set it was found in.
+     */
+    int findWork(int smId, const std::vector<int>& stages,
+                 QueueSet*& qs);
+
+    std::vector<KernelSpec> specs_;
+    /** Per-SM queue shards when cfg.distributedQueues is set. */
+    std::vector<std::unique_ptr<QueueSet>> shards_;
+    /** (specIdx, smId) -> resident block count (block mapping). */
+    std::map<std::pair<int, int>, int> blockCount_;
+    int liveKernels_ = 0;
+    int refillBudget_ = 64;
+};
+
+/** Host-sequenced kernel-by-kernel runner (plus stream variant). */
+class KbkRunner : public RunnerBase
+{
+  public:
+    KbkRunner(Simulator& sim, Device& dev, Host& host, Pipeline& pipe,
+              const PipelineConfig& cfg);
+
+    ~KbkRunner() override;
+
+    void start(AppDriver& driver) override;
+
+  private:
+    /** One independent flow being sequenced by the host. */
+    struct Flow
+    {
+        int id = 0;
+        Stream* stream = nullptr;
+        QueueSet* queues = nullptr;
+        bool active = false;
+    };
+
+    /**
+     * One host launch unit: a single stage, or an RTC-fused chain
+     * (the paper's "mixing of KBK and RTC" baseline for
+     * Rasterization). Built from cfg.groups when present.
+     */
+    struct Unit
+    {
+        int entry;
+        StageMask inlineMask = 0;
+        ResourceUsage res;
+        double hostBytesPerItem = 0.0;
+    };
+
+    void buildUnits();
+    void startNextFlows();
+    void flowPass(Flow& flow);
+    void flowStage(Flow& flow, int unitIdx);
+    void launchStageKernel(Flow& flow, int unitIdx,
+                           std::function<void()> done);
+    void flowFinished(Flow& flow);
+
+    std::vector<Unit> units_;
+
+    AppDriver* driver_ = nullptr;
+    std::vector<Flow> flows_;
+    std::vector<std::unique_ptr<QueueSet>> flowQueues_;
+    int nextFlowToSeed_ = 0;
+    int activeFlows_ = 0;
+};
+
+/** Dynamic-parallelism runner (sec 8.4). */
+class DpRunner : public RunnerBase
+{
+  public:
+    DpRunner(Simulator& sim, Device& dev, Host& host, Pipeline& pipe,
+             const PipelineConfig& cfg);
+
+    void start(AppDriver& driver) override;
+
+  private:
+    /** Launch one sub-kernel popping @p items items of stage @p s. */
+    void spawnKernel(int s, int items, bool fromDevice);
+
+    /** Per-stage count of queued items already assigned a kernel. */
+    std::vector<int> claimed_;
+};
+
+/** Instantiate the runner for a configuration. */
+std::unique_ptr<RunnerBase> makeRunner(Simulator& sim, Device& dev,
+                                       Host& host, Pipeline& pipe,
+                                       const PipelineConfig& cfg);
+
+} // namespace vp
+
+#endif // VP_CORE_RUNTIME_HH

@@ -1,0 +1,252 @@
+/**
+ * @file
+ * The VersaPipe programming API: stage definitions and the execution
+ * context device code uses to enqueue items to downstream stages.
+ *
+ * Mirrors the paper's API (Fig. 9): a stage subclasses Stage<T> (the
+ * paper's BaseStage), declares its data-item type, the number of
+ * threads per task, and an execute() that may call
+ * ctx.enqueue<NextStage>(item). Because the "device" is a simulator,
+ * a stage additionally declares its hardware footprint (resources)
+ * and a cost() function giving per-item instruction counts that drive
+ * the timing model; execute() performs the real computation.
+ */
+
+#ifndef VP_CORE_STAGE_HH
+#define VP_CORE_STAGE_HH
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <typeindex>
+#include <vector>
+
+#include "common/error.hh"
+#include "gpu/resources.hh"
+#include "queueing/work_queue.hh"
+
+namespace vp {
+
+class Pipeline;
+class ExecContext;
+
+/** Bitmask over stage indices (pipelines hold at most 32 stages). */
+using StageMask = std::uint32_t;
+
+/** Aggregate result of one block executing a batch of tasks. */
+struct BatchResult
+{
+    /** Summed per-thread cost of the batch. */
+    TaskCost total;
+    /** Largest single-task instruction count (load imbalance bound). */
+    double maxTaskInsts = 0.0;
+    /** Tasks executed. */
+    int items = 0;
+};
+
+/** Type-erased base of all pipeline stages. */
+class StageBase
+{
+  public:
+    virtual ~StageBase() = default;
+
+    /** Stage display name. */
+    std::string name = "stage";
+
+    /** Hardware footprint of this stage compiled as its own kernel. */
+    ResourceUsage resources;
+
+    /** Threads cooperating on one data item (the paper's threadNum). */
+    int threadNum = 1;
+
+    /**
+     * Block size when this stage runs in its own kernel (KBK, coarse,
+     * fine, DP); 0 = the configuration default. Merged kernels (RTC,
+     * Megakernel) always use the configuration default.
+     */
+    int blockThreads = 0;
+
+    /**
+     * Bytes the host must move per item when this stage's successors
+     * are sequenced by the CPU (KBK model only): recursion control
+     * and intermediate-result copies.
+     */
+    double kbkHostBytesPerItem = 0.0;
+
+    /** Payload type of this stage's data items. */
+    virtual std::type_index itemType() const = 0;
+
+    /** Payload size in bytes. */
+    virtual int itemBytes() const = 0;
+
+    /** Create this stage's input work queue. */
+    virtual std::unique_ptr<QueueBase> makeQueue() const = 0;
+
+    /**
+     * Pop up to @p maxItems items from @p q and execute each,
+     * recording outputs and costs in @p ctx.
+     */
+    virtual BatchResult runBatch(ExecContext& ctx, QueueBase& q,
+                                 int maxItems) = 0;
+
+    /** Reset any mutable stage-held state between runs. */
+    virtual void reset() {}
+};
+
+/**
+ * One buffered output of a task: the target stage and a closure that
+ * pushes the typed payload into that stage's queue at commit time.
+ */
+struct StagedOutput
+{
+    int stage;
+    std::function<void(QueueBase&)> push;
+};
+
+/**
+ * Execution context passed to Stage::execute.
+ *
+ * Collects the outputs a task produces; the runtime commits them to
+ * the work queues once the task's simulated execution has completed.
+ * For stages inlined into an RTC-style chain kernel, enqueue()
+ * executes the downstream stage immediately inside the same task and
+ * folds its cost in (the paper's run-to-completion semantics).
+ */
+class ExecContext
+{
+  public:
+    /**
+     * @param pipe the pipeline (for stage lookup by type)
+     * @param inlineMask stages executed inline rather than queued
+     * @param smId SM the executing block resides on (-1 = n/a)
+     */
+    /**
+     * @param entryThreads threads per task of the stage whose batch
+     *        is being executed; inlined stages with wider tasks have
+     *        their per-thread costs scaled up, since the same entry
+     *        threads must do their work (RTC semantics).
+     */
+    ExecContext(Pipeline& pipe, StageMask inlineMask, int smId,
+                int entryThreads = 1)
+        : pipe_(pipe), inlineMask_(inlineMask), smId_(smId),
+          entryThreads_(std::max(1, entryThreads))
+    {}
+
+    /** SM the executing block resides on. */
+    int smId() const { return smId_; }
+
+    /** Threads per task of the batch's entry stage. */
+    int entryThreads() const { return entryThreads_; }
+
+    /**
+     * Send @p item to stage @p S (the paper's
+     * enqueue<StageClassName>(itemVal)). Defined in stage_impl.hh.
+     */
+    template <typename S>
+    void enqueue(typename S::DataItemType item);
+
+    /** Outputs buffered so far (consumed by the runtime). */
+    std::vector<StagedOutput>& outputs() { return outputs_; }
+
+    /** Per-stage counts of tasks executed inline (RTC chaining). */
+    const std::vector<std::pair<int, int>>&
+    inlineRuns() const
+    {
+        return inlineRuns_;
+    }
+
+    /** Record one inline execution of stage @p s (internal). */
+    void
+    noteInlineRun(int s)
+    {
+        for (auto& [stage, count] : inlineRuns_) {
+            if (stage == s) {
+                ++count;
+                return;
+            }
+        }
+        inlineRuns_.emplace_back(s, 1);
+    }
+
+    /** @name Runtime-side batch bookkeeping @{ */
+
+    /** Begin accounting one task with base cost @p c. */
+    void
+    beginTask(const TaskCost& c)
+    {
+        taskCost_ = c;
+    }
+
+    /** Add inline-executed downstream cost to the current task. */
+    void
+    addInlineCost(const TaskCost& c)
+    {
+        taskCost_ += c;
+    }
+
+    /** Finish the current task, returning its accumulated cost. */
+    TaskCost
+    endTask()
+    {
+        return taskCost_;
+    }
+
+    /** @} */
+
+  private:
+    Pipeline& pipe_;
+    StageMask inlineMask_;
+    int smId_;
+    int entryThreads_ = 1;
+    int inlineDepth_ = 0;
+    TaskCost taskCost_;
+    std::vector<StagedOutput> outputs_;
+    std::vector<std::pair<int, int>> inlineRuns_;
+
+    static constexpr int kMaxInlineDepth = 64;
+};
+
+/**
+ * Typed stage base (the paper's BaseStage<Derived>).
+ *
+ * @tparam T the stage's data-item type
+ */
+template <typename T>
+class Stage : public StageBase
+{
+  public:
+    using DataItemType = T;
+
+    /** Per-item instruction cost driving the timing model. */
+    virtual TaskCost cost(const T& item) const = 0;
+
+    /** Process one item; may ctx.enqueue<Next>() results. */
+    virtual void execute(ExecContext& ctx, T& item) = 0;
+
+    std::type_index
+    itemType() const override
+    {
+        return std::type_index(typeid(T));
+    }
+
+    int
+    itemBytes() const override
+    {
+        return static_cast<int>(sizeof(T));
+    }
+
+    std::unique_ptr<QueueBase>
+    makeQueue() const override
+    {
+        return std::make_unique<WorkQueue<T>>(name);
+    }
+
+    // Defined in stage_impl.hh (needs the Pipeline definition).
+    BatchResult runBatch(ExecContext& ctx, QueueBase& q,
+                         int maxItems) override;
+};
+
+} // namespace vp
+
+#endif // VP_CORE_STAGE_HH

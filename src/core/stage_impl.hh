@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Out-of-line template definitions of the stage API that need the
+ * full Pipeline definition. Include core/versapipe.hh, which pulls
+ * this in last, rather than this header directly.
+ */
+
+#ifndef VP_CORE_STAGE_IMPL_HH
+#define VP_CORE_STAGE_IMPL_HH
+
+#include "core/pipeline.hh"
+#include "core/stage.hh"
+
+namespace vp {
+
+template <typename S>
+void
+ExecContext::enqueue(typename S::DataItemType item)
+{
+    using T = typename S::DataItemType;
+    int idx = pipe_.indexOf<S>();
+    if (inlineMask_ & (StageMask(1) << idx)) {
+        // RTC-style inline chaining: the downstream stage runs inside
+        // the same task; its cost folds into the current task.
+        VP_ASSERT(inlineDepth_ < kMaxInlineDepth,
+                  "inline chain too deep (cycle in RTC group?)");
+        ++inlineDepth_;
+        S& st = pipe_.stageAs<S>();
+        // Per-thread costs of a wider stage fall on the (fewer)
+        // entry threads when inlined into their task.
+        TaskCost c = st.cost(item);
+        double ratio = double(std::max(1, st.threadNum))
+            / entryThreads_;
+        if (ratio > 1.0) {
+            c.computeInsts *= ratio;
+            c.memInsts *= ratio;
+            c.serialInsts *= ratio;
+        }
+        addInlineCost(c);
+        noteInlineRun(idx);
+        st.execute(*this, item);
+        --inlineDepth_;
+        return;
+    }
+    outputs_.push_back(StagedOutput{
+        idx,
+        [item = std::move(item)](QueueBase& q) mutable {
+            typedQueue<T>(q).push(std::move(item));
+        }});
+}
+
+template <typename T>
+BatchResult
+Stage<T>::runBatch(ExecContext& ctx, QueueBase& q, int maxItems)
+{
+    auto& tq = typedQueue<T>(q);
+    std::vector<T> items;
+    tq.popBatch(items, static_cast<std::size_t>(maxItems));
+
+    BatchResult r;
+    r.items = static_cast<int>(items.size());
+    for (T& item : items) {
+        ctx.beginTask(cost(item));
+        execute(ctx, item);
+        TaskCost c = ctx.endTask();
+        r.maxTaskInsts = std::max(r.maxTaskInsts,
+                                  c.computeInsts + c.memInsts);
+        r.total += c;
+    }
+    return r;
+}
+
+} // namespace vp
+
+#endif // VP_CORE_STAGE_IMPL_HH

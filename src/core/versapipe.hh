@@ -1,0 +1,20 @@
+/**
+ * @file
+ * Umbrella header of the VersaPipe framework: include this to write a
+ * pipeline application (stages, pipeline graph, configurations,
+ * engine). See examples/quickstart.cc for the canonical usage.
+ */
+
+#ifndef VP_CORE_VERSAPIPE_HH
+#define VP_CORE_VERSAPIPE_HH
+
+#include "core/engine.hh"
+#include "core/exec_model.hh"
+#include "core/model_config.hh"
+#include "core/pipeline.hh"
+#include "core/run_result.hh"
+#include "core/runtime.hh"
+#include "core/stage.hh"
+#include "core/stage_impl.hh" // IWYU pragma: keep (template defs)
+
+#endif // VP_CORE_VERSAPIPE_HH

@@ -1,0 +1,59 @@
+#include "gpu/block.hh"
+
+#include "common/error.hh"
+#include "gpu/device.hh"
+
+namespace vp {
+
+BlockContext::BlockContext(Device& dev, Kernel& kernel, int smId,
+                           int blockIdx)
+    : dev_(dev), kernel_(kernel), smId_(smId), blockIdx_(blockIdx)
+{
+}
+
+Simulator&
+BlockContext::sim()
+{
+    return dev_.sim();
+}
+
+Sm&
+BlockContext::sm()
+{
+    return dev_.sm(smId_);
+}
+
+void
+BlockContext::exec(const WorkSpec& work, std::function<void()> cb)
+{
+    VP_ASSERT(!exited_, "exec() on an exited block");
+    VP_ASSERT(!busy_, "block already has an operation outstanding");
+    busy_ = true;
+    sm().beginWork(work, kernel_.id(), [this, cb = std::move(cb)] {
+        busy_ = false;
+        cb();
+    });
+}
+
+void
+BlockContext::delay(Tick cycles, std::function<void()> cb)
+{
+    VP_ASSERT(!exited_, "delay() on an exited block");
+    VP_ASSERT(!busy_, "block already has an operation outstanding");
+    busy_ = true;
+    sim().after(cycles, [this, cb = std::move(cb)] {
+        busy_ = false;
+        cb();
+    });
+}
+
+void
+BlockContext::exit()
+{
+    VP_ASSERT(!exited_, "double exit of block");
+    VP_ASSERT(!busy_, "exit() with an operation outstanding");
+    exited_ = true;
+    dev_.blockExited(*this);
+}
+
+} // namespace vp

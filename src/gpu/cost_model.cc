@@ -1,0 +1,74 @@
+#include "gpu/cost_model.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hh"
+
+namespace vp {
+
+WorkSpec
+makeWorkSpec(const DeviceConfig& cfg, const TaskCost& cost,
+             int threadsPerTask, int tasksInBatch, double maxTaskInsts)
+{
+    VP_ASSERT(threadsPerTask > 0 && tasksInBatch > 0,
+              "bad batch shape: " << threadsPerTask << "x" << tasksInBatch);
+
+    int total_threads = threadsPerTask * tasksInBatch;
+    int warps = std::max(1, (total_threads + cfg.warpSize - 1)
+                         / cfg.warpSize);
+
+    // Per-thread instruction streams of all tasks in the batch execute
+    // on parallel lanes; warp instruction count is the mean per-thread
+    // stream (the batch sum divided by tasks) because each warp
+    // executes one thread's stream per lane in lock step.
+    double per_thread = (cost.computeInsts + cost.memInsts)
+        / tasksInBatch;
+
+    // Load imbalance: the batch cannot finish before its largest item.
+    double critical = std::max(per_thread, maxTaskInsts);
+    double parallel_insts = critical * warps;
+
+    WorkSpec w;
+    // The serial portion executes on a single lane of a single warp:
+    // it contributes its instructions as extra warp instructions that
+    // cannot be overlapped with thread-level parallelism.
+    double serial = cost.serialInsts;
+    w.warpInsts = parallel_insts + serial;
+    double mem = cost.memInsts / std::max(1.0, double(tasksInBatch));
+    double tot = cost.computeInsts / std::max(1.0, double(tasksInBatch))
+        + mem;
+    w.memRatio = tot > 0.0 ? mem / tot : 0.0;
+    w.l1Hit = std::clamp(cost.l1HitRate, 0.0, 1.0);
+
+    // Effective warp parallelism: a run with P parallel warp-insts at
+    // warp count W plus S serial warp-insts at warp count 1 finishes,
+    // per unit per-warp rate, in P/W + S cycles. Fold that into a
+    // single equivalent warp count so the SM model stays uniform.
+    if (w.warpInsts > 0.0) {
+        double denom = parallel_insts / warps + serial;
+        w.warps = denom > 0.0 ? w.warpInsts / denom : warps;
+    } else {
+        w.warps = warps;
+    }
+    return w;
+}
+
+double
+effectiveMemLatency(const DeviceConfig& cfg, double l1Hit)
+{
+    double l1 = std::clamp(l1Hit, 0.0, 1.0);
+    double miss_lat = cfg.l2HitRate * cfg.l2LatencyCycles
+        + (1.0 - cfg.l2HitRate) * cfg.memLatencyCycles;
+    double avg = l1 * cfg.l1LatencyCycles + (1.0 - l1) * miss_lat;
+    return avg / std::max(1.0, cfg.mlp);
+}
+
+double
+perWarpRate(const DeviceConfig& cfg, const WorkSpec& w)
+{
+    double stall = w.memRatio * effectiveMemLatency(cfg, w.l1Hit);
+    return 1.0 / (1.0 + stall);
+}
+
+} // namespace vp

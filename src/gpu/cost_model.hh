@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Analytic SM throughput model.
+ *
+ * The SM executes resident work under processor sharing. Each piece of
+ * work (one block executing one batch of tasks) is summarized as a
+ * WorkSpec; the model converts per-thread task costs into warp-level
+ * work and computes per-warp sustainable issue rates from memory
+ * latency, cache behaviour and memory-level parallelism. The SM
+ * (sm.cc) then splits its issue bandwidth across resident work
+ * proportionally to demand.
+ */
+
+#ifndef VP_GPU_COST_MODEL_HH
+#define VP_GPU_COST_MODEL_HH
+
+#include "gpu/device_config.hh"
+#include "gpu/resources.hh"
+
+namespace vp {
+
+/** Warp-level summary of one block-batch execution. */
+struct WorkSpec
+{
+    /** Total warp instructions to retire. */
+    double warpInsts = 0.0;
+    /** Fraction of warp instructions that access memory. */
+    double memRatio = 0.0;
+    /**
+     * Effective concurrent warps. Serial task portions reduce this
+     * below the block's physical warp count (see makeWorkSpec).
+     */
+    double warps = 1.0;
+    /** L1 hit probability of the memory instructions. */
+    double l1Hit = 0.5;
+};
+
+/**
+ * Build a WorkSpec for one block executing a batch of tasks.
+ *
+ * @param cfg device parameters
+ * @param cost summed per-thread task cost of the batch
+ * @param threadsPerTask threads cooperating on each task
+ * @param tasksInBatch number of tasks executed concurrently
+ * @param maxTaskInsts largest single-task instruction count in the
+ *        batch (per thread); bounds the critical path so that a batch
+ *        with imbalanced items takes at least as long as its largest
+ *        item (lanes that finish early idle)
+ */
+WorkSpec makeWorkSpec(const DeviceConfig& cfg, const TaskCost& cost,
+                      int threadsPerTask, int tasksInBatch,
+                      double maxTaskInsts);
+
+/**
+ * Average memory latency seen by a warp of this work, after L1/L2 and
+ * divided by the per-warp memory-level parallelism.
+ */
+double effectiveMemLatency(const DeviceConfig& cfg, double l1Hit);
+
+/**
+ * Sustainable issue rate of one warp of this work in isolation,
+ * in warp-instructions per cycle (<= 1).
+ */
+double perWarpRate(const DeviceConfig& cfg, const WorkSpec& w);
+
+} // namespace vp
+
+#endif // VP_GPU_COST_MODEL_HH

@@ -1,0 +1,218 @@
+#include "gpu/device.hh"
+
+#include <algorithm>
+
+#include "common/error.hh"
+#include "common/logging.hh"
+#include "gpu/block.hh"
+
+namespace vp {
+
+Device::Device(Simulator& sim, DeviceConfig cfg)
+    : sim_(sim), cfg_(std::move(cfg))
+{
+    VP_REQUIRE(cfg_.numSms > 0, "device needs at least one SM");
+    for (int i = 0; i < cfg_.numSms; ++i)
+        sms_.push_back(std::make_unique<Sm>(sim_, cfg_, i));
+    streams_.push_back(std::make_unique<Stream>(0));
+}
+
+Sm&
+Device::sm(int i)
+{
+    VP_ASSERT(i >= 0 && i < numSms(), "SM index " << i << " out of range");
+    return *sms_[i];
+}
+
+Stream*
+Device::createStream()
+{
+    streams_.push_back(
+        std::make_unique<Stream>(static_cast<int>(streams_.size())));
+    return streams_.back().get();
+}
+
+void
+Device::launch(Stream* stream, std::shared_ptr<Kernel> kernel)
+{
+    VP_REQUIRE(stream, "null stream");
+    VP_REQUIRE(kernel, "null kernel");
+    kernel->id_ = nextKernelId_++;
+    kernelStream_.push_back(stream);
+    VP_ASSERT(static_cast<int>(kernelStream_.size()) == nextKernelId_,
+              "kernel id bookkeeping out of sync");
+    ++stats_.kernelLaunches;
+    stream->pending_.push_back(std::move(kernel));
+    streamAdvance(stream);
+}
+
+void
+Device::streamAdvance(Stream* stream)
+{
+    if (stream->running_ || stream->pending_.empty())
+        return;
+    stream->running_ = stream->pending_.front();
+    stream->pending_.pop_front();
+    active_.push_back(stream->running_);
+    VP_DEBUG("device: kernel `" << stream->running_->name()
+             << "` starts on stream " << stream->id());
+    if (!dispatchScheduled_) {
+        dispatchScheduled_ = true;
+        sim_.after(0.0, [this] {
+            dispatchScheduled_ = false;
+            tryDispatch();
+        });
+    }
+}
+
+void
+Device::tryDispatch()
+{
+    bool progress = true;
+    while (progress) {
+        progress = false;
+        for (int i = 0; i < numSms(); ++i) {
+            int sm_idx = (rrSm_ + i) % numSms();
+            for (auto& k : active_) {
+                if (k->blocksDispatched_ >= k->gridBlocks_)
+                    continue;
+                if (!k->allowedOn(sm_idx))
+                    continue;
+                Sm& target = *sms_[sm_idx];
+                if (!target.canFit(k->resources(), k->threadsPerBlock()))
+                    continue;
+                // Place one block of kernel k on this SM.
+                target.occupy(k->resources(), k->threadsPerBlock(),
+                              k->id());
+                int idx = k->blocksDispatched_++;
+                ++stats_.blocksDispatched;
+                stats_.peakResidentBlocks =
+                    std::max(stats_.peakResidentBlocks,
+                             residentBlocks());
+                auto ctx = std::make_unique<BlockContext>(
+                    *this, *k, sm_idx, idx);
+                BlockContext* raw = ctx.get();
+                blocks_.push_back(std::move(ctx));
+                Kernel* kp = k.get();
+                sim_.after(cfg_.blockStartCycles, [kp, raw] {
+                    kp->logic_(*raw);
+                });
+                progress = true;
+                break;
+            }
+        }
+        rrSm_ = (rrSm_ + 1) % numSms();
+    }
+}
+
+void
+Device::blockExited(BlockContext& ctx)
+{
+    Kernel& k = ctx.kernel();
+    sms_[ctx.smId()]->release(k.resources(), k.threadsPerBlock(),
+                              k.id());
+    ++k.blocksExited_;
+    if (k.completed()) {
+        // Find the shared_ptr owner in active_.
+        auto it = std::find_if(active_.begin(), active_.end(),
+                               [&](const std::shared_ptr<Kernel>& p) {
+                                   return p.get() == &k;
+                               });
+        VP_ASSERT(it != active_.end(), "completed kernel not active");
+        kernelCompleted(*it);
+    } else if (!dispatchScheduled_) {
+        dispatchScheduled_ = true;
+        sim_.after(0.0, [this] {
+            dispatchScheduled_ = false;
+            tryDispatch();
+        });
+    }
+}
+
+void
+Device::kernelCompleted(const std::shared_ptr<Kernel>& kernel)
+{
+    VP_DEBUG("device: kernel `" << kernel->name() << "` completed");
+    std::shared_ptr<Kernel> k = kernel; // keep alive past erase
+    active_.erase(std::remove(active_.begin(), active_.end(), k),
+                  active_.end());
+
+    // Free this kernel's block contexts once the stack unwinds.
+    sim_.after(0.0, [this, k] {
+        blocks_.erase(
+            std::remove_if(blocks_.begin(), blocks_.end(),
+                           [&](const std::unique_ptr<BlockContext>& b) {
+                               return &b->kernel() == k.get();
+                           }),
+            blocks_.end());
+    });
+
+    Stream* stream = kernelStream_[k->id()];
+    VP_ASSERT(stream->running_ == k, "stream/kernel mismatch");
+    stream->running_.reset();
+
+    for (auto& fn : k->onComplete_)
+        sim_.after(0.0, fn);
+
+    streamAdvance(stream);
+
+    if (stream->idle()) {
+        auto cbs = std::move(stream->idleCallbacks_);
+        stream->idleCallbacks_.clear();
+        for (auto& fn : cbs)
+            sim_.after(0.0, fn);
+    }
+    if (idle()) {
+        auto cbs = std::move(deviceIdleCallbacks_);
+        deviceIdleCallbacks_.clear();
+        for (auto& fn : cbs)
+            sim_.after(0.0, fn);
+    }
+    if (!dispatchScheduled_) {
+        dispatchScheduled_ = true;
+        sim_.after(0.0, [this] {
+            dispatchScheduled_ = false;
+            tryDispatch();
+        });
+    }
+}
+
+void
+Device::whenStreamIdle(Stream* stream, std::function<void()> fn)
+{
+    if (stream->idle()) {
+        sim_.after(0.0, std::move(fn));
+        return;
+    }
+    stream->idleCallbacks_.push_back(std::move(fn));
+}
+
+void
+Device::whenDeviceIdle(std::function<void()> fn)
+{
+    if (idle()) {
+        sim_.after(0.0, std::move(fn));
+        return;
+    }
+    deviceIdleCallbacks_.push_back(std::move(fn));
+}
+
+bool
+Device::idle() const
+{
+    for (const auto& s : streams_)
+        if (!s->idle())
+            return false;
+    return true;
+}
+
+int
+Device::residentBlocks() const
+{
+    int total = 0;
+    for (const auto& s : sms_)
+        total += s->residentBlocks();
+    return total;
+}
+
+} // namespace vp

@@ -1,0 +1,126 @@
+/**
+ * @file
+ * The simulated GPU: SM array, hardware block dispatcher, streams, and
+ * device-level statistics.
+ */
+
+#ifndef VP_GPU_DEVICE_HH
+#define VP_GPU_DEVICE_HH
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/stats.hh"
+#include "gpu/device_config.hh"
+#include "gpu/kernel.hh"
+#include "gpu/sm.hh"
+#include "gpu/stream.hh"
+#include "sim/simulator.hh"
+
+namespace vp {
+
+class BlockContext;
+
+/** Device-level counters for a run. */
+struct DeviceStats
+{
+    std::uint64_t kernelLaunches = 0;
+    std::uint64_t blocksDispatched = 0;
+    /** Peak number of simultaneously resident blocks device-wide. */
+    int peakResidentBlocks = 0;
+};
+
+/**
+ * A simulated GPU.
+ *
+ * The hardware block dispatcher places pending blocks of running
+ * kernels onto SMs round-robin whenever resources free up, respecting
+ * per-kernel SM placement restrictions. Kernels in one stream run in
+ * order; different streams run concurrently.
+ */
+class Device
+{
+  public:
+    Device(Simulator& sim, DeviceConfig cfg);
+
+    Device(const Device&) = delete;
+    Device& operator=(const Device&) = delete;
+
+    /** The architecture/cost parameters of this device. */
+    const DeviceConfig& config() const { return cfg_; }
+
+    /** The driving simulator. */
+    Simulator& sim() { return sim_; }
+
+    /** Number of SMs. */
+    int numSms() const { return static_cast<int>(sms_.size()); }
+
+    /** SM by index. */
+    Sm& sm(int i);
+
+    /** Create a new stream. */
+    Stream* createStream();
+
+    /** The default (id 0) stream. */
+    Stream* defaultStream() { return streams_.front().get(); }
+
+    /**
+     * Enqueue a kernel on a stream (device side; host-side launch
+     * overhead is modeled by Host).
+     */
+    void launch(Stream* stream, std::shared_ptr<Kernel> kernel);
+
+    /** Invoke @p fn once @p stream has fully drained. */
+    void whenStreamIdle(Stream* stream, std::function<void()> fn);
+
+    /** Invoke @p fn once every stream has fully drained. */
+    void whenDeviceIdle(std::function<void()> fn);
+
+    /** True when no kernel is running or queued anywhere. */
+    bool idle() const;
+
+    /** Number of blocks currently resident across all SMs. */
+    int residentBlocks() const;
+
+    /** Run counters. */
+    const DeviceStats& stats() const { return stats_; }
+
+  private:
+    friend class BlockContext;
+
+    /** Start the next kernel of a stream if the stream is free. */
+    void streamAdvance(Stream* stream);
+
+    /** Place as many pending blocks on SMs as will fit. */
+    void tryDispatch();
+
+    /** Called by BlockContext::exit(). */
+    void blockExited(BlockContext& ctx);
+
+    /** Fire kernel completion, advance its stream. */
+    void kernelCompleted(const std::shared_ptr<Kernel>& kernel);
+
+    Simulator& sim_;
+    DeviceConfig cfg_;
+    std::vector<std::unique_ptr<Sm>> sms_;
+    std::vector<std::unique_ptr<Stream>> streams_;
+
+    /** Kernels started (stream head) with blocks left to dispatch. */
+    std::vector<std::shared_ptr<Kernel>> active_;
+    /** Stream owning each active kernel, by kernel id. */
+    std::vector<Stream*> kernelStream_;
+    /** Live block contexts, freed on kernel completion. */
+    std::vector<std::unique_ptr<BlockContext>> blocks_;
+
+    std::vector<std::function<void()>> deviceIdleCallbacks_;
+
+    int nextKernelId_ = 0;
+    int rrSm_ = 0;
+    bool dispatchScheduled_ = false;
+    DeviceStats stats_;
+};
+
+} // namespace vp
+
+#endif // VP_GPU_DEVICE_HH

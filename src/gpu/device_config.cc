@@ -1,0 +1,61 @@
+#include "gpu/device_config.hh"
+
+#include "common/error.hh"
+
+namespace vp {
+
+DeviceConfig
+DeviceConfig::k20c()
+{
+    DeviceConfig c;
+    c.name = "k20c";
+    c.numSms = 13;
+    c.clockGhz = 0.706;
+    c.maxThreadsPerSm = 2048;
+    c.maxBlocksPerSm = 16;
+    c.regsPerSm = 65536;
+    c.smemPerSm = 49152;
+    c.issueWidth = 4.0;
+    // 208 GB/s over 13 SMs at 0.706 GHz, 128-byte transactions.
+    c.memIssuePerCycle = 208.0 / 13.0 / 0.706 / 128.0;
+    c.l2HitRate = 0.50;
+    c.icacheBytes = 32768;
+    return c;
+}
+
+DeviceConfig
+DeviceConfig::gtx1080()
+{
+    DeviceConfig c;
+    c.name = "gtx1080";
+    c.numSms = 20;
+    c.clockGhz = 1.607;
+    c.maxThreadsPerSm = 2048;
+    c.maxBlocksPerSm = 32;
+    c.regsPerSm = 65536;
+    c.smemPerSm = 98304;
+    c.issueWidth = 4.0;
+    // 320 GB/s over 20 SMs at 1.607 GHz, 128-byte transactions.
+    c.memIssuePerCycle = 320.0 / 20.0 / 1.607 / 128.0;
+    // Pascal: better caching and latency hiding.
+    c.l2HitRate = 0.65;
+    c.l1LatencyCycles = 24.0;
+    c.l2LatencyCycles = 170.0;
+    c.memLatencyCycles = 400.0;
+    c.mlp = 6.0;
+    c.icacheBytes = 49152;
+    return c;
+}
+
+DeviceConfig
+DeviceConfig::byName(const std::string& name)
+{
+    if (name == "k20c")
+        return k20c();
+    if (name == "gtx1080")
+        return gtx1080();
+    VP_FATAL("unknown device preset `" << name
+             << "` (expected k20c or gtx1080)");
+}
+
+} // namespace vp

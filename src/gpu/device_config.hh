@@ -1,0 +1,123 @@
+/**
+ * @file
+ * Device configuration: the architectural and cost-model parameters of
+ * one simulated GPU. Presets mirror the two devices used in the paper
+ * (Tesla K20c and GeForce GTX 1080).
+ */
+
+#ifndef VP_GPU_DEVICE_CONFIG_HH
+#define VP_GPU_DEVICE_CONFIG_HH
+
+#include <string>
+
+#include "sim/simulator.hh"
+
+namespace vp {
+
+/**
+ * All parameters of a simulated device.
+ *
+ * Architectural limits (SM count, register file, shared memory, thread
+ * and block caps) follow the published specifications of the real
+ * parts. Cost-model parameters (latencies, issue width, overheads) are
+ * calibrated so the occupancy and overhead phenomena reported in the
+ * paper emerge from the model; see DESIGN.md section 4.
+ */
+struct DeviceConfig
+{
+    std::string name = "generic";
+
+    /** @name Architectural limits @{ */
+    int numSms = 13;
+    double clockGhz = 0.706;
+    int warpSize = 32;
+    int maxThreadsPerSm = 2048;
+    int maxBlocksPerSm = 16;
+    int regsPerSm = 65536;
+    int smemPerSm = 49152;
+    /** @} */
+
+    /** @name SM throughput model @{ */
+    /** Warp instructions issued per cycle per SM. */
+    double issueWidth = 4.0;
+    /** DRAM transactions (128 B) per cycle per SM at peak. */
+    double memIssuePerCycle = 0.18;
+    /** Memory-level parallelism: outstanding misses hidden per warp. */
+    double mlp = 4.0;
+    /** @} */
+
+    /** @name Memory hierarchy @{ */
+    double l1LatencyCycles = 28.0;
+    double l2LatencyCycles = 190.0;
+    double memLatencyCycles = 440.0;
+    /** Fraction of L1 misses that hit in L2. */
+    double l2HitRate = 0.55;
+    /** Per-SM instruction cache working-set size in bytes. */
+    int icacheBytes = 32768;
+    /** Issue-rate divisor applied when resident code exceeds icache. */
+    double icachePenalty = 1.35;
+    /** L1 hit-rate bonus when producer stage co-resides on the SM. */
+    double localityBonus = 0.15;
+    /** @} */
+
+    /** @name Host interaction overheads @{ */
+    /** Host-side cost of one kernel launch (microseconds). */
+    double kernelLaunchUs = 6.0;
+    /** Device-side start latency of a dispatched block (cycles). */
+    double blockStartCycles = 50.0;
+    /** CPU-side pipeline control cost per host iteration (us). */
+    double hostControlUs = 3.0;
+    /** Fixed latency of one cudaMemcpy call (us). */
+    double memcpyLatencyUs = 8.0;
+    /** PCIe bandwidth in GB/s for memcpy payloads. */
+    double memcpyGBs = 6.0;
+    /** Device-side sub-kernel launch cost for dynamic parallelism. */
+    double dpLaunchCycles = 17000.0;
+    /** @} */
+
+    /** @name Work-queue cost model @{ */
+    /** Fixed cycles for one queue push or pop (atomics + pointers). */
+    double queueOpCycles = 90.0;
+    /** Extra cycles per byte moved through a queue item. */
+    double queueByteCycles = 0.45;
+    /** Extra cycles per concurrent accessor contending on a queue. */
+    double queueContentionCycles = 14.0;
+    /** Cycles a persistent block sleeps between empty-queue polls. */
+    double pollIntervalCycles = 150.0;
+    /** @} */
+
+    /** Convert a duration in microseconds to device cycles. */
+    Tick
+    usToCycles(double us) const
+    {
+        return us * clockGhz * 1e3;
+    }
+
+    /** Convert device cycles to milliseconds of wall time. */
+    double
+    cyclesToMs(Tick cycles) const
+    {
+        return cycles / (clockGhz * 1e6);
+    }
+
+    /** Cycles to move @p bytes across PCIe, including call latency. */
+    Tick
+    memcpyCycles(double bytes) const
+    {
+        double us = memcpyLatencyUs + bytes / (memcpyGBs * 1e3);
+        return usToCycles(us);
+    }
+
+    /** Preset mirroring the Tesla K20c (13 SMs, Kepler GK110). */
+    static DeviceConfig k20c();
+
+    /** Preset mirroring the GeForce GTX 1080 (20 SMs, Pascal GP104). */
+    static DeviceConfig gtx1080();
+
+    /** Look up a preset by name ("k20c" or "gtx1080"). */
+    static DeviceConfig byName(const std::string& name);
+};
+
+} // namespace vp
+
+#endif // VP_GPU_DEVICE_CONFIG_HH

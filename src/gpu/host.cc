@@ -1,0 +1,74 @@
+#include "gpu/host.hh"
+
+#include <algorithm>
+
+namespace vp {
+
+Host::Host(Simulator& sim, Device& dev)
+    : sim_(sim), dev_(dev)
+{
+}
+
+Tick
+Host::occupy(Tick cycles)
+{
+    Tick start = std::max(freeAt_, sim_.now());
+    freeAt_ = start + cycles;
+    stats_.busyCycles += cycles;
+    return freeAt_;
+}
+
+void
+Host::launchAsync(Stream* stream, std::shared_ptr<Kernel> kernel)
+{
+    ++stats_.launches;
+    Tick ready = occupy(dev_.config().usToCycles(
+        dev_.config().kernelLaunchUs));
+    sim_.at(ready, [this, stream, kernel = std::move(kernel)]() mutable {
+        dev_.launch(stream, std::move(kernel));
+    });
+}
+
+void
+Host::memcpy(double bytes, std::function<void()> done)
+{
+    ++stats_.memcpys;
+    stats_.memcpyBytes += bytes;
+    Tick ready = occupy(dev_.config().memcpyCycles(bytes));
+    sim_.at(ready, std::move(done));
+}
+
+void
+Host::control(double us, std::function<void()> done)
+{
+    Tick ready = occupy(dev_.config().usToCycles(us));
+    sim_.at(ready, std::move(done));
+}
+
+void
+Host::synchronize(Stream* stream, std::function<void()> fn)
+{
+    // Register only once the host timeline reaches this call, so the
+    // wait observes launches issued earlier in program order.
+    Tick ready = std::max(freeAt_, sim_.now());
+    sim_.at(ready, [this, stream, fn = std::move(fn)]() mutable {
+        dev_.whenStreamIdle(stream, [this, fn = std::move(fn)]() mutable {
+            Tick t = std::max(freeAt_, sim_.now());
+            sim_.at(t, std::move(fn));
+        });
+    });
+}
+
+void
+Host::deviceSynchronize(std::function<void()> fn)
+{
+    Tick ready = std::max(freeAt_, sim_.now());
+    sim_.at(ready, [this, fn = std::move(fn)]() mutable {
+        dev_.whenDeviceIdle([this, fn = std::move(fn)]() mutable {
+            Tick t = std::max(freeAt_, sim_.now());
+            sim_.at(t, std::move(fn));
+        });
+    });
+}
+
+} // namespace vp

@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Host (CPU-side) cost model.
+ *
+ * The host is a single sequential thread: kernel launches, memcpys and
+ * pipeline-control work each occupy it for their modeled duration, so
+ * bursts of launches serialize — the source of the launch overhead
+ * that dominates kernel-by-kernel pipelines in the paper.
+ */
+
+#ifndef VP_GPU_HOST_HH
+#define VP_GPU_HOST_HH
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+
+#include "gpu/device.hh"
+#include "sim/simulator.hh"
+
+namespace vp {
+
+/** Host-side counters for a run. */
+struct HostStats
+{
+    std::uint64_t launches = 0;
+    std::uint64_t memcpys = 0;
+    double memcpyBytes = 0.0;
+    /** Total cycles the host spent on launches/copies/control. */
+    double busyCycles = 0.0;
+};
+
+/** The sequential host thread. */
+class Host
+{
+  public:
+    Host(Simulator& sim, Device& dev);
+
+    /**
+     * Launch @p kernel on @p stream: charges host launch overhead,
+     * then enqueues device-side. Returns immediately (async).
+     */
+    void launchAsync(Stream* stream, std::shared_ptr<Kernel> kernel);
+
+    /**
+     * Copy @p bytes between host and device, then run @p done. The
+     * host blocks for the duration (cudaMemcpy semantics).
+     */
+    void memcpy(double bytes, std::function<void()> done);
+
+    /** Occupy the host with @p us of control work, then run @p done. */
+    void control(double us, std::function<void()> done);
+
+    /** Run @p fn once the host is free and @p stream has drained. */
+    void synchronize(Stream* stream, std::function<void()> fn);
+
+    /** Run @p fn once the host is free and the device has drained. */
+    void deviceSynchronize(std::function<void()> fn);
+
+    /** Run counters. */
+    const HostStats& stats() const { return stats_; }
+
+  private:
+    /** Advance the host-free horizon by @p cycles; return new horizon. */
+    Tick occupy(Tick cycles);
+
+    Simulator& sim_;
+    Device& dev_;
+    Tick freeAt_ = 0.0;
+    HostStats stats_;
+};
+
+} // namespace vp
+
+#endif // VP_GPU_HOST_HH

@@ -1,0 +1,53 @@
+#include "gpu/kernel.hh"
+
+#include "common/error.hh"
+
+namespace vp {
+
+Kernel::Kernel(std::string name, ResourceUsage res, int threadsPerBlock,
+               int gridBlocks, BlockLogic logic)
+    : name_(std::move(name)), res_(res),
+      threadsPerBlock_(threadsPerBlock), gridBlocks_(gridBlocks),
+      logic_(std::move(logic))
+{
+    VP_REQUIRE(threadsPerBlock_ > 0, "kernel `" << name_
+               << "`: threadsPerBlock must be positive");
+    VP_REQUIRE(gridBlocks_ > 0, "kernel `" << name_
+               << "`: gridBlocks must be positive");
+    VP_REQUIRE(logic_, "kernel `" << name_ << "`: missing block logic");
+}
+
+void
+Kernel::setAllowedSms(std::vector<int> sms)
+{
+    if (sms.empty()) {
+        allowedSms_.clear();
+        return;
+    }
+    int max_id = 0;
+    for (int s : sms)
+        max_id = std::max(max_id, s);
+    allowedSms_.assign(max_id + 1, false);
+    for (int s : sms) {
+        VP_REQUIRE(s >= 0, "negative SM id " << s);
+        allowedSms_[s] = true;
+    }
+}
+
+bool
+Kernel::allowedOn(int smId) const
+{
+    if (allowedSms_.empty())
+        return true;
+    return smId >= 0
+        && smId < static_cast<int>(allowedSms_.size())
+        && allowedSms_[smId];
+}
+
+void
+Kernel::notifyOnComplete(std::function<void()> fn)
+{
+    onComplete_.push_back(std::move(fn));
+}
+
+} // namespace vp

@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Kernel launch descriptor: grid shape, resource usage, the per-block
+ * program, and optional SM placement restrictions (the SM-centric
+ * binding used by the coarse/fine pipeline models).
+ */
+
+#ifndef VP_GPU_KERNEL_HH
+#define VP_GPU_KERNEL_HH
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "gpu/resources.hh"
+
+namespace vp {
+
+class BlockContext;
+
+/**
+ * The program each block of a kernel runs. It is invoked once when
+ * the block becomes resident; the block then drives itself through
+ * BlockContext::exec/delay continuations and ends with exit().
+ */
+using BlockLogic = std::function<void(BlockContext&)>;
+
+/** One kernel launch. */
+class Kernel
+{
+  public:
+    /**
+     * @param name kernel name for logs and stats
+     * @param res static resource usage
+     * @param threadsPerBlock block size
+     * @param gridBlocks number of blocks in the grid
+     * @param logic per-block program
+     */
+    Kernel(std::string name, ResourceUsage res, int threadsPerBlock,
+           int gridBlocks, BlockLogic logic);
+
+    const std::string& name() const { return name_; }
+    const ResourceUsage& resources() const { return res_; }
+    int threadsPerBlock() const { return threadsPerBlock_; }
+    int gridBlocks() const { return gridBlocks_; }
+
+    /**
+     * Restrict block placement to the given SMs (SM-centric binding).
+     * An empty vector means any SM.
+     */
+    void setAllowedSms(std::vector<int> sms);
+
+    /** True when blocks of this kernel may be placed on SM @p smId. */
+    bool allowedOn(int smId) const;
+
+    /** Register a callback to fire when all blocks have exited. */
+    void notifyOnComplete(std::function<void()> fn);
+
+    /** Device-assigned id, unique per device. */
+    int id() const { return id_; }
+
+    /** True once every block of the grid has exited. */
+    bool completed() const { return blocksExited_ == gridBlocks_; }
+
+    /** Blocks dispatched onto SMs so far. */
+    int blocksDispatched() const { return blocksDispatched_; }
+
+    /** Blocks that have exited so far. */
+    int blocksExited() const { return blocksExited_; }
+
+  private:
+    friend class Device;
+
+    std::string name_;
+    ResourceUsage res_;
+    int threadsPerBlock_;
+    int gridBlocks_;
+    BlockLogic logic_;
+    std::vector<bool> allowedSms_; // empty = all allowed
+    std::vector<std::function<void()>> onComplete_;
+
+    int id_ = -1;
+    int blocksDispatched_ = 0;
+    int blocksExited_ = 0;
+};
+
+} // namespace vp
+
+#endif // VP_GPU_KERNEL_HH

@@ -1,0 +1,59 @@
+#include "gpu/occupancy.hh"
+
+#include <algorithm>
+
+#include "common/error.hh"
+
+namespace vp {
+
+OccupancyResult
+maxBlocksPerSm(const DeviceConfig& cfg, const ResourceUsage& res,
+               int threadsPerBlock)
+{
+    VP_REQUIRE(threadsPerBlock > 0,
+               "threadsPerBlock must be positive, got " << threadsPerBlock);
+    VP_REQUIRE(res.regsPerThread >= 0 && res.smemPerBlock >= 0,
+               "negative resource usage");
+
+    OccupancyResult out;
+
+    int by_blocks = cfg.maxBlocksPerSm;
+    int by_threads = cfg.maxThreadsPerSm / threadsPerBlock;
+    int by_regs = res.regsPerThread > 0
+        ? cfg.regsPerSm / (res.regsPerThread * threadsPerBlock)
+        : by_blocks;
+    int by_smem = res.smemPerBlock > 0
+        ? cfg.smemPerSm / res.smemPerBlock
+        : by_blocks;
+
+    out.blocksPerSm = std::min({by_blocks, by_threads, by_regs, by_smem});
+    if (out.blocksPerSm < 0)
+        out.blocksPerSm = 0;
+
+    if (out.blocksPerSm == by_regs && by_regs < by_blocks)
+        out.limiter = OccupancyLimiter::Registers;
+    else if (out.blocksPerSm == by_smem && by_smem < by_blocks)
+        out.limiter = OccupancyLimiter::SharedMem;
+    else if (out.blocksPerSm == by_threads && by_threads < by_blocks)
+        out.limiter = OccupancyLimiter::Threads;
+    else
+        out.limiter = OccupancyLimiter::Blocks;
+
+    out.occupancy = static_cast<double>(out.blocksPerSm)
+        * threadsPerBlock / cfg.maxThreadsPerSm;
+    return out;
+}
+
+const char*
+limiterName(OccupancyLimiter l)
+{
+    switch (l) {
+      case OccupancyLimiter::Blocks: return "blocks";
+      case OccupancyLimiter::Threads: return "threads";
+      case OccupancyLimiter::Registers: return "registers";
+      case OccupancyLimiter::SharedMem: return "shared-mem";
+    }
+    return "?";
+}
+
+} // namespace vp

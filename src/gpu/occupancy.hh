@@ -1,0 +1,45 @@
+/**
+ * @file
+ * CUDA-style occupancy calculator: how many blocks of a kernel can be
+ * resident on one SM, given the kernel's resource usage.
+ */
+
+#ifndef VP_GPU_OCCUPANCY_HH
+#define VP_GPU_OCCUPANCY_HH
+
+#include "gpu/device_config.hh"
+#include "gpu/resources.hh"
+
+namespace vp {
+
+/** Which resource bounds the occupancy of a kernel. */
+enum class OccupancyLimiter { Blocks, Threads, Registers, SharedMem };
+
+/** Result of an occupancy query. */
+struct OccupancyResult
+{
+    /** Maximum concurrently resident blocks per SM (0 = unlaunchable). */
+    int blocksPerSm = 0;
+    /** The resource that produced the bound. */
+    OccupancyLimiter limiter = OccupancyLimiter::Blocks;
+    /** Resident threads at that block count over the SM thread cap. */
+    double occupancy = 0.0;
+};
+
+/**
+ * Compute the occupancy of a kernel on a device.
+ *
+ * @param cfg device architecture parameters
+ * @param res kernel resource usage
+ * @param threadsPerBlock block size in threads
+ */
+OccupancyResult maxBlocksPerSm(const DeviceConfig& cfg,
+                               const ResourceUsage& res,
+                               int threadsPerBlock);
+
+/** Human-readable name of a limiter value. */
+const char* limiterName(OccupancyLimiter l);
+
+} // namespace vp
+
+#endif // VP_GPU_OCCUPANCY_HH

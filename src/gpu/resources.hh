@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Static per-kernel resource descriptors and per-task dynamic costs.
+ */
+
+#ifndef VP_GPU_RESOURCES_HH
+#define VP_GPU_RESOURCES_HH
+
+#include <algorithm>
+
+namespace vp {
+
+/**
+ * Static hardware footprint of one kernel (or of one pipeline stage,
+ * before stages are merged into kernels by an execution model).
+ */
+struct ResourceUsage
+{
+    /** Registers allocated per thread. */
+    int regsPerThread = 32;
+    /** Static shared memory per block, bytes. */
+    int smemPerBlock = 0;
+    /** Instruction footprint of the kernel body, bytes. */
+    int codeBytes = 4096;
+
+    /**
+     * Footprint of a kernel that merges this code with @p other, as
+     * RTC and Megakernel do: register and shared-memory demand is the
+     * maximum (one allocation serves whichever branch runs), code size
+     * is the sum (all stage bodies are materialized in one kernel).
+     */
+    ResourceUsage
+    mergedWith(const ResourceUsage& other) const
+    {
+        ResourceUsage r;
+        r.regsPerThread = std::max(regsPerThread, other.regsPerThread);
+        r.smemPerBlock = std::max(smemPerBlock, other.smemPerBlock);
+        r.codeBytes = codeBytes + other.codeBytes;
+        return r;
+    }
+};
+
+/**
+ * Dynamic cost of processing one data item in one stage, expressed in
+ * per-thread instruction counts. The runtime aggregates these into
+ * warp-level work for the SM processor-sharing model.
+ */
+struct TaskCost
+{
+    /** Dynamic non-memory instructions per participating thread. */
+    double computeInsts = 0.0;
+    /** Dynamic memory instructions per participating thread. */
+    double memInsts = 0.0;
+    /** Probability that a memory access hits in the L1 cache. */
+    double l1HitRate = 0.5;
+    /**
+     * Instructions of an inherently serial portion executed by a
+     * single lane while the rest of the block waits (e.g., the
+     * prefix-scan step of histogram equalization).
+     */
+    double serialInsts = 0.0;
+
+    /** Element-wise sum; used when one block runs a batch of items. */
+    TaskCost&
+    operator+=(const TaskCost& o)
+    {
+        double insts = computeInsts + memInsts;
+        double oinsts = o.computeInsts + o.memInsts;
+        double total = insts + oinsts;
+        if (total > 0.0) {
+            l1HitRate = (l1HitRate * insts + o.l1HitRate * oinsts)
+                / total;
+        }
+        computeInsts += o.computeInsts;
+        memInsts += o.memInsts;
+        serialInsts += o.serialInsts;
+        return *this;
+    }
+};
+
+} // namespace vp
+
+#endif // VP_GPU_RESOURCES_HH

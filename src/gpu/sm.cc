@@ -1,0 +1,205 @@
+#include "gpu/sm.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/error.hh"
+
+namespace vp {
+
+namespace {
+constexpr double kEps = 1e-6;
+} // namespace
+
+Sm::Sm(Simulator& sim, const DeviceConfig& cfg, int id)
+    : sim_(sim), cfg_(cfg), id_(id)
+{
+}
+
+bool
+Sm::canFit(const ResourceUsage& res, int threadsPerBlock) const
+{
+    if (blocks_ + 1 > cfg_.maxBlocksPerSm)
+        return false;
+    if (threads_ + threadsPerBlock > cfg_.maxThreadsPerSm)
+        return false;
+    if (regs_ + res.regsPerThread * threadsPerBlock > cfg_.regsPerSm)
+        return false;
+    if (smem_ + res.smemPerBlock > cfg_.smemPerSm)
+        return false;
+    return true;
+}
+
+void
+Sm::occupy(const ResourceUsage& res, int threadsPerBlock, int kernelId)
+{
+    VP_ASSERT(canFit(res, threadsPerBlock),
+              "occupy() without canFit() on SM " << id_);
+    blocks_ += 1;
+    threads_ += threadsPerBlock;
+    regs_ += res.regsPerThread * threadsPerBlock;
+    smem_ += res.smemPerBlock;
+    auto& entry = kernels_[kernelId];
+    entry.first += 1;
+    entry.second = res.codeBytes;
+    // Residency affects the i-cache factor of running executions.
+    advance();
+    reschedule();
+}
+
+void
+Sm::release(const ResourceUsage& res, int threadsPerBlock, int kernelId)
+{
+    auto it = kernels_.find(kernelId);
+    VP_ASSERT(it != kernels_.end() && it->second.first > 0,
+              "release of non-resident kernel " << kernelId
+              << " on SM " << id_);
+    blocks_ -= 1;
+    threads_ -= threadsPerBlock;
+    regs_ -= res.regsPerThread * threadsPerBlock;
+    smem_ -= res.smemPerBlock;
+    VP_ASSERT(blocks_ >= 0 && threads_ >= 0 && regs_ >= 0 && smem_ >= 0,
+              "negative residency on SM " << id_);
+    it->second.first -= 1;
+    if (it->second.first == 0)
+        kernels_.erase(it);
+    advance();
+    reschedule();
+}
+
+int
+Sm::residentBlocksOf(int kernelId) const
+{
+    auto it = kernels_.find(kernelId);
+    return it == kernels_.end() ? 0 : it->second.first;
+}
+
+bool
+Sm::hasResident(int kernelId) const
+{
+    return residentBlocksOf(kernelId) > 0;
+}
+
+double
+Sm::icacheFactor() const
+{
+    // Only code that is actively issuing competes for the i-cache;
+    // resident blocks that are merely polling do not thrash it.
+    int code = 0;
+    std::vector<int> counted;
+    for (const auto& [id, e] : execs_) {
+        if (e.kernelId < 0)
+            continue;
+        if (std::find(counted.begin(), counted.end(), e.kernelId)
+            != counted.end())
+            continue;
+        counted.push_back(e.kernelId);
+        auto it = kernels_.find(e.kernelId);
+        if (it != kernels_.end())
+            code += it->second.second;
+    }
+    return code > cfg_.icacheBytes ? cfg_.icachePenalty : 1.0;
+}
+
+Sm::ExecId
+Sm::beginWork(const WorkSpec& work, int kernelId,
+              std::function<void()> onDone)
+{
+    VP_ASSERT(work.warps > 0.0, "work with no warps");
+    advance();
+    ExecId id = nextExecId_++;
+    Exec e;
+    e.work = work;
+    e.remaining = std::max(work.warpInsts, kEps);
+    e.kernelId = kernelId;
+    e.onDone = std::move(onDone);
+    execs_.emplace(id, std::move(e));
+    reschedule();
+    return id;
+}
+
+double
+Sm::currentTotalRate() const
+{
+    double total = 0.0;
+    for (const auto& [id, e] : execs_)
+        total += e.rate;
+    return total;
+}
+
+void
+Sm::advance()
+{
+    Tick now = sim_.now();
+    double dt = now - lastUpdate_;
+    lastUpdate_ = now;
+    if (dt <= 0.0)
+        return;
+    if (execs_.empty())
+        return;
+    stats_.activeCycles += dt;
+    double issued = 0.0;
+    for (auto& [id, e] : execs_) {
+        double done = e.rate * dt;
+        e.remaining = std::max(0.0, e.remaining - done);
+        issued += done;
+    }
+    stats_.instsRetired += issued;
+    stats_.issueCycles += issued / cfg_.issueWidth;
+}
+
+void
+Sm::reschedule()
+{
+    sim_.cancel(completion_);
+    completion_ = EventHandle();
+    if (execs_.empty())
+        return;
+
+    // Demand-proportional sharing of the SM issue bandwidth.
+    double demand = 0.0;
+    double dram_demand = 0.0;
+    for (auto& [id, e] : execs_) {
+        double d = e.work.warps * perWarpRate(cfg_, e.work);
+        e.rate = d; // provisional: demand
+        double miss = (1.0 - e.work.l1Hit) * (1.0 - cfg_.l2HitRate);
+        dram_demand += d * e.work.memRatio * miss;
+    }
+    for (auto& [id, e] : execs_)
+        demand += e.rate;
+
+    double scale = 1.0;
+    if (demand > cfg_.issueWidth)
+        scale = cfg_.issueWidth / demand;
+    if (dram_demand * scale > cfg_.memIssuePerCycle && dram_demand > 0.0)
+        scale = std::min(scale, cfg_.memIssuePerCycle / dram_demand);
+    scale /= icacheFactor();
+
+    Tick soonest = std::numeric_limits<double>::infinity();
+    for (auto& [id, e] : execs_) {
+        e.rate *= scale;
+        VP_ASSERT(e.rate > 0.0, "zero execution rate on SM " << id_);
+        soonest = std::min(soonest, e.remaining / e.rate);
+    }
+
+    completion_ = sim_.after(std::max(soonest, 0.0), [this] {
+        advance();
+        // Collect all executions that retired at this instant.
+        std::vector<std::function<void()>> done;
+        for (auto it = execs_.begin(); it != execs_.end();) {
+            if (it->second.remaining <= kEps) {
+                done.push_back(std::move(it->second.onDone));
+                it = execs_.erase(it);
+                ++stats_.execsCompleted;
+            } else {
+                ++it;
+            }
+        }
+        reschedule();
+        for (auto& fn : done)
+            fn();
+    });
+}
+
+} // namespace vp

@@ -1,0 +1,49 @@
+/**
+ * @file
+ * CUDA-stream analogue: kernels launched into one stream execute in
+ * order; kernels in different streams may run concurrently.
+ */
+
+#ifndef VP_GPU_STREAM_HH
+#define VP_GPU_STREAM_HH
+
+#include <deque>
+#include <functional>
+#include <memory>
+#include <vector>
+
+namespace vp {
+
+class Kernel;
+
+/** An in-order kernel queue. Created and owned by the Device. */
+class Stream
+{
+  public:
+    explicit Stream(int id) : id_(id) {}
+
+    Stream(const Stream&) = delete;
+    Stream& operator=(const Stream&) = delete;
+
+    /** Device-assigned stream id. */
+    int id() const { return id_; }
+
+    /** True when no kernel is running or queued on this stream. */
+    bool
+    idle() const
+    {
+        return !running_ && pending_.empty();
+    }
+
+  private:
+    friend class Device;
+
+    int id_;
+    std::deque<std::shared_ptr<Kernel>> pending_;
+    std::shared_ptr<Kernel> running_;
+    std::vector<std::function<void()>> idleCallbacks_;
+};
+
+} // namespace vp
+
+#endif // VP_GPU_STREAM_HH

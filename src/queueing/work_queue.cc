@@ -1,0 +1,55 @@
+#include "queueing/work_queue.hh"
+
+#include <algorithm>
+
+namespace vp {
+
+namespace {
+/** Sliding window, in cycles, over which accesses contend. */
+constexpr Tick kContentionWindow = 400.0;
+} // namespace
+
+QueueBase::QueueBase(std::string name, int itemBytes,
+                     std::type_index type)
+    : name_(std::move(name)), itemBytes_(itemBytes), type_(type)
+{
+    VP_REQUIRE(itemBytes_ > 0, "queue `" << name_
+               << "`: item size must be positive");
+}
+
+QueueBase::~QueueBase() = default;
+
+Tick
+QueueBase::accessCost(const DeviceConfig& cfg, Tick now, int items)
+{
+    VP_ASSERT(items >= 0, "negative item count");
+    while (!recent_.empty() && recent_.front() < now - kContentionWindow)
+        recent_.pop_front();
+    auto contenders = static_cast<double>(recent_.size());
+    recent_.push_back(now);
+
+    // Payload movement is warp-parallel on the device: 16 lanes of a
+    // block cooperate on bulk enqueue/dequeue traffic.
+    double base = cfg.queueOpCycles
+        + cfg.queueByteCycles * itemBytes_ * std::max(items, 1)
+              / 16.0;
+    double contention = cfg.queueContentionCycles * contenders;
+    stats_.opCycles += base + contention;
+    stats_.contentionCycles += contention;
+    return base + contention;
+}
+
+void
+QueueBase::recordPush(std::size_t depthAfter)
+{
+    ++stats_.pushes;
+    stats_.maxDepth = std::max(stats_.maxDepth, depthAfter);
+}
+
+void
+QueueBase::recordPop()
+{
+    ++stats_.pops;
+}
+
+} // namespace vp

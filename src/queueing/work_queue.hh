@@ -1,0 +1,171 @@
+/**
+ * @file
+ * Work-queue library.
+ *
+ * One queue buffers the input data items of one pipeline stage. The
+ * queue itself is a deterministic FIFO; the *cost* of using it from
+ * massively parallel device code (atomics, pointer chasing, payload
+ * movement, contention between concurrent accessors) is modeled by
+ * accessCost(), which the runtime charges to the accessing block.
+ */
+
+#ifndef VP_QUEUEING_WORK_QUEUE_HH
+#define VP_QUEUEING_WORK_QUEUE_HH
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <string>
+#include <typeindex>
+#include <vector>
+
+#include "common/error.hh"
+#include "gpu/device_config.hh"
+#include "sim/simulator.hh"
+
+namespace vp {
+
+/** Statistics of one work queue over a run. */
+struct QueueStats
+{
+    std::uint64_t pushes = 0;
+    std::uint64_t pops = 0;
+    std::size_t maxDepth = 0;
+    /** Total cycles blocks spent on push/pop operations here. */
+    double opCycles = 0.0;
+    /** Cycles of that total attributable to contention. */
+    double contentionCycles = 0.0;
+};
+
+/**
+ * Type-erased base of all work queues, carrying the cost model and
+ * statistics; typed payload access lives in WorkQueue<T>.
+ */
+class QueueBase
+{
+  public:
+    /**
+     * @param name queue name (usually the consumer stage's name)
+     * @param itemBytes payload size of one data item
+     * @param type typeid of the payload for checked downcasts
+     */
+    QueueBase(std::string name, int itemBytes, std::type_index type);
+
+    virtual ~QueueBase();
+
+    QueueBase(const QueueBase&) = delete;
+    QueueBase& operator=(const QueueBase&) = delete;
+
+    /** Queue name. */
+    const std::string& name() const { return name_; }
+
+    /** Payload bytes per item. */
+    int itemBytes() const { return itemBytes_; }
+
+    /** Payload type. */
+    std::type_index type() const { return type_; }
+
+    /** Items currently buffered. */
+    virtual std::size_t size() const = 0;
+
+    /** Drop all buffered items. */
+    virtual void clear() = 0;
+
+    /** True when no items are buffered. */
+    bool empty() const { return size() == 0; }
+
+    /**
+     * Cycle cost of one queue access moving @p items items at virtual
+     * time @p now. Includes the contention surcharge derived from the
+     * number of accesses within the recent window; also records this
+     * access for future contention estimates and in the stats.
+     */
+    Tick accessCost(const DeviceConfig& cfg, Tick now, int items);
+
+    /** Run statistics. */
+    const QueueStats& stats() const { return stats_; }
+
+    /** Reset statistics (not contents). */
+    void resetStats() { stats_ = QueueStats(); }
+
+  protected:
+    void recordPush(std::size_t depthAfter);
+    void recordPop();
+
+  private:
+    std::string name_;
+    int itemBytes_;
+    std::type_index type_;
+
+    /** Timestamps of recent accesses for the contention estimate. */
+    std::deque<Tick> recent_;
+
+    QueueStats stats_;
+};
+
+/** FIFO of data items of type T. */
+template <typename T>
+class WorkQueue : public QueueBase
+{
+  public:
+    explicit WorkQueue(std::string name)
+        : QueueBase(std::move(name), static_cast<int>(sizeof(T)),
+                    std::type_index(typeid(T)))
+    {}
+
+    std::size_t size() const override { return items_.size(); }
+
+    void clear() override { items_.clear(); }
+
+    /** Append one item. */
+    void
+    push(T v)
+    {
+        items_.push_back(std::move(v));
+        recordPush(items_.size());
+    }
+
+    /** Remove the oldest item into @p out; false when empty. */
+    bool
+    pop(T& out)
+    {
+        if (items_.empty())
+            return false;
+        out = std::move(items_.front());
+        items_.pop_front();
+        recordPop();
+        return true;
+    }
+
+    /** Pop up to @p maxItems items into @p out; returns the count. */
+    std::size_t
+    popBatch(std::vector<T>& out, std::size_t maxItems)
+    {
+        std::size_t n = std::min(maxItems, items_.size());
+        for (std::size_t i = 0; i < n; ++i) {
+            out.push_back(std::move(items_.front()));
+            items_.pop_front();
+            recordPop();
+        }
+        return n;
+    }
+
+  private:
+    std::deque<T> items_;
+};
+
+/**
+ * Downcast a QueueBase to its typed queue, checking the payload type.
+ */
+template <typename T>
+WorkQueue<T>&
+typedQueue(QueueBase& q)
+{
+    VP_ASSERT(q.type() == std::type_index(typeid(T)),
+              "queue `" << q.name() << "` holds a different item type");
+    return static_cast<WorkQueue<T>&>(q);
+}
+
+} // namespace vp
+
+#endif // VP_QUEUEING_WORK_QUEUE_HH

@@ -1,0 +1,97 @@
+#include "sim/simulator.hh"
+
+#include <cmath>
+
+namespace vp {
+
+EventHandle
+Simulator::at(Tick when, std::function<void()> fn)
+{
+    VP_ASSERT(std::isfinite(when), "event time must be finite");
+    VP_ASSERT(when + 1e-9 >= now_,
+              "cannot schedule in the past: " << when << " < " << now_);
+    auto rec = std::make_unique<Record>();
+    rec->when = std::max(when, now_);
+    rec->seq = nextSeq_++;
+    rec->id = nextId_++;
+    rec->fn = std::move(fn);
+    Record* raw = rec.get();
+    records_.emplace(raw->id, std::move(rec));
+    queue_.push(raw);
+    ++live_;
+    return EventHandle(raw->id);
+}
+
+EventHandle
+Simulator::after(Tick delay, std::function<void()> fn)
+{
+    VP_ASSERT(delay >= 0.0, "negative delay " << delay);
+    return at(now_ + delay, std::move(fn));
+}
+
+void
+Simulator::cancel(EventHandle h)
+{
+    if (!h.valid())
+        return;
+    auto it = records_.find(h.id_);
+    if (it == records_.end())
+        return;
+    if (!it->second->cancelled) {
+        it->second->cancelled = true;
+        --live_;
+    }
+}
+
+void
+Simulator::dispatchNext()
+{
+    Record* rec = queue_.top();
+    queue_.pop();
+    if (!rec->cancelled) {
+        now_ = rec->when;
+        --live_;
+        ++eventsRun_;
+        auto fn = std::move(rec->fn);
+        records_.erase(rec->id);
+        fn();
+    } else {
+        records_.erase(rec->id);
+    }
+}
+
+Tick
+Simulator::run()
+{
+    while (!queue_.empty())
+        dispatchNext();
+    return now_;
+}
+
+bool
+Simulator::runUntil(Tick timeLimit, std::uint64_t eventLimit)
+{
+    std::uint64_t start = eventsRun_;
+    while (!queue_.empty()) {
+        if (eventsRun_ - start >= eventLimit)
+            return false;
+        if (queue_.top()->when > timeLimit)
+            return false;
+        dispatchNext();
+    }
+    return true;
+}
+
+bool
+Simulator::runBounded(std::uint64_t limit)
+{
+    std::uint64_t start = eventsRun_;
+    while (!queue_.empty()) {
+        if (eventsRun_ - start >= limit)
+            return false;
+        dispatchNext();
+    }
+    return true;
+}
+
+} // namespace vp

@@ -1,0 +1,128 @@
+/**
+ * @file
+ * Discrete-event simulation core.
+ *
+ * The whole GPU model is driven by one Simulator: entities schedule
+ * callbacks at absolute virtual times (measured in device cycles) and
+ * the simulator dispatches them in (time, sequence) order, which makes
+ * every run fully deterministic. Events can be cancelled through the
+ * EventHandle returned at scheduling time.
+ */
+
+#ifndef VP_SIM_SIMULATOR_HH
+#define VP_SIM_SIMULATOR_HH
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <queue>
+#include <unordered_map>
+#include <vector>
+
+#include "common/error.hh"
+
+namespace vp {
+
+/** Virtual time in device cycles. Fractional cycles are permitted. */
+using Tick = double;
+
+/** Token identifying a scheduled event so it can be cancelled. */
+class EventHandle
+{
+  public:
+    EventHandle() = default;
+
+    /** True when this handle refers to a scheduled (maybe run) event. */
+    bool valid() const { return id_ != 0; }
+
+  private:
+    friend class Simulator;
+    explicit EventHandle(std::uint64_t id) : id_(id) {}
+    std::uint64_t id_ = 0;
+};
+
+/**
+ * Deterministic event-driven simulator with a virtual cycle clock.
+ */
+class Simulator
+{
+  public:
+    Simulator() = default;
+
+    Simulator(const Simulator&) = delete;
+    Simulator& operator=(const Simulator&) = delete;
+
+    /** Current virtual time in cycles. */
+    Tick now() const { return now_; }
+
+    /**
+     * Schedule @p fn to run at absolute time @p when.
+     * @return a handle that can be used to cancel the event.
+     */
+    EventHandle at(Tick when, std::function<void()> fn);
+
+    /** Schedule @p fn to run @p delay cycles from now. */
+    EventHandle after(Tick delay, std::function<void()> fn);
+
+    /** Cancel a previously scheduled event; no-op if already run. */
+    void cancel(EventHandle h);
+
+    /** Run until no events remain. @return the final virtual time. */
+    Tick run();
+
+    /**
+     * Run until no events remain or @p limit events have fired.
+     * @return true when the queue drained, false on the event limit
+     * (useful as a hang detector in tests).
+     */
+    bool runBounded(std::uint64_t limit);
+
+    /**
+     * Run until the queue drains, the next event lies beyond
+     * @p timeLimit, or @p eventLimit events have fired.
+     * @return true when the queue drained within the limits (the
+     * auto-tuner's timeout-execute primitive).
+     */
+    bool runUntil(Tick timeLimit, std::uint64_t eventLimit);
+
+    /** Number of events dispatched so far. */
+    std::uint64_t eventsRun() const { return eventsRun_; }
+
+    /** Number of events currently pending. */
+    std::size_t pendingEvents() const { return live_; }
+
+  private:
+    struct Record
+    {
+        Tick when;
+        std::uint64_t seq;
+        std::uint64_t id;
+        std::function<void()> fn;
+        bool cancelled = false;
+    };
+
+    struct Order
+    {
+        bool
+        operator()(const Record* a, const Record* b) const
+        {
+            if (a->when != b->when)
+                return a->when > b->when;
+            return a->seq > b->seq;
+        }
+    };
+
+    void dispatchNext();
+
+    Tick now_ = 0.0;
+    std::uint64_t nextSeq_ = 1;
+    std::uint64_t nextId_ = 1;
+    std::uint64_t eventsRun_ = 0;
+    std::size_t live_ = 0;
+    std::priority_queue<Record*, std::vector<Record*>, Order> queue_;
+    std::unordered_map<std::uint64_t, std::unique_ptr<Record>> records_;
+};
+
+} // namespace vp
+
+#endif // VP_SIM_SIMULATOR_HH

@@ -1,0 +1,48 @@
+#include "tuner/offline_tuner.hh"
+
+#include <limits>
+
+#include "common/logging.hh"
+
+namespace vp {
+
+TunerResult
+autotune(Engine& engine, AppDriver& driver, const TunerOptions& opts)
+{
+    Pipeline& pipe = driver.pipeline();
+    ProfileResult profile = profileApp(engine, driver);
+
+    std::vector<PipelineConfig> candidates = enumerateConfigs(
+        pipe, engine.deviceConfig(), profile, opts.search);
+    VP_REQUIRE(!candidates.empty(), "no candidate configurations");
+
+    TunerResult result;
+    double best = std::numeric_limits<double>::infinity();
+    bool have_best = false;
+
+    for (PipelineConfig& cfg : candidates) {
+        cfg.onlineAdaptation = opts.onlineAdaptation;
+        double limit = have_best
+            ? best * opts.timeoutFactor
+            : std::numeric_limits<double>::infinity();
+        ++result.evaluated;
+        auto run = engine.runTimed(driver, cfg, limit);
+        if (!run) {
+            ++result.timedOut;
+            continue;
+        }
+        result.finished.emplace_back(cfg.describe(pipe), run->cycles);
+        if (!have_best || run->cycles < best) {
+            best = run->cycles;
+            have_best = true;
+            result.best = cfg;
+            result.bestRun = *run;
+            VP_DEBUG("tuner: new best " << run->cycles << " cycles: "
+                     << cfg.describe(pipe));
+        }
+    }
+    VP_REQUIRE(have_best, "every candidate configuration timed out");
+    return result;
+}
+
+} // namespace vp

@@ -1,0 +1,53 @@
+/**
+ * @file
+ * The offline auto-tuner (Fig. 10): evaluates candidate
+ * configurations with timeout-execute, keeping the fastest. The
+ * online half (idle-SM refill) lives in the runtime and is switched
+ * on by PipelineConfig::onlineAdaptation.
+ */
+
+#ifndef VP_TUNER_OFFLINE_TUNER_HH
+#define VP_TUNER_OFFLINE_TUNER_HH
+
+#include <string>
+#include <vector>
+
+#include "core/engine.hh"
+#include "tuner/search_space.hh"
+
+namespace vp {
+
+/** Options of one autotuning session. */
+struct TunerOptions
+{
+    SearchOptions search;
+    /**
+     * A candidate is abandoned once it exceeds best-so-far times
+     * this factor (the paper's timeout-execute with a small margin).
+     */
+    double timeoutFactor = 1.02;
+    /** Enable online adaptation in the returned configuration. */
+    bool onlineAdaptation = false;
+};
+
+/** Outcome of one autotuning session. */
+struct TunerResult
+{
+    PipelineConfig best;
+    RunResult bestRun;
+    int evaluated = 0;
+    int timedOut = 0;
+    /** (config synopsis, cycles) of every finished candidate. */
+    std::vector<std::pair<std::string, double>> finished;
+};
+
+/**
+ * Autotune @p driver on @p engine: profile, enumerate candidates,
+ * timeout-execute each, return the fastest configuration.
+ */
+TunerResult autotune(Engine& engine, AppDriver& driver,
+                     const TunerOptions& opts = {});
+
+} // namespace vp
+
+#endif // VP_TUNER_OFFLINE_TUNER_HH

@@ -1,0 +1,141 @@
+/**
+ * @file
+ * Unit tests for the analytic SM cost model.
+ */
+
+#include <gtest/gtest.h>
+
+#include "gpu/cost_model.hh"
+
+using namespace vp;
+
+namespace {
+
+TaskCost
+cost(double comp, double mem, double l1 = 0.5, double serial = 0.0)
+{
+    TaskCost c;
+    c.computeInsts = comp;
+    c.memInsts = mem;
+    c.l1HitRate = l1;
+    c.serialInsts = serial;
+    return c;
+}
+
+} // namespace
+
+TEST(CostModel, EffectiveLatencyDecreasesWithL1Hits)
+{
+    auto cfg = DeviceConfig::k20c();
+    EXPECT_LT(effectiveMemLatency(cfg, 0.9),
+              effectiveMemLatency(cfg, 0.1));
+}
+
+TEST(CostModel, EffectiveLatencyBoundedByExtremes)
+{
+    auto cfg = DeviceConfig::k20c();
+    double all_hit = effectiveMemLatency(cfg, 1.0);
+    EXPECT_NEAR(all_hit, cfg.l1LatencyCycles / cfg.mlp, 1e-9);
+    double no_hit = effectiveMemLatency(cfg, 0.0);
+    EXPECT_GT(no_hit, all_hit);
+}
+
+TEST(CostModel, PerWarpRateIsOneForPureCompute)
+{
+    auto cfg = DeviceConfig::k20c();
+    WorkSpec w;
+    w.memRatio = 0.0;
+    EXPECT_DOUBLE_EQ(perWarpRate(cfg, w), 1.0);
+}
+
+TEST(CostModel, PerWarpRateFallsWithMemoryIntensity)
+{
+    auto cfg = DeviceConfig::k20c();
+    WorkSpec light, heavy;
+    light.memRatio = 0.05;
+    heavy.memRatio = 0.5;
+    light.l1Hit = heavy.l1Hit = 0.5;
+    EXPECT_GT(perWarpRate(cfg, light), perWarpRate(cfg, heavy));
+}
+
+TEST(CostModel, MakeWorkSpecCountsWarps)
+{
+    auto cfg = DeviceConfig::k20c();
+    // 4 tasks x 64 threads = 256 threads = 8 warps.
+    auto w = makeWorkSpec(cfg, cost(400.0, 0.0), 64, 4, 100.0);
+    EXPECT_DOUBLE_EQ(w.warps, 8.0);
+    // 100 insts per thread stream, 8 warps -> 800 warp insts.
+    EXPECT_DOUBLE_EQ(w.warpInsts, 800.0);
+}
+
+TEST(CostModel, PartialWarpStillCostsOneWarp)
+{
+    auto cfg = DeviceConfig::k20c();
+    auto w = makeWorkSpec(cfg, cost(10.0, 0.0), 1, 1, 10.0);
+    EXPECT_DOUBLE_EQ(w.warps, 1.0);
+}
+
+TEST(CostModel, ImbalancedBatchBoundedByCriticalItem)
+{
+    auto cfg = DeviceConfig::k20c();
+    // Batch mean is 100 insts/task, but the largest item is 1000:
+    // the batch cannot finish before its critical item.
+    auto balanced = makeWorkSpec(cfg, cost(400.0, 0.0), 64, 4, 100.0);
+    auto skewed = makeWorkSpec(cfg, cost(400.0, 0.0), 64, 4, 1000.0);
+    EXPECT_GT(skewed.warpInsts, balanced.warpInsts);
+    EXPECT_DOUBLE_EQ(skewed.warpInsts, 1000.0 * 8);
+}
+
+TEST(CostModel, SerialPortionShrinksEffectiveWarps)
+{
+    auto cfg = DeviceConfig::k20c();
+    auto par = makeWorkSpec(cfg, cost(1000.0, 0.0), 256, 1, 1000.0);
+    auto ser = makeWorkSpec(cfg, cost(1000.0, 0.0, 0.5, 4000.0),
+                            256, 1, 1000.0);
+    EXPECT_DOUBLE_EQ(par.warps, 8.0);
+    EXPECT_LT(ser.warps, 4.0);
+    EXPECT_GT(ser.warpInsts, par.warpInsts);
+}
+
+TEST(CostModel, SerialOnlyWorkHasOneEffectiveWarp)
+{
+    auto cfg = DeviceConfig::k20c();
+    auto w = makeWorkSpec(cfg, cost(0.0, 0.0, 0.5, 500.0), 256, 1, 0.0);
+    EXPECT_DOUBLE_EQ(w.warps, 1.0);
+    EXPECT_DOUBLE_EQ(w.warpInsts, 500.0);
+}
+
+TEST(CostModel, MemRatioReflectsMix)
+{
+    auto cfg = DeviceConfig::k20c();
+    auto w = makeWorkSpec(cfg, cost(75.0, 25.0), 32, 1, 100.0);
+    EXPECT_NEAR(w.memRatio, 0.25, 1e-9);
+}
+
+TEST(CostModel, TaskCostAccumulationBlendsHitRates)
+{
+    TaskCost a = cost(100.0, 100.0, 1.0);
+    TaskCost b = cost(100.0, 100.0, 0.0);
+    a += b;
+    EXPECT_NEAR(a.l1HitRate, 0.5, 1e-9);
+    EXPECT_DOUBLE_EQ(a.computeInsts, 200.0);
+}
+
+class LatencyHidingSweep : public ::testing::TestWithParam<double>
+{};
+
+// Property: per-warp rate is monotonically non-increasing in memRatio.
+TEST_P(LatencyHidingSweep, RateMonotoneInMemRatio)
+{
+    auto cfg = DeviceConfig::k20c();
+    double m = GetParam();
+    WorkSpec lo, hi;
+    lo.memRatio = m;
+    hi.memRatio = m + 0.05;
+    lo.l1Hit = hi.l1Hit = 0.4;
+    EXPECT_GE(perWarpRate(cfg, lo), perWarpRate(cfg, hi));
+}
+
+INSTANTIATE_TEST_SUITE_P(MemRatios, LatencyHidingSweep,
+                         ::testing::Values(0.0, 0.1, 0.2, 0.3, 0.4, 0.5,
+                                           0.6, 0.7, 0.8, 0.9));

@@ -1,0 +1,238 @@
+/**
+ * @file
+ * Unit tests for the Device: dispatcher, streams, SM-centric
+ * placement restrictions, and kernel completion.
+ */
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <set>
+#include <vector>
+
+#include "gpu/block.hh"
+#include "gpu/device.hh"
+
+using namespace vp;
+
+namespace {
+
+ResourceUsage
+regs(int r)
+{
+    ResourceUsage u;
+    u.regsPerThread = r;
+    return u;
+}
+
+WorkSpec
+work(double insts, double warps = 8.0)
+{
+    WorkSpec w;
+    w.warpInsts = insts;
+    w.warps = warps;
+    w.memRatio = 0.0;
+    return w;
+}
+
+/** A kernel whose blocks run one slice of work then exit. */
+std::shared_ptr<Kernel>
+simpleKernel(const std::string& name, int grid, double insts,
+             std::vector<int>* sm_trace = nullptr)
+{
+    auto k = std::make_shared<Kernel>(
+        name, regs(32), 256, grid,
+        [insts, sm_trace](BlockContext& ctx) {
+            if (sm_trace)
+                sm_trace->push_back(ctx.smId());
+            ctx.exec(work(insts), [&ctx] { ctx.exit(); });
+        });
+    return k;
+}
+
+struct Fixture
+{
+    Simulator sim;
+    Device dev{sim, DeviceConfig::k20c()};
+};
+
+} // namespace
+
+TEST(Device, RunsASimpleKernelToCompletion)
+{
+    Fixture f;
+    bool completed = false;
+    auto k = simpleKernel("k", 4, 100.0);
+    k->notifyOnComplete([&] { completed = true; });
+    f.dev.launch(f.dev.defaultStream(), k);
+    f.sim.run();
+    EXPECT_TRUE(completed);
+    EXPECT_EQ(k->blocksExited(), 4);
+    EXPECT_TRUE(f.dev.idle());
+}
+
+TEST(Device, BlocksSpreadAcrossSms)
+{
+    Fixture f;
+    std::vector<int> sms;
+    f.dev.launch(f.dev.defaultStream(),
+                 simpleKernel("k", 13, 100.0, &sms));
+    f.sim.run();
+    std::set<int> unique(sms.begin(), sms.end());
+    EXPECT_EQ(unique.size(), 13u); // one block per SM, round robin
+}
+
+TEST(Device, AllowedSmsRestrictPlacement)
+{
+    Fixture f;
+    std::vector<int> sms;
+    auto k = simpleKernel("bound", 6, 100.0, &sms);
+    k->setAllowedSms({2, 5});
+    f.dev.launch(f.dev.defaultStream(), k);
+    f.sim.run();
+    ASSERT_EQ(sms.size(), 6u);
+    for (int s : sms)
+        EXPECT_TRUE(s == 2 || s == 5);
+}
+
+TEST(Device, SameStreamKernelsSerialize)
+{
+    Fixture f;
+    std::vector<std::string> order;
+    auto a = simpleKernel("a", 2, 1000.0);
+    auto b = simpleKernel("b", 2, 10.0);
+    a->notifyOnComplete([&] { order.push_back("a"); });
+    b->notifyOnComplete([&] { order.push_back("b"); });
+    f.dev.launch(f.dev.defaultStream(), a);
+    f.dev.launch(f.dev.defaultStream(), b);
+    f.sim.run();
+    ASSERT_EQ(order.size(), 2u);
+    EXPECT_EQ(order[0], "a"); // b waits for a despite being shorter
+}
+
+TEST(Device, DifferentStreamsRunConcurrently)
+{
+    Fixture f;
+    Tick b_done = -1.0;
+    auto a = simpleKernel("a", 2, 100000.0);
+    auto b = simpleKernel("b", 2, 10.0);
+    b->notifyOnComplete([&] { b_done = f.sim.now(); });
+    f.dev.launch(f.dev.defaultStream(), a);
+    f.dev.launch(f.dev.createStream(), b);
+    f.sim.run();
+    // b finished long before the end of the run (a is much longer).
+    EXPECT_GT(b_done, 0.0);
+    EXPECT_LT(b_done, f.sim.now() / 2.0);
+}
+
+TEST(Device, ResourcePressureLimitsConcurrentBlocks)
+{
+    Fixture f;
+    // 255-reg blocks: only 1 resident per SM, so peak <= numSms.
+    auto k = std::make_shared<Kernel>(
+        "fat", regs(255), 256, 26,
+        [](BlockContext& ctx) {
+            ctx.exec(work(1000.0), [&ctx] { ctx.exit(); });
+        });
+    f.dev.launch(f.dev.defaultStream(), k);
+    f.sim.run();
+    EXPECT_EQ(k->blocksExited(), 26);
+    EXPECT_LE(f.dev.stats().peakResidentBlocks, 13);
+}
+
+TEST(Device, SecondWaveDispatchedAfterExits)
+{
+    Fixture f;
+    // Grid of 100 blocks, but at most 13 resident at a time: all must
+    // still run to completion through refills.
+    auto k = std::make_shared<Kernel>(
+        "waves", regs(255), 256, 100,
+        [](BlockContext& ctx) {
+            ctx.exec(work(50.0), [&ctx] { ctx.exit(); });
+        });
+    f.dev.launch(f.dev.defaultStream(), k);
+    f.sim.run();
+    EXPECT_EQ(k->blocksExited(), 100);
+}
+
+TEST(Device, StreamIdleCallbackFires)
+{
+    Fixture f;
+    bool idle = false;
+    f.dev.launch(f.dev.defaultStream(), simpleKernel("k", 2, 100.0));
+    f.dev.whenStreamIdle(f.dev.defaultStream(), [&] { idle = true; });
+    f.sim.run();
+    EXPECT_TRUE(idle);
+}
+
+TEST(Device, DeviceIdleCallbackWaitsForAllStreams)
+{
+    Fixture f;
+    Tick idle_at = -1.0;
+    Tick long_done = -1.0;
+    auto a = simpleKernel("a", 2, 50000.0);
+    a->notifyOnComplete([&] { long_done = f.sim.now(); });
+    f.dev.launch(f.dev.defaultStream(), a);
+    f.dev.launch(f.dev.createStream(), simpleKernel("b", 2, 10.0));
+    f.dev.whenDeviceIdle([&] { idle_at = f.sim.now(); });
+    f.sim.run();
+    EXPECT_GE(idle_at, long_done);
+}
+
+TEST(Device, IdleCallbackOnAlreadyIdleDeviceFires)
+{
+    Fixture f;
+    bool fired = false;
+    f.dev.whenDeviceIdle([&] { fired = true; });
+    f.sim.run();
+    EXPECT_TRUE(fired);
+}
+
+TEST(Device, CountsLaunches)
+{
+    Fixture f;
+    f.dev.launch(f.dev.defaultStream(), simpleKernel("a", 1, 10.0));
+    f.dev.launch(f.dev.defaultStream(), simpleKernel("b", 1, 10.0));
+    f.sim.run();
+    EXPECT_EQ(f.dev.stats().kernelLaunches, 2u);
+    EXPECT_EQ(f.dev.stats().blocksDispatched, 2u);
+}
+
+TEST(Device, BlockDelayOccupiesWithoutThroughput)
+{
+    Fixture f;
+    Tick done = -1.0;
+    auto k = std::make_shared<Kernel>(
+        "poll", regs(32), 256, 1,
+        [&](BlockContext& ctx) {
+            ctx.delay(500.0, [&ctx, &done] {
+                done = ctx.sim().now();
+                ctx.exit();
+            });
+        });
+    f.dev.launch(f.dev.defaultStream(), k);
+    f.sim.run();
+    EXPECT_NEAR(done, f.dev.config().blockStartCycles + 500.0, 1e-6);
+}
+
+TEST(Device, PersistentStyleBlocksRetreatOnWrongSm)
+{
+    Fixture f;
+    // A kernel that retreats (exits immediately) unless on SM 3,
+    // modeling the filling-retreating check.
+    int stayed = 0;
+    auto k = std::make_shared<Kernel>(
+        "retreat", regs(32), 256, 13,
+        [&](BlockContext& ctx) {
+            if (ctx.smId() != 3) {
+                ctx.delay(20.0, [&ctx] { ctx.exit(); });
+            } else {
+                ++stayed;
+                ctx.exec(work(200.0), [&ctx] { ctx.exit(); });
+            }
+        });
+    f.dev.launch(f.dev.defaultStream(), k);
+    f.sim.run();
+    EXPECT_GE(stayed, 1);
+    EXPECT_EQ(k->blocksExited(), 13);
+}

@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Unit tests for device presets and unit conversions.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/error.hh"
+#include "gpu/device_config.hh"
+
+using namespace vp;
+
+TEST(DeviceConfig, K20cMirrorsPublishedSpecs)
+{
+    auto c = DeviceConfig::k20c();
+    EXPECT_EQ(c.numSms, 13);
+    EXPECT_DOUBLE_EQ(c.clockGhz, 0.706);
+    EXPECT_EQ(c.regsPerSm, 65536);
+    EXPECT_EQ(c.smemPerSm, 49152);
+}
+
+TEST(DeviceConfig, Gtx1080MirrorsPublishedSpecs)
+{
+    auto c = DeviceConfig::gtx1080();
+    EXPECT_EQ(c.numSms, 20);
+    EXPECT_DOUBLE_EQ(c.clockGhz, 1.607);
+    EXPECT_EQ(c.maxBlocksPerSm, 32);
+}
+
+TEST(DeviceConfig, ByNameResolvesPresets)
+{
+    EXPECT_EQ(DeviceConfig::byName("k20c").name, "k20c");
+    EXPECT_EQ(DeviceConfig::byName("gtx1080").name, "gtx1080");
+    EXPECT_THROW(DeviceConfig::byName("tpu"), FatalError);
+}
+
+TEST(DeviceConfig, UsToCyclesRoundTrip)
+{
+    auto c = DeviceConfig::k20c();
+    // 1 us at 0.706 GHz = 706 cycles.
+    EXPECT_NEAR(c.usToCycles(1.0), 706.0, 1e-9);
+    EXPECT_NEAR(c.cyclesToMs(c.usToCycles(1000.0)), 1.0, 1e-9);
+}
+
+TEST(DeviceConfig, MemcpyCostGrowsWithBytes)
+{
+    auto c = DeviceConfig::k20c();
+    EXPECT_GT(c.memcpyCycles(1 << 20), c.memcpyCycles(1 << 10));
+    // Even a zero-byte copy pays the call latency.
+    EXPECT_GT(c.memcpyCycles(0.0), 0.0);
+}
+
+TEST(DeviceConfig, Gtx1080IsFasterPerLaunchInWallTime)
+{
+    auto a = DeviceConfig::k20c();
+    auto b = DeviceConfig::gtx1080();
+    // Same wall-clock launch overhead translates to more cycles on the
+    // faster-clocked part.
+    EXPECT_GT(b.usToCycles(b.kernelLaunchUs),
+              a.usToCycles(a.kernelLaunchUs));
+    EXPECT_NEAR(b.cyclesToMs(b.usToCycles(6.0)),
+                a.cyclesToMs(a.usToCycles(6.0)), 1e-12);
+}

@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Unit tests for the error-reporting macros.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/error.hh"
+
+using namespace vp;
+
+TEST(Error, FatalThrowsFatalError)
+{
+    EXPECT_THROW(VP_FATAL("bad config " << 3), FatalError);
+}
+
+TEST(Error, PanicThrowsPanicError)
+{
+    EXPECT_THROW(VP_PANIC("bug " << 7), PanicError);
+}
+
+TEST(Error, MessagesCarryPayload)
+{
+    try {
+        VP_FATAL("value was " << 42);
+        FAIL() << "should have thrown";
+    } catch (const FatalError& e) {
+        EXPECT_NE(std::string(e.what()).find("value was 42"),
+                  std::string::npos);
+    }
+}
+
+TEST(Error, AssertPassesOnTrue)
+{
+    EXPECT_NO_THROW(VP_ASSERT(1 + 1 == 2, "math"));
+}
+
+TEST(Error, AssertThrowsOnFalse)
+{
+    EXPECT_THROW(VP_ASSERT(false, "nope"), PanicError);
+}
+
+TEST(Error, RequirePassesOnTrue)
+{
+    EXPECT_NO_THROW(VP_REQUIRE(true, "fine"));
+}
+
+TEST(Error, RequireThrowsFatalOnFalse)
+{
+    EXPECT_THROW(VP_REQUIRE(false, "user error"), FatalError);
+}

@@ -1,0 +1,174 @@
+/**
+ * @file
+ * Unit tests for ExecContext: output buffering, inline chaining, and
+ * the cross-threadNum cost scaling of RTC groups (regression for the
+ * undercounting found during calibration: a 1-thread entry task
+ * absorbing a 256-thread stage's work must be charged 256x its
+ * per-thread cost).
+ */
+
+#include <gtest/gtest.h>
+
+#include "toy_apps.hh"
+
+using namespace vp;
+using namespace vp::test;
+
+namespace {
+
+struct WideSink;
+
+/** Narrow entry stage (1 thread per task). */
+struct NarrowGen : Stage<ToyItem>
+{
+    NarrowGen()
+    {
+        name = "narrow";
+        threadNum = 1;
+    }
+
+    TaskCost
+    cost(const ToyItem&) const override
+    {
+        TaskCost c;
+        c.computeInsts = 10;
+        return c;
+    }
+
+    void execute(ExecContext& ctx, ToyItem& item) override;
+};
+
+/** Wide downstream stage (256 threads per task). */
+struct WideSink : Stage<ToyItem>
+{
+    WideSink()
+    {
+        name = "wide";
+        threadNum = 256;
+    }
+
+    TaskCost
+    cost(const ToyItem&) const override
+    {
+        TaskCost c;
+        c.computeInsts = 100; // per thread of 256
+        c.memInsts = 20;
+        c.serialInsts = 8;
+        return c;
+    }
+
+    void
+    execute(ExecContext&, ToyItem& item) override
+    {
+        total += item.value;
+    }
+
+    void reset() override { total = 0; }
+
+    long total = 0;
+};
+
+void
+NarrowGen::execute(ExecContext& ctx, ToyItem& item)
+{
+    ctx.enqueue<WideSink>(item);
+}
+
+struct ChainFixture
+{
+    Pipeline pipe;
+    NarrowGen* gen;
+    WideSink* sink;
+
+    ChainFixture()
+    {
+        gen = &pipe.addStage<NarrowGen>();
+        sink = &pipe.addStage<WideSink>();
+        pipe.link<NarrowGen, WideSink>();
+    }
+};
+
+} // namespace
+
+TEST(ExecContext, BuffersOutputsWhenNotInlined)
+{
+    ChainFixture f;
+    ExecContext ctx(f.pipe, 0, -1, 1);
+    ctx.beginTask(f.gen->cost(ToyItem{}));
+    ToyItem item{7, 0};
+    f.gen->execute(ctx, item);
+    ASSERT_EQ(ctx.outputs().size(), 1u);
+    EXPECT_EQ(ctx.outputs()[0].stage, 1);
+    // Cost unchanged: the wide stage was not executed.
+    EXPECT_DOUBLE_EQ(ctx.endTask().computeInsts, 10.0);
+    EXPECT_EQ(f.sink->total, 0);
+}
+
+TEST(ExecContext, InlineExecutesDownstreamImmediately)
+{
+    ChainFixture f;
+    StageMask inline_wide = StageMask(1) << 1;
+    ExecContext ctx(f.pipe, inline_wide, -1, 1);
+    ctx.beginTask(f.gen->cost(ToyItem{}));
+    ToyItem item{7, 0};
+    f.gen->execute(ctx, item);
+    EXPECT_TRUE(ctx.outputs().empty());
+    EXPECT_EQ(f.sink->total, 7);
+    ASSERT_EQ(ctx.inlineRuns().size(), 1u);
+    EXPECT_EQ(ctx.inlineRuns()[0].first, 1);
+    EXPECT_EQ(ctx.inlineRuns()[0].second, 1);
+}
+
+TEST(ExecContext, InlineCostScalesByThreadRatio)
+{
+    ChainFixture f;
+    StageMask inline_wide = StageMask(1) << 1;
+    ExecContext ctx(f.pipe, inline_wide, -1, 1); // 1 entry thread
+    ctx.beginTask(f.gen->cost(ToyItem{}));
+    ToyItem item{1, 0};
+    f.gen->execute(ctx, item);
+    TaskCost c = ctx.endTask();
+    // Wide stage: 100 insts/thread x 256 threads on 1 entry thread.
+    EXPECT_DOUBLE_EQ(c.computeInsts, 10.0 + 100.0 * 256);
+    EXPECT_DOUBLE_EQ(c.memInsts, 20.0 * 256);
+    EXPECT_DOUBLE_EQ(c.serialInsts, 8.0 * 256);
+}
+
+TEST(ExecContext, NoScalingForEqualOrNarrowerStages)
+{
+    ChainFixture f;
+    StageMask inline_wide = StageMask(1) << 1;
+    // Entry already runs 256 threads per task: ratio 1, no scaling.
+    ExecContext ctx(f.pipe, inline_wide, -1, 256);
+    ctx.beginTask(TaskCost{});
+    ToyItem item{1, 0};
+    f.gen->execute(ctx, item);
+    EXPECT_DOUBLE_EQ(ctx.endTask().computeInsts, 100.0);
+    // Wider entry than inlined stage: costs are never scaled DOWN.
+    ExecContext ctx2(f.pipe, inline_wide, -1, 512);
+    ctx2.beginTask(TaskCost{});
+    ToyItem item2{1, 0};
+    f.gen->execute(ctx2, item2);
+    EXPECT_DOUBLE_EQ(ctx2.endTask().computeInsts, 100.0);
+}
+
+TEST(ExecContext, InlineRunsAggregatePerStage)
+{
+    ChainFixture f;
+    StageMask inline_wide = StageMask(1) << 1;
+    ExecContext ctx(f.pipe, inline_wide, -1, 1);
+    for (int i = 0; i < 5; ++i) {
+        ctx.beginTask(f.gen->cost(ToyItem{}));
+        ToyItem item{i, 0};
+        f.gen->execute(ctx, item);
+    }
+    ASSERT_EQ(ctx.inlineRuns().size(), 1u);
+    EXPECT_EQ(ctx.inlineRuns()[0].second, 5);
+}
+
+TEST(ExecContext, EntryThreadsDefaultsClampToOne)
+{
+    ChainFixture f;
+    ExecContext ctx(f.pipe, 0, -1, 0); // clamped to 1
+    EXPECT_EQ(ctx.entryThreads(), 1);
+}

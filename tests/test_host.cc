@@ -1,0 +1,123 @@
+/**
+ * @file
+ * Unit tests for the host (CPU-side) cost model.
+ */
+
+#include <gtest/gtest.h>
+
+#include "gpu/block.hh"
+#include "gpu/host.hh"
+
+using namespace vp;
+
+namespace {
+
+std::shared_ptr<Kernel>
+trivialKernel(const std::string& name, double insts = 100.0)
+{
+    ResourceUsage u;
+    u.regsPerThread = 32;
+    return std::make_shared<Kernel>(
+        name, u, 256, 1, [insts](BlockContext& ctx) {
+            WorkSpec w;
+            w.warpInsts = insts;
+            w.warps = 8.0;
+            ctx.exec(w, [&ctx] { ctx.exit(); });
+        });
+}
+
+struct Fixture
+{
+    Simulator sim;
+    Device dev{sim, DeviceConfig::k20c()};
+    Host host{sim, dev};
+};
+
+} // namespace
+
+TEST(Host, LaunchChargesOverheadBeforeKernelStarts)
+{
+    Fixture f;
+    Tick started = -1.0;
+    auto k = trivialKernel("k");
+    f.host.launchAsync(f.dev.defaultStream(), k);
+    f.host.synchronize(f.dev.defaultStream(),
+                       [&] { started = f.sim.now(); });
+    f.sim.run();
+    Tick launch = f.dev.config().usToCycles(
+        f.dev.config().kernelLaunchUs);
+    EXPECT_GE(started, launch);
+}
+
+TEST(Host, BackToBackLaunchesSerializeOnHost)
+{
+    Fixture f;
+    // 100 launches into distinct streams: host overhead serializes
+    // them even though the device could start them all at once.
+    for (int i = 0; i < 100; ++i)
+        f.host.launchAsync(f.dev.createStream(), trivialKernel("k"));
+    f.sim.run();
+    Tick launch = f.dev.config().usToCycles(
+        f.dev.config().kernelLaunchUs);
+    EXPECT_GE(f.host.stats().busyCycles, 100 * launch - 1e-6);
+    EXPECT_GE(f.sim.now(), 100 * launch);
+}
+
+TEST(Host, MemcpyCostScalesWithBytes)
+{
+    Fixture f;
+    Tick small_done = -1.0;
+    f.host.memcpy(1024.0, [&] { small_done = f.sim.now(); });
+    f.sim.run();
+
+    Fixture g;
+    Tick big_done = -1.0;
+    g.host.memcpy(64.0 * 1024 * 1024, [&] { big_done = g.sim.now(); });
+    g.sim.run();
+    EXPECT_GT(big_done, small_done);
+}
+
+TEST(Host, ControlOccupiesHost)
+{
+    Fixture f;
+    Tick done = -1.0;
+    f.host.control(10.0, [&] { done = f.sim.now(); });
+    f.sim.run();
+    EXPECT_NEAR(done, f.dev.config().usToCycles(10.0), 1e-6);
+}
+
+TEST(Host, SynchronizeWaitsForStream)
+{
+    Fixture f;
+    Tick sync_at = -1.0;
+    Tick kernel_done = -1.0;
+    auto k = trivialKernel("k", 50000.0);
+    k->notifyOnComplete([&] { kernel_done = f.sim.now(); });
+    f.host.launchAsync(f.dev.defaultStream(), k);
+    f.host.synchronize(f.dev.defaultStream(),
+                       [&] { sync_at = f.sim.now(); });
+    f.sim.run();
+    EXPECT_GE(sync_at, kernel_done);
+}
+
+TEST(Host, DeviceSynchronizeWaitsForEverything)
+{
+    Fixture f;
+    Tick sync_at = -1.0;
+    f.host.launchAsync(f.dev.defaultStream(), trivialKernel("a", 9000.0));
+    f.host.launchAsync(f.dev.createStream(), trivialKernel("b", 20.0));
+    f.host.deviceSynchronize([&] { sync_at = f.sim.now(); });
+    f.sim.run();
+    EXPECT_NEAR(sync_at, f.sim.now(), 1e-6);
+}
+
+TEST(Host, StatsCountActivity)
+{
+    Fixture f;
+    f.host.launchAsync(f.dev.defaultStream(), trivialKernel("k"));
+    f.host.memcpy(4096.0, [] {});
+    f.sim.run();
+    EXPECT_EQ(f.host.stats().launches, 1u);
+    EXPECT_EQ(f.host.stats().memcpys, 1u);
+    EXPECT_DOUBLE_EQ(f.host.stats().memcpyBytes, 4096.0);
+}

@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Unit tests for the image utilities.
+ */
+
+#include <gtest/gtest.h>
+
+#include "apps/common/image.hh"
+
+using namespace vp;
+
+TEST(Image, TestImageIsDeterministic)
+{
+    RgbImage a = makeTestImage(64, 48, 7);
+    RgbImage b = makeTestImage(64, 48, 7);
+    EXPECT_EQ(referenceGrayscale(a).checksum(),
+              referenceGrayscale(b).checksum());
+}
+
+TEST(Image, DifferentSeedsDiffer)
+{
+    RgbImage a = makeTestImage(64, 48, 7);
+    RgbImage b = makeTestImage(64, 48, 8);
+    EXPECT_NE(referenceGrayscale(a).checksum(),
+              referenceGrayscale(b).checksum());
+}
+
+TEST(Image, FaceMarkersChangePixels)
+{
+    RgbImage plain = makeTestImage(64, 64, 3);
+    RgbImage marked = makeTestImage(64, 64, 3, {{32, 32}});
+    EXPECT_NE(referenceGrayscale(plain).checksum(),
+              referenceGrayscale(marked).checksum());
+    // Frame pixels of the marker are bright.
+    EXPECT_EQ(marked.at(32 - 11, 32, 0), 240);
+    // Interior is dark.
+    EXPECT_EQ(marked.at(32, 32, 0), 60);
+}
+
+TEST(Image, GrayscaleUsesLumaWeights)
+{
+    RgbImage img(2, 1);
+    img.at(0, 0, 0) = 255; // pure red
+    img.at(1, 0, 1) = 255; // pure green
+    GrayImage g = referenceGrayscale(img);
+    EXPECT_EQ(g.at(0, 0), 255 * 299 / 1000);
+    EXPECT_EQ(g.at(1, 0), 255 * 587 / 1000);
+}
+
+TEST(Image, HistEqSpreadsDynamicRange)
+{
+    GrayImage img(16, 16);
+    // Narrow band of values 100..107.
+    for (int y = 0; y < 16; ++y)
+        for (int x = 0; x < 16; ++x)
+            img.at(x, y) = static_cast<std::uint8_t>(100 + (x % 8));
+    GrayImage eq = referenceHistEq(img);
+    int lo = 255, hi = 0;
+    for (std::uint8_t p : eq.pixels()) {
+        lo = std::min<int>(lo, p);
+        hi = std::max<int>(hi, p);
+    }
+    EXPECT_EQ(lo, 0);
+    EXPECT_EQ(hi, 255);
+}
+
+TEST(Image, HistEqOfConstantImageIsStable)
+{
+    GrayImage img(8, 8);
+    for (auto& p : img.pixels())
+        p = 77;
+    GrayImage eq = referenceHistEq(img);
+    // All mass in one bin: the degenerate transform keeps the value.
+    for (std::uint8_t p : eq.pixels())
+        EXPECT_EQ(p, 77);
+}
+
+TEST(Image, DownsampleHalvesAndAverages)
+{
+    GrayImage img(4, 2);
+    int vals[2][4] = {{10, 20, 30, 40}, {50, 60, 70, 80}};
+    for (int y = 0; y < 2; ++y)
+        for (int x = 0; x < 4; ++x)
+            img.at(x, y) = static_cast<std::uint8_t>(vals[y][x]);
+    GrayImage half = referenceDownsample(img);
+    EXPECT_EQ(half.width(), 2);
+    EXPECT_EQ(half.height(), 1);
+    EXPECT_EQ(half.at(0, 0), (10 + 20 + 50 + 60) / 4);
+    EXPECT_EQ(half.at(1, 0), (30 + 40 + 70 + 80) / 4);
+}
+
+TEST(Image, ChecksumDependsOnDims)
+{
+    GrayImage a(4, 2), b(2, 4);
+    EXPECT_NE(a.checksum(), b.checksum());
+}

@@ -1,0 +1,215 @@
+/**
+ * @file
+ * Cross-module integration and property tests: output invariance
+ * across execution models, conservation laws, determinism, and
+ * engine failure handling, over the real applications at small
+ * scale.
+ */
+
+#include <gtest/gtest.h>
+
+#include "apps/ldpc/ldpc_app.hh"
+#include "apps/pyramid/pyramid_app.hh"
+#include "apps/registry.hh"
+#include "apps/reyes/reyes_app.hh"
+#include "tuner/offline_tuner.hh"
+
+using namespace vp;
+
+namespace {
+
+std::vector<PipelineConfig>
+applicableConfigs(Pipeline& pipe, const DeviceConfig& dev)
+{
+    std::vector<PipelineConfig> out;
+    out.push_back(makeKbkConfig());
+    out.push_back(makeKbkStreamConfig(3));
+    out.push_back(makeMegakernelConfig(pipe));
+    if (dev.numSms >= pipe.stageCount())
+        out.push_back(makeCoarseConfig(pipe, dev));
+    try {
+        out.push_back(makeFineConfig(pipe, dev));
+    } catch (const FatalError&) {
+    }
+    if (!pipe.hasCycle())
+        out.push_back(makeRtcConfig(pipe));
+    auto dist = makeMegakernelConfig(pipe);
+    dist.distributedQueues = true;
+    out.push_back(std::move(dist));
+    return out;
+}
+
+} // namespace
+
+// Every model produces bit-identical application results (the apps'
+// verify() compares against a schedule-independent reference).
+TEST(Integration, PyramidChecksumsInvariantAcrossModels)
+{
+    DeviceConfig dev = DeviceConfig::k20c();
+    pyramid::PyramidApp app(pyramid::PyrParams::small());
+    Engine engine(dev);
+    std::uint64_t want = 0;
+    bool first = true;
+    for (const auto& cfg : applicableConfigs(app.pipeline(), dev)) {
+        RunResult r = engine.run(app, cfg);
+        ASSERT_TRUE(r.completed) << r.configName;
+        std::uint64_t sum = 0;
+        for (const auto& levels : app.result())
+            for (const auto& level : levels)
+                sum ^= level.checksum();
+        if (first) {
+            want = sum;
+            first = false;
+        } else {
+            EXPECT_EQ(sum, want) << r.configName;
+        }
+    }
+}
+
+TEST(Integration, LdpcDecodesInvariantAcrossModels)
+{
+    DeviceConfig dev = DeviceConfig::k20c();
+    ldpc::LdpcApp app(ldpc::LdpcParams::small());
+    Engine engine(dev);
+    int want = -1;
+    for (const auto& cfg : applicableConfigs(app.pipeline(), dev)) {
+        RunResult r = engine.run(app, cfg);
+        ASSERT_TRUE(r.completed) << r.configName;
+        if (want < 0)
+            want = app.correctedFrames();
+        else
+            EXPECT_EQ(app.correctedFrames(), want) << r.configName;
+    }
+}
+
+TEST(Integration, ReyesGridCountInvariantAcrossModels)
+{
+    DeviceConfig dev = DeviceConfig::k20c();
+    reyes::ReyesApp app(reyes::ReyesParams::small());
+    Engine engine(dev);
+    int want = -1;
+    for (const auto& cfg : applicableConfigs(app.pipeline(), dev)) {
+        RunResult r = engine.run(app, cfg);
+        ASSERT_TRUE(r.completed) << r.configName;
+        if (want < 0)
+            want = app.dicedPatches();
+        else
+            EXPECT_EQ(app.dicedPatches(), want) << r.configName;
+    }
+}
+
+// Conservation: across every app and model, queue pushes equal pops
+// and the device ends idle.
+class ConservationMatrix
+    : public ::testing::TestWithParam<std::string>
+{};
+
+TEST_P(ConservationMatrix, PushesEqualPopsEverywhere)
+{
+    DeviceConfig dev = DeviceConfig::k20c();
+    auto app = makeApp(GetParam(), AppScale::Small);
+    Engine engine(dev);
+    for (const auto& cfg :
+         applicableConfigs(app->pipeline(), dev)) {
+        RunResult r = engine.run(*app, cfg);
+        ASSERT_TRUE(r.completed) << r.configName;
+        for (const auto& s : r.stages) {
+            EXPECT_EQ(s.queue.pushes, s.queue.pops)
+                << GetParam() << "/" << r.configName << "/"
+                << s.name;
+        }
+        EXPECT_GE(r.smUtilization, 0.0);
+        EXPECT_LE(r.smUtilization, 1.0);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Apps, ConservationMatrix,
+                         ::testing::Values("pyramid", "facedetect",
+                                           "reyes", "cfd", "raster",
+                                           "ldpc"));
+
+// Determinism: identical runs give identical cycles on both devices.
+class DeterminismMatrix
+    : public ::testing::TestWithParam<std::string>
+{};
+
+TEST_P(DeterminismMatrix, RepeatRunsIdentical)
+{
+    for (auto dev_name : {"k20c", "gtx1080"}) {
+        DeviceConfig dev = DeviceConfig::byName(dev_name);
+        auto app = makeApp(GetParam(), AppScale::Small);
+        Engine engine(dev);
+        auto cfg = makeMegakernelConfig(app->pipeline());
+        auto a = engine.run(*app, cfg);
+        auto b = engine.run(*app, cfg);
+        EXPECT_DOUBLE_EQ(a.cycles, b.cycles)
+            << GetParam() << "@" << dev_name;
+        EXPECT_EQ(a.polls, b.polls);
+        EXPECT_EQ(a.device.blocksDispatched,
+                  b.device.blocksDispatched);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Apps, DeterminismMatrix,
+                         ::testing::Values("pyramid", "reyes", "cfd",
+                                           "ldpc"));
+
+// The tuner never returns a configuration slower than the canonical
+// megakernel it also evaluates.
+class TunerBeatsMegakernel
+    : public ::testing::TestWithParam<std::string>
+{};
+
+TEST_P(TunerBeatsMegakernel, OnSmallWorkloads)
+{
+    DeviceConfig dev = DeviceConfig::k20c();
+    auto app = makeApp(GetParam(), AppScale::Small);
+    Engine engine(dev);
+    TunerOptions opts;
+    opts.search.smCandidates = 3;
+    opts.search.blockCandidates = 4;
+    opts.search.maxConfigs = 80;
+    auto tuned = autotune(engine, *app, opts);
+    auto mk = engine.run(*app,
+                         makeMegakernelConfig(app->pipeline()));
+    EXPECT_LE(tuned.bestRun.cycles, mk.cycles * 1.0001)
+        << tuned.best.describe(app->pipeline());
+}
+
+INSTANTIATE_TEST_SUITE_P(Apps, TunerBeatsMegakernel,
+                         ::testing::Values("pyramid", "reyes",
+                                           "raster", "ldpc"));
+
+// ------------------------ engine guards ------------------------- //
+
+TEST(EngineGuards, RejectsInvalidConfig)
+{
+    auto app = makeApp("raster", AppScale::Small);
+    PipelineConfig bad;
+    StageGroup g;
+    g.stages = {0}; // does not cover the pipeline
+    g.model = ExecModel::Megakernel;
+    bad.groups = {g};
+    Engine engine(DeviceConfig::k20c());
+    EXPECT_THROW(engine.run(*app, bad), FatalError);
+}
+
+TEST(EngineGuards, EventLimitCatchesRunaway)
+{
+    auto app = makeApp("reyes", AppScale::Small);
+    Engine engine(DeviceConfig::k20c());
+    engine.setEventLimit(100); // absurdly small
+    EXPECT_THROW(engine.run(*app,
+                            makeMegakernelConfig(app->pipeline())),
+                 FatalError);
+}
+
+TEST(EngineGuards, RunTimedZeroBudgetTimesOut)
+{
+    auto app = makeApp("reyes", AppScale::Small);
+    Engine engine(DeviceConfig::k20c());
+    auto r = engine.runTimed(*app,
+                             makeMegakernelConfig(app->pipeline()),
+                             1.0);
+    EXPECT_FALSE(r.has_value());
+}

@@ -1,0 +1,187 @@
+/**
+ * @file
+ * Unit tests for PipelineConfig validation and the canonical
+ * configuration builders.
+ */
+
+#include <gtest/gtest.h>
+
+#include "toy_apps.hh"
+
+using namespace vp;
+using namespace vp::test;
+
+namespace {
+
+struct Fixture
+{
+    LinearApp linear;
+    RecursiveApp recursive;
+    DeviceConfig dev = DeviceConfig::k20c();
+};
+
+} // namespace
+
+TEST(ModelConfig, RtcConfigValidForLinear)
+{
+    Fixture f;
+    auto cfg = makeRtcConfig(f.linear.pipeline());
+    EXPECT_NO_THROW(cfg.validate(f.linear.pipeline(), f.dev));
+    ASSERT_EQ(cfg.groups.size(), 1u);
+    EXPECT_EQ(cfg.groups[0].model, ExecModel::RTC);
+}
+
+TEST(ModelConfig, RtcConfigRejectedForRecursion)
+{
+    Fixture f;
+    auto cfg = makeRtcConfig(f.recursive.pipeline());
+    EXPECT_THROW(cfg.validate(f.recursive.pipeline(), f.dev),
+                 FatalError);
+}
+
+TEST(ModelConfig, MegakernelConfigValidForRecursion)
+{
+    Fixture f;
+    auto cfg = makeMegakernelConfig(f.recursive.pipeline());
+    EXPECT_NO_THROW(cfg.validate(f.recursive.pipeline(), f.dev));
+}
+
+TEST(ModelConfig, CoarseAssignsDisjointSms)
+{
+    Fixture f;
+    auto cfg = makeCoarseConfig(f.linear.pipeline(), f.dev);
+    EXPECT_NO_THROW(cfg.validate(f.linear.pipeline(), f.dev));
+    ASSERT_EQ(cfg.groups.size(), 3u);
+    int total = 0;
+    for (const auto& g : cfg.groups) {
+        EXPECT_GE(g.sms.size(), 1u);
+        total += static_cast<int>(g.sms.size());
+    }
+    EXPECT_LE(total, f.dev.numSms);
+}
+
+TEST(ModelConfig, CoarseHonorsShares)
+{
+    Fixture f;
+    auto cfg = makeCoarseConfig(f.linear.pipeline(), f.dev,
+                                {1.0, 10.0, 1.0});
+    // The heavily weighted middle stage gets the most SMs.
+    EXPECT_GT(cfg.groups[1].sms.size(), cfg.groups[0].sms.size());
+    EXPECT_GT(cfg.groups[1].sms.size(), cfg.groups[2].sms.size());
+}
+
+TEST(ModelConfig, FineConfigFitsOnOneSm)
+{
+    Fixture f;
+    auto cfg = makeFineConfig(f.linear.pipeline(), f.dev);
+    EXPECT_NO_THROW(cfg.validate(f.linear.pipeline(), f.dev));
+    const auto& g = cfg.groups[0];
+    EXPECT_EQ(g.model, ExecModel::FinePipeline);
+    long regs = 0;
+    for (const auto& [s, b] : g.blocksPerSm) {
+        EXPECT_GE(b, 1);
+        regs += long(b) * 256
+            * f.linear.pipeline().stage(s).resources.regsPerThread;
+    }
+    EXPECT_LE(regs, f.dev.regsPerSm);
+}
+
+TEST(ModelConfig, ValidateRejectsPartialCoverage)
+{
+    Fixture f;
+    PipelineConfig cfg;
+    StageGroup g;
+    g.stages = {0, 1}; // stage 2 missing
+    g.model = ExecModel::Megakernel;
+    cfg.groups.push_back(g);
+    EXPECT_THROW(cfg.validate(f.linear.pipeline(), f.dev), FatalError);
+}
+
+TEST(ModelConfig, ValidateRejectsOverlappingGroups)
+{
+    Fixture f;
+    PipelineConfig cfg;
+    StageGroup a, b;
+    a.stages = {0, 1};
+    b.stages = {1, 2};
+    a.model = b.model = ExecModel::Megakernel;
+    cfg.groups = {a, b};
+    EXPECT_THROW(cfg.validate(f.linear.pipeline(), f.dev), FatalError);
+}
+
+TEST(ModelConfig, ValidateRejectsSharedSms)
+{
+    Fixture f;
+    PipelineConfig cfg;
+    StageGroup a, b;
+    a.stages = {0};
+    a.sms = {0, 1};
+    b.stages = {1, 2};
+    b.sms = {1, 2};
+    a.model = b.model = ExecModel::Megakernel;
+    cfg.groups = {a, b};
+    EXPECT_THROW(cfg.validate(f.linear.pipeline(), f.dev), FatalError);
+}
+
+TEST(ModelConfig, ValidateRejectsInfeasibleFineMapping)
+{
+    Fixture f;
+    PipelineConfig cfg;
+    StageGroup g;
+    g.stages = {0, 1, 2};
+    g.model = ExecModel::FinePipeline;
+    g.blocksPerSm = {{0, 16}, {1, 16}, {2, 16}}; // 48 blocks > 16 cap
+    cfg.groups = {g};
+    EXPECT_THROW(cfg.validate(f.linear.pipeline(), f.dev), FatalError);
+}
+
+TEST(ModelConfig, ValidateRejectsBadThreadsPerBlock)
+{
+    Fixture f;
+    auto cfg = makeMegakernelConfig(f.linear.pipeline());
+    cfg.threadsPerBlock = 100; // not a warp multiple
+    EXPECT_THROW(cfg.validate(f.linear.pipeline(), f.dev), FatalError);
+}
+
+TEST(ModelConfig, MergedResourcesMaxRegsSumCode)
+{
+    Fixture f;
+    auto merged = mergedResources(f.linear.pipeline(), {0, 1, 2});
+    EXPECT_EQ(merged.regsPerThread, 48);
+    EXPECT_EQ(merged.codeBytes, 4000 + 6000 + 3000);
+}
+
+TEST(ModelConfig, DescribeNamesModelsAndStages)
+{
+    Fixture f;
+    auto cfg = makeMegakernelConfig(f.linear.pipeline());
+    std::string d = cfg.describe(f.linear.pipeline());
+    EXPECT_NE(d.find("Megakernel"), std::string::npos);
+    EXPECT_NE(d.find("gen"), std::string::npos);
+    EXPECT_EQ(makeKbkConfig().describe(f.linear.pipeline()), "KBK");
+}
+
+TEST(ExecModelMeta, NamesAndCharacteristics)
+{
+    EXPECT_STREQ(execModelName(ExecModel::Megakernel), "Megakernel");
+    // Figure 6 spot checks from the paper's analysis.
+    EXPECT_EQ(modelCharacteristic(ExecModel::RTC,
+                                  ModelMetric::DataLocality),
+              MetricLevel::Good);
+    EXPECT_EQ(modelCharacteristic(ExecModel::RTC,
+                                  ModelMetric::Applicability),
+              MetricLevel::Poor);
+    EXPECT_EQ(modelCharacteristic(ExecModel::Megakernel,
+                                  ModelMetric::HardwareUsage),
+              MetricLevel::Poor);
+    EXPECT_EQ(modelCharacteristic(ExecModel::FinePipeline,
+                                  ModelMetric::SimplicityControl),
+              MetricLevel::Poor);
+    EXPECT_EQ(modelCharacteristic(ExecModel::KBK,
+                                  ModelMetric::TaskParallelism),
+              MetricLevel::Poor);
+    // KbkStream has no Figure 6 column.
+    EXPECT_THROW(modelCharacteristic(ExecModel::KbkStream,
+                                     ModelMetric::DataLocality),
+                 FatalError);
+}

@@ -1,0 +1,171 @@
+/**
+ * @file
+ * Property-style sweeps over the performance model: monotonicity and
+ * conservation laws that must hold for any calibration, checked with
+ * parameterized gtest.
+ */
+
+#include <gtest/gtest.h>
+
+#include "gpu/cost_model.hh"
+#include "gpu/occupancy.hh"
+#include "gpu/sm.hh"
+
+using namespace vp;
+
+namespace {
+
+double
+soloRuntime(const DeviceConfig& cfg, const WorkSpec& w)
+{
+    Simulator sim;
+    Sm sm(sim, cfg, 0);
+    double done = -1.0;
+    sm.beginWork(w, 0, [&] { done = sim.now(); });
+    sim.run();
+    return done;
+}
+
+WorkSpec
+spec(double insts, double warps, double mem, double l1)
+{
+    WorkSpec w;
+    w.warpInsts = insts;
+    w.warps = warps;
+    w.memRatio = mem;
+    w.l1Hit = l1;
+    return w;
+}
+
+} // namespace
+
+// Runtime scales linearly with work at fixed shape.
+class WorkScaling : public ::testing::TestWithParam<double>
+{};
+
+TEST_P(WorkScaling, RuntimeLinearInWork)
+{
+    auto cfg = DeviceConfig::k20c();
+    double scale = GetParam();
+    double base = soloRuntime(cfg, spec(1000, 8, 0.2, 0.5));
+    double scaled = soloRuntime(cfg,
+                                spec(1000 * scale, 8, 0.2, 0.5));
+    EXPECT_NEAR(scaled / base, scale, 1e-6);
+}
+
+INSTANTIATE_TEST_SUITE_P(Scales, WorkScaling,
+                         ::testing::Values(2.0, 3.0, 5.0, 10.0));
+
+// More warps never slow a fixed amount of work down.
+class WarpSweep : public ::testing::TestWithParam<int>
+{};
+
+TEST_P(WarpSweep, MoreWarpsNeverSlower)
+{
+    auto cfg = DeviceConfig::k20c();
+    int warps = GetParam();
+    double fewer = soloRuntime(cfg, spec(4000, warps, 0.3, 0.5));
+    double more = soloRuntime(cfg, spec(4000, warps + 2, 0.3, 0.5));
+    EXPECT_LE(more, fewer + 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Warps, WarpSweep,
+                         ::testing::Values(1, 2, 4, 8, 16, 32));
+
+// Better cache hit rates never slow memory-bound work down.
+class L1Sweep : public ::testing::TestWithParam<double>
+{};
+
+TEST_P(L1Sweep, HigherHitRateNeverSlower)
+{
+    auto cfg = DeviceConfig::k20c();
+    double l1 = GetParam();
+    double worse = soloRuntime(cfg, spec(4000, 4, 0.4, l1));
+    double better = soloRuntime(cfg, spec(4000, 4, 0.4, l1 + 0.1));
+    EXPECT_LE(better, worse + 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(HitRates, L1Sweep,
+                         ::testing::Values(0.0, 0.1, 0.3, 0.5, 0.7,
+                                           0.85));
+
+// Processor sharing conserves throughput: n identical saturating
+// executions finish together in exactly n times the solo time.
+class SharingSweep : public ::testing::TestWithParam<int>
+{};
+
+TEST_P(SharingSweep, FairSharingConservesThroughput)
+{
+    auto cfg = DeviceConfig::k20c();
+    int n = GetParam();
+    WorkSpec w = spec(2000, 8, 0.0, 0.5); // saturates issue width
+    double solo = soloRuntime(cfg, w);
+
+    Simulator sim;
+    Sm sm(sim, cfg, 0);
+    std::vector<double> done(n, -1.0);
+    for (int i = 0; i < n; ++i)
+        sm.beginWork(w, 0, [&, i] { done[i] = sim.now(); });
+    sim.run();
+    for (int i = 0; i < n; ++i)
+        EXPECT_NEAR(done[i], solo * n, 1e-6) << "exec " << i;
+}
+
+INSTANTIATE_TEST_SUITE_P(Degrees, SharingSweep,
+                         ::testing::Values(2, 3, 5, 8));
+
+// Occupancy x block footprint never exceeds the register file.
+class OccupancyBudget
+    : public ::testing::TestWithParam<std::tuple<int, int>>
+{};
+
+TEST_P(OccupancyBudget, RegisterBudgetRespected)
+{
+    auto [regs, threads] = GetParam();
+    for (auto name : {"k20c", "gtx1080"}) {
+        DeviceConfig cfg = DeviceConfig::byName(name);
+        ResourceUsage res;
+        res.regsPerThread = regs;
+        auto r = maxBlocksPerSm(cfg, res, threads);
+        EXPECT_LE(r.blocksPerSm * regs * threads, cfg.regsPerSm)
+            << name;
+        EXPECT_LE(r.blocksPerSm * threads, cfg.maxThreadsPerSm)
+            << name;
+        EXPECT_LE(r.blocksPerSm, cfg.maxBlocksPerSm) << name;
+        // And maximality: one more block would break some budget.
+        if (r.blocksPerSm > 0 && r.blocksPerSm < cfg.maxBlocksPerSm) {
+            int more = r.blocksPerSm + 1;
+            bool breaks = more * regs * threads > cfg.regsPerSm
+                || more * threads > cfg.maxThreadsPerSm;
+            EXPECT_TRUE(breaks) << name << ": occupancy not maximal";
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, OccupancyBudget,
+    ::testing::Combine(::testing::Values(16, 32, 64, 111, 128, 255),
+                       ::testing::Values(64, 128, 256, 512)));
+
+// Batch WorkSpec construction conserves total instructions.
+class BatchSweep : public ::testing::TestWithParam<int>
+{};
+
+TEST_P(BatchSweep, WarpInstsScaleWithBatch)
+{
+    auto cfg = DeviceConfig::k20c();
+    int batch = GetParam();
+    TaskCost per;
+    per.computeInsts = 90;
+    per.memInsts = 10;
+    TaskCost sum;
+    for (int i = 0; i < batch; ++i)
+        sum += per;
+    auto w = makeWorkSpec(cfg, sum, 32, batch, 100.0);
+    // batch tasks x 32 threads = batch warps; 100 insts per thread.
+    EXPECT_DOUBLE_EQ(w.warps, double(batch));
+    EXPECT_DOUBLE_EQ(w.warpInsts, 100.0 * batch);
+}
+
+INSTANTIATE_TEST_SUITE_P(Batches, BatchSweep,
+                         ::testing::Values(1, 2, 4, 8, 16));

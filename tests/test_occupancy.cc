@@ -1,0 +1,144 @@
+/**
+ * @file
+ * Unit tests for the occupancy calculator, including the exact
+ * register-pressure scenarios quoted in the VersaPipe paper (sec 8.3).
+ */
+
+#include <gtest/gtest.h>
+
+#include "gpu/occupancy.hh"
+
+using namespace vp;
+
+namespace {
+
+ResourceUsage
+regs(int r)
+{
+    ResourceUsage u;
+    u.regsPerThread = r;
+    u.smemPerBlock = 0;
+    return u;
+}
+
+} // namespace
+
+TEST(Occupancy, BlockCapLimitsLightKernels)
+{
+    auto cfg = DeviceConfig::k20c();
+    auto r = maxBlocksPerSm(cfg, regs(8), 64);
+    EXPECT_EQ(r.blocksPerSm, cfg.maxBlocksPerSm);
+    EXPECT_EQ(r.limiter, OccupancyLimiter::Blocks);
+}
+
+TEST(Occupancy, ThreadLimit)
+{
+    auto cfg = DeviceConfig::k20c();
+    auto r = maxBlocksPerSm(cfg, regs(8), 1024);
+    EXPECT_EQ(r.blocksPerSm, 2); // 2048 threads / 1024
+    EXPECT_EQ(r.limiter, OccupancyLimiter::Threads);
+}
+
+TEST(Occupancy, SharedMemLimit)
+{
+    auto cfg = DeviceConfig::k20c();
+    ResourceUsage u = regs(16);
+    u.smemPerBlock = 20000;
+    auto r = maxBlocksPerSm(cfg, u, 128);
+    EXPECT_EQ(r.blocksPerSm, 2); // 49152 / 20000
+    EXPECT_EQ(r.limiter, OccupancyLimiter::SharedMem);
+}
+
+// Paper, sec 4.2.1: "each thread of the Reyes program in Megakernel
+// uses 255 registers and each SM can only launch 1 thread block".
+TEST(Occupancy, ReyesMegakernel255RegsGivesOneBlock)
+{
+    auto cfg = DeviceConfig::k20c();
+    auto r = maxBlocksPerSm(cfg, regs(255), 256);
+    EXPECT_EQ(r.blocksPerSm, 1);
+    EXPECT_EQ(r.limiter, OccupancyLimiter::Registers);
+}
+
+// Paper, sec 8.3: Reyes VersaPipe kernels use 111 / 255 / 61 regs;
+// split gets 2 blocks/SM, dice 1, shade 4.
+TEST(Occupancy, ReyesPerStageRegisterCounts)
+{
+    auto cfg = DeviceConfig::k20c();
+    EXPECT_EQ(maxBlocksPerSm(cfg, regs(111), 256).blocksPerSm, 2);
+    EXPECT_EQ(maxBlocksPerSm(cfg, regs(255), 256).blocksPerSm, 1);
+    EXPECT_EQ(maxBlocksPerSm(cfg, regs(61), 256).blocksPerSm, 4);
+}
+
+// Paper, sec 8.3: Face Detection Megakernel uses 87 regs -> 2 blocks;
+// per-stage kernels use 56/69/56/61/37 -> at least 3, at most 6.
+TEST(Occupancy, FaceDetectionRegisterCounts)
+{
+    auto cfg = DeviceConfig::k20c();
+    EXPECT_EQ(maxBlocksPerSm(cfg, regs(87), 256).blocksPerSm, 2);
+    int counts[] = {56, 69, 56, 61, 37};
+    int lo = 100, hi = 0;
+    for (int c : counts) {
+        int b = maxBlocksPerSm(cfg, regs(c), 256).blocksPerSm;
+        lo = std::min(lo, b);
+        hi = std::max(hi, b);
+    }
+    EXPECT_EQ(lo, 3);
+    EXPECT_EQ(hi, 6);
+}
+
+TEST(Occupancy, ZeroWhenBlockCannotFitAtAll)
+{
+    auto cfg = DeviceConfig::k20c();
+    auto r = maxBlocksPerSm(cfg, regs(300), 1024); // 307k regs needed
+    EXPECT_EQ(r.blocksPerSm, 0);
+}
+
+TEST(Occupancy, InvalidThreadCountThrows)
+{
+    auto cfg = DeviceConfig::k20c();
+    EXPECT_THROW(maxBlocksPerSm(cfg, regs(32), 0), FatalError);
+}
+
+TEST(Occupancy, OccupancyFractionComputed)
+{
+    auto cfg = DeviceConfig::k20c();
+    auto r = maxBlocksPerSm(cfg, regs(255), 256);
+    EXPECT_DOUBLE_EQ(r.occupancy, 256.0 / 2048.0);
+}
+
+TEST(Occupancy, Gtx1080AllowsMoreBlocks)
+{
+    auto k20 = DeviceConfig::k20c();
+    auto p100 = DeviceConfig::gtx1080();
+    auto a = maxBlocksPerSm(k20, regs(16), 64);
+    auto b = maxBlocksPerSm(p100, regs(16), 64);
+    EXPECT_GT(b.blocksPerSm, a.blocksPerSm);
+}
+
+TEST(Occupancy, MergedResourceUsageTakesMaxRegsSumCode)
+{
+    ResourceUsage a = regs(111);
+    a.codeBytes = 10000;
+    ResourceUsage b = regs(255);
+    b.codeBytes = 20000;
+    ResourceUsage m = a.mergedWith(b);
+    EXPECT_EQ(m.regsPerThread, 255);
+    EXPECT_EQ(m.codeBytes, 30000);
+}
+
+class OccupancyMonotone : public ::testing::TestWithParam<int>
+{};
+
+// Property: occupancy is non-increasing in register usage.
+TEST_P(OccupancyMonotone, NonIncreasingInRegisters)
+{
+    auto cfg = DeviceConfig::k20c();
+    int r = GetParam();
+    auto low = maxBlocksPerSm(cfg, regs(r), 256);
+    auto high = maxBlocksPerSm(cfg, regs(r + 8), 256);
+    EXPECT_GE(low.blocksPerSm, high.blocksPerSm);
+}
+
+INSTANTIATE_TEST_SUITE_P(RegisterSweep, OccupancyMonotone,
+                         ::testing::Values(8, 16, 24, 32, 48, 64, 96,
+                                           128, 160, 192, 224, 255));

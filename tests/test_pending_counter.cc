@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Unit tests for the pipeline-completion counter.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/error.hh"
+#include "queueing/pending_counter.hh"
+
+using namespace vp;
+
+TEST(PendingCounter, NotDoneBeforeAnyWork)
+{
+    PendingCounter c;
+    EXPECT_FALSE(c.done());
+    EXPECT_EQ(c.value(), 0);
+}
+
+TEST(PendingCounter, DoneAfterDrain)
+{
+    PendingCounter c;
+    c.add(3);
+    EXPECT_FALSE(c.done());
+    c.sub(2);
+    EXPECT_FALSE(c.done());
+    c.sub(1);
+    EXPECT_TRUE(c.done());
+}
+
+TEST(PendingCounter, RecursiveGrowthSupported)
+{
+    PendingCounter c;
+    c.add(1);
+    c.add(5); // item spawned more items
+    c.sub(1);
+    c.sub(5);
+    EXPECT_TRUE(c.done());
+}
+
+TEST(PendingCounter, UnderflowPanics)
+{
+    PendingCounter c;
+    c.add(1);
+    EXPECT_THROW(c.sub(2), PanicError);
+}
+
+TEST(PendingCounter, DrainCallbackFiresOnce)
+{
+    PendingCounter c;
+    int fired = 0;
+    c.add(2);
+    c.notifyOnDrain([&] { ++fired; });
+    c.sub(1);
+    EXPECT_EQ(fired, 0);
+    c.sub(1);
+    EXPECT_EQ(fired, 1);
+    // Refilling and draining again does not refire old callbacks.
+    c.add(1);
+    c.sub(1);
+    EXPECT_EQ(fired, 1);
+}
+
+TEST(PendingCounter, CallbackOnAlreadyDrainedFiresImmediately)
+{
+    PendingCounter c;
+    c.add(1);
+    c.sub(1);
+    bool fired = false;
+    c.notifyOnDrain([&] { fired = true; });
+    EXPECT_TRUE(fired);
+}
+
+TEST(PendingCounter, ResetRestoresPristineState)
+{
+    PendingCounter c;
+    c.add(1);
+    c.sub(1);
+    c.reset();
+    EXPECT_FALSE(c.done());
+}

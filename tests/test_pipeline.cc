@@ -1,0 +1,111 @@
+/**
+ * @file
+ * Unit tests for the pipeline graph machinery.
+ */
+
+#include <gtest/gtest.h>
+
+#include "toy_apps.hh"
+
+using namespace vp;
+using namespace vp::test;
+
+TEST(Pipeline, StagesRegisterInOrder)
+{
+    LinearApp app;
+    Pipeline& p = app.pipeline();
+    EXPECT_EQ(p.stageCount(), 3);
+    EXPECT_EQ(p.indexOf<LinearGen>(), 0);
+    EXPECT_EQ(p.indexOf<LinearWork>(), 1);
+    EXPECT_EQ(p.indexOf<LinearSink>(), 2);
+    EXPECT_EQ(p.stage(0).name, "gen");
+}
+
+TEST(Pipeline, DuplicateStageTypeThrows)
+{
+    Pipeline p;
+    p.addStage<LinearGen>();
+    EXPECT_THROW(p.addStage<LinearGen>(), FatalError);
+}
+
+TEST(Pipeline, UnknownStageLookupThrows)
+{
+    Pipeline p;
+    p.addStage<LinearGen>();
+    EXPECT_THROW(p.indexOf<LinearSink>(), FatalError);
+}
+
+TEST(Pipeline, ProducerAndConsumerMasks)
+{
+    LinearApp app;
+    Pipeline& p = app.pipeline();
+    EXPECT_EQ(p.producersOf(0), 0u);
+    EXPECT_EQ(p.producersOf(1), 0b001u);
+    EXPECT_EQ(p.producersOf(2), 0b010u);
+    EXPECT_EQ(p.consumersOf(0), 0b010u);
+}
+
+TEST(Pipeline, AncestorsTransitive)
+{
+    LinearApp app;
+    Pipeline& p = app.pipeline();
+    EXPECT_EQ(p.ancestorsOf(2), 0b011u); // gen and work
+    EXPECT_EQ(p.ancestorsOf(0), 0u);
+}
+
+TEST(Pipeline, LinearPipelineHasNoCycle)
+{
+    LinearApp app;
+    EXPECT_FALSE(app.pipeline().hasCycle());
+    EXPECT_EQ(app.pipeline().structure(), PipelineStructure::Linear);
+}
+
+TEST(Pipeline, SelfLoopIsCycle)
+{
+    RecursiveApp app;
+    Pipeline& p = app.pipeline();
+    EXPECT_TRUE(p.hasCycle());
+    EXPECT_EQ(p.structure(), PipelineStructure::Recursion);
+    // Recursion reaches itself through the self edge.
+    EXPECT_TRUE(p.ancestorsOf(0) & 1u);
+}
+
+TEST(Pipeline, ExplicitStructureOverrides)
+{
+    RecursiveApp app;
+    app.pipeline().setStructure(PipelineStructure::Loop);
+    EXPECT_EQ(app.pipeline().structure(), PipelineStructure::Loop);
+}
+
+TEST(Pipeline, LinkIsIdempotent)
+{
+    LinearApp app;
+    Pipeline& p = app.pipeline();
+    std::size_t before = p.edges().size();
+    p.link<LinearGen, LinearWork>();
+    EXPECT_EQ(p.edges().size(), before);
+}
+
+TEST(Pipeline, LinkValidatesIndices)
+{
+    LinearApp app;
+    EXPECT_THROW(app.pipeline().link(0, 99), FatalError);
+}
+
+TEST(Pipeline, DisconnectedStageFailsValidation)
+{
+    Pipeline p;
+    p.addStage<LinearGen>();
+    p.addStage<LinearWork>(); // never linked
+    EXPECT_THROW(p.validate(), FatalError);
+}
+
+TEST(Pipeline, ItemTypeAndBytesExposed)
+{
+    LinearApp app;
+    EXPECT_EQ(app.pipeline().stage(0).itemBytes(),
+              static_cast<int>(sizeof(ToyItem)));
+    auto q = app.pipeline().stage(0).makeQueue();
+    EXPECT_EQ(q->itemBytes(), static_cast<int>(sizeof(ToyItem)));
+    EXPECT_EQ(q->name(), "gen");
+}

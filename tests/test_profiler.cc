@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Unit tests for the auto-tuner's profiling component.
+ */
+
+#include <gtest/gtest.h>
+
+#include "toy_apps.hh"
+#include "tuner/profiler.hh"
+
+using namespace vp;
+using namespace vp::test;
+
+TEST(Profiler, CollectsPerStageOccupancy)
+{
+    LinearApp app;
+    Engine engine(DeviceConfig::k20c());
+    auto p = profileApp(engine, app);
+    ASSERT_EQ(p.stages.size(), 3u);
+    // gen: 32 regs x 256 threads -> 8 blocks (thread-capped).
+    EXPECT_EQ(p.stages[0].maxBlocksPerSm, 8);
+    // work: 48 regs x 256 -> 5 blocks (register-capped).
+    EXPECT_EQ(p.stages[1].maxBlocksPerSm, 5);
+    EXPECT_EQ(p.stages[0].name, "gen");
+}
+
+TEST(Profiler, CountsItemsPerStage)
+{
+    LinearApp app(2, 40);
+    Engine engine(DeviceConfig::k20c());
+    auto p = profileApp(engine, app);
+    EXPECT_EQ(p.stages[0].items, 80u);
+    EXPECT_EQ(p.stages[2].items, 80u);
+}
+
+TEST(Profiler, WorkReflectsStageCosts)
+{
+    LinearApp app;
+    Engine engine(DeviceConfig::k20c());
+    auto p = profileApp(engine, app);
+    // The middle stage is the most expensive per item (460 vs 220 vs
+    // 130 insts) and has equal item counts.
+    EXPECT_GT(p.stages[1].totalWork, p.stages[0].totalWork);
+    EXPECT_GT(p.stages[1].totalWork, p.stages[2].totalWork);
+}
+
+TEST(Profiler, WorkOfSumsStages)
+{
+    LinearApp app;
+    Engine engine(DeviceConfig::k20c());
+    auto p = profileApp(engine, app);
+    double total = p.workOf({0, 1, 2});
+    EXPECT_NEAR(total, p.stages[0].totalWork + p.stages[1].totalWork
+                + p.stages[2].totalWork, 1e-9);
+    EXPECT_THROW(p.workOf({7}), FatalError);
+}
+
+TEST(Profiler, WorksOnRecursivePipelines)
+{
+    RecursiveApp app(12);
+    Engine engine(DeviceConfig::k20c());
+    auto p = profileApp(engine, app);
+    // Recursion: stage 1 processes more items than were seeded.
+    EXPECT_GT(p.stages[0].items, 12u);
+    EXPECT_EQ(p.stages[2].items, 12u);
+}

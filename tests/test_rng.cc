@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Unit tests for the deterministic PCG32 generator.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/rng.hh"
+
+using namespace vp;
+
+TEST(Rng, DeterministicForSameSeed)
+{
+    Rng a(42), b(42);
+    for (int i = 0; i < 1000; ++i)
+        EXPECT_EQ(a.nextU32(), b.nextU32());
+}
+
+TEST(Rng, DifferentSeedsDiffer)
+{
+    Rng a(1), b(2);
+    int same = 0;
+    for (int i = 0; i < 100; ++i)
+        same += a.nextU32() == b.nextU32();
+    EXPECT_LT(same, 5);
+}
+
+TEST(Rng, NextDoubleInUnitInterval)
+{
+    Rng r(7);
+    for (int i = 0; i < 10000; ++i) {
+        double v = r.nextDouble();
+        EXPECT_GE(v, 0.0);
+        EXPECT_LT(v, 1.0);
+    }
+}
+
+TEST(Rng, NextBelowRespectsBound)
+{
+    Rng r(9);
+    for (std::uint32_t bound : {1u, 2u, 7u, 100u, 1000000u}) {
+        for (int i = 0; i < 1000; ++i)
+            EXPECT_LT(r.nextBelow(bound), bound);
+    }
+}
+
+TEST(Rng, NextBelowZeroReturnsZero)
+{
+    Rng r(3);
+    EXPECT_EQ(r.nextBelow(0), 0u);
+}
+
+TEST(Rng, NextBelowCoversRange)
+{
+    Rng r(11);
+    std::set<std::uint32_t> seen;
+    for (int i = 0; i < 1000; ++i)
+        seen.insert(r.nextBelow(8));
+    EXPECT_EQ(seen.size(), 8u);
+}
+
+TEST(Rng, NextRangeWithinBounds)
+{
+    Rng r(5);
+    for (int i = 0; i < 1000; ++i) {
+        double v = r.nextRange(-3.0, 4.5);
+        EXPECT_GE(v, -3.0);
+        EXPECT_LT(v, 4.5);
+    }
+}
+
+TEST(Rng, GaussianHasRoughlyUnitVariance)
+{
+    Rng r(13);
+    double sum = 0.0, sumsq = 0.0;
+    const int n = 20000;
+    for (int i = 0; i < n; ++i) {
+        double v = r.nextGaussian();
+        sum += v;
+        sumsq += v * v;
+    }
+    double mean = sum / n;
+    double var = sumsq / n - mean * mean;
+    EXPECT_NEAR(mean, 0.0, 0.05);
+    EXPECT_NEAR(var, 1.0, 0.1);
+}
+
+TEST(Rng, NextBoolMatchesProbability)
+{
+    Rng r(17);
+    int hits = 0;
+    const int n = 20000;
+    for (int i = 0; i < n; ++i)
+        hits += r.nextBool(0.3);
+    EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.02);
+}

@@ -1,0 +1,336 @@
+/**
+ * @file
+ * End-to-end tests of the execution models on the toy pipelines:
+ * every model must process every item exactly once and produce the
+ * reference results; model-specific structural properties (launch
+ * counts, SM bindings, resource effects) are checked against the
+ * paper's descriptions.
+ */
+
+#include <gtest/gtest.h>
+
+#include "toy_apps.hh"
+
+using namespace vp;
+using namespace vp::test;
+
+namespace {
+
+RunResult
+runLinear(const PipelineConfig& cfg, int flows = 2, int per_flow = 40)
+{
+    LinearApp app(flows, per_flow);
+    Engine engine(DeviceConfig::k20c());
+    RunResult r = engine.run(app, cfg);
+    EXPECT_TRUE(r.completed) << "verification failed under "
+                             << r.configName;
+    return r;
+}
+
+RunResult
+runRecursive(const PipelineConfig& cfg, int seeds = 10)
+{
+    RecursiveApp app(seeds);
+    Engine engine(DeviceConfig::k20c());
+    RunResult r = engine.run(app, cfg);
+    EXPECT_TRUE(r.completed) << "verification failed under "
+                             << r.configName;
+    return r;
+}
+
+} // namespace
+
+// ------------------------- correctness -------------------------- //
+
+TEST(Runtime, RtcProcessesAllItems)
+{
+    LinearApp app;
+    auto r = runLinear(makeRtcConfig(app.pipeline()));
+    // All three stages run inside one task: only the entry stage has
+    // queue traffic.
+    EXPECT_EQ(r.stages[0].items, 80u);
+    EXPECT_EQ(r.stages[1].queue.pushes, 0u);
+    EXPECT_EQ(r.stages[2].queue.pushes, 0u);
+}
+
+TEST(Runtime, KbkProcessesAllItems)
+{
+    LinearApp app;
+    auto r = runLinear(makeKbkConfig());
+    EXPECT_EQ(r.stages[0].items, 80u);
+    EXPECT_EQ(r.stages[1].items, 80u);
+    EXPECT_EQ(r.stages[2].items, 80u);
+}
+
+TEST(Runtime, KbkStreamProcessesAllItems)
+{
+    auto r = runLinear(makeKbkStreamConfig(4), 8, 16);
+    EXPECT_EQ(r.stages[2].items, 128u);
+}
+
+TEST(Runtime, MegakernelProcessesAllItems)
+{
+    LinearApp app;
+    auto r = runLinear(makeMegakernelConfig(app.pipeline()));
+    EXPECT_EQ(r.stages[2].items, 80u);
+}
+
+TEST(Runtime, CoarseProcessesAllItems)
+{
+    LinearApp app;
+    auto r = runLinear(makeCoarseConfig(app.pipeline(),
+                                        DeviceConfig::k20c()));
+    EXPECT_EQ(r.stages[2].items, 80u);
+}
+
+TEST(Runtime, FineProcessesAllItems)
+{
+    LinearApp app;
+    auto r = runLinear(makeFineConfig(app.pipeline(),
+                                      DeviceConfig::k20c()));
+    EXPECT_EQ(r.stages[2].items, 80u);
+}
+
+TEST(Runtime, DynamicParallelismProcessesAllItems)
+{
+    auto r = runLinear(makeDynamicParallelismConfig(), 1, 30);
+    EXPECT_EQ(r.stages[2].items, 30u);
+}
+
+TEST(Runtime, HybridProcessesAllItems)
+{
+    LinearApp app;
+    PipelineConfig cfg;
+    StageGroup a, b;
+    a.stages = {0, 1};
+    a.model = ExecModel::RTC;
+    a.sms = {0, 1, 2, 3, 4, 5};
+    b.stages = {2};
+    b.model = ExecModel::Megakernel;
+    b.sms = {6, 7, 8, 9, 10, 11, 12};
+    cfg.groups = {a, b};
+    auto r = runLinear(cfg);
+    EXPECT_EQ(r.stages[2].items, 80u);
+}
+
+// ------------------------ recursion ----------------------------- //
+
+TEST(Runtime, KbkHandlesRecursion)
+{
+    auto r = runRecursive(makeKbkConfig());
+    // Recursion forces several host passes: more launches than
+    // stages.
+    EXPECT_GT(r.host.launches, 3u);
+    // Host-side recursion control moved bytes.
+    EXPECT_GT(r.host.memcpyBytes, 0.0);
+}
+
+TEST(Runtime, MegakernelHandlesRecursion)
+{
+    RecursiveApp app;
+    auto r = runRecursive(makeMegakernelConfig(app.pipeline()));
+    // One persistent kernel launch, no per-pass host control.
+    EXPECT_EQ(r.host.launches, 1u);
+}
+
+TEST(Runtime, CoarseHandlesRecursion)
+{
+    RecursiveApp app;
+    auto r = runRecursive(makeCoarseConfig(app.pipeline(),
+                                           DeviceConfig::k20c()));
+    EXPECT_EQ(r.host.launches, 3u); // one per stage
+}
+
+TEST(Runtime, FineHandlesRecursion)
+{
+    RecursiveApp app;
+    auto r = runRecursive(makeFineConfig(app.pipeline(),
+                                         DeviceConfig::k20c()));
+    EXPECT_GE(r.stages[0].items, 10u); // recursion re-enters stage 1
+}
+
+// ------------------- structural properties ---------------------- //
+
+TEST(Runtime, KbkLaunchesOneKernelPerNonEmptyStagePass)
+{
+    LinearApp app(1, 40);
+    Engine engine(DeviceConfig::k20c());
+    auto r = engine.run(app, makeKbkConfig());
+    // Linear pipeline, one flow: exactly one launch per stage.
+    EXPECT_EQ(r.device.kernelLaunches, 3u);
+}
+
+TEST(Runtime, KbkSequencesFlowsSequentially)
+{
+    // Two flows take roughly twice as long as one under plain KBK.
+    auto r1 = runLinear(makeKbkConfig(), 1, 40);
+    auto r2 = runLinear(makeKbkConfig(), 2, 40);
+    EXPECT_GT(r2.cycles, r1.cycles * 1.5);
+}
+
+TEST(Runtime, KbkStreamOverlapsFlows)
+{
+    auto serial = runLinear(makeKbkConfig(), 8, 16);
+    auto streamed = runLinear(makeKbkStreamConfig(8), 8, 16);
+    EXPECT_LT(streamed.cycles, serial.cycles);
+}
+
+TEST(Runtime, CoarseBindsStagesToDisjointSms)
+{
+    LinearApp app;
+    Engine engine(DeviceConfig::k20c());
+    auto cfg = makeCoarseConfig(app.pipeline(), DeviceConfig::k20c());
+    auto r = engine.run(app, cfg);
+    EXPECT_TRUE(r.completed);
+    // Every stage kernel was bound: the config assigned all SMs.
+    int assigned = 0;
+    for (const auto& g : cfg.groups)
+        assigned += static_cast<int>(g.sms.size());
+    EXPECT_EQ(assigned, DeviceConfig::k20c().numSms);
+}
+
+TEST(Runtime, MegakernelSuffersMergedRegisterPressure)
+{
+    // Give the middle stage huge register usage: the megakernel
+    // inherits it for all stages, the fine pipeline does not. Enough
+    // work keeps every stage busy so peak residency is reached.
+    LinearApp app(8, 1500);
+    app.pipeline().stage(1).resources.regsPerThread = 200;
+    Engine engine(DeviceConfig::k20c());
+    auto mk = engine.run(app, makeMegakernelConfig(app.pipeline()));
+    auto fine = engine.run(app, makeFineConfig(app.pipeline(),
+                                               DeviceConfig::k20c()));
+    EXPECT_TRUE(mk.completed);
+    EXPECT_TRUE(fine.completed);
+    // Megakernel: 1 block/SM (255 regs x 256 threads); fine runs
+    // more blocks concurrently.
+    EXPECT_GT(fine.device.peakResidentBlocks,
+              mk.device.peakResidentBlocks);
+}
+
+TEST(Runtime, DpPaysPerItemLaunchOverhead)
+{
+    auto dp = runLinear(makeDynamicParallelismConfig(), 1, 30);
+    LinearApp app;
+    auto mk = runLinear(makeMegakernelConfig(app.pipeline()), 1, 30);
+    EXPECT_GT(dp.cycles, 3.0 * mk.cycles);
+    EXPECT_GT(dp.device.kernelLaunches, 30u);
+}
+
+TEST(Runtime, BlockMappingRetreatsExcessBlocks)
+{
+    // Two groups on overlapping block budgets: the runner launches
+    // blocksPerSm x SMs blocks; with a tiny budget, retreats stay 0
+    // only if placement is exact. Force a refill-style overlaunch by
+    // using online adaptation off and verifying the retreat counter
+    // stays consistent (no crash, completed run).
+    LinearApp app;
+    auto cfg = makeFineConfig(app.pipeline(), DeviceConfig::k20c());
+    Engine engine(DeviceConfig::k20c());
+    auto r = engine.run(app, cfg);
+    EXPECT_TRUE(r.completed);
+}
+
+TEST(Runtime, OnlineAdaptationRefillsDrainedSms)
+{
+    // Coarse pipeline with adaptation: when the first stage drains,
+    // its SMs refill with later-stage kernels. The workload is large
+    // enough to amortize the refill launch overhead.
+    LinearApp app(2, 2000);
+    auto cfg = makeCoarseConfig(app.pipeline(), DeviceConfig::k20c());
+    cfg.onlineAdaptation = true;
+    Engine engine(DeviceConfig::k20c());
+    auto r = engine.run(app, cfg);
+    EXPECT_TRUE(r.completed);
+    auto base_cfg = makeCoarseConfig(app.pipeline(),
+                                     DeviceConfig::k20c());
+    auto base = engine.run(app, base_cfg);
+    EXPECT_TRUE(base.completed);
+    // Adaptation must not hurt and usually helps.
+    EXPECT_LE(r.cycles, base.cycles * 1.10);
+}
+
+TEST(Runtime, ResultsAreDeterministic)
+{
+    LinearApp app;
+    Engine engine(DeviceConfig::k20c());
+    auto cfg = makeMegakernelConfig(app.pipeline());
+    auto a = engine.run(app, cfg);
+    auto b = engine.run(app, cfg);
+    EXPECT_DOUBLE_EQ(a.cycles, b.cycles);
+    EXPECT_EQ(a.device.kernelLaunches, b.device.kernelLaunches);
+    EXPECT_EQ(a.polls, b.polls);
+}
+
+TEST(Runtime, StatsConservation)
+{
+    LinearApp app(2, 50);
+    Engine engine(DeviceConfig::k20c());
+    auto r = engine.run(app, makeMegakernelConfig(app.pipeline()));
+    // Conservation: every queued item is pushed and popped once.
+    for (const auto& st : r.stages)
+        EXPECT_EQ(st.queue.pushes, st.queue.pops) << st.name;
+    // gen consumed the 100 seeds; work and sink each saw 100 items.
+    EXPECT_EQ(r.stages[0].items, 100u);
+    EXPECT_EQ(r.stages[1].queue.pushes, 100u);
+    EXPECT_EQ(r.stages[2].queue.pushes, 100u);
+}
+
+TEST(Runtime, UtilizationBounded)
+{
+    LinearApp app;
+    Engine engine(DeviceConfig::k20c());
+    auto r = engine.run(app, makeMegakernelConfig(app.pipeline()));
+    EXPECT_GE(r.smUtilization, 0.0);
+    EXPECT_LE(r.smUtilization, 1.0);
+}
+
+TEST(Runtime, RunTimedTimesOut)
+{
+    LinearApp app(4, 200);
+    Engine engine(DeviceConfig::k20c());
+    auto r = engine.runTimed(app, makeKbkConfig(), 100.0);
+    EXPECT_FALSE(r.has_value());
+}
+
+TEST(Runtime, GtxRunsFasterInWallClock)
+{
+    LinearApp app(2, 60);
+    Engine k20(DeviceConfig::k20c());
+    Engine gtx(DeviceConfig::gtx1080());
+    auto cfg = makeMegakernelConfig(app.pipeline());
+    auto a = k20.run(app, cfg);
+    auto b = gtx.run(app, cfg);
+    EXPECT_LT(b.ms, a.ms);
+}
+
+// Parameterized sweep: every model yields identical sink results.
+class AllModelsLinear
+    : public ::testing::TestWithParam<int>
+{};
+
+TEST_P(AllModelsLinear, ItemConservationAcrossModels)
+{
+    LinearApp app(2, 25);
+    PipelineConfig cfg;
+    switch (GetParam()) {
+      case 0: cfg = makeRtcConfig(app.pipeline()); break;
+      case 1: cfg = makeKbkConfig(); break;
+      case 2: cfg = makeKbkStreamConfig(2); break;
+      case 3: cfg = makeMegakernelConfig(app.pipeline()); break;
+      case 4:
+        cfg = makeCoarseConfig(app.pipeline(), DeviceConfig::k20c());
+        break;
+      case 5:
+        cfg = makeFineConfig(app.pipeline(), DeviceConfig::k20c());
+        break;
+      case 6: cfg = makeDynamicParallelismConfig(); break;
+    }
+    Engine engine(DeviceConfig::k20c());
+    auto r = engine.run(app, cfg);
+    EXPECT_TRUE(r.completed) << r.configName;
+    EXPECT_EQ(r.stages[2].items, 50u) << r.configName;
+}
+
+INSTANTIATE_TEST_SUITE_P(Models, AllModelsLinear,
+                         ::testing::Range(0, 7));

@@ -1,0 +1,158 @@
+/**
+ * @file
+ * Unit tests for the offline tuner's search-space enumeration.
+ */
+
+#include <gtest/gtest.h>
+
+#include "toy_apps.hh"
+#include "tuner/search_space.hh"
+
+using namespace vp;
+using namespace vp::test;
+
+TEST(SearchSpace, ContiguousPartitionsCount)
+{
+    // 2^(n-1) partitions of a chain of n.
+    EXPECT_EQ(contiguousPartitions(1).size(), 1u);
+    EXPECT_EQ(contiguousPartitions(3).size(), 4u);
+    EXPECT_EQ(contiguousPartitions(5).size(), 16u);
+}
+
+TEST(SearchSpace, PartitionsAreContiguousAndComplete)
+{
+    for (const auto& part : contiguousPartitions(4)) {
+        int expect = 0;
+        for (const auto& grp : part)
+            for (int s : grp)
+                EXPECT_EQ(s, expect++);
+        EXPECT_EQ(expect, 4);
+    }
+}
+
+TEST(SearchSpace, SmAllocationsSumAndFloor)
+{
+    auto allocs = smAllocations(13, {1.0, 3.0}, 8);
+    EXPECT_FALSE(allocs.empty());
+    for (const auto& a : allocs) {
+        EXPECT_EQ(a.size(), 2u);
+        EXPECT_EQ(a[0] + a[1], 13);
+        EXPECT_GE(a[0], 1);
+        EXPECT_GE(a[1], 1);
+    }
+    // Work-proportional candidate favors the heavy group.
+    EXPECT_GT(allocs[0][1], allocs[0][0]);
+}
+
+TEST(SearchSpace, SingleGroupGetsAllSms)
+{
+    auto allocs = smAllocations(13, {1.0}, 8);
+    ASSERT_EQ(allocs.size(), 1u);
+    EXPECT_EQ(allocs[0][0], 13);
+}
+
+TEST(SearchSpace, RtcInlinableRules)
+{
+    LinearApp lin;
+    EXPECT_TRUE(rtcInlinable(lin.pipeline(), {0, 1, 2}));
+    EXPECT_TRUE(rtcInlinable(lin.pipeline(), {0, 1}));
+    EXPECT_TRUE(rtcInlinable(lin.pipeline(), {1, 2}));
+    // Single-stage groups gain nothing from inlining.
+    EXPECT_FALSE(rtcInlinable(lin.pipeline(), {0}));
+
+    RecursiveApp rec;
+    // Stage 0 self-loops: no RTC group containing it.
+    EXPECT_FALSE(rtcInlinable(rec.pipeline(), {0, 1}));
+    EXPECT_TRUE(rtcInlinable(rec.pipeline(), {1, 2}));
+}
+
+TEST(SearchSpace, EnumerateProducesValidConfigs)
+{
+    LinearApp app;
+    Engine engine(DeviceConfig::k20c());
+    auto profile = profileApp(engine, app);
+    auto configs = enumerateConfigs(app.pipeline(),
+                                    DeviceConfig::k20c(), profile);
+    EXPECT_GT(configs.size(), 10u);
+    for (const auto& cfg : configs) {
+        EXPECT_NO_THROW(cfg.validate(app.pipeline(),
+                                     DeviceConfig::k20c()));
+    }
+}
+
+TEST(SearchSpace, EnumerateCoversAllPrimaryModels)
+{
+    LinearApp app;
+    Engine engine(DeviceConfig::k20c());
+    auto profile = profileApp(engine, app);
+    auto configs = enumerateConfigs(app.pipeline(),
+                                    DeviceConfig::k20c(), profile);
+    bool has_rtc = false, has_mk = false, has_fine = false,
+         has_multi_group = false;
+    for (const auto& cfg : configs) {
+        if (cfg.groups.size() == 1) {
+            if (cfg.groups[0].model == ExecModel::RTC)
+                has_rtc = true;
+            if (cfg.groups[0].model == ExecModel::Megakernel)
+                has_mk = true;
+            if (cfg.groups[0].model == ExecModel::FinePipeline)
+                has_fine = true;
+        } else {
+            has_multi_group = true;
+        }
+    }
+    EXPECT_TRUE(has_rtc);
+    EXPECT_TRUE(has_mk);
+    EXPECT_TRUE(has_fine);
+    EXPECT_TRUE(has_multi_group);
+}
+
+TEST(SearchSpace, RecursivePipelineExcludesRtcOverCycle)
+{
+    RecursiveApp app;
+    Engine engine(DeviceConfig::k20c());
+    auto profile = profileApp(engine, app);
+    auto configs = enumerateConfigs(app.pipeline(),
+                                    DeviceConfig::k20c(), profile);
+    for (const auto& cfg : configs) {
+        for (const auto& g : cfg.groups) {
+            if (g.model == ExecModel::RTC) {
+                for (int s : g.stages)
+                    EXPECT_NE(s, 0); // stage 0 self-loops
+            }
+        }
+    }
+}
+
+TEST(SearchSpace, MaxConfigsCapRespected)
+{
+    LinearApp app;
+    Engine engine(DeviceConfig::k20c());
+    auto profile = profileApp(engine, app);
+    SearchOptions opts;
+    opts.maxConfigs = 5;
+    auto configs = enumerateConfigs(app.pipeline(),
+                                    DeviceConfig::k20c(), profile,
+                                    opts);
+    EXPECT_LE(configs.size(), 5u);
+}
+
+TEST(SearchSpace, BlockMappingsHonorOccupancyBound)
+{
+    LinearApp app;
+    Engine engine(DeviceConfig::k20c());
+    auto profile = profileApp(engine, app);
+    auto configs = enumerateConfigs(app.pipeline(),
+                                    DeviceConfig::k20c(), profile);
+    const DeviceConfig dev = DeviceConfig::k20c();
+    for (const auto& cfg : configs) {
+        for (const auto& g : cfg.groups) {
+            if (g.model != ExecModel::FinePipeline)
+                continue;
+            for (const auto& [s, b] : g.blocksPerSm) {
+                EXPECT_LE(b, profile.stages[s].maxBlocksPerSm)
+                    << "stage " << s;
+            }
+        }
+    }
+}

@@ -1,0 +1,148 @@
+/**
+ * @file
+ * Unit tests for the discrete-event simulation core.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/simulator.hh"
+
+using namespace vp;
+
+TEST(Simulator, StartsAtTimeZero)
+{
+    Simulator sim;
+    EXPECT_DOUBLE_EQ(sim.now(), 0.0);
+    EXPECT_EQ(sim.pendingEvents(), 0u);
+}
+
+TEST(Simulator, RunsEventsInTimeOrder)
+{
+    Simulator sim;
+    std::vector<int> order;
+    sim.at(30.0, [&] { order.push_back(3); });
+    sim.at(10.0, [&] { order.push_back(1); });
+    sim.at(20.0, [&] { order.push_back(2); });
+    sim.run();
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+    EXPECT_DOUBLE_EQ(sim.now(), 30.0);
+}
+
+TEST(Simulator, SameTimeEventsRunInScheduleOrder)
+{
+    Simulator sim;
+    std::vector<int> order;
+    sim.at(5.0, [&] { order.push_back(1); });
+    sim.at(5.0, [&] { order.push_back(2); });
+    sim.at(5.0, [&] { order.push_back(3); });
+    sim.run();
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(Simulator, AfterSchedulesRelativeToNow)
+{
+    Simulator sim;
+    double seen = -1.0;
+    sim.at(100.0, [&] {
+        sim.after(50.0, [&] { seen = sim.now(); });
+    });
+    sim.run();
+    EXPECT_DOUBLE_EQ(seen, 150.0);
+}
+
+TEST(Simulator, CancelPreventsExecution)
+{
+    Simulator sim;
+    bool ran = false;
+    EventHandle h = sim.at(10.0, [&] { ran = true; });
+    sim.cancel(h);
+    sim.run();
+    EXPECT_FALSE(ran);
+    EXPECT_EQ(sim.eventsRun(), 0u);
+}
+
+TEST(Simulator, CancelAfterRunIsNoop)
+{
+    Simulator sim;
+    bool ran = false;
+    EventHandle h = sim.at(10.0, [&] { ran = true; });
+    sim.run();
+    EXPECT_TRUE(ran);
+    sim.cancel(h); // must not crash or corrupt
+    EXPECT_EQ(sim.pendingEvents(), 0u);
+}
+
+TEST(Simulator, EventsCanScheduleMoreEvents)
+{
+    Simulator sim;
+    int depth = 0;
+    std::function<void()> chain = [&] {
+        if (++depth < 100)
+            sim.after(1.0, chain);
+    };
+    sim.after(1.0, chain);
+    sim.run();
+    EXPECT_EQ(depth, 100);
+    EXPECT_DOUBLE_EQ(sim.now(), 100.0);
+}
+
+TEST(Simulator, SchedulingInPastThrows)
+{
+    Simulator sim;
+    sim.at(100.0, [&] {
+        EXPECT_THROW(sim.at(50.0, [] {}), PanicError);
+    });
+    sim.run();
+}
+
+TEST(Simulator, NegativeDelayThrows)
+{
+    Simulator sim;
+    EXPECT_THROW(sim.after(-1.0, [] {}), PanicError);
+}
+
+TEST(Simulator, RunBoundedDetectsRunaway)
+{
+    Simulator sim;
+    std::function<void()> forever = [&] { sim.after(1.0, forever); };
+    sim.after(1.0, forever);
+    EXPECT_FALSE(sim.runBounded(1000));
+    EXPECT_GE(sim.eventsRun(), 1000u);
+}
+
+TEST(Simulator, RunBoundedReturnsTrueOnDrain)
+{
+    Simulator sim;
+    sim.after(1.0, [] {});
+    sim.after(2.0, [] {});
+    EXPECT_TRUE(sim.runBounded(1000));
+}
+
+TEST(Simulator, PendingEventsTracksCancellations)
+{
+    Simulator sim;
+    EventHandle a = sim.at(1.0, [] {});
+    sim.at(2.0, [] {});
+    EXPECT_EQ(sim.pendingEvents(), 2u);
+    sim.cancel(a);
+    EXPECT_EQ(sim.pendingEvents(), 1u);
+    sim.cancel(a); // double-cancel is a no-op
+    EXPECT_EQ(sim.pendingEvents(), 1u);
+}
+
+TEST(Simulator, DeterministicAcrossRuns)
+{
+    auto trace = [] {
+        Simulator sim;
+        std::vector<double> times;
+        for (int i = 0; i < 50; ++i) {
+            sim.at(static_cast<double>((i * 37) % 17),
+                   [&, i] { times.push_back(sim.now() + i); });
+        }
+        sim.run();
+        return times;
+    };
+    EXPECT_EQ(trace(), trace());
+}

@@ -1,0 +1,195 @@
+/**
+ * @file
+ * Unit tests for the SM residency accounting and processor-sharing
+ * execution engine.
+ */
+
+#include <gtest/gtest.h>
+
+#include "gpu/sm.hh"
+
+using namespace vp;
+
+namespace {
+
+ResourceUsage
+regs(int r, int code = 4096)
+{
+    ResourceUsage u;
+    u.regsPerThread = r;
+    u.codeBytes = code;
+    return u;
+}
+
+WorkSpec
+work(double insts, double warps, double memRatio = 0.0)
+{
+    WorkSpec w;
+    w.warpInsts = insts;
+    w.warps = warps;
+    w.memRatio = memRatio;
+    w.l1Hit = 0.5;
+    return w;
+}
+
+struct Fixture
+{
+    Simulator sim;
+    DeviceConfig cfg = DeviceConfig::k20c();
+    Sm sm{sim, cfg, 0};
+};
+
+} // namespace
+
+TEST(Sm, ResidencyAccounting)
+{
+    Fixture f;
+    EXPECT_TRUE(f.sm.canFit(regs(255), 256));
+    f.sm.occupy(regs(255), 256, 1);
+    EXPECT_EQ(f.sm.residentBlocks(), 1);
+    EXPECT_EQ(f.sm.usedRegs(), 255 * 256);
+    // A second 255-reg block does not fit (paper: Reyes Megakernel).
+    EXPECT_FALSE(f.sm.canFit(regs(255), 256));
+    f.sm.release(regs(255), 256, 1);
+    EXPECT_EQ(f.sm.residentBlocks(), 0);
+    EXPECT_TRUE(f.sm.canFit(regs(255), 256));
+}
+
+TEST(Sm, PerKernelResidencyTracked)
+{
+    Fixture f;
+    f.sm.occupy(regs(32), 128, 7);
+    f.sm.occupy(regs(32), 128, 7);
+    f.sm.occupy(regs(32), 128, 9);
+    EXPECT_EQ(f.sm.residentBlocksOf(7), 2);
+    EXPECT_EQ(f.sm.residentBlocksOf(9), 1);
+    EXPECT_TRUE(f.sm.hasResident(9));
+    f.sm.release(regs(32), 128, 9);
+    EXPECT_FALSE(f.sm.hasResident(9));
+}
+
+TEST(Sm, ReleaseOfUnknownKernelPanics)
+{
+    Fixture f;
+    EXPECT_THROW(f.sm.release(regs(32), 128, 3), PanicError);
+}
+
+TEST(Sm, SingleWorkCompletesAtPredictedTime)
+{
+    Fixture f;
+    double done_at = -1.0;
+    // Pure compute, 8 warps, demand = 8 > issueWidth 4 -> rate 4.
+    f.sm.beginWork(work(1000.0, 8.0), 0, [&] { done_at = f.sim.now(); });
+    f.sim.run();
+    EXPECT_NEAR(done_at, 1000.0 / 4.0, 1e-6);
+}
+
+TEST(Sm, LowWarpWorkRunsAtItsOwnDemand)
+{
+    Fixture f;
+    double done_at = -1.0;
+    // 2 warps of pure compute demand 2 <= issueWidth -> rate 2.
+    f.sm.beginWork(work(1000.0, 2.0), 0, [&] { done_at = f.sim.now(); });
+    f.sim.run();
+    EXPECT_NEAR(done_at, 500.0, 1e-6);
+}
+
+TEST(Sm, ProcessorSharingSplitsBandwidth)
+{
+    Fixture f;
+    double t1 = -1.0, t2 = -1.0;
+    // Two identical saturating executions: each gets half the SM.
+    f.sm.beginWork(work(1000.0, 8.0), 0, [&] { t1 = f.sim.now(); });
+    f.sm.beginWork(work(1000.0, 8.0), 0, [&] { t2 = f.sim.now(); });
+    f.sim.run();
+    EXPECT_NEAR(t1, 500.0, 1e-6);
+    EXPECT_NEAR(t2, 500.0, 1e-6);
+}
+
+TEST(Sm, MoreResidentWarpsImproveLatencyHiding)
+{
+    // Memory-bound work: doubling resident warps raises utilization.
+    DeviceConfig cfg = DeviceConfig::k20c();
+    auto run_with = [&](double warps) {
+        Simulator sim;
+        Sm sm(sim, cfg, 0);
+        double done = -1.0;
+        sm.beginWork(work(1000.0, warps, 0.3), 0, [&] { done = sim.now(); });
+        sim.run();
+        return done;
+    };
+    double t_few = run_with(2.0);
+    double t_many = run_with(8.0);
+    EXPECT_LT(t_many, t_few);
+}
+
+TEST(Sm, DramBandwidthCapsMemoryHeavyWork)
+{
+    Fixture f;
+    double done = -1.0;
+    // All-miss memory-saturated work: DRAM cap binds well below the
+    // issue-width cap.
+    WorkSpec w = work(1000.0, 64.0, 0.9);
+    w.l1Hit = 0.0;
+    f.sm.beginWork(w, 0, [&] { done = f.sim.now(); });
+    f.sim.run();
+    double dram_rate = f.cfg.memIssuePerCycle
+        / (0.9 * (1.0 - f.cfg.l2HitRate));
+    EXPECT_NEAR(done, 1000.0 / dram_rate, 1.0);
+}
+
+TEST(Sm, IcachePressureSlowsExecution)
+{
+    DeviceConfig cfg = DeviceConfig::k20c();
+    auto run_with_code = [&](int code_bytes) {
+        Simulator sim;
+        Sm sm(sim, cfg, 0);
+        sm.occupy(regs(32, code_bytes), 256, 1);
+        double done = -1.0;
+        sm.beginWork(work(1000.0, 8.0), 1, [&] { done = sim.now(); });
+        sim.run();
+        return done;
+    };
+    double fits = run_with_code(cfg.icacheBytes / 2);
+    double spills = run_with_code(cfg.icacheBytes * 2);
+    EXPECT_NEAR(spills / fits, cfg.icachePenalty, 1e-6);
+}
+
+TEST(Sm, CompletionsCanStartNewWork)
+{
+    Fixture f;
+    double second_done = -1.0;
+    f.sm.beginWork(work(400.0, 4.0), 0, [&] {
+        f.sm.beginWork(work(400.0, 4.0), 0,
+                       [&] { second_done = f.sim.now(); });
+    });
+    f.sim.run();
+    EXPECT_NEAR(second_done, 200.0, 1e-6);
+}
+
+TEST(Sm, StatsAccumulate)
+{
+    Fixture f;
+    f.sm.beginWork(work(1000.0, 8.0), 0, [] {});
+    f.sim.run();
+    EXPECT_EQ(f.sm.stats().execsCompleted, 1u);
+    EXPECT_NEAR(f.sm.stats().instsRetired, 1000.0, 1e-6);
+    EXPECT_NEAR(f.sm.stats().activeCycles, 250.0, 1e-6);
+}
+
+TEST(Sm, StaggeredArrivalSharesCorrectly)
+{
+    Fixture f;
+    double t1 = -1.0, t2 = -1.0;
+    f.sm.beginWork(work(1000.0, 8.0), 0, [&] { t1 = f.sim.now(); });
+    f.sim.after(125.0, [&] {
+        // First exec has retired 500 insts by now (rate 4).
+        f.sm.beginWork(work(1000.0, 8.0), 0, [&] { t2 = f.sim.now(); });
+    });
+    f.sim.run();
+    // From t=125 both share at rate 2: first finishes its remaining
+    // 500 at t=375; second then runs alone at rate 4 for its
+    // remaining 500: t=500.
+    EXPECT_NEAR(t1, 375.0, 1e-6);
+    EXPECT_NEAR(t2, 500.0, 1e-6);
+}

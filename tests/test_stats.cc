@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Unit tests for the statistics containers.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/stats.hh"
+
+using namespace vp;
+
+TEST(Accumulator, EmptyDefaults)
+{
+    Accumulator a;
+    EXPECT_EQ(a.count(), 0u);
+    EXPECT_DOUBLE_EQ(a.sum(), 0.0);
+    EXPECT_DOUBLE_EQ(a.mean(), 0.0);
+}
+
+TEST(Accumulator, TracksMinMaxMean)
+{
+    Accumulator a;
+    a.add(3.0);
+    a.add(-1.0);
+    a.add(4.0);
+    EXPECT_EQ(a.count(), 3u);
+    EXPECT_DOUBLE_EQ(a.min(), -1.0);
+    EXPECT_DOUBLE_EQ(a.max(), 4.0);
+    EXPECT_DOUBLE_EQ(a.mean(), 2.0);
+}
+
+TEST(Accumulator, MergeCombines)
+{
+    Accumulator a, b;
+    a.add(1.0);
+    a.add(2.0);
+    b.add(10.0);
+    a.merge(b);
+    EXPECT_EQ(a.count(), 3u);
+    EXPECT_DOUBLE_EQ(a.max(), 10.0);
+    EXPECT_DOUBLE_EQ(a.sum(), 13.0);
+}
+
+TEST(Accumulator, ClearResets)
+{
+    Accumulator a;
+    a.add(5.0);
+    a.clear();
+    EXPECT_EQ(a.count(), 0u);
+    EXPECT_DOUBLE_EQ(a.sum(), 0.0);
+}
+
+TEST(StatGroup, IncrementAndGet)
+{
+    StatGroup g;
+    g.inc("launches");
+    g.inc("launches", 2.0);
+    EXPECT_DOUBLE_EQ(g.get("launches"), 3.0);
+    EXPECT_DOUBLE_EQ(g.get("missing"), 0.0);
+}
+
+TEST(StatGroup, SetOverwrites)
+{
+    StatGroup g;
+    g.inc("x", 5.0);
+    g.set("x", 1.0);
+    EXPECT_DOUBLE_EQ(g.get("x"), 1.0);
+}
+
+TEST(StatGroup, MergeAdds)
+{
+    StatGroup a, b;
+    a.inc("x", 1.0);
+    b.inc("x", 2.0);
+    b.inc("y", 3.0);
+    a.merge(b);
+    EXPECT_DOUBLE_EQ(a.get("x"), 3.0);
+    EXPECT_DOUBLE_EQ(a.get("y"), 3.0);
+}

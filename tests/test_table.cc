@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Unit tests for the ASCII table formatter.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/error.hh"
+#include "common/table.hh"
+
+using namespace vp;
+
+TEST(TextTable, RendersHeaderAndRows)
+{
+    TextTable t({"name", "value"});
+    t.addRow({"alpha", "1"});
+    t.addRow({"b", "22"});
+    std::string s = t.render();
+    EXPECT_NE(s.find("name"), std::string::npos);
+    EXPECT_NE(s.find("alpha"), std::string::npos);
+    EXPECT_NE(s.find("-----"), std::string::npos);
+}
+
+TEST(TextTable, ColumnsAreAligned)
+{
+    TextTable t({"a", "b"});
+    t.addRow({"xxxx", "y"});
+    std::string s = t.render();
+    // Each line should start a 'b'-column at the same offset.
+    auto first_nl = s.find('\n');
+    std::string header = s.substr(0, first_nl);
+    EXPECT_EQ(header.find('b'), 6u); // "a" padded to 4 + 2 spaces
+}
+
+TEST(TextTable, WrongCellCountThrows)
+{
+    TextTable t({"a", "b"});
+    EXPECT_THROW(t.addRow({"only-one"}), FatalError);
+}
+
+TEST(TextTable, EmptyHeaderThrows)
+{
+    EXPECT_THROW(TextTable({}), FatalError);
+}
+
+TEST(TextTable, NumFormatsFixedPrecision)
+{
+    EXPECT_EQ(TextTable::num(3.14159, 2), "3.14");
+    EXPECT_EQ(TextTable::num(2.0, 0), "2");
+    EXPECT_EQ(TextTable::num(1.5, 3), "1.500");
+}

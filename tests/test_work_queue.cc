@@ -1,0 +1,135 @@
+/**
+ * @file
+ * Unit tests for the work-queue library and its cost model.
+ */
+
+#include <gtest/gtest.h>
+
+#include "queueing/work_queue.hh"
+
+using namespace vp;
+
+TEST(WorkQueue, FifoOrder)
+{
+    WorkQueue<int> q("q");
+    q.push(1);
+    q.push(2);
+    q.push(3);
+    int v = 0;
+    EXPECT_TRUE(q.pop(v));
+    EXPECT_EQ(v, 1);
+    EXPECT_TRUE(q.pop(v));
+    EXPECT_EQ(v, 2);
+    EXPECT_EQ(q.size(), 1u);
+}
+
+TEST(WorkQueue, PopOnEmptyReturnsFalse)
+{
+    WorkQueue<int> q("q");
+    int v = 0;
+    EXPECT_FALSE(q.pop(v));
+}
+
+TEST(WorkQueue, PopBatchTakesUpToMax)
+{
+    WorkQueue<int> q("q");
+    for (int i = 0; i < 10; ++i)
+        q.push(i);
+    std::vector<int> out;
+    EXPECT_EQ(q.popBatch(out, 4), 4u);
+    EXPECT_EQ(out, (std::vector<int>{0, 1, 2, 3}));
+    EXPECT_EQ(q.size(), 6u);
+    out.clear();
+    EXPECT_EQ(q.popBatch(out, 100), 6u);
+    EXPECT_TRUE(q.empty());
+}
+
+TEST(WorkQueue, ItemBytesMatchesPayload)
+{
+    struct Item { double a; int b; int c; };
+    WorkQueue<Item> q("q");
+    EXPECT_EQ(q.itemBytes(), static_cast<int>(sizeof(Item)));
+}
+
+TEST(WorkQueue, TypedDowncastChecksType)
+{
+    WorkQueue<int> q("q");
+    QueueBase& base = q;
+    EXPECT_NO_THROW(typedQueue<int>(base));
+    EXPECT_THROW(typedQueue<double>(base), PanicError);
+}
+
+TEST(WorkQueue, StatsTrackDepthAndCounts)
+{
+    WorkQueue<int> q("q");
+    q.push(1);
+    q.push(2);
+    int v;
+    q.pop(v);
+    q.push(3);
+    q.push(4);
+    EXPECT_EQ(q.stats().pushes, 4u);
+    EXPECT_EQ(q.stats().pops, 1u);
+    EXPECT_EQ(q.stats().maxDepth, 3u);
+}
+
+TEST(WorkQueue, ClearEmptiesQueue)
+{
+    WorkQueue<int> q("q");
+    q.push(1);
+    q.clear();
+    EXPECT_TRUE(q.empty());
+}
+
+TEST(WorkQueue, AccessCostGrowsWithItemSize)
+{
+    auto cfg = DeviceConfig::k20c();
+    struct Big { char data[272]; };  // Reyes-sized item (Table 2)
+    struct Small { int v; };         // Raster-sized item
+    WorkQueue<Big> big("big");
+    WorkQueue<Small> small("small");
+    Tick cb = big.accessCost(cfg, 0.0, 1);
+    Tick cs = small.accessCost(cfg, 0.0, 1);
+    EXPECT_GT(cb, cs);
+}
+
+TEST(WorkQueue, ContentionSurchargeWithinWindow)
+{
+    auto cfg = DeviceConfig::k20c();
+    WorkQueue<int> q("q");
+    Tick first = q.accessCost(cfg, 1000.0, 1);
+    Tick second = q.accessCost(cfg, 1000.0, 1);
+    Tick third = q.accessCost(cfg, 1001.0, 1);
+    EXPECT_GT(second, first);
+    EXPECT_GT(third, second);
+}
+
+TEST(WorkQueue, ContentionDecaysOutsideWindow)
+{
+    auto cfg = DeviceConfig::k20c();
+    WorkQueue<int> q("q");
+    q.accessCost(cfg, 0.0, 1);
+    q.accessCost(cfg, 1.0, 1);
+    // Far in the future the old accesses no longer contend.
+    Tick later = q.accessCost(cfg, 100000.0, 1);
+    WorkQueue<int> fresh("fresh");
+    EXPECT_DOUBLE_EQ(later, fresh.accessCost(cfg, 0.0, 1));
+}
+
+TEST(WorkQueue, ContentionCyclesRecordedInStats)
+{
+    auto cfg = DeviceConfig::k20c();
+    WorkQueue<int> q("q");
+    q.accessCost(cfg, 0.0, 1);
+    q.accessCost(cfg, 0.0, 1);
+    EXPECT_GT(q.stats().contentionCycles, 0.0);
+}
+
+TEST(WorkQueue, MoveOnlyPayloadsSupported)
+{
+    WorkQueue<std::unique_ptr<int>> q("q");
+    q.push(std::make_unique<int>(5));
+    std::unique_ptr<int> out;
+    EXPECT_TRUE(q.pop(out));
+    EXPECT_EQ(*out, 5);
+}

@@ -1,0 +1,338 @@
+/**
+ * @file
+ * Small synthetic pipeline applications shared by the framework
+ * tests: a linear 3-stage pipeline and the recursive 3-stage pipeline
+ * of the paper's Figure 9.
+ */
+
+#ifndef VP_TESTS_TOY_APPS_HH
+#define VP_TESTS_TOY_APPS_HH
+
+#include <algorithm>
+#include <vector>
+
+#include "core/versapipe.hh"
+
+namespace vp::test {
+
+/** Payload used by the toy pipelines. */
+struct ToyItem
+{
+    int value = 0;
+    int flow = 0;
+};
+
+// ---------------------------------------------------------------- //
+// Linear pipeline: Gen -> Work -> Sink                             //
+// ---------------------------------------------------------------- //
+
+struct LinearSink;
+struct LinearWork;
+
+/** First stage: doubles the value. */
+struct LinearGen : Stage<ToyItem>
+{
+    LinearGen()
+    {
+        name = "gen";
+        resources.regsPerThread = 32;
+        resources.codeBytes = 4000;
+    }
+
+    TaskCost
+    cost(const ToyItem&) const override
+    {
+        TaskCost c;
+        c.computeInsts = 200;
+        c.memInsts = 20;
+        return c;
+    }
+
+    void execute(ExecContext& ctx, ToyItem& item) override;
+};
+
+/** Second stage: adds three. */
+struct LinearWork : Stage<ToyItem>
+{
+    LinearWork()
+    {
+        name = "work";
+        resources.regsPerThread = 48;
+        resources.codeBytes = 6000;
+    }
+
+    TaskCost
+    cost(const ToyItem&) const override
+    {
+        TaskCost c;
+        c.computeInsts = 400;
+        c.memInsts = 60;
+        return c;
+    }
+
+    void execute(ExecContext& ctx, ToyItem& item) override;
+};
+
+/** Terminal stage: records results. */
+struct LinearSink : Stage<ToyItem>
+{
+    LinearSink()
+    {
+        name = "sink";
+        resources.regsPerThread = 24;
+        resources.codeBytes = 3000;
+    }
+
+    TaskCost
+    cost(const ToyItem&) const override
+    {
+        TaskCost c;
+        c.computeInsts = 100;
+        c.memInsts = 30;
+        return c;
+    }
+
+    void
+    execute(ExecContext&, ToyItem& item) override
+    {
+        results.push_back(item.value);
+    }
+
+    void reset() override { results.clear(); }
+
+    std::vector<int> results;
+};
+
+inline void
+LinearGen::execute(ExecContext& ctx, ToyItem& item)
+{
+    item.value *= 2;
+    ctx.enqueue<LinearWork>(item);
+}
+
+inline void
+LinearWork::execute(ExecContext& ctx, ToyItem& item)
+{
+    item.value += 3;
+    ctx.enqueue<LinearSink>(item);
+}
+
+/** Linear 3-stage application with @p flows x @p perFlow items. */
+class LinearApp : public AppDriver
+{
+  public:
+    explicit LinearApp(int flows = 2, int perFlow = 40)
+        : flows_(flows), perFlow_(perFlow)
+    {
+        pipe_.addStage<LinearGen>();
+        pipe_.addStage<LinearWork>();
+        pipe_.addStage<LinearSink>();
+        pipe_.link<LinearGen, LinearWork>();
+        pipe_.link<LinearWork, LinearSink>();
+    }
+
+    std::string name() const override { return "linear-toy"; }
+
+    Pipeline& pipeline() override { return pipe_; }
+
+    void reset() override {}
+
+    int flowCount() const override { return flows_; }
+
+    void
+    seedFlow(Seeder& seeder, int flow) override
+    {
+        std::vector<ToyItem> items;
+        for (int i = 0; i < perFlow_; ++i)
+            items.push_back(ToyItem{flow * 1000 + i, flow});
+        seeder.insert<LinearGen>(std::move(items));
+    }
+
+    double inputBytes() const override { return 1 << 16; }
+
+    bool
+    verify() override
+    {
+        auto& sink = pipe_.stageAs<LinearSink>();
+        if (static_cast<int>(sink.results.size())
+            != flows_ * perFlow_) {
+            return false;
+        }
+        std::vector<int> got = sink.results;
+        std::sort(got.begin(), got.end());
+        std::vector<int> want;
+        for (int f = 0; f < flows_; ++f)
+            for (int i = 0; i < perFlow_; ++i)
+                want.push_back((f * 1000 + i) * 2 + 3);
+        std::sort(want.begin(), want.end());
+        return got == want;
+    }
+
+    int totalItems() const { return flows_ * perFlow_; }
+
+  private:
+    Pipeline pipe_;
+    int flows_;
+    int perFlow_;
+};
+
+// ---------------------------------------------------------------- //
+// Recursive pipeline (paper Fig. 9): Stage1 -> Stage1 | Stage2 ->  //
+// Stage3                                                           //
+// ---------------------------------------------------------------- //
+
+struct RecStage2;
+struct RecStage3;
+
+/** Doubles until the threshold is reached (recursive). */
+struct RecStage1 : Stage<ToyItem>
+{
+    static constexpr int kThreshold = 100;
+
+    RecStage1()
+    {
+        name = "rec1";
+        resources.regsPerThread = 64;
+        resources.codeBytes = 8000;
+        kbkHostBytesPerItem = 16.0; // CPU recursion control in KBK
+    }
+
+    TaskCost
+    cost(const ToyItem&) const override
+    {
+        TaskCost c;
+        c.computeInsts = 300;
+        c.memInsts = 40;
+        return c;
+    }
+
+    void execute(ExecContext& ctx, ToyItem& item) override;
+};
+
+/** Adds one. */
+struct RecStage2 : Stage<ToyItem>
+{
+    RecStage2()
+    {
+        name = "rec2";
+        resources.regsPerThread = 40;
+        resources.codeBytes = 5000;
+    }
+
+    TaskCost
+    cost(const ToyItem&) const override
+    {
+        TaskCost c;
+        c.computeInsts = 500;
+        c.memInsts = 80;
+        return c;
+    }
+
+    void execute(ExecContext& ctx, ToyItem& item) override;
+};
+
+/** Records results. */
+struct RecStage3 : Stage<ToyItem>
+{
+    RecStage3()
+    {
+        name = "rec3";
+        resources.regsPerThread = 30;
+        resources.codeBytes = 4000;
+    }
+
+    TaskCost
+    cost(const ToyItem&) const override
+    {
+        TaskCost c;
+        c.computeInsts = 150;
+        c.memInsts = 20;
+        return c;
+    }
+
+    void
+    execute(ExecContext&, ToyItem& item) override
+    {
+        results.push_back(item.value);
+    }
+
+    void reset() override { results.clear(); }
+
+    std::vector<int> results;
+};
+
+inline void
+RecStage1::execute(ExecContext& ctx, ToyItem& item)
+{
+    item.value *= 2;
+    if (item.value >= kThreshold)
+        ctx.enqueue<RecStage2>(item);
+    else
+        ctx.enqueue<RecStage1>(item);
+}
+
+inline void
+RecStage2::execute(ExecContext& ctx, ToyItem& item)
+{
+    item.value += 1;
+    ctx.enqueue<RecStage3>(item);
+}
+
+/** The Figure 9 recursive application. */
+class RecursiveApp : public AppDriver
+{
+  public:
+    explicit RecursiveApp(int seeds = 10)
+        : seeds_(seeds)
+    {
+        pipe_.addStage<RecStage1>();
+        pipe_.addStage<RecStage2>();
+        pipe_.addStage<RecStage3>();
+        pipe_.link<RecStage1, RecStage1>();
+        pipe_.link<RecStage1, RecStage2>();
+        pipe_.link<RecStage2, RecStage3>();
+    }
+
+    std::string name() const override { return "recursive-toy"; }
+
+    Pipeline& pipeline() override { return pipe_; }
+
+    void reset() override {}
+
+    void
+    seedFlow(Seeder& seeder, int) override
+    {
+        std::vector<ToyItem> items;
+        for (int i = 1; i <= seeds_; ++i)
+            items.push_back(ToyItem{i, 0});
+        seeder.insert<RecStage1>(std::move(items));
+    }
+
+    bool
+    verify() override
+    {
+        auto& sink = pipe_.stageAs<RecStage3>();
+        if (static_cast<int>(sink.results.size()) != seeds_)
+            return false;
+        std::vector<int> got = sink.results;
+        std::sort(got.begin(), got.end());
+        std::vector<int> want;
+        for (int i = 1; i <= seeds_; ++i) {
+            int v = i;
+            do {
+                v *= 2; // execute() doubles before the check
+            } while (v < RecStage1::kThreshold);
+            want.push_back(v + 1);
+        }
+        std::sort(want.begin(), want.end());
+        return got == want;
+    }
+
+  private:
+    Pipeline pipe_;
+    int seeds_;
+};
+
+} // namespace vp::test
+
+#endif // VP_TESTS_TOY_APPS_HH
