@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11_overall.dir/fig11_overall.cc.o"
+  "CMakeFiles/fig11_overall.dir/fig11_overall.cc.o.d"
+  "fig11_overall"
+  "fig11_overall.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_overall.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

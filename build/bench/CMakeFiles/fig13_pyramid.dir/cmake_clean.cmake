@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig13_pyramid.dir/fig13_pyramid.cc.o"
+  "CMakeFiles/fig13_pyramid.dir/fig13_pyramid.cc.o.d"
+  "fig13_pyramid"
+  "fig13_pyramid.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig13_pyramid.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

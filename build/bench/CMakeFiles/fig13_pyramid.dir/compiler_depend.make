@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig13_pyramid.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig13_pyramid.
+# This may be replaced when dependencies are built.

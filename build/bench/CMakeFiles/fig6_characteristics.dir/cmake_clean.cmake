@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_characteristics.dir/fig6_characteristics.cc.o"
+  "CMakeFiles/fig6_characteristics.dir/fig6_characteristics.cc.o.d"
+  "fig6_characteristics"
+  "fig6_characteristics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_characteristics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

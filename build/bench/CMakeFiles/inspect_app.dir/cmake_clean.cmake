@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/inspect_app.dir/inspect_app.cc.o"
+  "CMakeFiles/inspect_app.dir/inspect_app.cc.o.d"
+  "inspect_app"
+  "inspect_app.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/inspect_app.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sec7_autotuner.dir/sec7_autotuner.cc.o"
+  "CMakeFiles/sec7_autotuner.dir/sec7_autotuner.cc.o.d"
+  "sec7_autotuner"
+  "sec7_autotuner.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sec7_autotuner.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

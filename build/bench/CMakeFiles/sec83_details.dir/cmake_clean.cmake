@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sec83_details.dir/sec83_details.cc.o"
+  "CMakeFiles/sec83_details.dir/sec83_details.cc.o.d"
+  "sec83_details"
+  "sec83_details.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sec83_details.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sec84_dynamic_parallelism.dir/sec84_dynamic_parallelism.cc.o"
+  "CMakeFiles/sec84_dynamic_parallelism.dir/sec84_dynamic_parallelism.cc.o.d"
+  "sec84_dynamic_parallelism"
+  "sec84_dynamic_parallelism.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sec84_dynamic_parallelism.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

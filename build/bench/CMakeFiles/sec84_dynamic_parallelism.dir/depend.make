@@ -1,0 +1,2 @@
+# Empty dependencies file for sec84_dynamic_parallelism.
+# This may be replaced when dependencies are built.

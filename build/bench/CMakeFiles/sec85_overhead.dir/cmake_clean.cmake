@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sec85_overhead.dir/sec85_overhead.cc.o"
+  "CMakeFiles/sec85_overhead.dir/sec85_overhead.cc.o.d"
+  "sec85_overhead"
+  "sec85_overhead.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sec85_overhead.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

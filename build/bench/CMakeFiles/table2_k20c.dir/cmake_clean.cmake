@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table2_k20c.dir/table2_k20c.cc.o"
+  "CMakeFiles/table2_k20c.dir/table2_k20c.cc.o.d"
+  "table2_k20c"
+  "table2_k20c.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_k20c.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for table2_k20c.
+# This may be replaced when dependencies are built.

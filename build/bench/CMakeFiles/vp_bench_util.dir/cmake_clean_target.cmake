@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "../lib/libvp_bench_util.a"
+)

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/autotune_demo.dir/autotune_demo.cc.o"
+  "CMakeFiles/autotune_demo.dir/autotune_demo.cc.o.d"
+  "autotune_demo"
+  "autotune_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/autotune_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

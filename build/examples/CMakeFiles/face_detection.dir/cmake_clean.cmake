@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/face_detection.dir/face_detection.cc.o"
+  "CMakeFiles/face_detection.dir/face_detection.cc.o.d"
+  "face_detection"
+  "face_detection.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/face_detection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

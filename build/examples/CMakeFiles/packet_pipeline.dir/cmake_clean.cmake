@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/packet_pipeline.dir/packet_pipeline.cc.o"
+  "CMakeFiles/packet_pipeline.dir/packet_pipeline.cc.o.d"
+  "packet_pipeline"
+  "packet_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/packet_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/reyes_render.dir/reyes_render.cc.o"
+  "CMakeFiles/reyes_render.dir/reyes_render.cc.o.d"
+  "reyes_render"
+  "reyes_render.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/reyes_render.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/apps/cfd/cfd_app.cc" "src/apps/CMakeFiles/vp_apps.dir/cfd/cfd_app.cc.o" "gcc" "src/apps/CMakeFiles/vp_apps.dir/cfd/cfd_app.cc.o.d"
+  "/root/repo/src/apps/common/image.cc" "src/apps/CMakeFiles/vp_apps.dir/common/image.cc.o" "gcc" "src/apps/CMakeFiles/vp_apps.dir/common/image.cc.o.d"
+  "/root/repo/src/apps/facedetect/facedetect_app.cc" "src/apps/CMakeFiles/vp_apps.dir/facedetect/facedetect_app.cc.o" "gcc" "src/apps/CMakeFiles/vp_apps.dir/facedetect/facedetect_app.cc.o.d"
+  "/root/repo/src/apps/ldpc/ldpc_app.cc" "src/apps/CMakeFiles/vp_apps.dir/ldpc/ldpc_app.cc.o" "gcc" "src/apps/CMakeFiles/vp_apps.dir/ldpc/ldpc_app.cc.o.d"
+  "/root/repo/src/apps/pyramid/pyramid_app.cc" "src/apps/CMakeFiles/vp_apps.dir/pyramid/pyramid_app.cc.o" "gcc" "src/apps/CMakeFiles/vp_apps.dir/pyramid/pyramid_app.cc.o.d"
+  "/root/repo/src/apps/raster/raster_app.cc" "src/apps/CMakeFiles/vp_apps.dir/raster/raster_app.cc.o" "gcc" "src/apps/CMakeFiles/vp_apps.dir/raster/raster_app.cc.o.d"
+  "/root/repo/src/apps/registry.cc" "src/apps/CMakeFiles/vp_apps.dir/registry.cc.o" "gcc" "src/apps/CMakeFiles/vp_apps.dir/registry.cc.o.d"
+  "/root/repo/src/apps/reyes/reyes_app.cc" "src/apps/CMakeFiles/vp_apps.dir/reyes/reyes_app.cc.o" "gcc" "src/apps/CMakeFiles/vp_apps.dir/reyes/reyes_app.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/vp_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/tuner/CMakeFiles/vp_tuner.dir/DependInfo.cmake"
+  "/root/repo/build/src/gpu/CMakeFiles/vp_gpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/queueing/CMakeFiles/vp_queueing.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/vp_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/vp_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vp_apps.dir/cfd/cfd_app.cc.o"
+  "CMakeFiles/vp_apps.dir/cfd/cfd_app.cc.o.d"
+  "CMakeFiles/vp_apps.dir/common/image.cc.o"
+  "CMakeFiles/vp_apps.dir/common/image.cc.o.d"
+  "CMakeFiles/vp_apps.dir/facedetect/facedetect_app.cc.o"
+  "CMakeFiles/vp_apps.dir/facedetect/facedetect_app.cc.o.d"
+  "CMakeFiles/vp_apps.dir/ldpc/ldpc_app.cc.o"
+  "CMakeFiles/vp_apps.dir/ldpc/ldpc_app.cc.o.d"
+  "CMakeFiles/vp_apps.dir/pyramid/pyramid_app.cc.o"
+  "CMakeFiles/vp_apps.dir/pyramid/pyramid_app.cc.o.d"
+  "CMakeFiles/vp_apps.dir/raster/raster_app.cc.o"
+  "CMakeFiles/vp_apps.dir/raster/raster_app.cc.o.d"
+  "CMakeFiles/vp_apps.dir/registry.cc.o"
+  "CMakeFiles/vp_apps.dir/registry.cc.o.d"
+  "CMakeFiles/vp_apps.dir/reyes/reyes_app.cc.o"
+  "CMakeFiles/vp_apps.dir/reyes/reyes_app.cc.o.d"
+  "libvp_apps.a"
+  "libvp_apps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vp_apps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

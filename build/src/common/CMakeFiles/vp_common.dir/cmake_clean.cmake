@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vp_common.dir/logging.cc.o"
+  "CMakeFiles/vp_common.dir/logging.cc.o.d"
+  "CMakeFiles/vp_common.dir/rng.cc.o"
+  "CMakeFiles/vp_common.dir/rng.cc.o.d"
+  "CMakeFiles/vp_common.dir/stats.cc.o"
+  "CMakeFiles/vp_common.dir/stats.cc.o.d"
+  "CMakeFiles/vp_common.dir/table.cc.o"
+  "CMakeFiles/vp_common.dir/table.cc.o.d"
+  "libvp_common.a"
+  "libvp_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vp_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

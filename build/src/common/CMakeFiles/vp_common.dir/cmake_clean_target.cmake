@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libvp_common.a"
+)

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/engine.cc" "src/core/CMakeFiles/vp_core.dir/engine.cc.o" "gcc" "src/core/CMakeFiles/vp_core.dir/engine.cc.o.d"
+  "/root/repo/src/core/exec_model.cc" "src/core/CMakeFiles/vp_core.dir/exec_model.cc.o" "gcc" "src/core/CMakeFiles/vp_core.dir/exec_model.cc.o.d"
+  "/root/repo/src/core/model_config.cc" "src/core/CMakeFiles/vp_core.dir/model_config.cc.o" "gcc" "src/core/CMakeFiles/vp_core.dir/model_config.cc.o.d"
+  "/root/repo/src/core/pipeline.cc" "src/core/CMakeFiles/vp_core.dir/pipeline.cc.o" "gcc" "src/core/CMakeFiles/vp_core.dir/pipeline.cc.o.d"
+  "/root/repo/src/core/runner_dp.cc" "src/core/CMakeFiles/vp_core.dir/runner_dp.cc.o" "gcc" "src/core/CMakeFiles/vp_core.dir/runner_dp.cc.o.d"
+  "/root/repo/src/core/runner_groups.cc" "src/core/CMakeFiles/vp_core.dir/runner_groups.cc.o" "gcc" "src/core/CMakeFiles/vp_core.dir/runner_groups.cc.o.d"
+  "/root/repo/src/core/runner_kbk.cc" "src/core/CMakeFiles/vp_core.dir/runner_kbk.cc.o" "gcc" "src/core/CMakeFiles/vp_core.dir/runner_kbk.cc.o.d"
+  "/root/repo/src/core/runtime.cc" "src/core/CMakeFiles/vp_core.dir/runtime.cc.o" "gcc" "src/core/CMakeFiles/vp_core.dir/runtime.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/gpu/CMakeFiles/vp_gpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/queueing/CMakeFiles/vp_queueing.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/vp_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/vp_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

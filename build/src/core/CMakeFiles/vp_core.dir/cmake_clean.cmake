@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vp_core.dir/engine.cc.o"
+  "CMakeFiles/vp_core.dir/engine.cc.o.d"
+  "CMakeFiles/vp_core.dir/exec_model.cc.o"
+  "CMakeFiles/vp_core.dir/exec_model.cc.o.d"
+  "CMakeFiles/vp_core.dir/model_config.cc.o"
+  "CMakeFiles/vp_core.dir/model_config.cc.o.d"
+  "CMakeFiles/vp_core.dir/pipeline.cc.o"
+  "CMakeFiles/vp_core.dir/pipeline.cc.o.d"
+  "CMakeFiles/vp_core.dir/runner_dp.cc.o"
+  "CMakeFiles/vp_core.dir/runner_dp.cc.o.d"
+  "CMakeFiles/vp_core.dir/runner_groups.cc.o"
+  "CMakeFiles/vp_core.dir/runner_groups.cc.o.d"
+  "CMakeFiles/vp_core.dir/runner_kbk.cc.o"
+  "CMakeFiles/vp_core.dir/runner_kbk.cc.o.d"
+  "CMakeFiles/vp_core.dir/runtime.cc.o"
+  "CMakeFiles/vp_core.dir/runtime.cc.o.d"
+  "libvp_core.a"
+  "libvp_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vp_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/gpu/block.cc" "src/gpu/CMakeFiles/vp_gpu.dir/block.cc.o" "gcc" "src/gpu/CMakeFiles/vp_gpu.dir/block.cc.o.d"
+  "/root/repo/src/gpu/cost_model.cc" "src/gpu/CMakeFiles/vp_gpu.dir/cost_model.cc.o" "gcc" "src/gpu/CMakeFiles/vp_gpu.dir/cost_model.cc.o.d"
+  "/root/repo/src/gpu/device.cc" "src/gpu/CMakeFiles/vp_gpu.dir/device.cc.o" "gcc" "src/gpu/CMakeFiles/vp_gpu.dir/device.cc.o.d"
+  "/root/repo/src/gpu/device_config.cc" "src/gpu/CMakeFiles/vp_gpu.dir/device_config.cc.o" "gcc" "src/gpu/CMakeFiles/vp_gpu.dir/device_config.cc.o.d"
+  "/root/repo/src/gpu/host.cc" "src/gpu/CMakeFiles/vp_gpu.dir/host.cc.o" "gcc" "src/gpu/CMakeFiles/vp_gpu.dir/host.cc.o.d"
+  "/root/repo/src/gpu/kernel.cc" "src/gpu/CMakeFiles/vp_gpu.dir/kernel.cc.o" "gcc" "src/gpu/CMakeFiles/vp_gpu.dir/kernel.cc.o.d"
+  "/root/repo/src/gpu/occupancy.cc" "src/gpu/CMakeFiles/vp_gpu.dir/occupancy.cc.o" "gcc" "src/gpu/CMakeFiles/vp_gpu.dir/occupancy.cc.o.d"
+  "/root/repo/src/gpu/sm.cc" "src/gpu/CMakeFiles/vp_gpu.dir/sm.cc.o" "gcc" "src/gpu/CMakeFiles/vp_gpu.dir/sm.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/vp_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/vp_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

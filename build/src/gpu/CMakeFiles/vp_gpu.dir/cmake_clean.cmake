@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vp_gpu.dir/block.cc.o"
+  "CMakeFiles/vp_gpu.dir/block.cc.o.d"
+  "CMakeFiles/vp_gpu.dir/cost_model.cc.o"
+  "CMakeFiles/vp_gpu.dir/cost_model.cc.o.d"
+  "CMakeFiles/vp_gpu.dir/device.cc.o"
+  "CMakeFiles/vp_gpu.dir/device.cc.o.d"
+  "CMakeFiles/vp_gpu.dir/device_config.cc.o"
+  "CMakeFiles/vp_gpu.dir/device_config.cc.o.d"
+  "CMakeFiles/vp_gpu.dir/host.cc.o"
+  "CMakeFiles/vp_gpu.dir/host.cc.o.d"
+  "CMakeFiles/vp_gpu.dir/kernel.cc.o"
+  "CMakeFiles/vp_gpu.dir/kernel.cc.o.d"
+  "CMakeFiles/vp_gpu.dir/occupancy.cc.o"
+  "CMakeFiles/vp_gpu.dir/occupancy.cc.o.d"
+  "CMakeFiles/vp_gpu.dir/sm.cc.o"
+  "CMakeFiles/vp_gpu.dir/sm.cc.o.d"
+  "libvp_gpu.a"
+  "libvp_gpu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vp_gpu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

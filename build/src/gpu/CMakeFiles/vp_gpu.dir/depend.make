@@ -1,0 +1,2 @@
+# Empty dependencies file for vp_gpu.
+# This may be replaced when dependencies are built.

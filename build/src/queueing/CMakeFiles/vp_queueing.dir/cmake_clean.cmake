@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vp_queueing.dir/pending_counter.cc.o"
+  "CMakeFiles/vp_queueing.dir/pending_counter.cc.o.d"
+  "CMakeFiles/vp_queueing.dir/work_queue.cc.o"
+  "CMakeFiles/vp_queueing.dir/work_queue.cc.o.d"
+  "libvp_queueing.a"
+  "libvp_queueing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vp_queueing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

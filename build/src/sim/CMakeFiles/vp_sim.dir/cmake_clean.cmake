@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vp_sim.dir/simulator.cc.o"
+  "CMakeFiles/vp_sim.dir/simulator.cc.o.d"
+  "libvp_sim.a"
+  "libvp_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vp_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vp_tuner.dir/offline_tuner.cc.o"
+  "CMakeFiles/vp_tuner.dir/offline_tuner.cc.o.d"
+  "CMakeFiles/vp_tuner.dir/profiler.cc.o"
+  "CMakeFiles/vp_tuner.dir/profiler.cc.o.d"
+  "CMakeFiles/vp_tuner.dir/search_space.cc.o"
+  "CMakeFiles/vp_tuner.dir/search_space.cc.o.d"
+  "libvp_tuner.a"
+  "libvp_tuner.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vp_tuner.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

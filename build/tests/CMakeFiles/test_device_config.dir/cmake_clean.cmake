@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_device_config.dir/test_device_config.cc.o"
+  "CMakeFiles/test_device_config.dir/test_device_config.cc.o.d"
+  "test_device_config"
+  "test_device_config.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_device_config.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_error.dir/test_error.cc.o"
+  "CMakeFiles/test_error.dir/test_error.cc.o.d"
+  "test_error"
+  "test_error.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_error.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_exec_context.dir/test_exec_context.cc.o"
+  "CMakeFiles/test_exec_context.dir/test_exec_context.cc.o.d"
+  "test_exec_context"
+  "test_exec_context.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_exec_context.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

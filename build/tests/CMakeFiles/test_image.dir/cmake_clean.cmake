@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_image.dir/test_image.cc.o"
+  "CMakeFiles/test_image.dir/test_image.cc.o.d"
+  "test_image"
+  "test_image.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_image.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_model_config.dir/test_model_config.cc.o"
+  "CMakeFiles/test_model_config.dir/test_model_config.cc.o.d"
+  "test_model_config"
+  "test_model_config.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_model_config.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_occupancy.dir/test_occupancy.cc.o"
+  "CMakeFiles/test_occupancy.dir/test_occupancy.cc.o.d"
+  "test_occupancy"
+  "test_occupancy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_occupancy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

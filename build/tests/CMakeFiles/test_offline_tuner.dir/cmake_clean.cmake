@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_offline_tuner.dir/test_offline_tuner.cc.o"
+  "CMakeFiles/test_offline_tuner.dir/test_offline_tuner.cc.o.d"
+  "test_offline_tuner"
+  "test_offline_tuner.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_offline_tuner.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_pending_counter.dir/test_pending_counter.cc.o"
+  "CMakeFiles/test_pending_counter.dir/test_pending_counter.cc.o.d"
+  "test_pending_counter"
+  "test_pending_counter.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_pending_counter.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_profiler.dir/test_profiler.cc.o"
+  "CMakeFiles/test_profiler.dir/test_profiler.cc.o.d"
+  "test_profiler"
+  "test_profiler.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_profiler.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

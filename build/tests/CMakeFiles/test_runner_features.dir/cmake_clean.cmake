@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_runner_features.dir/test_runner_features.cc.o"
+  "CMakeFiles/test_runner_features.dir/test_runner_features.cc.o.d"
+  "test_runner_features"
+  "test_runner_features.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_runner_features.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

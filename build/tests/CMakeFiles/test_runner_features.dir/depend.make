@@ -1,0 +1,2 @@
+# Empty dependencies file for test_runner_features.
+# This may be replaced when dependencies are built.

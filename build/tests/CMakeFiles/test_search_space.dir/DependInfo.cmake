@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_search_space.cc" "tests/CMakeFiles/test_search_space.dir/test_search_space.cc.o" "gcc" "tests/CMakeFiles/test_search_space.dir/test_search_space.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/tuner/CMakeFiles/vp_tuner.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/vp_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/gpu/CMakeFiles/vp_gpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/queueing/CMakeFiles/vp_queueing.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/vp_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/vp_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_seeding_and_failures.dir/test_seeding_and_failures.cc.o"
+  "CMakeFiles/test_seeding_and_failures.dir/test_seeding_and_failures.cc.o.d"
+  "test_seeding_and_failures"
+  "test_seeding_and_failures.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_seeding_and_failures.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sm.dir/test_sm.cc.o"
+  "CMakeFiles/test_sm.dir/test_sm.cc.o.d"
+  "test_sm"
+  "test_sm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

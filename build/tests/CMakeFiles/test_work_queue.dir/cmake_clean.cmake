@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_work_queue.dir/test_work_queue.cc.o"
+  "CMakeFiles/test_work_queue.dir/test_work_queue.cc.o.d"
+  "test_work_queue"
+  "test_work_queue.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_work_queue.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
