@@ -1,0 +1,275 @@
+/**
+ * @file
+ * Simulation-core throughput benchmark: host-side events/sec of the
+ * event engine (synthetic schedule/dispatch/cancel mixes and the
+ * Fig. 11 applications end-to-end) and auto-tuner wall clock, serial
+ * vs. multi-threaded sweep. Writes BENCH_simcore.json next to the
+ * working directory for trend tracking.
+ *
+ * These numbers measure the simulator itself (host wall time), not
+ * the modeled GPU: on the end-to-end rows the stage payloads (image
+ * filters, rasterization...) run on the host inside stage execution,
+ * so engine improvements show up strongest on the synthetic rows and
+ * on queue/poll-heavy configurations.
+ *
+ * Usage: bench_simcore [--smoke]
+ *   --smoke   cut the workloads to run in a couple of seconds (used
+ *             by the bench_smoke ctest entry).
+ */
+
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "apps/registry.hh"
+#include "bench_util.hh"
+#include "core/engine.hh"
+#include "gpu/device.hh"
+#include "gpu/host.hh"
+#include "sim/simulator.hh"
+#include "tuner/offline_tuner.hh"
+
+namespace {
+
+using namespace vp;
+using Clock = std::chrono::steady_clock;
+
+double
+secondsSince(Clock::time_point t0)
+{
+    return std::chrono::duration<double>(Clock::now() - t0).count();
+}
+
+struct Row
+{
+    std::string name;
+    double seconds = 0.0;
+    double eventsPerSec = 0.0;
+    std::uint64_t events = 0;
+};
+
+/** Self-rescheduling chain: pure schedule + dispatch. */
+struct Chain
+{
+    Simulator* sim;
+    std::uint64_t* budget;
+    int id;
+
+    void
+    step()
+    {
+        if (*budget == 0)
+            return;
+        --*budget;
+        sim->after(1.0 + (id & 7), [this] { step(); });
+    }
+};
+
+/** Cancel + reschedule per event, like Sm::reschedule. */
+struct ReschedChain
+{
+    Simulator* sim;
+    std::uint64_t* budget;
+    EventHandle pending;
+    int id;
+
+    void
+    step()
+    {
+        if (*budget == 0)
+            return;
+        --*budget;
+        sim->cancel(pending);
+        pending = sim->after(2.0 + (id & 3), [this] { step(); });
+        sim->after(1.0, [this] { step(); });
+    }
+};
+
+Row
+benchChain(std::uint64_t events)
+{
+    Simulator sim;
+    std::uint64_t budget = events;
+    std::vector<Chain> chains(256);
+    for (int i = 0; i < 256; ++i) {
+        chains[i] = Chain{&sim, &budget, i};
+        sim.after(1.0 + (i & 7), [c = &chains[i]] { c->step(); });
+    }
+    auto t0 = Clock::now();
+    sim.run();
+    Row r;
+    r.name = "engine/chain";
+    r.seconds = secondsSince(t0);
+    r.events = sim.eventsRun();
+    r.eventsPerSec = r.events / r.seconds;
+    return r;
+}
+
+Row
+benchResched(std::uint64_t events)
+{
+    Simulator sim;
+    std::uint64_t budget = events;
+    std::vector<ReschedChain> chains(128);
+    for (int i = 0; i < 128; ++i) {
+        chains[i] = ReschedChain{&sim, &budget, EventHandle{}, i};
+        sim.after(1.0, [c = &chains[i]] { c->step(); });
+    }
+    auto t0 = Clock::now();
+    sim.run();
+    Row r;
+    r.name = "engine/resched";
+    r.seconds = secondsSince(t0);
+    r.events = sim.eventsRun();
+    r.eventsPerSec = r.events / r.seconds;
+    return r;
+}
+
+/**
+ * End-to-end events/sec of one app under the Megakernel model. App
+ * construction, seeding-state reset and verification stay outside
+ * the timed region; only runner start + event loop are timed.
+ */
+Row
+benchApp(const std::string& app, AppScale scale, int reps)
+{
+    auto driver = makeApp(app, scale);
+    DeviceConfig cfg = DeviceConfig::k20c();
+    Pipeline& pipe = driver->pipeline();
+    PipelineConfig config = makeMegakernelConfig(pipe);
+    pipe.validate();
+    config.validate(pipe, cfg);
+
+    Row r;
+    r.name = "app/" + app;
+    for (int i = 0; i < reps; ++i) {
+        driver->reset();
+        pipe.resetStages();
+        Simulator sim;
+        Device dev(sim, cfg);
+        Host host(sim, dev);
+        auto runner = makeRunner(sim, dev, host, pipe, config);
+        auto t0 = Clock::now();
+        runner->start(*driver);
+        sim.run();
+        r.seconds += secondsSince(t0);
+        r.events += sim.eventsRun();
+    }
+    r.eventsPerSec = r.events / r.seconds;
+    return r;
+}
+
+struct TunerRow
+{
+    std::string app;
+    int threads = 0;
+    double seconds = 0.0;
+    double bestCycles = 0.0;
+};
+
+TunerRow
+benchTunerSerial(const std::string& app)
+{
+    Engine engine(DeviceConfig::k20c());
+    auto driver = makeApp(app, AppScale::Small);
+    auto t0 = Clock::now();
+    TunerResult r = autotune(engine, *driver);
+    TunerRow row;
+    row.app = app;
+    row.threads = 1;
+    row.seconds = secondsSince(t0);
+    row.bestCycles = r.bestRun.cycles;
+    return row;
+}
+
+TunerRow
+benchTunerParallel(const std::string& app, int threads)
+{
+    TunerOptions opts;
+    opts.threads = threads;
+    auto t0 = Clock::now();
+    TunerResult r = autotuneParallel(
+        DeviceConfig::k20c(),
+        [&app] { return makeApp(app, AppScale::Small); }, opts);
+    TunerRow row;
+    row.app = app;
+    row.threads = threads;
+    row.seconds = secondsSince(t0);
+    row.bestCycles = r.bestRun.cycles;
+    return row;
+}
+
+} // namespace
+
+int
+main(int argc, char** argv)
+{
+    bool smoke = false;
+    for (int i = 1; i < argc; ++i)
+        if (std::strcmp(argv[i], "--smoke") == 0)
+            smoke = true;
+
+    const std::uint64_t engineEvents = smoke ? 200000 : 8000000;
+    const int reps = smoke ? 1 : 5;
+
+    std::vector<Row> rows;
+    rows.push_back(benchChain(engineEvents));
+    rows.push_back(benchResched(engineEvents));
+    rows.push_back(benchApp("pyramid", AppScale::Small, reps));
+    if (!smoke) {
+        rows.push_back(benchApp("raster", AppScale::Full, reps));
+        rows.push_back(benchApp("reyes", AppScale::Full, reps));
+        rows.push_back(benchApp("ldpc", AppScale::Full, reps));
+    }
+
+    vp::bench::header("simulation-core throughput");
+    for (const Row& r : rows)
+        std::printf("  %-16s %10llu events  %8.3fs  %8.3fM ev/s\n",
+                    r.name.c_str(),
+                    static_cast<unsigned long long>(r.events),
+                    r.seconds, r.eventsPerSec / 1e6);
+
+    vp::bench::header("auto-tuner wall clock (pyramid, small)");
+    TunerRow serial = benchTunerSerial("pyramid");
+    TunerRow par = benchTunerParallel("pyramid", smoke ? 2 : 4);
+    std::printf("  serial            %8.3fs  best=%.0f cycles\n",
+                serial.seconds, serial.bestCycles);
+    std::printf("  %d threads         %8.3fs  best=%.0f cycles  "
+                "speedup=%.2fx\n",
+                par.threads, par.seconds, par.bestCycles,
+                serial.seconds / par.seconds);
+    if (serial.bestCycles != par.bestCycles) {
+        std::fprintf(stderr,
+                     "ERROR: parallel tuner best (%f) != serial "
+                     "best (%f)\n",
+                     par.bestCycles, serial.bestCycles);
+        return 1;
+    }
+
+    std::FILE* json = std::fopen("BENCH_simcore.json", "w");
+    if (json) {
+        std::fprintf(json, "{\n  \"rows\": [\n");
+        for (std::size_t i = 0; i < rows.size(); ++i)
+            std::fprintf(
+                json,
+                "    {\"name\": \"%s\", \"events\": %llu, "
+                "\"seconds\": %.6f, \"events_per_sec\": %.1f}%s\n",
+                rows[i].name.c_str(),
+                static_cast<unsigned long long>(rows[i].events),
+                rows[i].seconds, rows[i].eventsPerSec,
+                i + 1 < rows.size() ? "," : "");
+        std::fprintf(json,
+                     "  ],\n  \"tuner\": {\"app\": \"%s\", "
+                     "\"serial_seconds\": %.6f, "
+                     "\"parallel_threads\": %d, "
+                     "\"parallel_seconds\": %.6f, "
+                     "\"best_cycles\": %.1f}\n}\n",
+                     serial.app.c_str(), serial.seconds, par.threads,
+                     par.seconds, serial.bestCycles);
+        std::fclose(json);
+        std::printf("\nwrote BENCH_simcore.json\n");
+    }
+    return 0;
+}

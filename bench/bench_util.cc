@@ -47,15 +47,18 @@ versapipeConfig(const std::string& appName, const DeviceConfig& dev)
     // the paper's profiling pass does.
     bool heavy = appName == "pyramid" || appName == "facedetect"
         || appName == "cfd";
-    auto app = makeApp(appName,
-                       heavy ? AppScale::Small : AppScale::Full);
-    Engine engine(dev);
+    AppScale scale = heavy ? AppScale::Small : AppScale::Full;
     TunerOptions opts;
     opts.search.smCandidates = 5;
     opts.search.blockCandidates = 6;
     opts.search.maxConfigs = 400;
     opts.onlineAdaptation = false;
-    TunerResult tuned = autotune(engine, *app, opts);
+    // Sweep candidates on all host threads; the chosen config is
+    // bit-identical to the serial sweep (see docs/MODEL.md).
+    opts.threads = 0;
+    TunerResult tuned = autotuneParallel(
+        dev, [&appName, scale] { return makeApp(appName, scale); },
+        opts);
     cache.emplace(key, tuned.best);
     return tuned.best;
 }

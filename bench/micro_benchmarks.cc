@@ -8,6 +8,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include <functional>
+
 #include "gpu/occupancy.hh"
 #include "gpu/sm.hh"
 #include "queueing/work_queue.hh"

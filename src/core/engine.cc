@@ -10,7 +10,7 @@ Engine::Engine(DeviceConfig cfg)
 }
 
 RunResult
-Engine::run(AppDriver& driver, const PipelineConfig& config)
+Engine::run(AppDriver& driver, const PipelineConfig& config) const
 {
     auto r = runTimed(driver, config,
                       std::numeric_limits<double>::infinity());
@@ -20,7 +20,7 @@ Engine::run(AppDriver& driver, const PipelineConfig& config)
 
 std::optional<RunResult>
 Engine::runTimed(AppDriver& driver, const PipelineConfig& config,
-                 double cycleLimit)
+                 double cycleLimit) const
 {
     Pipeline& pipe = driver.pipeline();
     pipe.validate();

@@ -30,8 +30,13 @@ class Engine
     /**
      * Run @p driver under @p config to completion.
      * Fatal when the run livelocks or leaves work pending.
+     *
+     * const — a run builds all mutable state (simulator, device,
+     * runner) on its own stack, so distinct drivers can run through
+     * the same Engine from different threads concurrently.
      */
-    RunResult run(AppDriver& driver, const PipelineConfig& config);
+    RunResult run(AppDriver& driver,
+                  const PipelineConfig& config) const;
 
     /**
      * Timeout-execute (the auto-tuner primitive of Fig. 10): run,
@@ -40,7 +45,7 @@ class Engine
      */
     std::optional<RunResult> runTimed(AppDriver& driver,
                                       const PipelineConfig& config,
-                                      double cycleLimit);
+                                      double cycleLimit) const;
 
     /** Cap on simulation events per run (livelock guard). */
     void setEventLimit(std::uint64_t limit) { eventLimit_ = limit; }

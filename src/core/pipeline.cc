@@ -53,41 +53,63 @@ Pipeline::indexOfType(std::type_index ti) const
     return it->second;
 }
 
+void
+Pipeline::refreshMasks() const
+{
+    std::pair<std::size_t, std::size_t> key{stages_.size(),
+                                            edges_.size()};
+    if (key == maskKey_)
+        return;
+    int n = stageCount();
+    producerMasks_.assign(n, 0);
+    consumerMasks_.assign(n, 0);
+    for (const auto& [f, t] : edges_) {
+        producerMasks_[t] |= StageMask(1) << f;
+        consumerMasks_[f] |= StageMask(1) << t;
+    }
+    ancestorMasks_.assign(n, 0);
+    for (int s = 0; s < n; ++s) {
+        // Fixed-point over the reverse edges.
+        StageMask frontier = producerMasks_[s];
+        StageMask seen = frontier;
+        while (frontier) {
+            StageMask next = 0;
+            for (int i = 0; i < n; ++i)
+                if (frontier & (StageMask(1) << i))
+                    next |= producerMasks_[i];
+            frontier = next & ~seen;
+            seen |= next;
+        }
+        ancestorMasks_[s] = seen;
+    }
+    maskKey_ = key;
+}
+
 StageMask
 Pipeline::producersOf(int s) const
 {
-    StageMask m = 0;
-    for (const auto& [f, t] : edges_)
-        if (t == s)
-            m |= StageMask(1) << f;
-    return m;
+    if (s < 0 || s >= stageCount())
+        return 0;
+    refreshMasks();
+    return producerMasks_[s];
 }
 
 StageMask
 Pipeline::consumersOf(int s) const
 {
-    StageMask m = 0;
-    for (const auto& [f, t] : edges_)
-        if (f == s)
-            m |= StageMask(1) << t;
-    return m;
+    if (s < 0 || s >= stageCount())
+        return 0;
+    refreshMasks();
+    return consumerMasks_[s];
 }
 
 StageMask
 Pipeline::ancestorsOf(int s) const
 {
-    // Fixed-point over the reverse edges.
-    StageMask frontier = producersOf(s);
-    StageMask seen = frontier;
-    while (frontier) {
-        StageMask next = 0;
-        for (int i = 0; i < stageCount(); ++i)
-            if (frontier & (StageMask(1) << i))
-                next |= producersOf(i);
-        frontier = next & ~seen;
-        seen |= next;
-    }
-    return seen;
+    if (s < 0 || s >= stageCount())
+        return 0;
+    refreshMasks();
+    return ancestorMasks_[s];
 }
 
 bool

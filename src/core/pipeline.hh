@@ -142,10 +142,23 @@ class Pipeline
     void validate() const;
 
   private:
+    /**
+     * Rebuild the per-stage mask caches when the graph changed.
+     * producersOf/ancestorsOf sit on the runners' polling fast path,
+     * so they must not re-walk the edge list on every call.
+     */
+    void refreshMasks() const;
+
     std::vector<std::unique_ptr<StageBase>> stages_;
     std::unordered_map<std::type_index, int> byType_;
     std::vector<std::pair<int, int>> edges_;
     std::optional<PipelineStructure> explicit_;
+
+    mutable std::vector<StageMask> producerMasks_;
+    mutable std::vector<StageMask> consumerMasks_;
+    mutable std::vector<StageMask> ancestorMasks_;
+    /** (stage count, edge count) the caches were built for. */
+    mutable std::pair<std::size_t, std::size_t> maskKey_{~0ull, ~0ull};
 };
 
 } // namespace vp

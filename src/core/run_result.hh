@@ -62,6 +62,11 @@ struct RunResult
     /** Extra counters (model-specific). */
     StatGroup extra;
 
+    /** Simulation events dispatched during this run (host-side
+     *  engine-throughput metric, not a property of the modeled
+     *  device). */
+    std::uint64_t simEvents = 0;
+
     /** True when the run drained all work and verified cleanly. */
     bool completed = false;
 };

@@ -152,8 +152,7 @@ RunnerBase::bindStageKernel(int s, int kernelId)
 void
 RunnerBase::processBatch(BlockContext& ctx, QueueSet& qs, int s,
                          StageMask inlineMask, int maxItems,
-                         std::function<void()> next,
-                         QueueSet* pushInto)
+                         EventFn next, QueueSet* pushInto)
 {
     StageBase& st = pipe_.stage(s);
     QueueBase& q = *qs[s];
@@ -195,38 +194,48 @@ RunnerBase::processBatch(BlockContext& ctx, QueueSet& qs, int s,
                               br.items, br.maxTaskInsts);
     stageStats_[s].warpInsts += w.warpInsts;
 
-    auto outputs = std::make_shared<std::vector<StagedOutput>>(
-        std::move(ectx.outputs()));
+    std::vector<StagedOutput> outputs = std::move(ectx.outputs());
     int items = br.items;
     BlockContext* cp = &ctx;
     QueueSet* qsp = pushInto ? pushInto : &qs;
 
-    cp->delay(pop_cost, [this, cp, qsp, s, w, outputs, items,
+    cp->delay(pop_cost, [this, cp, qsp, s, w,
+                         outputs = std::move(outputs), items,
                          next = std::move(next)]() mutable {
         Tick exec_start = sim_.now();
-        cp->exec(w, [this, cp, qsp, s, outputs, items, exec_start,
+        cp->exec(w, [this, cp, qsp, s, outputs = std::move(outputs),
+                     items, exec_start,
                      next = std::move(next)]() mutable {
             stageStats_[s].execCycles += sim_.now() - exec_start;
             const DeviceConfig& dcfg2 = dev_.config();
-            // Group outputs by target queue for push costing.
-            std::map<int, int> counts;
-            for (const StagedOutput& o : *outputs)
+            // Group outputs by target queue for push costing. Stage
+            // indices are < 32, so a stack array replaces the former
+            // per-batch std::map.
+            int counts[32] = {};
+            StageMask touched = 0;
+            for (const StagedOutput& o : outputs) {
                 counts[o.stage] += 1;
+                touched |= StageMask(1) << o.stage;
+            }
             Tick push_cost = 0.0;
-            for (const auto& [t, c] : counts)
-                push_cost += (*qsp)[t]->accessCost(dcfg2, sim_.now(), c);
+            for (int t = 0; touched; ++t, touched >>= 1) {
+                if (touched & 1) {
+                    push_cost += (*qsp)[t]->accessCost(
+                        dcfg2, sim_.now(), counts[t]);
+                }
+            }
 
-            auto commit = [this, qsp, s, outputs, items,
-                           next = std::move(next)] {
-                pending_.add(static_cast<std::int64_t>(
-                    outputs->size()));
-                for (StagedOutput& o : *outputs)
+            auto commit = [this, qsp, s, outputs = std::move(outputs),
+                           items, next = std::move(next)]() mutable {
+                pending_.add(
+                    static_cast<std::int64_t>(outputs.size()));
+                for (StagedOutput& o : outputs)
                     o.push(*(*qsp)[o.stage]);
                 inFlight_[s] -= items;
                 pending_.sub(items);
                 next();
             };
-            if (push_cost > 0.0 && !outputs->empty())
+            if (push_cost > 0.0 && !outputs.empty())
                 cp->delay(push_cost, std::move(commit));
             else
                 commit();
@@ -240,6 +249,7 @@ RunnerBase::collect()
     RunResult r;
     r.cycles = sim_.now();
     r.ms = dev_.config().cyclesToMs(r.cycles);
+    r.simEvents = sim_.eventsRun();
     r.configName = configName_;
     r.deviceName = dev_.config().name;
     r.device = dev_.stats();

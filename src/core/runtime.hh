@@ -167,8 +167,7 @@ class RunnerBase
      */
     void processBatch(BlockContext& ctx, QueueSet& qs, int s,
                       StageMask inlineMask, int maxItems,
-                      std::function<void()> next,
-                      QueueSet* pushInto = nullptr);
+                      EventFn next, QueueSet* pushInto = nullptr);
 
     /** Tasks a block of stage @p s processes per fetch. */
     int batchCapacity(int s) const;

@@ -24,27 +24,31 @@ BlockContext::sm()
 }
 
 void
-BlockContext::exec(const WorkSpec& work, std::function<void()> cb)
+BlockContext::complete()
+{
+    busy_ = false;
+    EventFn cb = std::move(cont_);
+    cb();
+}
+
+void
+BlockContext::exec(const WorkSpec& work, EventFn cb)
 {
     VP_ASSERT(!exited_, "exec() on an exited block");
     VP_ASSERT(!busy_, "block already has an operation outstanding");
     busy_ = true;
-    sm().beginWork(work, kernel_.id(), [this, cb = std::move(cb)] {
-        busy_ = false;
-        cb();
-    });
+    cont_ = std::move(cb);
+    sm().beginWork(work, kernel_.id(), [this] { complete(); });
 }
 
 void
-BlockContext::delay(Tick cycles, std::function<void()> cb)
+BlockContext::delay(Tick cycles, EventFn cb)
 {
     VP_ASSERT(!exited_, "delay() on an exited block");
     VP_ASSERT(!busy_, "block already has an operation outstanding");
     busy_ = true;
-    sim().after(cycles, [this, cb = std::move(cb)] {
-        busy_ = false;
-        cb();
-    });
+    cont_ = std::move(cb);
+    sim().after(cycles, [this] { complete(); });
 }
 
 void

@@ -13,8 +13,6 @@
 #ifndef VP_GPU_BLOCK_HH
 #define VP_GPU_BLOCK_HH
 
-#include <functional>
-
 #include "gpu/cost_model.hh"
 #include "sim/simulator.hh"
 
@@ -55,10 +53,10 @@ class BlockContext
      * Execute @p work on the SM under processor sharing, then invoke
      * @p cb. The block may not have another exec/delay outstanding.
      */
-    void exec(const WorkSpec& work, std::function<void()> cb);
+    void exec(const WorkSpec& work, EventFn cb);
 
     /** Busy-occupy the block for @p cycles, then invoke @p cb. */
-    void delay(Tick cycles, std::function<void()> cb);
+    void delay(Tick cycles, EventFn cb);
 
     /** Retire the block, freeing its SM resources. */
     void exit();
@@ -67,10 +65,20 @@ class BlockContext
     bool exited() const { return exited_; }
 
   private:
+    /** Finish the outstanding operation and run its continuation. */
+    void complete();
+
     Device& dev_;
     Kernel& kernel_;
     int smId_;
     int blockIdx_;
+    /**
+     * Continuation of the single outstanding exec/delay. Keeping it
+     * here (instead of capturing it into the scheduled event) keeps
+     * the per-event closure down to one pointer, which always fits
+     * EventFn's inline buffer.
+     */
+    EventFn cont_;
     bool busy_ = false;
     bool exited_ = false;
 };

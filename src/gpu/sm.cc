@@ -87,14 +87,15 @@ Sm::icacheFactor() const
     // Only code that is actively issuing competes for the i-cache;
     // resident blocks that are merely polling do not thrash it.
     int code = 0;
-    std::vector<int> counted;
-    for (const auto& [id, e] : execs_) {
+    icacheScratch_.clear();
+    for (const Exec& e : execs_) {
         if (e.kernelId < 0)
             continue;
-        if (std::find(counted.begin(), counted.end(), e.kernelId)
-            != counted.end())
+        if (std::find(icacheScratch_.begin(), icacheScratch_.end(),
+                      e.kernelId)
+            != icacheScratch_.end())
             continue;
-        counted.push_back(e.kernelId);
+        icacheScratch_.push_back(e.kernelId);
         auto it = kernels_.find(e.kernelId);
         if (it != kernels_.end())
             code += it->second.second;
@@ -103,27 +104,31 @@ Sm::icacheFactor() const
 }
 
 Sm::ExecId
-Sm::beginWork(const WorkSpec& work, int kernelId,
-              std::function<void()> onDone)
+Sm::beginWork(const WorkSpec& work, int kernelId, EventFn onDone)
 {
     VP_ASSERT(work.warps > 0.0, "work with no warps");
     advance();
-    ExecId id = nextExecId_++;
     Exec e;
     e.work = work;
     e.remaining = std::max(work.warpInsts, kEps);
     e.kernelId = kernelId;
+    e.id = nextExecId_++;
     e.onDone = std::move(onDone);
-    execs_.emplace(id, std::move(e));
+    // Demand and the DRAM share of it depend only on the work shape;
+    // computing them once here keeps reschedule() to plain sums.
+    e.demand = work.warps * perWarpRate(cfg_, work);
+    double miss = (1.0 - work.l1Hit) * (1.0 - cfg_.l2HitRate);
+    e.dramFrac = work.memRatio * miss;
+    execs_.push_back(std::move(e));
     reschedule();
-    return id;
+    return execs_.back().id;
 }
 
 double
 Sm::currentTotalRate() const
 {
     double total = 0.0;
-    for (const auto& [id, e] : execs_)
+    for (const Exec& e : execs_)
         total += e.rate;
     return total;
 }
@@ -140,7 +145,7 @@ Sm::advance()
         return;
     stats_.activeCycles += dt;
     double issued = 0.0;
-    for (auto& [id, e] : execs_) {
+    for (Exec& e : execs_) {
         double done = e.rate * dt;
         e.remaining = std::max(0.0, e.remaining - done);
         issued += done;
@@ -160,14 +165,10 @@ Sm::reschedule()
     // Demand-proportional sharing of the SM issue bandwidth.
     double demand = 0.0;
     double dram_demand = 0.0;
-    for (auto& [id, e] : execs_) {
-        double d = e.work.warps * perWarpRate(cfg_, e.work);
-        e.rate = d; // provisional: demand
-        double miss = (1.0 - e.work.l1Hit) * (1.0 - cfg_.l2HitRate);
-        dram_demand += d * e.work.memRatio * miss;
+    for (const Exec& e : execs_) {
+        demand += e.demand;
+        dram_demand += e.demand * e.dramFrac;
     }
-    for (auto& [id, e] : execs_)
-        demand += e.rate;
 
     double scale = 1.0;
     if (demand > cfg_.issueWidth)
@@ -177,27 +178,31 @@ Sm::reschedule()
     scale /= icacheFactor();
 
     Tick soonest = std::numeric_limits<double>::infinity();
-    for (auto& [id, e] : execs_) {
-        e.rate *= scale;
+    for (Exec& e : execs_) {
+        e.rate = e.demand * scale;
         VP_ASSERT(e.rate > 0.0, "zero execution rate on SM " << id_);
         soonest = std::min(soonest, e.remaining / e.rate);
     }
 
     completion_ = sim_.after(std::max(soonest, 0.0), [this] {
         advance();
-        // Collect all executions that retired at this instant.
-        std::vector<std::function<void()>> done;
-        for (auto it = execs_.begin(); it != execs_.end();) {
-            if (it->second.remaining <= kEps) {
-                done.push_back(std::move(it->second.onDone));
-                it = execs_.erase(it);
+        // Collect all executions that retired at this instant,
+        // preserving start order for deterministic callback order.
+        doneScratch_.clear();
+        auto keep = execs_.begin();
+        for (auto it = execs_.begin(); it != execs_.end(); ++it) {
+            if (it->remaining <= kEps) {
+                doneScratch_.push_back(std::move(it->onDone));
                 ++stats_.execsCompleted;
             } else {
-                ++it;
+                if (keep != it)
+                    *keep = std::move(*it);
+                ++keep;
             }
         }
+        execs_.erase(keep, execs_.end());
         reschedule();
-        for (auto& fn : done)
+        for (EventFn& fn : doneScratch_)
             fn();
     });
 }

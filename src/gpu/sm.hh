@@ -16,7 +16,6 @@
 #define VP_GPU_SM_HH
 
 #include <cstdint>
-#include <functional>
 #include <map>
 #include <vector>
 
@@ -93,7 +92,7 @@ class Sm
      * count only actively executing code.
      */
     ExecId beginWork(const WorkSpec& work, int kernelId,
-                     std::function<void()> onDone);
+                     EventFn onDone);
 
     /** Number of in-flight executions. */
     std::size_t activeExecs() const { return execs_.size(); }
@@ -115,8 +114,13 @@ class Sm
         WorkSpec work;
         double remaining;
         double rate = 0.0;
+        /** Demand (warps x per-warp rate); fixed per execution. */
+        double demand = 0.0;
+        /** Fraction of issued demand that reaches DRAM; fixed. */
+        double dramFrac = 0.0;
+        ExecId id = 0;
         int kernelId = -1;
-        std::function<void()> onDone;
+        EventFn onDone;
     };
 
     /** Retire elapsed progress since the last update. */
@@ -140,7 +144,12 @@ class Sm
     /** kernelId -> (resident block count, code bytes). */
     std::map<int, std::pair<int, int>> kernels_;
 
-    std::map<ExecId, Exec> execs_;
+    /** In-flight executions, in start order (stable; determinism). */
+    std::vector<Exec> execs_;
+    /** Scratch for completion collection; reused to avoid allocs. */
+    std::vector<EventFn> doneScratch_;
+    /** Scratch for icacheFactor's kernel dedup; reused. */
+    mutable std::vector<int> icacheScratch_;
     ExecId nextExecId_ = 1;
     Tick lastUpdate_ = 0.0;
     EventHandle completion_;

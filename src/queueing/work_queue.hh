@@ -17,6 +17,7 @@
 #include <memory>
 #include <string>
 #include <typeindex>
+#include <utility>
 #include <vector>
 
 #include "common/error.hh"
@@ -92,13 +93,27 @@ class QueueBase
     void recordPush(std::size_t depthAfter);
     void recordPop();
 
+    /** Record @p n pops in one bookkeeping step (batch pop). */
+    void recordPops(std::uint64_t n);
+
   private:
     std::string name_;
     int itemBytes_;
     std::type_index type_;
 
-    /** Timestamps of recent accesses for the contention estimate. */
-    std::deque<Tick> recent_;
+    /**
+     * Timestamps of accesses inside the contention window, as a ring
+     * buffer (timestamps are non-decreasing, so eviction only happens
+     * at the head). Replaces a std::deque whose chunked allocation
+     * and per-access pop/push churn sat on the queue-cost fast path;
+     * the contention estimate is bitwise identical.
+     */
+    std::vector<Tick> recent_;
+    std::size_t recentHead_ = 0;
+    std::size_t recentCount_ = 0;
+
+    /** Append @p t to the access window, growing if full. */
+    void pushRecent(Tick t);
 
     QueueStats stats_;
 };
@@ -142,11 +157,12 @@ class WorkQueue : public QueueBase
     popBatch(std::vector<T>& out, std::size_t maxItems)
     {
         std::size_t n = std::min(maxItems, items_.size());
+        out.reserve(out.size() + n);
         for (std::size_t i = 0; i < n; ++i) {
             out.push_back(std::move(items_.front()));
             items_.pop_front();
-            recordPop();
         }
+        recordPops(n);
         return n;
     }
 

@@ -1,29 +1,120 @@
 #include "sim/simulator.hh"
 
+#include <algorithm>
 #include <cmath>
 
 namespace vp {
 
+std::uint32_t
+Simulator::allocSlot()
+{
+    if (freeHead_ != EventHandle::kNone) {
+        std::uint32_t idx = freeHead_;
+        freeHead_ = slab_[idx].nextFree;
+        slab_[idx].nextFree = EventHandle::kNone;
+        return idx;
+    }
+    VP_ASSERT(slab_.size() < kSlotMask,
+              "event slab exhausted (too many pending events)");
+    slab_.emplace_back();
+    return static_cast<std::uint32_t>(slab_.size() - 1);
+}
+
+void
+Simulator::freeSlot(std::uint32_t idx)
+{
+    Slot& s = slab_[idx];
+    s.fn.reset();
+    s.heapPos = kNotQueued;
+    // Stale handles to this slot's previous tenant now mismatch.
+    ++s.gen;
+    s.nextFree = freeHead_;
+    freeHead_ = idx;
+}
+
+void
+Simulator::heapPush(HeapEntry e)
+{
+    heap_.push_back(e);
+    siftUp(static_cast<std::uint32_t>(heap_.size() - 1));
+}
+
+void
+Simulator::heapRemove(std::uint32_t pos)
+{
+    std::uint32_t last = static_cast<std::uint32_t>(heap_.size() - 1);
+    slab_[heap_[pos].slot()].heapPos = kNotQueued;
+    if (pos != last) {
+        heap_[pos] = heap_[last];
+        heap_.pop_back();
+        // The displaced element may need to move either direction.
+        siftDown(pos);
+        siftUp(pos);
+    } else {
+        heap_.pop_back();
+    }
+}
+
+void
+Simulator::siftUp(std::uint32_t pos)
+{
+    HeapEntry e = heap_[pos];
+    while (pos > 0) {
+        std::uint32_t parent = (pos - 1) / kArity;
+        if (!firesBefore(e, heap_[parent]))
+            break;
+        heap_[pos] = heap_[parent];
+        slab_[heap_[pos].slot()].heapPos = pos;
+        pos = parent;
+    }
+    heap_[pos] = e;
+    slab_[e.slot()].heapPos = pos;
+}
+
+void
+Simulator::siftDown(std::uint32_t pos)
+{
+    HeapEntry e = heap_[pos];
+    std::uint32_t n = static_cast<std::uint32_t>(heap_.size());
+    for (;;) {
+        std::uint32_t first = kArity * pos + 1;
+        if (first >= n)
+            break;
+        std::uint32_t stop = std::min(first + kArity, n);
+        std::uint32_t best = first;
+        for (std::uint32_t c = first + 1; c < stop; ++c)
+            if (firesBefore(heap_[c], heap_[best]))
+                best = c;
+        if (!firesBefore(heap_[best], e))
+            break;
+        heap_[pos] = heap_[best];
+        slab_[heap_[pos].slot()].heapPos = pos;
+        pos = best;
+    }
+    heap_[pos] = e;
+    slab_[e.slot()].heapPos = pos;
+}
+
 EventHandle
-Simulator::at(Tick when, std::function<void()> fn)
+Simulator::at(Tick when, EventFn fn)
 {
     VP_ASSERT(std::isfinite(when), "event time must be finite");
     VP_ASSERT(when + 1e-9 >= now_,
               "cannot schedule in the past: " << when << " < " << now_);
-    auto rec = std::make_unique<Record>();
-    rec->when = std::max(when, now_);
-    rec->seq = nextSeq_++;
-    rec->id = nextId_++;
-    rec->fn = std::move(fn);
-    Record* raw = rec.get();
-    records_.emplace(raw->id, std::move(rec));
-    queue_.push(raw);
-    ++live_;
-    return EventHandle(raw->id);
+    std::uint32_t idx = allocSlot();
+    Slot& s = slab_[idx];
+    s.fn = std::move(fn);
+    std::uint32_t gen = s.gen;
+    std::uint64_t seq = nextSeq_++;
+    VP_ASSERT(seq < (std::uint64_t(1) << (64 - kSlotBits)),
+              "event sequence space exhausted");
+    heapPush(HeapEntry{when > now_ ? when : now_,
+                       (seq << kSlotBits) | idx});
+    return EventHandle(idx, gen);
 }
 
 EventHandle
-Simulator::after(Tick delay, std::function<void()> fn)
+Simulator::after(Tick delay, EventFn fn)
 {
     VP_ASSERT(delay >= 0.0, "negative delay " << delay);
     return at(now_ + delay, std::move(fn));
@@ -32,38 +123,35 @@ Simulator::after(Tick delay, std::function<void()> fn)
 void
 Simulator::cancel(EventHandle h)
 {
-    if (!h.valid())
+    if (!h.valid() || h.slot_ >= slab_.size())
         return;
-    auto it = records_.find(h.id_);
-    if (it == records_.end())
+    Slot& s = slab_[h.slot_];
+    // Stale generation: the event already fired (or was cancelled)
+    // and the slot may belong to someone else now.
+    if (s.gen != h.gen_ || s.heapPos == kNotQueued)
         return;
-    if (!it->second->cancelled) {
-        it->second->cancelled = true;
-        --live_;
-    }
+    heapRemove(s.heapPos);
+    freeSlot(h.slot_);
 }
 
 void
 Simulator::dispatchNext()
 {
-    Record* rec = queue_.top();
-    queue_.pop();
-    if (!rec->cancelled) {
-        now_ = rec->when;
-        --live_;
-        ++eventsRun_;
-        auto fn = std::move(rec->fn);
-        records_.erase(rec->id);
-        fn();
-    } else {
-        records_.erase(rec->id);
-    }
+    std::uint32_t idx = heap_[0].slot();
+    now_ = heap_[0].when;
+    ++eventsRun_;
+    EventFn fn = std::move(slab_[idx].fn);
+    heapRemove(0);
+    // Recycle before firing: the callback may schedule new events,
+    // which can then reuse this slot immediately.
+    freeSlot(idx);
+    fn();
 }
 
 Tick
 Simulator::run()
 {
-    while (!queue_.empty())
+    while (!heap_.empty())
         dispatchNext();
     return now_;
 }
@@ -72,10 +160,10 @@ bool
 Simulator::runUntil(Tick timeLimit, std::uint64_t eventLimit)
 {
     std::uint64_t start = eventsRun_;
-    while (!queue_.empty()) {
+    while (!heap_.empty()) {
         if (eventsRun_ - start >= eventLimit)
             return false;
-        if (queue_.top()->when > timeLimit)
+        if (heap_[0].when > timeLimit)
             return false;
         dispatchNext();
     }
@@ -86,7 +174,7 @@ bool
 Simulator::runBounded(std::uint64_t limit)
 {
     std::uint64_t start = eventsRun_;
-    while (!queue_.empty()) {
+    while (!heap_.empty()) {
         if (eventsRun_ - start >= limit)
             return false;
         dispatchNext();

@@ -9,6 +9,8 @@
 #ifndef VP_TUNER_OFFLINE_TUNER_HH
 #define VP_TUNER_OFFLINE_TUNER_HH
 
+#include <functional>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -28,6 +30,11 @@ struct TunerOptions
     double timeoutFactor = 1.02;
     /** Enable online adaptation in the returned configuration. */
     bool onlineAdaptation = false;
+    /**
+     * Worker threads for autotuneParallel (<= 0 means one per
+     * hardware thread). autotune() ignores this.
+     */
+    int threads = 1;
 };
 
 /** Outcome of one autotuning session. */
@@ -47,6 +54,29 @@ struct TunerResult
  */
 TunerResult autotune(Engine& engine, AppDriver& driver,
                      const TunerOptions& opts = {});
+
+/** Creates one private AppDriver instance per tuner worker. */
+using DriverFactory = std::function<std::unique_ptr<AppDriver>()>;
+
+/**
+ * autotune() with the candidate sweep spread over
+ * TunerOptions::threads host threads. Each worker owns a private
+ * Engine and AppDriver (from @p makeDriver), so candidate runs never
+ * share mutable state; the threads share one atomic best-so-far
+ * cycle count that feeds every worker's timeout-execute cutoff.
+ *
+ * The chosen configuration and its RunResult are bit-identical to
+ * the serial sweep for any thread count: per-candidate runs are
+ * deterministic, the best candidate can never time out under a
+ * monotonically tightening cutoff (timeoutFactor >= 1), and the
+ * arg-min reduction runs serially in candidate order after the
+ * sweep. Only the timedOut/finished bookkeeping may differ — a
+ * looser interleaving can let more candidates finish than the
+ * serial sweep would.
+ */
+TunerResult autotuneParallel(const DeviceConfig& deviceCfg,
+                             const DriverFactory& makeDriver,
+                             const TunerOptions& opts = {});
 
 } // namespace vp
 

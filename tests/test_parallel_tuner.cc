@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Tests of the multi-threaded candidate sweep: the parallel tuner
+ * must pick a configuration bit-identical to the serial sweep's, for
+ * any thread count, because per-candidate runs are deterministic and
+ * the arg-min reduction is serialized in candidate order.
+ */
+
+#include <gtest/gtest.h>
+
+#include "apps/registry.hh"
+#include "tuner/offline_tuner.hh"
+
+using namespace vp;
+
+namespace {
+
+TunerResult
+runSerial(const TunerOptions& opts = {})
+{
+    Engine engine(DeviceConfig::k20c());
+    auto driver = makeApp("pyramid", AppScale::Small);
+    return autotune(engine, *driver, opts);
+}
+
+TunerResult
+runParallel(int threads)
+{
+    TunerOptions opts;
+    opts.threads = threads;
+    return autotuneParallel(
+        DeviceConfig::k20c(),
+        [] { return makeApp("pyramid", AppScale::Small); }, opts);
+}
+
+} // namespace
+
+TEST(ParallelTuner, SingleThreadMatchesSerialExactly)
+{
+    TunerResult serial = runSerial();
+    TunerResult par = runParallel(1);
+    EXPECT_EQ(par.bestRun.cycles, serial.bestRun.cycles);
+    EXPECT_EQ(par.bestRun.configName, serial.bestRun.configName);
+    EXPECT_EQ(par.evaluated, serial.evaluated);
+    // With one worker, the cutoff sequence is the serial one, so
+    // even the pruning bookkeeping coincides.
+    EXPECT_EQ(par.timedOut, serial.timedOut);
+    ASSERT_EQ(par.finished.size(), serial.finished.size());
+    for (std::size_t i = 0; i < par.finished.size(); ++i) {
+        EXPECT_EQ(par.finished[i].first, serial.finished[i].first);
+        EXPECT_EQ(par.finished[i].second, serial.finished[i].second);
+    }
+}
+
+TEST(ParallelTuner, FourThreadsPickSerialBest)
+{
+    TunerResult serial = runSerial();
+    TunerResult par = runParallel(4);
+    // Bit-identical winner: same cycles, same configuration, same
+    // device-time conversion.
+    EXPECT_EQ(par.bestRun.cycles, serial.bestRun.cycles);
+    EXPECT_EQ(par.bestRun.ms, serial.bestRun.ms);
+    EXPECT_EQ(par.bestRun.configName, serial.bestRun.configName);
+    EXPECT_EQ(par.evaluated, serial.evaluated);
+    // Interleaving can only let MORE candidates finish (cutoffs
+    // tighten later than in the serial sweep), never fewer.
+    EXPECT_LE(par.timedOut, serial.timedOut);
+}
+
+TEST(ParallelTuner, ParallelSweepIsInternallyDeterministic)
+{
+    TunerResult a = runParallel(3);
+    TunerResult b = runParallel(3);
+    EXPECT_EQ(a.bestRun.cycles, b.bestRun.cycles);
+    EXPECT_EQ(a.bestRun.configName, b.bestRun.configName);
+}
+
+TEST(ParallelTuner, BestRunVerifies)
+{
+    TunerResult par = runParallel(2);
+    EXPECT_TRUE(par.bestRun.completed);
+    EXPECT_GT(par.bestRun.cycles, 0.0);
+    EXPECT_GT(par.bestRun.simEvents, 0u);
+}
+
+TEST(ParallelTuner, RejectsBadArguments)
+{
+    EXPECT_THROW(autotuneParallel(DeviceConfig::k20c(), nullptr),
+                 FatalError);
+    TunerOptions opts;
+    opts.timeoutFactor = 0.5;
+    EXPECT_THROW(
+        autotuneParallel(
+            DeviceConfig::k20c(),
+            [] { return makeApp("pyramid", AppScale::Small); }, opts),
+        FatalError);
+}

@@ -44,6 +44,21 @@ TEST(WorkQueue, PopBatchTakesUpToMax)
     EXPECT_TRUE(q.empty());
 }
 
+TEST(WorkQueue, PopBatchCountsEveryPopInStats)
+{
+    WorkQueue<int> q("q");
+    for (int i = 0; i < 10; ++i)
+        q.push(i);
+    std::vector<int> out;
+    q.popBatch(out, 7);
+    EXPECT_EQ(q.stats().pops, 7u);
+    q.popBatch(out, 100);
+    EXPECT_EQ(q.stats().pops, 10u);
+    EXPECT_EQ(out.size(), 10u); // appended, not overwritten
+    q.popBatch(out, 5); // empty queue: no stats movement
+    EXPECT_EQ(q.stats().pops, 10u);
+}
+
 TEST(WorkQueue, ItemBytesMatchesPayload)
 {
     struct Item { double a; int b; int c; };
