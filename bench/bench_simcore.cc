@@ -17,6 +17,7 @@
  *             by the bench_smoke ctest entry).
  */
 
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <cstring>
@@ -161,6 +162,64 @@ benchApp(const std::string& app, AppScale scale, int reps)
     return r;
 }
 
+struct FaultModeRow
+{
+    std::string app;
+    std::uint64_t events = 0;
+    double plainSeconds = 0.0;
+    double disabledSeconds = 0.0;
+    /** disabled/plain wall ratio (1.0 = injection is free). */
+    double ratio = 0.0;
+    bool eventsMatch = false;
+};
+
+/**
+ * Overhead of the fault-injection layer when it is compiled in but
+ * the plan injects nothing: the runtime must take the plain batch
+ * path and produce a bit-identical event trace. Wall time is the
+ * min over interleaved reps (robust against CPU drift); the event
+ * counts must match exactly.
+ */
+FaultModeRow
+benchFaultMode(const std::string& app, int reps)
+{
+    Engine plain(DeviceConfig::k20c());
+    Engine armed(DeviceConfig::k20c());
+    armed.setFaultPlan(FaultPlan{}); // nothing enabled
+
+    FaultModeRow row;
+    row.app = app;
+    row.plainSeconds = 1e30;
+    row.disabledSeconds = 1e30;
+    std::uint64_t plainEvents = 0, disabledEvents = 0;
+    for (int i = 0; i < reps; ++i) {
+        {
+            auto driver = makeApp(app, AppScale::Small);
+            auto t0 = Clock::now();
+            RunResult r = plain.run(*driver,
+                                    makeMegakernelConfig(
+                                        driver->pipeline()));
+            row.plainSeconds =
+                std::min(row.plainSeconds, secondsSince(t0));
+            plainEvents = r.simEvents;
+        }
+        {
+            auto driver = makeApp(app, AppScale::Small);
+            auto t0 = Clock::now();
+            RunResult r = armed.run(*driver,
+                                    makeMegakernelConfig(
+                                        driver->pipeline()));
+            row.disabledSeconds =
+                std::min(row.disabledSeconds, secondsSince(t0));
+            disabledEvents = r.simEvents;
+        }
+    }
+    row.events = plainEvents;
+    row.eventsMatch = plainEvents == disabledEvents;
+    row.ratio = row.disabledSeconds / row.plainSeconds;
+    return row;
+}
+
 struct TunerRow
 {
     std::string app;
@@ -231,6 +290,27 @@ main(int argc, char** argv)
                     static_cast<unsigned long long>(r.events),
                     r.seconds, r.eventsPerSec / 1e6);
 
+    vp::bench::header("fault-injection overhead (pyramid, small)");
+    FaultModeRow fm = benchFaultMode("pyramid", smoke ? 3 : 20);
+    std::printf("  plain             %8.3fms\n"
+                "  disabled plan     %8.3fms  ratio=%.4f  "
+                "events %s\n",
+                fm.plainSeconds * 1e3, fm.disabledSeconds * 1e3,
+                fm.ratio, fm.eventsMatch ? "identical" : "DIVERGED");
+    if (!fm.eventsMatch) {
+        std::fprintf(stderr,
+                     "ERROR: disabled fault plan changed the event "
+                     "trace\n");
+        return 1;
+    }
+    if (!smoke && fm.ratio >= 1.02) {
+        std::fprintf(stderr,
+                     "ERROR: disabled fault injection costs %.1f%% "
+                     "(budget: <2%%)\n",
+                     (fm.ratio - 1.0) * 100.0);
+        return 1;
+    }
+
     vp::bench::header("auto-tuner wall clock (pyramid, small)");
     TunerRow serial = benchTunerSerial("pyramid");
     TunerRow par = benchTunerParallel("pyramid", smoke ? 2 : 4);
@@ -261,7 +341,17 @@ main(int argc, char** argv)
                 rows[i].seconds, rows[i].eventsPerSec,
                 i + 1 < rows.size() ? "," : "");
         std::fprintf(json,
-                     "  ],\n  \"tuner\": {\"app\": \"%s\", "
+                     "  ],\n  \"fault_mode\": {\"app\": \"%s\", "
+                     "\"events\": %llu, \"events_identical\": %s, "
+                     "\"plain_seconds\": %.6f, "
+                     "\"disabled_seconds\": %.6f, "
+                     "\"overhead_ratio\": %.4f},\n",
+                     fm.app.c_str(),
+                     static_cast<unsigned long long>(fm.events),
+                     fm.eventsMatch ? "true" : "false",
+                     fm.plainSeconds, fm.disabledSeconds, fm.ratio);
+        std::fprintf(json,
+                     "  \"tuner\": {\"app\": \"%s\", "
                      "\"serial_seconds\": %.6f, "
                      "\"parallel_threads\": %d, "
                      "\"parallel_seconds\": %.6f, "

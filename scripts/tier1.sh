@@ -1,0 +1,17 @@
+#!/usr/bin/env bash
+# Tier-1 verification: configure + build + full test suite, then
+# rebuild the fault-injection/recovery subset under ASan+UBSan (the
+# tests carrying the ctest label `sanitize`) so the closure-heavy
+# runtime paths run with memory and UB checking on every change.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+jobs="$(nproc 2>/dev/null || echo 4)"
+
+cmake --preset default
+cmake --build build -j"$jobs"
+ctest --test-dir build --output-on-failure -j"$jobs"
+
+cmake --preset asan-ubsan
+cmake --build build-sanitize -j"$jobs"
+ctest --test-dir build-sanitize -L sanitize --output-on-failure -j"$jobs"

@@ -29,6 +29,7 @@ InitStage::InitStage(LdpcApp& app)
 {
     name = "ldpc_init";
     threadNum = kThreads;
+    retryable = true; // idempotent per-frame writes
     resources.regsPerThread = 56;  // 4 blocks/SM (paper sec 8.3)
     resources.codeBytes = 6144;
     kbkHostBytesPerItem = 1024;    // channel values uploaded per frame
@@ -66,6 +67,7 @@ C2vStage::C2vStage(LdpcApp& app)
 {
     name = "ldpc_c2v";
     threadNum = kThreads;
+    retryable = true; // reads v2c, writes c2v: idempotent
     resources.regsPerThread = 48;  // 5 blocks/SM (paper sec 8.3)
     resources.codeBytes = 9216;
 }
@@ -93,6 +95,7 @@ V2cStage::V2cStage(LdpcApp& app)
 {
     name = "ldpc_v2c";
     threadNum = kThreads;
+    retryable = true; // reads llr/c2v, writes v2c: idempotent
     resources.regsPerThread = 48;  // 5 blocks/SM
     resources.codeBytes = 8192;
 }
@@ -125,6 +128,7 @@ ProbVarStage::ProbVarStage(LdpcApp& app)
 {
     name = "ldpc_probvar";
     threadNum = kThreads;
+    retryable = true; // overwrites its frame's decision: idempotent
     resources.regsPerThread = 56;  // 4 blocks/SM
     resources.codeBytes = 9728;
     kbkHostBytesPerItem = 128;     // decisions downloaded per frame

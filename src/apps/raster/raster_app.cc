@@ -70,6 +70,7 @@ InterpolateStage::InterpolateStage(RasterApp& app)
 {
     name = "interpolate";
     threadNum = 1;
+    retryable = true; // pure: reads geometry, emits tile items
     resources.regsPerThread = 72;  // 3 blocks/SM
     resources.codeBytes = 10240;
 }
@@ -100,6 +101,7 @@ RShadeStage::RShadeStage(RasterApp& app)
 {
     name = "shade";
     threadNum = 256;
+    retryable = true; // depth-test min-write: idempotent
     resources.regsPerThread = 60;  // 4 blocks/SM
     resources.codeBytes = 8192;
 }

@@ -1,0 +1,27 @@
+/**
+ * @file
+ * Error-code display names.
+ */
+
+#include "common/error.hh"
+
+namespace vp {
+
+const char*
+errorCodeName(ErrorCode c)
+{
+    switch (c) {
+      case ErrorCode::Generic: return "generic";
+      case ErrorCode::Config: return "config";
+      case ErrorCode::Input: return "input";
+      case ErrorCode::Stall: return "stall";
+      case ErrorCode::Deadlock: return "deadlock";
+      case ErrorCode::Livelock: return "livelock";
+      case ErrorCode::SmFailure: return "sm-failure";
+      case ErrorCode::QueueOverflow: return "queue-overflow";
+      case ErrorCode::Timeout: return "timeout";
+    }
+    return "unknown";
+}
+
+} // namespace vp

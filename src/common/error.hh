@@ -6,6 +6,11 @@
  * recoverable by fixing inputs or configuration) from internal
  * invariant violations ("panic", a bug in this library). Both raise
  * typed exceptions so tests can assert on them.
+ *
+ * Errors additionally carry a typed ErrorCode so fault diagnostics
+ * can name the failing subsystem (stage, SM, queue, watchdog) and
+ * callers can branch on the class of failure instead of parsing
+ * message strings.
  */
 
 #ifndef VP_COMMON_ERROR_HH
@@ -17,22 +22,62 @@
 
 namespace vp {
 
+/** Machine-checkable classification of an error. */
+enum class ErrorCode
+{
+    /** Unclassified error (the VP_FATAL / VP_PANIC default). */
+    Generic,
+    /** Invalid configuration or pipeline description. */
+    Config,
+    /** Invalid input data or API usage. */
+    Input,
+    /** A run made no drain progress (watchdog / stall detection). */
+    Stall,
+    /** A queue-full cycle wedged the pipeline. */
+    Deadlock,
+    /** The event-count livelock guard tripped. */
+    Livelock,
+    /** An SM failed or was taken offline. */
+    SmFailure,
+    /** A work queue overflowed its configured capacity. */
+    QueueOverflow,
+    /** A run exceeded its drain timeout. */
+    Timeout,
+};
+
+/** Display name of an error code. */
+const char* errorCodeName(ErrorCode c);
+
 /** Raised when the user supplied an invalid configuration or input. */
 class FatalError : public std::runtime_error
 {
   public:
-    explicit FatalError(const std::string& msg)
-        : std::runtime_error(msg)
+    explicit FatalError(const std::string& msg,
+                        ErrorCode code = ErrorCode::Generic)
+        : std::runtime_error(msg), code_(code)
     {}
+
+    /** Typed classification of this error. */
+    ErrorCode code() const { return code_; }
+
+  private:
+    ErrorCode code_;
 };
 
 /** Raised when an internal invariant of the library is violated. */
 class PanicError : public std::logic_error
 {
   public:
-    explicit PanicError(const std::string& msg)
-        : std::logic_error(msg)
+    explicit PanicError(const std::string& msg,
+                        ErrorCode code = ErrorCode::Generic)
+        : std::logic_error(msg), code_(code)
     {}
+
+    /** Typed classification of this error. */
+    ErrorCode code() const { return code_; }
+
+  private:
+    ErrorCode code_;
 };
 
 namespace detail {
@@ -41,11 +86,15 @@ namespace detail {
 template <typename Exc>
 [[noreturn]] inline void
 throwFormatted(const char* kind, const char* file, int line,
-               const std::string& msg)
+               const std::string& msg,
+               ErrorCode code = ErrorCode::Generic)
 {
     std::ostringstream os;
-    os << kind << ": " << msg << " (" << file << ":" << line << ")";
-    throw Exc(os.str());
+    os << kind;
+    if (code != ErrorCode::Generic)
+        os << "[" << errorCodeName(code) << "]";
+    os << ": " << msg << " (" << file << ":" << line << ")";
+    throw Exc(os.str(), code);
 }
 
 } // namespace detail
@@ -83,6 +132,22 @@ throwFormatted(const char* kind, const char* file, int line,
     do {                                                                    \
         if (!(cond)) {                                                      \
             VP_FATAL("requirement `" #cond "` failed: " << msg);            \
+        }                                                                   \
+    } while (0)
+
+/**
+ * Validate a condition and, on failure, raise a FatalError carrying a
+ * typed ErrorCode plus a context message. Use this (rather than bare
+ * VP_REQUIRE) in fault/recovery paths so the diagnostic names the
+ * stage, SM or queue involved and tests can match on the code.
+ */
+#define VP_CHECK(cond, errcode, msg)                                        \
+    do {                                                                    \
+        if (!(cond)) {                                                      \
+            std::ostringstream vp_os_;                                      \
+            vp_os_ << msg;                                                  \
+            ::vp::detail::throwFormatted<::vp::FatalError>(                 \
+                "fatal", __FILE__, __LINE__, vp_os_.str(), (errcode));      \
         }                                                                   \
     } while (0)
 

@@ -1,5 +1,8 @@
 #include "core/engine.hh"
 
+#include <limits>
+#include <string>
+
 #include "common/logging.hh"
 
 namespace vp {
@@ -31,25 +34,168 @@ Engine::runTimed(AppDriver& driver, const PipelineConfig& config,
     Simulator sim;
     Device dev(sim, cfg_);
     Host host(sim, dev);
-    auto runner = makeRunner(sim, dev, host, pipe, config);
+
+    // All fault/recovery state lives on this stack frame, keeping
+    // runTimed const and re-entrant: repeated runs under the same
+    // plan are bit-reproducible because each builds a fresh seeded
+    // injector.
+    std::optional<FaultInjector> injector;
+    FaultContext fc;
+    RecoveryConfig rc;
+    bool faulted = plan_.has_value() || recovery_.has_value();
+    if (plan_) {
+        plan_->validate();
+        injector.emplace(*plan_);
+        fc.injector = &*injector;
+        dev.setFaultInjector(&*injector);
+    }
+    if (recovery_) {
+        recovery_->validate();
+        rc = *recovery_;
+        fc.recovery = &*recovery_;
+    }
+
+    auto runner = makeRunner(sim, dev, host, pipe, config, fc);
+
+    // Scripted SM failures/degradations become ordinary engine
+    // events. Outstanding ones are cancelled when the pipeline
+    // drains, so a fault scheduled past the natural end of the run
+    // neither fires into a dead device nor inflates the run time.
+    if (plan_ && !plan_->smEvents.empty()) {
+        auto handles = std::make_shared<std::vector<EventHandle>>();
+        for (const SmFaultEvent& e : plan_->smEvents) {
+            VP_CHECK(e.sm >= 0 && e.sm < dev.numSms(),
+                     ErrorCode::Config,
+                     "fault plan: SM " << e.sm
+                     << " out of range (device has " << dev.numSms()
+                     << " SMs)");
+            handles->push_back(sim.at(e.time, [&dev, e] {
+                if (dev.sm(e.sm).offline())
+                    return;
+                if (e.kind == SmFaultEvent::Kind::Kill)
+                    dev.failSm(e.sm);
+                else
+                    dev.degradeSm(e.sm, e.factor);
+            }));
+        }
+        runner->pending().notifyOnDrain([&sim, handles] {
+            for (EventHandle h : *handles)
+                sim.cancel(h);
+        });
+    }
 
     runner->start(driver);
-    bool drained = sim.runUntil(cycleLimit, eventLimit_);
+
+    bool watchdogOn = faulted && rc.watchdogIntervalCycles > 0.0;
+    bool timeoutOn = faulted && rc.drainTimeoutCycles > 0.0;
+
+    bool drained;
+    std::optional<RunOutcome> failure;
+    std::string reason;
+    if (!watchdogOn && !timeoutOn) {
+        drained = sim.runUntil(cycleLimit, eventLimit_);
+    } else {
+        // Slice the run at watchdog checkpoints and sample the
+        // runner's drain-progress heartbeat between slices. This
+        // costs no simulation events, so a healthy run's event
+        // trace — and cycle count — is identical to an unsupervised
+        // one.
+        std::uint64_t lastProgress = runner->drainProgress();
+        std::uint64_t lastEvents = sim.eventsRun();
+        int stalledChecks = 0;
+        Tick checkpoint = watchdogOn
+            ? rc.watchdogIntervalCycles
+            : std::numeric_limits<Tick>::infinity();
+        for (;;) {
+            Tick target = std::min(checkpoint, cycleLimit);
+            if (timeoutOn)
+                target = std::min(target, rc.drainTimeoutCycles);
+            std::uint64_t budget = eventLimit_ > sim.eventsRun()
+                ? eventLimit_ - sim.eventsRun()
+                : 0;
+            drained = sim.runUntil(target, budget);
+            if (drained)
+                break;
+            if (sim.eventsRun() >= eventLimit_ || target >= cycleLimit)
+                break;
+            if (timeoutOn && target >= rc.drainTimeoutCycles) {
+                failure = RunOutcome::DrainTimeout;
+                reason = "global drain timeout ("
+                    + std::to_string(rc.drainTimeoutCycles)
+                    + " cycles) elapsed\n" + runner->diagnoseStall();
+                break;
+            }
+            std::uint64_t progress = runner->drainProgress();
+            std::uint64_t events = sim.eventsRun();
+            if (progress != lastProgress) {
+                stalledChecks = 0;
+            } else if (events != lastEvents
+                       && runner->pending().value() > 0) {
+                // Events are being dispatched but the queues are
+                // silent: the pipeline is spinning (polls, commit
+                // retries) without moving work. A window with NO
+                // events is not counted — the simulator is merely
+                // jumping time toward a scheduled future event
+                // (memcpy completion, retry backoff), which is
+                // legitimate waiting, not a stall.
+                if (++stalledChecks >= rc.watchdogStallChecks) {
+                    failure = RunOutcome::Stalled;
+                    reason = "watchdog: no drain progress for "
+                        + std::to_string(stalledChecks)
+                        + " checks\n" + runner->diagnoseStall();
+                    break;
+                }
+            }
+            lastProgress = progress;
+            lastEvents = events;
+            checkpoint += rc.watchdogIntervalCycles;
+        }
+    }
+
+    if (failure) {
+        RunResult result = runner->collect();
+        result.completed = false;
+        result.outcome = *failure;
+        result.failureReason = std::move(reason);
+        result.faults.watchdogFired =
+            *failure == RunOutcome::Stalled;
+        return result;
+    }
     if (!drained) {
-        VP_REQUIRE(sim.eventsRun() < eventLimit_,
-                   "run exceeded the event limit ("
-                   << eventLimit_ << ") — livelock in config `"
-                   << config.describe(pipe) << "`?");
+        VP_CHECK(sim.eventsRun() < eventLimit_, ErrorCode::Livelock,
+                 "run exceeded the event limit ("
+                 << eventLimit_ << ") — livelock in config `"
+                 << config.describe(pipe) << "`?");
         VP_DEBUG("engine: timeout at " << sim.now() << " cycles for `"
                  << config.describe(pipe) << "`");
         return std::nullopt;
     }
-    VP_REQUIRE(runner->pending().value() == 0,
-               "run drained events but left work pending (config `"
-               << config.describe(pipe) << "`)");
+    if (runner->pending().value() != 0) {
+        if (faulted) {
+            // With faults in play, leftover work is a diagnosable
+            // stall (e.g., every SM died), not a programming error.
+            RunResult result = runner->collect();
+            result.completed = false;
+            result.outcome = RunOutcome::Stalled;
+            result.failureReason = "drained events but work is left\n"
+                + runner->diagnoseStall();
+            return result;
+        }
+        VP_REQUIRE(false,
+                   "run drained events but left work pending (config `"
+                   << config.describe(pipe) << "`)");
+    }
 
     RunResult result = runner->collect();
     result.completed = driver.verify();
+    if (result.completed) {
+        result.outcome = RunOutcome::Completed;
+    } else if (result.faults.deadLettered > 0
+               || result.faults.droppedPushes > 0) {
+        result.outcome = RunOutcome::Degraded;
+    } else {
+        result.outcome = RunOutcome::VerifyFailed;
+    }
     return result;
 }
 

@@ -11,9 +11,11 @@
 #include <optional>
 
 #include "core/model_config.hh"
+#include "core/recovery.hh"
 #include "core/run_result.hh"
 #include "core/runtime.hh"
 #include "gpu/device_config.hh"
+#include "sim/fault.hh"
 
 namespace vp {
 
@@ -26,6 +28,42 @@ class Engine
 
     /** The device configuration runs execute on. */
     const DeviceConfig& deviceConfig() const { return cfg_; }
+
+    /** @name Fault injection and recovery @{ */
+
+    /**
+     * Inject the faults described by @p plan into subsequent runs.
+     * Each run constructs its own seeded FaultInjector from the
+     * plan, so repeated runs are bit-reproducible.
+     */
+    void
+    setFaultPlan(const FaultPlan& plan)
+    {
+        plan_ = plan;
+    }
+
+    /** Stop injecting faults. */
+    void clearFaultPlan() { plan_.reset(); }
+
+    /** The active fault plan, if any. */
+    const std::optional<FaultPlan>& faultPlan() const { return plan_; }
+
+    /**
+     * Configure retry/backoff/watchdog policy for subsequent runs.
+     * Also switches "drained but work left"/watchdog conditions from
+     * fatal errors to structured RunResult failures.
+     */
+    void
+    setRecovery(const RecoveryConfig& rc)
+    {
+        recovery_ = rc;
+    }
+
+    /** Drop the recovery policy (defaults apply while a fault plan
+     *  is set). */
+    void clearRecovery() { recovery_.reset(); }
+
+    /** @} */
 
     /**
      * Run @p driver under @p config to completion.
@@ -53,6 +91,8 @@ class Engine
   private:
     DeviceConfig cfg_;
     std::uint64_t eventLimit_ = 400000000ULL;
+    std::optional<FaultPlan> plan_;
+    std::optional<RecoveryConfig> recovery_;
 };
 
 } // namespace vp

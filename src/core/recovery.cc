@@ -1,0 +1,90 @@
+#include "core/recovery.hh"
+
+#include <algorithm>
+
+#include "common/error.hh"
+#include "core/run_result.hh"
+
+namespace vp {
+
+const char*
+runOutcomeName(RunOutcome o)
+{
+    switch (o) {
+      case RunOutcome::Completed: return "completed";
+      case RunOutcome::Degraded: return "degraded";
+      case RunOutcome::VerifyFailed: return "verify-failed";
+      case RunOutcome::Stalled: return "stalled";
+      case RunOutcome::DrainTimeout: return "drain-timeout";
+    }
+    return "unknown";
+}
+
+Tick
+RecoveryConfig::backoffFor(std::uint32_t tries) const
+{
+    Tick d = backoffBaseCycles;
+    for (std::uint32_t i = 1; i < tries; ++i) {
+        d *= backoffFactor;
+        if (d >= backoffCapCycles)
+            break;
+    }
+    return std::min(d, backoffCapCycles);
+}
+
+void
+RecoveryConfig::validate() const
+{
+    VP_CHECK(backoffBaseCycles >= 0.0, ErrorCode::Config,
+             "recovery: backoffBaseCycles must be >= 0");
+    VP_CHECK(backoffFactor >= 1.0, ErrorCode::Config,
+             "recovery: backoffFactor must be >= 1");
+    VP_CHECK(backoffCapCycles >= backoffBaseCycles, ErrorCode::Config,
+             "recovery: backoffCapCycles must be >= backoffBaseCycles");
+    VP_CHECK(watchdogIntervalCycles >= 0.0, ErrorCode::Config,
+             "recovery: watchdogIntervalCycles must be >= 0");
+    VP_CHECK(watchdogStallChecks >= 1, ErrorCode::Config,
+             "recovery: watchdogStallChecks must be >= 1");
+    VP_CHECK(drainTimeoutCycles >= 0.0, ErrorCode::Config,
+             "recovery: drainTimeoutCycles must be >= 0");
+}
+
+void
+RecoveryManager::init(Simulator* sim, const RecoveryConfig* cfg,
+                      int stageCount)
+{
+    sim_ = sim;
+    cfg_ = cfg;
+    buffered_.assign(static_cast<std::size_t>(stageCount), 0);
+    redeliveries_ = 0;
+}
+
+void
+RecoveryManager::scheduleRedeliver(
+    int stage, QueueBase* q, std::function<void(QueueBase&)> redeliver,
+    int count, std::uint32_t tries)
+{
+    VP_ASSERT(sim_ && cfg_, "RecoveryManager used before init()");
+    VP_ASSERT(count > 0 && redeliver, "empty redelivery batch");
+    buffered_[static_cast<std::size_t>(stage)] += count;
+    sim_->after(
+        cfg_->backoffFor(std::max<std::uint32_t>(tries, 1)),
+        [this, stage, q, fn = std::move(redeliver), count] {
+            buffered_[static_cast<std::size_t>(stage)] -= count;
+            ++redeliveries_;
+            fn(*q);
+            if (onRedelivered_)
+                onRedelivered_(stage);
+        });
+}
+
+std::int64_t
+RecoveryManager::totalBuffered() const
+{
+    std::int64_t t = 0;
+    for (std::int64_t b : buffered_)
+        t += b;
+    return t;
+}
+
+} // namespace vp

@@ -11,11 +11,32 @@
 #include <vector>
 
 #include "common/stats.hh"
+#include "core/recovery.hh"
 #include "gpu/device.hh"
 #include "gpu/host.hh"
 #include "queueing/work_queue.hh"
 
 namespace vp {
+
+/** How a run ended. */
+enum class RunOutcome
+{
+    /** Drained all work and verified cleanly. */
+    Completed,
+    /** Drained, but some injected faults destroyed work (dead
+     *  letters, dropped pushes); every task is still accounted for. */
+    Degraded,
+    /** Drained, but the application's verify() rejected the output. */
+    VerifyFailed,
+    /** The watchdog detected a stall (deadlock/livelock) and stopped
+     *  the run with a diagnostic instead of hanging. */
+    Stalled,
+    /** The global drain timeout elapsed with work still pending. */
+    DrainTimeout,
+};
+
+/** Human-readable name of @p o. */
+const char* runOutcomeName(RunOutcome o);
 
 /** Per-stage accounting of one run. */
 struct StageRunStats
@@ -29,6 +50,10 @@ struct StageRunStats
     double warpInsts = 0.0;
     /** Summed wall duration of this stage's batch executions. */
     double execCycles = 0.0;
+    /** Items of this stage scheduled for retry after a fault. */
+    std::uint64_t retried = 0;
+    /** Items of this stage abandoned to the dead-letter count. */
+    std::uint64_t deadLettered = 0;
     /** Queue statistics of the stage's input queue. */
     QueueStats queue;
 };
@@ -69,6 +94,14 @@ struct RunResult
 
     /** True when the run drained all work and verified cleanly. */
     bool completed = false;
+
+    /** How the run ended (refines `completed`). */
+    RunOutcome outcome = RunOutcome::Completed;
+    /** Diagnostic for Stalled / DrainTimeout outcomes: stage queue
+     *  depths, in-flight counts, and the resident-block map. */
+    std::string failureReason;
+    /** Fault-injection and recovery counters. */
+    FaultRecoveryStats faults;
 };
 
 } // namespace vp

@@ -17,10 +17,36 @@
 namespace vp {
 
 DpRunner::DpRunner(Simulator& sim, Device& dev, Host& host,
-                   Pipeline& pipe, const PipelineConfig& cfg)
-    : RunnerBase(sim, dev, host, pipe, cfg)
+                   Pipeline& pipe, const PipelineConfig& cfg,
+                   FaultContext fc)
+    : RunnerBase(sim, dev, host, pipe, cfg, fc)
 {
     claimed_.assign(pipe.stageCount(), 0);
+    // DP has no polling workers: redelivered items need a kernel
+    // spawned for them explicitly.
+    recovery_.setOnRedelivered([this](int s) {
+        int unclaimed =
+            static_cast<int>(queues_[s]->size()) - claimed_[s];
+        if (unclaimed > 0 && dev_.numOnlineSms() > 0)
+            spawnKernel(s, unclaimed, false);
+    });
+}
+
+void
+DpRunner::onSmFailed(int sm)
+{
+    (void)sm;
+    if (dev_.numOnlineSms() <= 0)
+        return;
+    // Respawn for anything queued but orphaned by the failure.
+    for (int t = 0; t < pipe_.stageCount(); ++t) {
+        int unclaimed =
+            static_cast<int>(queues_[t]->size()) - claimed_[t];
+        if (unclaimed > 0) {
+            ++faultStats_.degradeRelaunches;
+            spawnKernel(t, unclaimed, false);
+        }
+    }
 }
 
 void
@@ -90,6 +116,21 @@ DpRunner::spawnKernel(int s, int items, bool fromDevice)
                 });
             });
         });
+    if (instrumented()) {
+        // Blocks evicted before claiming their share leave `remaining`
+        // nonzero at kernel completion; release those stale claims and
+        // respawn for whatever is still queued.
+        kernel->notifyOnComplete([this, s, remaining] {
+            if (*remaining <= 0)
+                return;
+            claimed_[s] -= *remaining;
+            *remaining = 0;
+            int unclaimed =
+                static_cast<int>(queues_[s]->size()) - claimed_[s];
+            if (unclaimed > 0 && dev_.numOnlineSms() > 0)
+                spawnKernel(s, unclaimed, false);
+        });
+    }
     dev_.launch(dev_.createStream(), kernel);
 }
 

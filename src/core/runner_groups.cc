@@ -16,8 +16,9 @@
 namespace vp {
 
 GroupsRunner::GroupsRunner(Simulator& sim, Device& dev, Host& host,
-                           Pipeline& pipe, const PipelineConfig& cfg)
-    : RunnerBase(sim, dev, host, pipe, cfg)
+                           Pipeline& pipe, const PipelineConfig& cfg,
+                           FaultContext fc)
+    : RunnerBase(sim, dev, host, pipe, cfg, fc)
 {
     buildSpecs();
     if (cfg_.distributedQueues) {
@@ -200,6 +201,8 @@ GroupsRunner::blockMain(BlockContext& ctx, int specIdx)
         return;
     }
     ++count;
+    if (instrumented())
+        blockSpec_[&ctx] = specIdx;
     blockLoop(ctx, specIdx, dev_.config().pollIntervalCycles);
 }
 
@@ -212,6 +215,7 @@ GroupsRunner::blockLoop(BlockContext& ctx, int specIdx,
         // This stage group has fully drained: retire the block.
         auto key = std::make_pair(specIdx, ctx.smId());
         --blockCount_[key];
+        blockSpec_.erase(&ctx);
         ctx.exit();
         return;
     }
@@ -233,6 +237,43 @@ GroupsRunner::blockLoop(BlockContext& ctx, int specIdx,
                                dev_.config().pollIntervalCycles);
                  },
                  &homeQueues(ctx.smId()));
+}
+
+void
+GroupsRunner::onBlockAborted(BlockContext& ctx)
+{
+    auto it = blockSpec_.find(&ctx);
+    if (it == blockSpec_.end())
+        return;
+    // The evicted block no longer occupies its block-mapping slot.
+    --blockCount_[std::make_pair(it->second, ctx.smId())];
+    blockSpec_.erase(it);
+}
+
+void
+GroupsRunner::onSmFailed(int sm)
+{
+    (void)sm;
+    if (dev_.numOnlineSms() <= 0)
+        return;
+    // Graceful degradation: re-provision every spec that may still
+    // see work onto the surviving SMs. Blocks landing on SMs already
+    // at their block-mapping budget simply retreat, so this is safe
+    // to over-apply; for specs whose SM binding died entirely it is
+    // what brings their stages back to life.
+    for (std::size_t i = 0; i < specs_.size(); ++i) {
+        const KernelSpec& spec = specs_[i];
+        if (!anyFutureWork(spec.stages))
+            continue;
+        std::vector<int> sms;
+        for (int bound : spec.sms)
+            if (!dev_.sm(bound).offline())
+                sms.push_back(bound);
+        // A spec bound only to dead SMs spreads over all survivors
+        // (an empty set means "any SM"; offline ones refuse blocks).
+        ++faultStats_.degradeRelaunches;
+        launchSpec(static_cast<int>(i), sms, true);
+    }
 }
 
 void

@@ -23,8 +23,9 @@
 namespace vp {
 
 KbkRunner::KbkRunner(Simulator& sim, Device& dev, Host& host,
-                     Pipeline& pipe, const PipelineConfig& cfg)
-    : RunnerBase(sim, dev, host, pipe, cfg)
+                     Pipeline& pipe, const PipelineConfig& cfg,
+                     FaultContext fc)
+    : RunnerBase(sim, dev, host, pipe, cfg, fc)
 {
 }
 
@@ -123,9 +124,13 @@ KbkRunner::flowStage(Flow& flow, int unitIdx)
         }
     }
     // End of pass: anything left means another pass (loop/recursion).
+    // Items buffered for fault redelivery count too — the host keeps
+    // polling until they land back in a queue.
     bool any = false;
-    for (int i = 0; i < pipe_.stageCount(); ++i)
-        any = any || !(*flow.queues)[i]->empty();
+    for (int i = 0; i < pipe_.stageCount(); ++i) {
+        any = any || !(*flow.queues)[i]->empty()
+            || recovery_.buffered(i) > 0;
+    }
     if (any) {
         host_.control(dev_.config().hostControlUs,
                       [this, &flow] { flowPass(flow); });
@@ -155,17 +160,25 @@ KbkRunner::launchStageKernel(Flow& flow, int unitIdx,
     auto kernel = std::make_shared<Kernel>(
         st.name + "_kbk", unit.res, stageBlockThreads(s), grid,
         [this, s, cap, remaining, qs, inline_mask](BlockContext& ctx) {
+            // The stored loop body references itself weakly; each
+            // pending continuation holds the strong reference. The
+            // final iteration schedules no continuation, so the chain
+            // frees itself instead of leaking through a closure
+            // cycle.
             auto loop = std::make_shared<std::function<void()>>();
             *loop = [this, s, cap, remaining, qs, inline_mask, &ctx,
-                     loop] {
+                     wl = std::weak_ptr<std::function<void()>>(
+                         loop)] {
                 if (*remaining <= 0) {
                     ctx.exit();
                     return;
                 }
                 int m = std::min(cap, *remaining);
                 *remaining -= m;
+                auto l = wl.lock();
+                VP_ASSERT(l, "kbk block loop expired");
                 processBatch(ctx, *qs, s, inline_mask, m,
-                             [loop] { (*loop)(); });
+                             [l] { (*l)(); });
             };
             (*loop)();
         });

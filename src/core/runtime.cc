@@ -1,17 +1,39 @@
 #include "core/runtime.hh"
 
 #include <algorithm>
+#include <sstream>
 
 #include "common/logging.hh"
 #include "core/stage_impl.hh"
 #include "gpu/occupancy.hh"
+#include "sim/fault.hh"
 
 namespace vp {
 
 RunnerBase::RunnerBase(Simulator& sim, Device& dev, Host& host,
-                       Pipeline& pipe, const PipelineConfig& cfg)
+                       Pipeline& pipe, const PipelineConfig& cfg,
+                       FaultContext fc)
     : sim_(sim), dev_(dev), host_(host), pipe_(pipe), cfg_(cfg)
 {
+    injector_ = fc.injector;
+    if (fc.recovery)
+        recoveryCfg_ = *fc.recovery;
+    recovery_.init(&sim_, &recoveryCfg_, pipe_.stageCount());
+
+    bool anyBoundedQueue = false;
+    for (int s = 0; s < pipe_.stageCount(); ++s)
+        anyBoundedQueue |= pipe_.stage(s).queueCapacity > 0;
+    if (injector_) {
+        const FaultPlan& plan = injector_->plan();
+        captureForReplay_ = !plan.smEvents.empty();
+        instrumentBatches_ = plan.anyTaskFaults() || plan.anyPushFaults()
+            || captureForReplay_;
+    }
+    instrumentBatches_ |= anyBoundedQueue;
+    dev_.setBlockAbortHook(
+        [this](BlockContext& ctx) { blockAborted(ctx); });
+    dev_.setSmFailedHook([this](int sm) { smFailed(sm); });
+
     makeQueues(queues_);
     inFlight_.assign(pipe_.stageCount(), 0);
     stageStats_.resize(pipe_.stageCount());
@@ -25,8 +47,13 @@ void
 RunnerBase::makeQueues(QueueSet& qs)
 {
     qs.clear();
-    for (int s = 0; s < pipe_.stageCount(); ++s)
+    for (int s = 0; s < pipe_.stageCount(); ++s) {
         qs.push_back(pipe_.stage(s).makeQueue());
+        if (pipe_.stage(s).queueCapacity > 0)
+            qs.back()->setCapacity(pipe_.stage(s).queueCapacity);
+        if (instrumentBatches_)
+            qs.back()->enableRetryMeta();
+    }
 }
 
 void
@@ -60,11 +87,25 @@ RunnerBase::futureWorkPossible(int s) const
             return true;
         if (!queues_[i]->empty())
             return true;
+        if (recovery_.buffered(i) > 0)
+            return true;
         for (const QueueSet* qs : extraQueueSets_)
             if (!(*qs)[i]->empty())
                 return true;
     }
     return false;
+}
+
+std::uint64_t
+RunnerBase::drainProgress() const
+{
+    std::uint64_t h = faultStats_.deadLettered;
+    for (const auto& q : queues_)
+        h += q->stats().pushes + q->stats().pops;
+    for (const QueueSet* qs : extraQueueSets_)
+        for (const auto& q : *qs)
+            h += q->stats().pushes + q->stats().pops;
+    return h;
 }
 
 std::size_t
@@ -154,6 +195,11 @@ RunnerBase::processBatch(BlockContext& ctx, QueueSet& qs, int s,
                          StageMask inlineMask, int maxItems,
                          EventFn next, QueueSet* pushInto)
 {
+    if (instrumentBatches_) {
+        processBatchFI(ctx, qs, s, inlineMask, maxItems,
+                       std::move(next), pushInto);
+        return;
+    }
     StageBase& st = pipe_.stage(s);
     QueueBase& q = *qs[s];
     const DeviceConfig& dcfg = dev_.config();
@@ -243,6 +289,245 @@ RunnerBase::processBatch(BlockContext& ctx, QueueSet& qs, int s,
     });
 }
 
+void
+RunnerBase::processBatchFI(BlockContext& ctx, QueueSet& qs, int s,
+                           StageMask inlineMask, int maxItems,
+                           EventFn next, QueueSet* pushInto)
+{
+    StageBase& st = pipe_.stage(s);
+    QueueBase& q = *qs[s];
+    const DeviceConfig& dcfg = dev_.config();
+
+    int cap = batchCapacity(s);
+    if (maxItems >= 0)
+        cap = std::min(cap, maxItems);
+    VP_ASSERT(cap > 0, "zero batch capacity");
+
+    ExecContext ectx(pipe_, inlineMask, ctx.smId(),
+                     std::max(1, st.threadNum));
+    int avail = static_cast<int>(std::min<std::size_t>(q.size(), cap));
+    Tick pop_cost = q.accessCost(dcfg, sim_.now(), std::max(avail, 1));
+
+    const FaultPlan* plan = injector_ ? &injector_->plan() : nullptr;
+    int failItems = 0;
+    if (plan && plan->anyTaskFaults())
+        failItems = injector_->fetchFaults(s, ctx.smId(), avail,
+                                           sim_.now());
+
+    FaultBatch fb;
+    bool wantCapture = captureForReplay_ && st.retryable;
+    BatchResult br = st.runBatchFI(ectx, q, cap, failItems,
+                                   recoveryCfg_.maxRetries,
+                                   wantCapture, fb);
+    int faulted = fb.retried + fb.deadLettered;
+    faultStats_.taskFaults += faulted;
+    if (fb.deadLettered > 0) {
+        stageStats_[s].deadLettered += fb.deadLettered;
+        faultStats_.deadLettered += fb.deadLettered;
+        pending_.sub(fb.deadLettered);
+    }
+    if (fb.retried > 0) {
+        stageStats_[s].retried += fb.retried;
+        faultStats_.tasksRetried += fb.retried;
+        recovery_.scheduleRedeliver(s, &q, std::move(fb.redeliver),
+                                    fb.retried, fb.maxTries);
+    }
+    // Fault detection (parity check, timeout) costs cycles too.
+    Tick detect = faulted > 0 ? plan->faultDetectCycles * faulted : 0.0;
+
+    stageStats_[s].batches += 1;
+    if (br.items == 0) {
+        // The whole fetch faulted: charge pop + detection, move on.
+        ctx.delay(pop_cost + detect, std::move(next));
+        return;
+    }
+
+    inFlight_[s] += br.items;
+    stageStats_[s].items += br.items;
+    for (const auto& [inl, count] : ectx.inlineRuns()) {
+        stageStats_[inl].items += count;
+        stageStats_[inl].batches += 1;
+    }
+
+    TaskCost cost = br.total;
+    bool chained = (inlineMask & ~(StageMask(1) << s)) != 0;
+    if (ctx.smId() >= 0
+        && (chained || producerResidentOn(s, ctx.smId()))) {
+        cost.l1HitRate = std::min(0.95, cost.l1HitRate
+                                  + dcfg.localityBonus);
+    }
+
+    WorkSpec w = makeWorkSpec(dcfg, cost, std::max(1, st.threadNum),
+                              br.items, br.maxTaskInsts);
+    stageStats_[s].warpInsts += w.warpInsts;
+    if (plan && plan->taskSlowProb > 0.0) {
+        double slow = injector_->slowFactor();
+        if (slow > 1.0) {
+            w.warpInsts *= slow;
+            ++faultStats_.slowdowns;
+        }
+    }
+
+    if (captureForReplay_) {
+        inFlightBatches_[&ctx] = InFlightBatch{
+            s, &q, std::move(fb.capture), br.items};
+    }
+
+    std::vector<StagedOutput> outputs = std::move(ectx.outputs());
+    int items = br.items;
+    BlockContext* cp = &ctx;
+    QueueSet* qsp = pushInto ? pushInto : &qs;
+
+    cp->delay(pop_cost + detect, [this, cp, qsp, s, w,
+                                  outputs = std::move(outputs), items,
+                                  next = std::move(next)]() mutable {
+        Tick exec_start = sim_.now();
+        cp->exec(w, [this, cp, qsp, s, outputs = std::move(outputs),
+                     items, exec_start,
+                     next = std::move(next)]() mutable {
+            stageStats_[s].execCycles += sim_.now() - exec_start;
+            const DeviceConfig& dcfg2 = dev_.config();
+            int counts[32] = {};
+            StageMask touched = 0;
+            for (const StagedOutput& o : outputs) {
+                counts[o.stage] += 1;
+                touched |= StageMask(1) << o.stage;
+            }
+            Tick push_cost = 0.0;
+            for (int t = 0; touched; ++t, touched >>= 1) {
+                if (touched & 1) {
+                    push_cost += (*qsp)[t]->accessCost(
+                        dcfg2, sim_.now(), counts[t]);
+                }
+            }
+
+            // In-transit push faults, decided in output order. The
+            // block pays the push cost either way; a corrupted item
+            // additionally pays for being detected and discarded.
+            const FaultPlan* plan2 =
+                injector_ ? &injector_->plan() : nullptr;
+            if (plan2 && plan2->anyPushFaults()) {
+                int dropped = 0, corrupted = 0;
+                auto keep = outputs.begin();
+                for (auto& o : outputs) {
+                    switch (injector_->pushFault()) {
+                      case PushFault::None:
+                        *keep++ = std::move(o);
+                        break;
+                      case PushFault::Drop:
+                        ++dropped;
+                        break;
+                      case PushFault::Corrupt:
+                        ++corrupted;
+                        stageStats_[o.stage].deadLettered += 1;
+                        break;
+                    }
+                }
+                outputs.erase(keep, outputs.end());
+                push_cost += plan2->faultDetectCycles * corrupted;
+                faultStats_.droppedPushes += dropped;
+                faultStats_.corruptedPushes += corrupted;
+                faultStats_.deadLettered += corrupted;
+            }
+
+            // Commit, backpressuring while any bounded target queue
+            // is full. The state is shared between retries; the
+            // closure holds it weakly to avoid a reference cycle.
+            struct CommitState
+            {
+                std::vector<StagedOutput> outputs;
+                EventFn next;
+                std::function<void()> tryCommit;
+            };
+            auto st = std::make_shared<CommitState>();
+            st->outputs = std::move(outputs);
+            st->next = std::move(next);
+            st->tryCommit = [this, cp, qsp, s, items,
+                             stw = std::weak_ptr<CommitState>(st)]() {
+                auto self = stw.lock();
+                VP_ASSERT(self, "commit state expired");
+                for (const StagedOutput& o : self->outputs) {
+                    if ((*qsp)[o.stage]->full()) {
+                        ++faultStats_.backpressureWaits;
+                        cp->delay(dev_.config().pollIntervalCycles,
+                                  [self] { self->tryCommit(); });
+                        return;
+                    }
+                }
+                pending_.add(static_cast<std::int64_t>(
+                    self->outputs.size()));
+                for (StagedOutput& o : self->outputs)
+                    o.push(*(*qsp)[o.stage]);
+                inFlight_[s] -= items;
+                pending_.sub(items);
+                inFlightBatches_.erase(cp);
+                self->next();
+            };
+            if (push_cost > 0.0) {
+                cp->delay(push_cost, [st] { st->tryCommit(); });
+            } else {
+                st->tryCommit();
+            }
+        });
+    });
+}
+
+void
+RunnerBase::blockAborted(BlockContext& ctx)
+{
+    auto it = inFlightBatches_.find(&ctx);
+    if (it != inFlightBatches_.end()) {
+        InFlightBatch b = std::move(it->second);
+        inFlightBatches_.erase(it);
+        inFlight_[b.stage] -= b.items;
+        if (b.capture) {
+            // Retryable stage: replay the pre-execution copies.
+            stageStats_[b.stage].retried += b.items;
+            faultStats_.tasksRetried += b.items;
+            recovery_.scheduleRedeliver(b.stage, b.q,
+                                        std::move(b.capture),
+                                        b.items, 1);
+        } else {
+            // Non-retryable: the in-flight items die with the block.
+            pending_.sub(b.items);
+            stageStats_[b.stage].deadLettered += b.items;
+            faultStats_.deadLettered += b.items;
+        }
+    }
+    onBlockAborted(ctx);
+}
+
+void
+RunnerBase::smFailed(int sm)
+{
+    onSmFailed(sm);
+}
+
+std::string
+RunnerBase::diagnoseStall() const
+{
+    std::ostringstream os;
+    os << "pipeline stalled at cycle " << sim_.now() << ": pending="
+       << pending_.value() << "\n";
+    for (int s = 0; s < pipe_.stageCount(); ++s) {
+        os << "  stage `" << pipe_.stage(s).name
+           << "`: queued=" << totalQueued(s);
+        if (queues_[s]->capacity() > 0)
+            os << "/cap" << queues_[s]->capacity();
+        os << " inFlight=" << inFlight_[s]
+           << " buffered=" << recovery_.buffered(s)
+           << " retried=" << stageStats_[s].retried
+           << " deadLettered=" << stageStats_[s].deadLettered << "\n";
+    }
+    for (int i = 0; i < dev_.numSms(); ++i) {
+        const Sm& sm = dev_.sm(i);
+        os << "  sm " << i << ": residentBlocks="
+           << sm.residentBlocks()
+           << (sm.offline() ? " OFFLINE" : "") << "\n";
+    }
+    return os.str();
+}
+
 RunResult
 RunnerBase::collect()
 {
@@ -258,6 +543,16 @@ RunnerBase::collect()
     r.retreats = retreats_;
     r.refills = refills_;
     r.extra.set("steals", static_cast<double>(steals_));
+
+    r.faults = faultStats_;
+    r.faults.smsFailed = r.device.smsFailed;
+    r.faults.smsDegraded = r.device.smsDegraded;
+    r.faults.blocksEvicted = r.device.blocksEvicted;
+    r.faults.launchDelays = r.device.launchDelays;
+    if (instrumentBatches_) {
+        r.extra.set("redeliveries",
+                    static_cast<double>(recovery_.redeliveries()));
+    }
 
     for (int s = 0; s < pipe_.stageCount(); ++s) {
         StageRunStats st = stageStats_[s];
@@ -284,17 +579,19 @@ RunnerBase::collect()
 
 std::unique_ptr<RunnerBase>
 makeRunner(Simulator& sim, Device& dev, Host& host, Pipeline& pipe,
-           const PipelineConfig& cfg)
+           const PipelineConfig& cfg, FaultContext fc)
 {
     switch (cfg.top) {
       case PipelineConfig::Top::Groups:
         return std::make_unique<GroupsRunner>(sim, dev, host, pipe,
-                                              cfg);
+                                              cfg, fc);
       case PipelineConfig::Top::Kbk:
       case PipelineConfig::Top::KbkStream:
-        return std::make_unique<KbkRunner>(sim, dev, host, pipe, cfg);
+        return std::make_unique<KbkRunner>(sim, dev, host, pipe, cfg,
+                                           fc);
       case PipelineConfig::Top::DynamicParallelism:
-        return std::make_unique<DpRunner>(sim, dev, host, pipe, cfg);
+        return std::make_unique<DpRunner>(sim, dev, host, pipe, cfg,
+                                          fc);
     }
     VP_PANIC("unknown runner top");
 }

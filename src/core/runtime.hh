@@ -23,6 +23,7 @@
 
 #include "core/model_config.hh"
 #include "core/pipeline.hh"
+#include "core/recovery.hh"
 #include "core/run_result.hh"
 #include "core/stage.hh"
 #include "gpu/block.hh"
@@ -32,6 +33,20 @@
 namespace vp {
 
 class RunnerBase;
+class FaultInjector;
+
+/**
+ * Optional fault-injection/recovery wiring handed to a runner. Both
+ * pointers may be null (the default): the runner then takes the
+ * uninstrumented hot path and behaves exactly as before.
+ */
+struct FaultContext
+{
+    /** Fault decision oracle; owned by the caller (Engine). */
+    FaultInjector* injector = nullptr;
+    /** Retry/backoff policy; owned by the caller. */
+    const RecoveryConfig* recovery = nullptr;
+};
 
 /** One stage's input queues (per execution flow). */
 using QueueSet = std::vector<std::unique_ptr<QueueBase>>;
@@ -114,7 +129,7 @@ class RunnerBase
 {
   public:
     RunnerBase(Simulator& sim, Device& dev, Host& host, Pipeline& pipe,
-               const PipelineConfig& cfg);
+               const PipelineConfig& cfg, FaultContext fc = {});
 
     virtual ~RunnerBase() = default;
 
@@ -129,6 +144,27 @@ class RunnerBase
 
     /** Primary input queue of stage @p s. */
     QueueBase& queue(int s) { return *queues_[s]; }
+
+    /**
+     * Monotonic heartbeat sampled by the engine's watchdog between
+     * run slices: total queue traffic (pushes + pops across every
+     * queue set) plus dead-lettered items. Any batch fetch, output
+     * commit, redelivery or dead-letter moves it; a wedged pipeline
+     * — every block parked in commit-wait polling full queues — does
+     * not. Computed from statistics both batch paths already keep,
+     * so the heartbeat costs the hot path nothing.
+     */
+    std::uint64_t drainProgress() const;
+
+    /**
+     * Multi-line snapshot of where work is stuck: per-stage queue
+     * depths/capacities, in-flight and buffered counts, dead
+     * letters, and the per-SM resident-block map.
+     */
+    std::string diagnoseStall() const;
+
+    /** Fault/recovery counters accumulated so far. */
+    const FaultRecoveryStats& faultStats() const { return faultStats_; }
 
   protected:
     /** Create one queue per stage into @p qs. */
@@ -169,6 +205,36 @@ class RunnerBase
                       StageMask inlineMask, int maxItems,
                       EventFn next, QueueSet* pushInto = nullptr);
 
+    /**
+     * Fault-instrumented processBatch: consults the injector for
+     * fetch faults and slowdowns, routes transient failures through
+     * the recovery manager, applies push drop/corruption at commit,
+     * and backpressures on full bounded queues. Selected once per
+     * run; the plain path never pays for any of it.
+     */
+    void processBatchFI(BlockContext& ctx, QueueSet& qs, int s,
+                        StageMask inlineMask, int maxItems,
+                        EventFn next, QueueSet* pushInto = nullptr);
+
+    /**
+     * Device hook: @p ctx was evicted by an SM failure mid-batch.
+     * Replays or dead-letters its in-flight items, then calls
+     * onBlockAborted for subclass bookkeeping.
+     */
+    void blockAborted(BlockContext& ctx);
+
+    /** Device hook: SM @p sm went offline (after evictions). */
+    void smFailed(int sm);
+
+    /** Subclass bookkeeping for an evicted block. */
+    virtual void onBlockAborted(BlockContext&) {}
+
+    /** Subclass re-provisioning after an SM failure. */
+    virtual void onSmFailed(int) {}
+
+    /** True when the fault-instrumented batch path is active. */
+    bool instrumented() const { return instrumentBatches_; }
+
     /** Tasks a block of stage @p s processes per fetch. */
     int batchCapacity(int s) const;
 
@@ -203,6 +269,33 @@ class RunnerBase
 
     /** Items queued for stage @p s across all queue sets. */
     std::size_t totalQueued(int s) const;
+
+    /** @name Fault injection / recovery @{ */
+
+    /** Decision oracle; null when no fault plan is configured. */
+    FaultInjector* injector_ = nullptr;
+    /** Effective retry/backoff policy (defaults when none given). */
+    RecoveryConfig recoveryCfg_;
+    RecoveryManager recovery_;
+    FaultRecoveryStats faultStats_;
+    /** True when batches route through processBatchFI. */
+    bool instrumentBatches_ = false;
+    /** True when executed items are captured for SM-kill replay. */
+    bool captureForReplay_ = false;
+
+    /** A batch between fetch and commit, replayable on eviction. */
+    struct InFlightBatch
+    {
+        int stage = 0;
+        /** Queue to redeliver into (the one the batch popped). */
+        QueueBase* q = nullptr;
+        /** Pre-execution copies; empty for non-retryable stages. */
+        std::function<void(QueueBase&)> capture;
+        int items = 0;
+    };
+    std::map<BlockContext*, InFlightBatch> inFlightBatches_;
+
+    /** @} */
 };
 
 /** Persistent-block runner for Groups configurations. */
@@ -210,9 +303,14 @@ class GroupsRunner : public RunnerBase
 {
   public:
     GroupsRunner(Simulator& sim, Device& dev, Host& host,
-                 Pipeline& pipe, const PipelineConfig& cfg);
+                 Pipeline& pipe, const PipelineConfig& cfg,
+                 FaultContext fc = {});
 
     void start(AppDriver& driver) override;
+
+  protected:
+    void onBlockAborted(BlockContext& ctx) override;
+    void onSmFailed(int sm) override;
 
   private:
     /** One kernel to launch (a group, or one stage of a fine group). */
@@ -253,6 +351,8 @@ class GroupsRunner : public RunnerBase
     std::vector<std::unique_ptr<QueueSet>> shards_;
     /** (specIdx, smId) -> resident block count (block mapping). */
     std::map<std::pair<int, int>, int> blockCount_;
+    /** Live block -> spec index, for eviction bookkeeping. */
+    std::map<BlockContext*, int> blockSpec_;
     int liveKernels_ = 0;
     int refillBudget_ = 64;
 };
@@ -262,7 +362,7 @@ class KbkRunner : public RunnerBase
 {
   public:
     KbkRunner(Simulator& sim, Device& dev, Host& host, Pipeline& pipe,
-              const PipelineConfig& cfg);
+              const PipelineConfig& cfg, FaultContext fc = {});
 
     ~KbkRunner() override;
 
@@ -313,9 +413,12 @@ class DpRunner : public RunnerBase
 {
   public:
     DpRunner(Simulator& sim, Device& dev, Host& host, Pipeline& pipe,
-             const PipelineConfig& cfg);
+             const PipelineConfig& cfg, FaultContext fc = {});
 
     void start(AppDriver& driver) override;
+
+  protected:
+    void onSmFailed(int sm) override;
 
   private:
     /** Launch one sub-kernel popping @p items items of stage @p s. */
@@ -328,7 +431,8 @@ class DpRunner : public RunnerBase
 /** Instantiate the runner for a configuration. */
 std::unique_ptr<RunnerBase> makeRunner(Simulator& sim, Device& dev,
                                        Host& host, Pipeline& pipe,
-                                       const PipelineConfig& cfg);
+                                       const PipelineConfig& cfg,
+                                       FaultContext fc = {});
 
 } // namespace vp
 

@@ -45,6 +45,36 @@ struct BatchResult
     int items = 0;
 };
 
+/**
+ * Outcome of one fault-instrumented batch fetch (runBatchFI).
+ *
+ * Transiently failed items are partitioned by their retry budget into
+ * `redeliver` (re-pushed by the recovery manager after backoff) and
+ * the dead-letter count; executed items can optionally be captured so
+ * an SM failure between execution and output commit can replay them.
+ */
+struct FaultBatch
+{
+    /** Items that executed this batch. */
+    int executed = 0;
+    /** Items that failed transiently and await redelivery. */
+    int retried = 0;
+    /** Items whose retry budget was exhausted. */
+    int deadLettered = 0;
+    /** Largest retry count among the retried items (backoff input). */
+    std::uint32_t maxTries = 0;
+    /**
+     * Re-pushes the retried items into the stage's queue with their
+     * retry counts incremented; empty when retried == 0.
+     */
+    std::function<void(QueueBase&)> redeliver;
+    /**
+     * Re-pushes pre-execution copies of the executed items (same
+     * contract as redeliver); only set when capture was requested.
+     */
+    std::function<void(QueueBase&)> capture;
+};
+
 /** Type-erased base of all pipeline stages. */
 class StageBase
 {
@@ -74,6 +104,22 @@ class StageBase
      */
     double kbkHostBytesPerItem = 0.0;
 
+    /**
+     * True when re-executing an item of this stage is safe (pure
+     * transform or idempotent writes). Retryable stages have their
+     * in-flight items replayed after an SM failure; non-retryable
+     * ones dead-letter them. Transient *fetch* faults are decided
+     * before execution and are retried regardless of this flag.
+     */
+    bool retryable = false;
+
+    /**
+     * Bound on this stage's input queue depth (0 = unbounded). A
+     * full queue backpressures producers — and can deadlock a cyclic
+     * pipeline, which the watchdog converts into a diagnostic.
+     */
+    std::size_t queueCapacity = 0;
+
     /** Payload type of this stage's data items. */
     virtual std::type_index itemType() const = 0;
 
@@ -89,6 +135,21 @@ class StageBase
      */
     virtual BatchResult runBatch(ExecContext& ctx, QueueBase& q,
                                  int maxItems) = 0;
+
+    /**
+     * Fault-instrumented runBatch: the first @p failItems popped
+     * items fail transiently (skipping execution); failed items
+     * within @p maxRetries are packaged for redelivery, the rest
+     * dead-letter. With @p wantCapture, pre-execution copies of the
+     * executed items are captured for SM-failure replay. Only used
+     * when a fault plan injects task faults — the plain runBatch hot
+     * path stays untouched.
+     */
+    virtual BatchResult runBatchFI(ExecContext& ctx, QueueBase& q,
+                                   int maxItems, int failItems,
+                                   std::uint32_t maxRetries,
+                                   bool wantCapture,
+                                   FaultBatch& fb) = 0;
 
     /** Reset any mutable stage-held state between runs. */
     virtual void reset() {}
@@ -245,6 +306,11 @@ class Stage : public StageBase
     // Defined in stage_impl.hh (needs the Pipeline definition).
     BatchResult runBatch(ExecContext& ctx, QueueBase& q,
                          int maxItems) override;
+
+    BatchResult runBatchFI(ExecContext& ctx, QueueBase& q,
+                           int maxItems, int failItems,
+                           std::uint32_t maxRetries, bool wantCapture,
+                           FaultBatch& fb) override;
 };
 
 } // namespace vp

@@ -70,6 +70,71 @@ Stage<T>::runBatch(ExecContext& ctx, QueueBase& q, int maxItems)
     return r;
 }
 
+template <typename T>
+BatchResult
+Stage<T>::runBatchFI(ExecContext& ctx, QueueBase& q, int maxItems,
+                     int failItems, std::uint32_t maxRetries,
+                     bool wantCapture, FaultBatch& fb)
+{
+    auto& tq = typedQueue<T>(q);
+    std::vector<T> items;
+    tq.popBatch(items, static_cast<std::size_t>(maxItems));
+    // Copy: the next pop overwrites the queue's scratch vector.
+    std::vector<std::uint32_t> tries = tq.poppedTries();
+    tries.resize(items.size(), 0);
+
+    // The first failItems items of the batch take the transient
+    // faults — a fixed, deterministic assignment.
+    std::vector<std::pair<T, std::uint32_t>> retry;
+    std::size_t nf = std::min<std::size_t>(
+        failItems < 0 ? 0 : static_cast<std::size_t>(failItems),
+        items.size());
+    for (std::size_t i = 0; i < nf; ++i) {
+        if (tries[i] >= maxRetries) {
+            ++fb.deadLettered;
+            continue;
+        }
+        retry.emplace_back(std::move(items[i]), tries[i] + 1);
+        fb.maxTries = std::max(fb.maxTries, tries[i] + 1);
+    }
+    if (!retry.empty()) {
+        fb.retried = static_cast<int>(retry.size());
+        fb.redeliver = [batch = std::move(retry)](QueueBase& dst) {
+            auto& dq = typedQueue<T>(dst);
+            for (const auto& [item, t] : batch) {
+                dq.stampNextPushTries(t);
+                dq.push(item);
+            }
+        };
+    }
+
+    BatchResult r;
+    std::vector<std::pair<T, std::uint32_t>> cap;
+    for (std::size_t i = nf; i < items.size(); ++i) {
+        if (wantCapture)
+            cap.emplace_back(items[i], tries[i] + 1);
+        T& item = items[i];
+        ctx.beginTask(cost(item));
+        execute(ctx, item);
+        TaskCost c = ctx.endTask();
+        r.maxTaskInsts = std::max(r.maxTaskInsts,
+                                  c.computeInsts + c.memInsts);
+        r.total += c;
+        ++r.items;
+    }
+    fb.executed = r.items;
+    if (!cap.empty()) {
+        fb.capture = [batch = std::move(cap)](QueueBase& dst) {
+            auto& dq = typedQueue<T>(dst);
+            for (const auto& [item, t] : batch) {
+                dq.stampNextPushTries(t);
+                dq.push(item);
+            }
+        };
+    }
+    return r;
+}
+
 } // namespace vp
 
 #endif // VP_CORE_STAGE_IMPL_HH

@@ -48,7 +48,22 @@ BlockContext::delay(Tick cycles, EventFn cb)
     VP_ASSERT(!busy_, "block already has an operation outstanding");
     busy_ = true;
     cont_ = std::move(cb);
-    sim().after(cycles, [this] { complete(); });
+    pendingEvent_ = sim().after(cycles, [this] { complete(); });
+}
+
+void
+BlockContext::abortForFault()
+{
+    VP_ASSERT(!exited_, "abort of an exited block");
+    // Whatever the block was waiting on — its start event, a delay,
+    // or an SM execution the engine already dropped — must never fire
+    // into this context again.
+    sim().cancel(pendingEvent_);
+    pendingEvent_ = EventHandle();
+    cont_.reset();
+    busy_ = false;
+    aborted_ = true;
+    exited_ = true;
 }
 
 void

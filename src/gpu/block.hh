@@ -64,9 +64,22 @@ class BlockContext
     /** True once exit() has been called. */
     bool exited() const { return exited_; }
 
+    /** True when the block was torn down by an SM failure. */
+    bool aborted() const { return aborted_; }
+
   private:
+    friend class Device;
+
     /** Finish the outstanding operation and run its continuation. */
     void complete();
+
+    /**
+     * Tear the block down after an SM failure: cancel the pending
+     * start/delay event, drop the continuation, and mark the block
+     * exited without the exit() invariants (the SM engine has
+     * already dropped any in-flight exec). Called by Device only.
+     */
+    void abortForFault();
 
     Device& dev_;
     Kernel& kernel_;
@@ -79,8 +92,11 @@ class BlockContext
      * EventFn's inline buffer.
      */
     EventFn cont_;
+    /** Pending kernel-start or delay() event, for fault abort. */
+    EventHandle pendingEvent_;
     bool busy_ = false;
     bool exited_ = false;
+    bool aborted_ = false;
 };
 
 } // namespace vp

@@ -5,6 +5,7 @@
 #include "common/error.hh"
 #include "common/logging.hh"
 #include "gpu/block.hh"
+#include "sim/fault.hh"
 
 namespace vp {
 
@@ -37,6 +38,25 @@ Device::launch(Stream* stream, std::shared_ptr<Kernel> kernel)
 {
     VP_REQUIRE(stream, "null stream");
     VP_REQUIRE(kernel, "null kernel");
+    if (injector_) {
+        Tick d = injector_->launchDelay();
+        if (d > 0.0) {
+            ++stats_.launchDelays;
+            VP_DEBUG("device: launch of `" << kernel->name()
+                     << "` delayed " << d << " cycles (fault)");
+            sim_.after(d,
+                       [this, stream, k = std::move(kernel)]() mutable {
+                           doLaunch(stream, std::move(k));
+                       });
+            return;
+        }
+    }
+    doLaunch(stream, std::move(kernel));
+}
+
+void
+Device::doLaunch(Stream* stream, std::shared_ptr<Kernel> kernel)
+{
     kernel->id_ = nextKernelId_++;
     kernelStream_.push_back(stream);
     VP_ASSERT(static_cast<int>(kernelStream_.size()) == nextKernelId_,
@@ -56,13 +76,19 @@ Device::streamAdvance(Stream* stream)
     active_.push_back(stream->running_);
     VP_DEBUG("device: kernel `" << stream->running_->name()
              << "` starts on stream " << stream->id());
-    if (!dispatchScheduled_) {
-        dispatchScheduled_ = true;
-        sim_.after(0.0, [this] {
-            dispatchScheduled_ = false;
-            tryDispatch();
-        });
-    }
+    scheduleDispatch();
+}
+
+void
+Device::scheduleDispatch()
+{
+    if (dispatchScheduled_)
+        return;
+    dispatchScheduled_ = true;
+    sim_.after(0.0, [this] {
+        dispatchScheduled_ = false;
+        tryDispatch();
+    });
 }
 
 void
@@ -94,9 +120,12 @@ Device::tryDispatch()
                 BlockContext* raw = ctx.get();
                 blocks_.push_back(std::move(ctx));
                 Kernel* kp = k.get();
-                sim_.after(cfg_.blockStartCycles, [kp, raw] {
-                    kp->logic_(*raw);
-                });
+                // The start event is remembered on the context so an
+                // SM failure can cancel a block that never began.
+                raw->pendingEvent_ =
+                    sim_.after(cfg_.blockStartCycles, [kp, raw] {
+                        kp->logic_(*raw);
+                    });
                 progress = true;
                 break;
             }
@@ -120,12 +149,8 @@ Device::blockExited(BlockContext& ctx)
                                });
         VP_ASSERT(it != active_.end(), "completed kernel not active");
         kernelCompleted(*it);
-    } else if (!dispatchScheduled_) {
-        dispatchScheduled_ = true;
-        sim_.after(0.0, [this] {
-            dispatchScheduled_ = false;
-            tryDispatch();
-        });
+    } else {
+        scheduleDispatch();
     }
 }
 
@@ -168,13 +193,104 @@ Device::kernelCompleted(const std::shared_ptr<Kernel>& kernel)
         for (auto& fn : cbs)
             sim_.after(0.0, fn);
     }
-    if (!dispatchScheduled_) {
-        dispatchScheduled_ = true;
-        sim_.after(0.0, [this] {
-            dispatchScheduled_ = false;
-            tryDispatch();
-        });
+    scheduleDispatch();
+}
+
+void
+Device::failSm(int smId)
+{
+    Sm& failed = sm(smId);
+    VP_CHECK(!failed.offline(), ErrorCode::SmFailure,
+             "SM " << smId << " failed twice");
+    failed.setOffline();
+    ++stats_.smsFailed;
+    VP_DEBUG("device: SM " << smId << " failed");
+
+    // Evict every resident block. kernelCompleted() only mutates
+    // blocks_ via deferred events, so iterating by index is safe.
+    for (std::size_t i = 0; i < blocks_.size(); ++i) {
+        BlockContext* ctx = blocks_[i].get();
+        if (ctx->smId() != smId || ctx->exited())
+            continue;
+        Kernel& k = ctx->kernel();
+        ctx->abortForFault();
+        if (blockAbortHook_)
+            blockAbortHook_(*ctx);
+        failed.release(k.resources(), k.threadsPerBlock(), k.id());
+        ++k.blocksExited_;
+        ++stats_.blocksEvicted;
+        if (k.completed()) {
+            auto it = std::find_if(
+                active_.begin(), active_.end(),
+                [&](const std::shared_ptr<Kernel>& p) {
+                    return p.get() == &k;
+                });
+            VP_ASSERT(it != active_.end(),
+                      "evicted kernel not active");
+            kernelCompleted(*it);
+        }
     }
+
+    retireStrandedKernels();
+
+    if (smFailedHook_)
+        smFailedHook_(smId);
+
+    // Still-placeable kernels re-dispatch their remaining blocks
+    // onto the survivors.
+    scheduleDispatch();
+}
+
+void
+Device::retireStrandedKernels()
+{
+    // Snapshot: kernelCompleted() mutates active_.
+    std::vector<std::shared_ptr<Kernel>> snapshot = active_;
+    for (const std::shared_ptr<Kernel>& k : snapshot) {
+        if (k->completed()
+            || k->blocksDispatched_ >= k->gridBlocks_)
+            continue;
+        bool placeable = false;
+        for (int s = 0; s < numSms() && !placeable; ++s)
+            placeable = k->allowedOn(s) && !sms_[s]->offline();
+        if (placeable)
+            continue;
+        VP_DEBUG("device: kernel `" << k->name()
+                 << "` stranded (all allowed SMs offline)");
+        // Undispatched blocks can never run; count them exited so
+        // the kernel completes and its stream advances. Evicted
+        // blocks were already counted by failSm().
+        k->blocksExited_ +=
+            k->gridBlocks_ - k->blocksDispatched_;
+        k->blocksDispatched_ = k->gridBlocks_;
+        VP_ASSERT(k->completed(), "stranded kernel not completed");
+        kernelCompleted(k);
+    }
+}
+
+void
+Device::degradeSm(int smId, double factor)
+{
+    VP_CHECK(factor > 0.0 && factor <= 1.0, ErrorCode::Config,
+             "degrade factor " << factor << " for SM " << smId
+                               << " outside (0, 1]");
+    Sm& s = sm(smId);
+    VP_CHECK(!s.offline(), ErrorCode::SmFailure,
+             "cannot degrade offline SM " << smId);
+    s.setThrottle(factor);
+    ++stats_.smsDegraded;
+    VP_DEBUG("device: SM " << smId << " degraded to " << factor
+             << "x throughput");
+}
+
+int
+Device::numOnlineSms() const
+{
+    int n = 0;
+    for (const auto& s : sms_)
+        if (!s->offline())
+            ++n;
+    return n;
 }
 
 void

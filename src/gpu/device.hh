@@ -21,6 +21,7 @@
 namespace vp {
 
 class BlockContext;
+class FaultInjector;
 
 /** Device-level counters for a run. */
 struct DeviceStats
@@ -29,6 +30,14 @@ struct DeviceStats
     std::uint64_t blocksDispatched = 0;
     /** Peak number of simultaneously resident blocks device-wide. */
     int peakResidentBlocks = 0;
+    /** SMs taken offline by fault injection. */
+    int smsFailed = 0;
+    /** SMs with degraded throughput from fault injection. */
+    int smsDegraded = 0;
+    /** Resident blocks evicted by SM failures. */
+    int blocksEvicted = 0;
+    /** Kernel launches delayed by fault injection. */
+    std::uint64_t launchDelays = 0;
 };
 
 /**
@@ -83,6 +92,51 @@ class Device
     /** Number of blocks currently resident across all SMs. */
     int residentBlocks() const;
 
+    /** @name Fault injection & degradation @{ */
+
+    /**
+     * Attach the run's fault injector (launch-delay decisions).
+     * Null detaches; the device never owns the injector.
+     */
+    void setFaultInjector(FaultInjector* injector)
+    {
+        injector_ = injector;
+    }
+
+    /**
+     * Hook fired for every resident block evicted by an SM failure,
+     * before its resources are released. The runtime uses it to
+     * recover the block's in-flight work items.
+     */
+    void setBlockAbortHook(std::function<void(BlockContext&)> fn)
+    {
+        blockAbortHook_ = std::move(fn);
+    }
+
+    /** Hook fired after an SM failure has been fully processed. */
+    void setSmFailedHook(std::function<void(int)> fn)
+    {
+        smFailedHook_ = std::move(fn);
+    }
+
+    /**
+     * Kill an SM mid-run: refuse new blocks, drop its in-flight
+     * executions, evict its resident blocks (firing the abort hook
+     * per block), and force-complete kernels whose entire allowed SM
+     * set is now offline so their streams do not wedge. Remaining
+     * grid blocks of still-placeable kernels re-dispatch onto
+     * surviving SMs.
+     */
+    void failSm(int smId);
+
+    /** Degrade an SM's throughput to @p factor of nominal. */
+    void degradeSm(int smId, double factor);
+
+    /** Number of SMs still accepting work. */
+    int numOnlineSms() const;
+
+    /** @} */
+
     /** Run counters. */
     const DeviceStats& stats() const { return stats_; }
 
@@ -92,8 +146,18 @@ class Device
     /** Start the next kernel of a stream if the stream is free. */
     void streamAdvance(Stream* stream);
 
+    /** Device-side enqueue after any injected launch delay. */
+    void doLaunch(Stream* stream, std::shared_ptr<Kernel> kernel);
+
     /** Place as many pending blocks on SMs as will fit. */
     void tryDispatch();
+
+    /** Schedule a dispatch pass (coalesced). */
+    void scheduleDispatch();
+
+    /** Force-complete active kernels with undispatched blocks whose
+     *  allowed SMs are all offline, so their streams do not hang. */
+    void retireStrandedKernels();
 
     /** Called by BlockContext::exit(). */
     void blockExited(BlockContext& ctx);
@@ -114,6 +178,10 @@ class Device
     std::vector<std::unique_ptr<BlockContext>> blocks_;
 
     std::vector<std::function<void()>> deviceIdleCallbacks_;
+
+    FaultInjector* injector_ = nullptr;
+    std::function<void(BlockContext&)> blockAbortHook_;
+    std::function<void(int)> smFailedHook_;
 
     int nextKernelId_ = 0;
     int rrSm_ = 0;

@@ -20,6 +20,8 @@ Sm::Sm(Simulator& sim, const DeviceConfig& cfg, int id)
 bool
 Sm::canFit(const ResourceUsage& res, int threadsPerBlock) const
 {
+    if (offline_)
+        return false;
     if (blocks_ + 1 > cfg_.maxBlocksPerSm)
         return false;
     if (threads_ + threadsPerBlock > cfg_.maxThreadsPerSm)
@@ -103,10 +105,38 @@ Sm::icacheFactor() const
     return code > cfg_.icacheBytes ? cfg_.icachePenalty : 1.0;
 }
 
+int
+Sm::setOffline()
+{
+    VP_ASSERT(!offline_, "double setOffline on SM " << id_);
+    advance();
+    offline_ = true;
+    sim_.cancel(completion_);
+    completion_ = EventHandle();
+    int aborted = static_cast<int>(execs_.size());
+    // Drop in-flight executions without firing their completion
+    // callbacks: the device evicts the owning blocks and the runtime
+    // recovers their in-flight work items.
+    execs_.clear();
+    return aborted;
+}
+
+void
+Sm::setThrottle(double factor)
+{
+    VP_ASSERT(factor > 0.0 && factor <= 1.0,
+              "throttle factor " << factor << " outside (0, 1] on SM "
+                                 << id_);
+    advance();
+    throttle_ = factor;
+    reschedule();
+}
+
 Sm::ExecId
 Sm::beginWork(const WorkSpec& work, int kernelId, EventFn onDone)
 {
     VP_ASSERT(work.warps > 0.0, "work with no warps");
+    VP_ASSERT(!offline_, "beginWork on offline SM " << id_);
     advance();
     Exec e;
     e.work = work;
@@ -176,6 +206,7 @@ Sm::reschedule()
     if (dram_demand * scale > cfg_.memIssuePerCycle && dram_demand > 0.0)
         scale = std::min(scale, cfg_.memIssuePerCycle / dram_demand);
     scale /= icacheFactor();
+    scale *= throttle_;
 
     Tick soonest = std::numeric_limits<double>::infinity();
     for (Exec& e : execs_) {

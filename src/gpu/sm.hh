@@ -97,6 +97,31 @@ class Sm
     /** Number of in-flight executions. */
     std::size_t activeExecs() const { return execs_.size(); }
 
+    /** @} */
+
+    /** @name Fault modeling @{ */
+
+    /**
+     * Take the SM offline: canFit() refuses new blocks and all
+     * in-flight executions are dropped without firing their
+     * completion callbacks (the device evicts the owning blocks).
+     * @return the number of executions aborted.
+     */
+    int setOffline();
+
+    /** True once setOffline() has been called. */
+    bool offline() const { return offline_; }
+
+    /**
+     * Degrade issue/memory throughput to @p factor of nominal
+     * (0 < factor <= 1). Progress already made is retained; rates
+     * recompute from now on.
+     */
+    void setThrottle(double factor);
+
+    /** Current throughput multiplier (1.0 = healthy). */
+    double throttle() const { return throttle_; }
+
     /**
      * Current total issue rate (warp insts/cycle) across resident
      * executions; exposed for tests of the sharing model.
@@ -153,6 +178,8 @@ class Sm
     ExecId nextExecId_ = 1;
     Tick lastUpdate_ = 0.0;
     EventHandle completion_;
+    bool offline_ = false;
+    double throttle_ = 1.0;
 
     SmStats stats_;
 };

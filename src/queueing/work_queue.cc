@@ -66,18 +66,55 @@ QueueBase::recordPush(std::size_t depthAfter)
 {
     ++stats_.pushes;
     stats_.maxDepth = std::max(stats_.maxDepth, depthAfter);
+    if (metaEnabled_) {
+        tries_.push_back(nextTries_);
+        nextTries_ = 0;
+    }
 }
 
 void
 QueueBase::recordPop()
 {
     ++stats_.pops;
+    if (metaEnabled_) {
+        poppedTries_.clear();
+        if (!tries_.empty()) {
+            poppedTries_.push_back(tries_.front());
+            tries_.pop_front();
+        }
+    }
 }
 
 void
 QueueBase::recordPops(std::uint64_t n)
 {
     stats_.pops += n;
+    if (metaEnabled_) {
+        poppedTries_.clear();
+        std::uint64_t take =
+            std::min<std::uint64_t>(n, tries_.size());
+        for (std::uint64_t i = 0; i < take; ++i) {
+            poppedTries_.push_back(tries_.front());
+            tries_.pop_front();
+        }
+    }
+}
+
+void
+QueueBase::enableRetryMeta()
+{
+    if (metaEnabled_)
+        return;
+    metaEnabled_ = true;
+    tries_.assign(size(), 0);
+}
+
+std::uint32_t
+QueueBase::triesAt(std::size_t i) const
+{
+    if (!metaEnabled_ || i >= tries_.size())
+        return 0;
+    return tries_[i];
 }
 
 } // namespace vp

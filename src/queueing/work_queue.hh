@@ -89,12 +89,57 @@ class QueueBase
     /** Reset statistics (not contents). */
     void resetStats() { stats_ = QueueStats(); }
 
+    /** @name Capacity (backpressure / deadlock modeling) @{ */
+
+    /** Bound the queue to @p cap items; 0 restores unbounded. */
+    void setCapacity(std::size_t cap) { capacity_ = cap; }
+
+    /** Configured capacity; 0 means unbounded. */
+    std::size_t capacity() const { return capacity_; }
+
+    /** True when a bounded queue has no room for another item. */
+    bool full() const { return capacity_ > 0 && size() >= capacity_; }
+
+    /** @} */
+
+    /** @name Retry metadata (fault/recovery support) @{
+     *
+     * When enabled, the queue carries a per-item retry count in a
+     * parallel deque, maintained inside the existing push/pop stat
+     * hooks. Disabled (the default), the only cost on the hot path
+     * is one branch per bookkeeping call.
+     */
+
+    /** Start tracking per-item retry counts (existing items get 0). */
+    void enableRetryMeta();
+
+    /** True once enableRetryMeta() was called. */
+    bool retryMetaEnabled() const { return metaEnabled_; }
+
+    /** Stamp the NEXT pushed item with @p tries (one-shot). */
+    void stampNextPushTries(std::uint32_t tries) { nextTries_ = tries; }
+
+    /** Retry count of the i-th buffered item (0 if meta disabled). */
+    std::uint32_t triesAt(std::size_t i) const;
+
+    /** Retry counts of the items removed by the last pop/popBatch. */
+    const std::vector<std::uint32_t>&
+    poppedTries() const
+    {
+        return poppedTries_;
+    }
+
+    /** @} */
+
   protected:
     void recordPush(std::size_t depthAfter);
     void recordPop();
 
     /** Record @p n pops in one bookkeeping step (batch pop). */
     void recordPops(std::uint64_t n);
+
+    /** Keep retry metadata in sync with a clear() of the payload. */
+    void metaCleared() { tries_.clear(); }
 
   private:
     std::string name_;
@@ -116,6 +161,14 @@ class QueueBase
     void pushRecent(Tick t);
 
     QueueStats stats_;
+
+    std::size_t capacity_ = 0;
+    bool metaEnabled_ = false;
+    std::uint32_t nextTries_ = 0;
+    /** Per-item retry counts, parallel to the payload FIFO. */
+    std::deque<std::uint32_t> tries_;
+    /** Retry counts of the last pop/popBatch (scratch, reused). */
+    std::vector<std::uint32_t> poppedTries_;
 };
 
 /** FIFO of data items of type T. */
@@ -130,7 +183,22 @@ class WorkQueue : public QueueBase
 
     std::size_t size() const override { return items_.size(); }
 
-    void clear() override { items_.clear(); }
+    void
+    clear() override
+    {
+        items_.clear();
+        metaCleared();
+    }
+
+    /** Read-only access to the i-th buffered item (capture). */
+    const T&
+    at(std::size_t i) const
+    {
+        VP_ASSERT(i < items_.size(),
+                  "queue `" << name() << "` index " << i
+                            << " out of range");
+        return items_[i];
+    }
 
     /** Append one item. */
     void

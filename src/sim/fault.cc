@@ -1,0 +1,135 @@
+#include "sim/fault.hh"
+
+#include <cmath>
+
+#include "common/error.hh"
+
+namespace vp {
+
+namespace {
+
+void
+checkProb(double p, const char* name)
+{
+    VP_CHECK(p >= 0.0 && p <= 1.0 && !std::isnan(p), ErrorCode::Config,
+             "fault probability " << name << " = " << p
+                                  << " outside [0, 1]");
+}
+
+} // namespace
+
+void
+FaultPlan::validate() const
+{
+    checkProb(taskFailProb, "taskFailProb");
+    checkProb(taskSlowProb, "taskSlowProb");
+    checkProb(pushDropProb, "pushDropProb");
+    checkProb(pushCorruptProb, "pushCorruptProb");
+    checkProb(launchDelayProb, "launchDelayProb");
+    VP_CHECK(taskSlowFactor >= 1.0, ErrorCode::Config,
+             "taskSlowFactor " << taskSlowFactor << " must be >= 1");
+    VP_CHECK(launchDelayCycles >= 0.0, ErrorCode::Config,
+             "launchDelayCycles " << launchDelayCycles
+                                  << " must be >= 0");
+    VP_CHECK(faultDetectCycles >= 0.0, ErrorCode::Config,
+             "faultDetectCycles " << faultDetectCycles
+                                  << " must be >= 0");
+    for (const SmFaultEvent& e : smEvents) {
+        VP_CHECK(e.time >= 0.0, ErrorCode::Config,
+                 "SM fault event time " << e.time << " must be >= 0");
+        VP_CHECK(e.sm >= 0, ErrorCode::Config,
+                 "SM fault event targets negative SM " << e.sm);
+        if (e.kind == SmFaultEvent::Kind::Degrade) {
+            VP_CHECK(e.factor > 0.0 && e.factor <= 1.0,
+                     ErrorCode::Config,
+                     "degrade factor " << e.factor
+                                       << " for sm " << e.sm
+                                       << " outside (0, 1]");
+        }
+    }
+    for (const ScriptedTaskFault& f : scripted) {
+        VP_CHECK(f.count > 0, ErrorCode::Config,
+                 "scripted fault count " << f.count << " must be > 0");
+        VP_CHECK(f.atOrAfter >= 0.0, ErrorCode::Config,
+                 "scripted fault time " << f.atOrAfter
+                                        << " must be >= 0");
+    }
+}
+
+FaultInjector::FaultInjector(const FaultPlan& plan)
+    : plan_(plan),
+      // Distinct sequence constants give each fault class an
+      // independent PCG stream off the one user-visible seed.
+      failRng_(plan.seed, 0x9e3779b97f4a7c15ULL),
+      slowRng_(plan.seed, 0xbf58476d1ce4e5b9ULL),
+      pushRng_(plan.seed, 0x94d049bb133111ebULL),
+      launchRng_(plan.seed, 0xd6e8feb86659fd93ULL)
+{
+    scriptedLeft_.reserve(plan_.scripted.size());
+    for (const ScriptedTaskFault& f : plan_.scripted)
+        scriptedLeft_.push_back(f.count);
+}
+
+int
+FaultInjector::fetchFaults(int stage, int sm, int items, Tick now)
+{
+    int fails = 0;
+    for (std::size_t i = 0; i < plan_.scripted.size() && items > 0;
+         ++i) {
+        if (scriptedLeft_[i] <= 0)
+            continue;
+        const ScriptedTaskFault& f = plan_.scripted[i];
+        if (now < f.atOrAfter)
+            continue;
+        if (f.sm >= 0 && f.sm != sm)
+            continue;
+        if (f.stage >= 0 && f.stage != stage)
+            continue;
+        int take = scriptedLeft_[i] < items ? scriptedLeft_[i] : items;
+        scriptedLeft_[i] -= take;
+        items -= take;
+        fails += take;
+    }
+    if (plan_.taskFailProb > 0.0) {
+        for (int i = 0; i < items; ++i)
+            if (failRng_.nextBool(plan_.taskFailProb))
+                ++fails;
+    }
+    return fails;
+}
+
+double
+FaultInjector::slowFactor()
+{
+    if (plan_.taskSlowProb <= 0.0)
+        return 1.0;
+    return slowRng_.nextBool(plan_.taskSlowProb) ? plan_.taskSlowFactor
+                                                 : 1.0;
+}
+
+PushFault
+FaultInjector::pushFault()
+{
+    // One draw decides both outcomes so enabling corruption does not
+    // shift the drop decisions of an otherwise-identical plan.
+    if (!plan_.anyPushFaults())
+        return PushFault::None;
+    double u = pushRng_.nextDouble();
+    if (u < plan_.pushDropProb)
+        return PushFault::Drop;
+    if (u < plan_.pushDropProb + plan_.pushCorruptProb)
+        return PushFault::Corrupt;
+    return PushFault::None;
+}
+
+Tick
+FaultInjector::launchDelay()
+{
+    if (plan_.launchDelayProb <= 0.0)
+        return 0.0;
+    return launchRng_.nextBool(plan_.launchDelayProb)
+               ? plan_.launchDelayCycles
+               : 0.0;
+}
+
+} // namespace vp

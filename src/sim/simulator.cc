@@ -151,7 +151,7 @@ Simulator::dispatchNext()
 Tick
 Simulator::run()
 {
-    while (!heap_.empty())
+    while (!heap_.empty() && !stop_)
         dispatchNext();
     return now_;
 }
@@ -161,6 +161,8 @@ Simulator::runUntil(Tick timeLimit, std::uint64_t eventLimit)
 {
     std::uint64_t start = eventsRun_;
     while (!heap_.empty()) {
+        if (stop_)
+            return false;
         if (eventsRun_ - start >= eventLimit)
             return false;
         if (heap_[0].when > timeLimit)
@@ -175,6 +177,8 @@ Simulator::runBounded(std::uint64_t limit)
 {
     std::uint64_t start = eventsRun_;
     while (!heap_.empty()) {
+        if (stop_)
+            return false;
         if (eventsRun_ - start >= limit)
             return false;
         dispatchNext();

@@ -259,6 +259,20 @@ class Simulator
     /** Number of events currently pending. */
     std::size_t pendingEvents() const { return heap_.size(); }
 
+    /**
+     * Ask the run loop to return after the current event. Used by the
+     * fault watchdog to convert a wedged pipeline into a structured
+     * failure instead of spinning to an event/cycle cap. Sticky until
+     * clearStop().
+     */
+    void requestStop() { stop_ = true; }
+
+    /** True once requestStop() has been called. */
+    bool stopRequested() const { return stop_; }
+
+    /** Re-arm the run loop after a requested stop. */
+    void clearStop() { stop_ = false; }
+
   private:
     /** One slab slot: either a pending event or a freelist link. */
     struct Slot
@@ -333,6 +347,7 @@ class Simulator
      */
     std::vector<HeapEntry> heap_;
     std::uint32_t freeHead_ = EventHandle::kNone;
+    bool stop_ = false;
 };
 
 } // namespace vp

@@ -49,3 +49,53 @@ TEST(Error, RequireThrowsFatalOnFalse)
 {
     EXPECT_THROW(VP_REQUIRE(false, "user error"), FatalError);
 }
+
+TEST(Error, CheckPassesOnTrue)
+{
+    EXPECT_NO_THROW(VP_CHECK(true, ErrorCode::Deadlock, "fine"));
+}
+
+TEST(Error, CheckCarriesTypedCode)
+{
+    try {
+        VP_CHECK(false, ErrorCode::QueueOverflow,
+                 "queue `q" << 3 << "` over capacity");
+        FAIL() << "should have thrown";
+    } catch (const FatalError& e) {
+        EXPECT_EQ(e.code(), ErrorCode::QueueOverflow);
+        std::string what = e.what();
+        EXPECT_NE(what.find("queue-overflow"), std::string::npos);
+        EXPECT_NE(what.find("queue `q3` over capacity"),
+                  std::string::npos);
+    }
+}
+
+TEST(Error, DefaultCodeIsGeneric)
+{
+    try {
+        VP_FATAL("plain failure");
+        FAIL() << "should have thrown";
+    } catch (const FatalError& e) {
+        EXPECT_EQ(e.code(), ErrorCode::Generic);
+        // Generic errors don't advertise a code in the message.
+        EXPECT_EQ(std::string(e.what()).find("[generic]"),
+                  std::string::npos);
+    }
+}
+
+TEST(Error, CodeNamesAreDistinct)
+{
+    const ErrorCode codes[] = {
+        ErrorCode::Generic,    ErrorCode::Config,
+        ErrorCode::Input,      ErrorCode::Stall,
+        ErrorCode::Deadlock,   ErrorCode::Livelock,
+        ErrorCode::SmFailure,  ErrorCode::QueueOverflow,
+        ErrorCode::Timeout,
+    };
+    for (std::size_t i = 0; i < std::size(codes); ++i) {
+        for (std::size_t j = i + 1; j < std::size(codes); ++j) {
+            EXPECT_STRNE(errorCodeName(codes[i]),
+                         errorCodeName(codes[j]));
+        }
+    }
+}

@@ -37,6 +37,8 @@ struct LinearGen : Stage<ToyItem>
         name = "gen";
         resources.regsPerThread = 32;
         resources.codeBytes = 4000;
+        retryable = true; // pure transform
+
     }
 
     TaskCost
@@ -59,6 +61,8 @@ struct LinearWork : Stage<ToyItem>
         name = "work";
         resources.regsPerThread = 48;
         resources.codeBytes = 6000;
+        retryable = true; // pure transform
+
     }
 
     TaskCost
@@ -194,6 +198,8 @@ struct RecStage1 : Stage<ToyItem>
         name = "rec1";
         resources.regsPerThread = 64;
         resources.codeBytes = 8000;
+        retryable = true; // pure transform
+
         kbkHostBytesPerItem = 16.0; // CPU recursion control in KBK
     }
 
@@ -217,6 +223,8 @@ struct RecStage2 : Stage<ToyItem>
         name = "rec2";
         resources.regsPerThread = 40;
         resources.codeBytes = 5000;
+        retryable = true; // pure transform
+
     }
 
     TaskCost
