@@ -220,6 +220,67 @@ benchFaultMode(const std::string& app, int reps)
     return row;
 }
 
+struct ObsModeRow
+{
+    std::string app;
+    std::uint64_t events = 0;
+    double plainSeconds = 0.0;
+    double disabledSeconds = 0.0;
+    /** disabled/plain wall ratio (1.0 = tracing-off is free). */
+    double ratio = 0.0;
+    bool eventsMatch = false;
+};
+
+/**
+ * Overhead of the observability layer when it is armed but inert
+ * (tracing disabled, sampling off): every hook collapses to a null
+ * tracer check, and the run must produce a bit-identical event
+ * trace. Same methodology as benchFaultMode: min wall time over
+ * interleaved reps, exact event-count comparison.
+ */
+ObsModeRow
+benchObsMode(const std::string& app, int reps)
+{
+    Engine plain(DeviceConfig::k20c());
+    Engine armed(DeviceConfig::k20c());
+    ObsConfig oc;
+    oc.trace = false;
+    oc.sampleIntervalCycles = 0.0;
+    armed.setObservability(oc);
+
+    ObsModeRow row;
+    row.app = app;
+    row.plainSeconds = 1e30;
+    row.disabledSeconds = 1e30;
+    std::uint64_t plainEvents = 0, disabledEvents = 0;
+    for (int i = 0; i < reps; ++i) {
+        {
+            auto driver = makeApp(app, AppScale::Small);
+            auto t0 = Clock::now();
+            RunResult r = plain.run(*driver,
+                                    makeMegakernelConfig(
+                                        driver->pipeline()));
+            row.plainSeconds =
+                std::min(row.plainSeconds, secondsSince(t0));
+            plainEvents = r.simEvents;
+        }
+        {
+            auto driver = makeApp(app, AppScale::Small);
+            auto t0 = Clock::now();
+            RunResult r = armed.run(*driver,
+                                    makeMegakernelConfig(
+                                        driver->pipeline()));
+            row.disabledSeconds =
+                std::min(row.disabledSeconds, secondsSince(t0));
+            disabledEvents = r.simEvents;
+        }
+    }
+    row.events = plainEvents;
+    row.eventsMatch = plainEvents == disabledEvents;
+    row.ratio = row.disabledSeconds / row.plainSeconds;
+    return row;
+}
+
 struct TunerRow
 {
     std::string app;
@@ -311,6 +372,27 @@ main(int argc, char** argv)
         return 1;
     }
 
+    vp::bench::header("observability overhead (pyramid, small)");
+    ObsModeRow om = benchObsMode("pyramid", smoke ? 3 : 20);
+    std::printf("  plain             %8.3fms\n"
+                "  tracing disabled  %8.3fms  ratio=%.4f  "
+                "events %s\n",
+                om.plainSeconds * 1e3, om.disabledSeconds * 1e3,
+                om.ratio, om.eventsMatch ? "identical" : "DIVERGED");
+    if (!om.eventsMatch) {
+        std::fprintf(stderr,
+                     "ERROR: disabled tracing changed the event "
+                     "trace\n");
+        return 1;
+    }
+    if (!smoke && om.ratio >= 1.02) {
+        std::fprintf(stderr,
+                     "ERROR: disabled tracing costs %.1f%% "
+                     "(budget: <2%%)\n",
+                     (om.ratio - 1.0) * 100.0);
+        return 1;
+    }
+
     vp::bench::header("auto-tuner wall clock (pyramid, small)");
     TunerRow serial = benchTunerSerial("pyramid");
     TunerRow par = benchTunerParallel("pyramid", smoke ? 2 : 4);
@@ -350,6 +432,16 @@ main(int argc, char** argv)
                      static_cast<unsigned long long>(fm.events),
                      fm.eventsMatch ? "true" : "false",
                      fm.plainSeconds, fm.disabledSeconds, fm.ratio);
+        std::fprintf(json,
+                     "  \"obs_mode\": {\"app\": \"%s\", "
+                     "\"events\": %llu, \"events_identical\": %s, "
+                     "\"plain_seconds\": %.6f, "
+                     "\"disabled_seconds\": %.6f, "
+                     "\"overhead_ratio\": %.4f},\n",
+                     om.app.c_str(),
+                     static_cast<unsigned long long>(om.events),
+                     om.eventsMatch ? "true" : "false",
+                     om.plainSeconds, om.disabledSeconds, om.ratio);
         std::fprintf(json,
                      "  \"tuner\": {\"app\": \"%s\", "
                      "\"serial_seconds\": %.6f, "

@@ -1,33 +1,140 @@
 /**
  * @file
  * Diagnostic harness: per-stage breakdown of one application under
- * the baseline, Megakernel and tuned VersaPipe configurations.
+ * the baseline, Megakernel and tuned VersaPipe configurations, with
+ * optional observability exports (trace / report / time-series).
  *
  * Usage: inspect_app [--device=k20c|gtx1080] [app...]
+ *                    [--config=baseline|megakernel|versapipe] [--only]
+ *                    [--trace=out.json] [--report=out.report.json]
+ *                    [--csv=out.csv] [--sample=N]
+ *
+ * The export flags instrument the selected configuration (default:
+ * versapipe) of the FIRST app shown. --trace writes a
+ * chrome://tracing / Perfetto trace_event file, --report a full JSON
+ * report (stats, histograms, time-series), --csv the sampled
+ * time-series alone, and --sample=N sets the sampling period in
+ * simulated cycles (default 1000 when an export is requested).
  */
 
+#include <fstream>
 #include <iostream>
 
 #include "bench_util.hh"
+#include "obs/report.hh"
 
 using namespace vp;
 using namespace vp::bench;
 
 namespace {
 
+struct ObsOptions
+{
+    std::string tracePath;
+    std::string reportPath;
+    std::string csvPath;
+    std::string config = "versapipe";
+    Tick sampleCycles = 0.0;
+    /** Show only the instrumented config (skips autotuning when the
+     *  selected config is not versapipe — used by the ctest entry). */
+    bool only = false;
+
+    bool wanted() const
+    {
+        return !tracePath.empty() || !reportPath.empty()
+            || !csvPath.empty();
+    }
+};
+
 void
-show(const std::string& name, const DeviceConfig& dev)
+writeFile(const std::string& path, const std::string& what,
+          const std::function<void(std::ostream&)>& writer)
+{
+    std::ofstream out(path);
+    VP_REQUIRE(out.good(), "cannot open `" << path
+               << "` for writing");
+    writer(out);
+    std::cout << "wrote " << what << " -> " << path << "\n";
+}
+
+void
+exportObs(const RunResult& r, const DeviceConfig& dev,
+          const ObsOptions& opts)
+{
+    VP_REQUIRE(r.obs, "run carried no observability data");
+    const ObsData& obs = *r.obs;
+    if (!opts.tracePath.empty()) {
+        writeFile(opts.tracePath, "trace", [&obs](std::ostream& out) {
+            exportTraceJson(out, obs.tracer);
+        });
+    }
+    if (!opts.reportPath.empty()) {
+        writeFile(opts.reportPath, "report", [&r](std::ostream& out) {
+            writeReportJson(out, r);
+        });
+    }
+    if (!opts.csvPath.empty()) {
+        writeFile(opts.csvPath, "time-series csv",
+                  [&obs](std::ostream& out) {
+                      writeTimeSeriesCsv(out, obs);
+                  });
+    }
+
+    // Per-stage batch-latency percentiles, the at-a-glance view of
+    // where time goes inside the pipeline.
+    TextTable t({"stage", "batches", "p50 ms", "p95 ms", "p99 ms",
+                 "mean ms", "stddev ms"});
+    for (std::size_t s = 0; s < obs.stageBatchCycles.size(); ++s) {
+        const Histogram& h = obs.stageBatchCycles[s];
+        if (h.empty())
+            continue;
+        t.addRow({obs.stageNames[s],
+                  std::to_string(h.count()),
+                  TextTable::num(dev.cyclesToMs(h.percentile(0.50)), 4),
+                  TextTable::num(dev.cyclesToMs(h.percentile(0.95)), 4),
+                  TextTable::num(dev.cyclesToMs(h.percentile(0.99)), 4),
+                  TextTable::num(dev.cyclesToMs(h.mean()), 4),
+                  TextTable::num(dev.cyclesToMs(h.stddev()), 4)});
+    }
+    std::cout << t.render();
+    std::cout << "trace events recorded=" << obs.tracer.recorded()
+              << " dropped=" << obs.tracer.dropped()
+              << " series=" << obs.sampler.series().size() << "\n\n";
+}
+
+void
+show(const std::string& name, const DeviceConfig& dev,
+     const ObsOptions* opts)
 {
     header(name + " on " + dev.name);
     auto app = makeApp(name);
     struct Entry { std::string label; PipelineConfig cfg; };
-    std::vector<Entry> entries = {
-        {"baseline", baselineConfig(*app, dev)},
-        {"megakernel", makeMegakernelConfig(app->pipeline())},
-        {"versapipe", versapipeConfig(name, dev)},
+    auto want = [&](const std::string& label) {
+        return !opts || !opts->only || opts->config == label;
     };
+    std::vector<Entry> entries;
+    if (want("baseline"))
+        entries.push_back({"baseline", baselineConfig(*app, dev)});
+    if (want("megakernel"))
+        entries.push_back(
+            {"megakernel", makeMegakernelConfig(app->pipeline())});
+    if (want("versapipe"))
+        entries.push_back({"versapipe", versapipeConfig(name, dev)});
     for (auto& [label, cfg] : entries) {
-        RunResult r = runOn(*app, dev, cfg);
+        bool observe = opts && opts->config == label;
+        RunResult r;
+        if (observe) {
+            Engine engine(dev);
+            ObsConfig oc;
+            oc.sampleIntervalCycles = opts->sampleCycles;
+            engine.setObservability(oc);
+            r = engine.run(*app, cfg);
+            VP_REQUIRE(r.completed, app->name()
+                       << ": verification failed under "
+                       << r.configName);
+        } else {
+            r = runOn(*app, dev, cfg);
+        }
         std::cout << label << ": " << TextTable::num(r.ms, 3)
                   << " ms  [" << r.configName << "]\n";
         TextTable t({"stage", "items", "batches", "exec ms",
@@ -50,6 +157,8 @@ show(const std::string& name, const DeviceConfig& dev)
                   << " retreats=" << r.retreats
                   << " util=" << TextTable::num(r.smUtilization, 3)
                   << "\n\n";
+        if (observe)
+            exportObs(r, dev, *opts);
     }
 }
 
@@ -61,14 +170,48 @@ main(int argc, char** argv)
     auto device = parseDeviceArg(argc, argv);
     DeviceConfig dev = DeviceConfig::byName(device.value_or("k20c"));
     std::vector<std::string> apps;
+    ObsOptions opts;
+    auto flagValue = [&](const std::string& arg,
+                         const std::string& flag, int& i,
+                         std::string& out) {
+        // Accept both --flag=value and --flag value.
+        if (arg.rfind(flag + "=", 0) == 0) {
+            out = arg.substr(flag.size() + 1);
+            return true;
+        }
+        if (arg == flag && i + 1 < argc) {
+            out = argv[++i];
+            return true;
+        }
+        return false;
+    };
     for (int i = 1; i < argc; ++i) {
         std::string arg = argv[i];
-        if (arg.rfind("--", 0) != 0)
+        std::string v;
+        if (flagValue(arg, "--trace", i, v)) {
+            opts.tracePath = v;
+        } else if (flagValue(arg, "--report", i, v)) {
+            opts.reportPath = v;
+        } else if (flagValue(arg, "--csv", i, v)) {
+            opts.csvPath = v;
+        } else if (flagValue(arg, "--config", i, v)) {
+            opts.config = v;
+        } else if (flagValue(arg, "--sample", i, v)) {
+            opts.sampleCycles = std::stod(v);
+        } else if (arg == "--only") {
+            opts.only = true;
+        } else if (arg.rfind("--", 0) != 0) {
             apps.push_back(arg);
+        }
     }
+    if (opts.wanted() && opts.sampleCycles <= 0.0)
+        opts.sampleCycles = 1000.0;
     if (apps.empty())
         apps = appNames();
-    for (const std::string& name : apps)
-        show(name, dev);
+    bool first = true;
+    for (const std::string& name : apps) {
+        show(name, dev, first && opts.wanted() ? &opts : nullptr);
+        first = false;
+    }
     return 0;
 }

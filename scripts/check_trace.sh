@@ -1,0 +1,49 @@
+#!/usr/bin/env bash
+# End-to-end observability check (ctest entry `trace_export`, label
+# `obs`): run the raster app through inspect_app with trace + report
+# export enabled, then lint the trace with scripts/trace_lint.py and
+# sanity-check the report.
+#
+# Usage: check_trace.sh <inspect_app-binary> <scripts-dir>
+set -euo pipefail
+
+inspect="$1"
+scripts="$2"
+workdir="$(mktemp -d)"
+trap 'rm -rf "$workdir"' EXIT
+
+"$inspect" raster --only --config=megakernel \
+    --trace="$workdir/trace.json" \
+    --report="$workdir/report.json" \
+    --csv="$workdir/series.csv" \
+    --sample=1000 > "$workdir/stdout.txt"
+
+python3 "$scripts/trace_lint.py" "$workdir/trace.json"
+
+# The report must be valid JSON carrying per-stage percentiles and at
+# least two sampled time-series.
+python3 - "$workdir/report.json" <<'EOF'
+import json, sys
+with open(sys.argv[1]) as f:
+    report = json.load(f)
+stages = [s for s in report["stages"] if "batch_latency_cycles" in s]
+assert stages, "no stage carries batch_latency_cycles"
+for s in stages:
+    h = s["batch_latency_cycles"]
+    if h.get("count", 0) > 0:
+        for key in ("p50", "p95", "p99"):
+            assert key in h, "stage %s lacks %s" % (s["name"], key)
+series = report.get("series", [])
+assert len(series) >= 2, "expected >= 2 time-series, got %d" % len(series)
+assert any(len(s["t"]) > 0 for s in series), "all time-series are empty"
+print("report.json: OK (%d stages, %d series)"
+      % (len(stages), len(series)))
+EOF
+
+# The CSV must have a header plus at least one sample row.
+lines="$(wc -l < "$workdir/series.csv")"
+if [ "$lines" -lt 2 ]; then
+    echo "series.csv has no sample rows" >&2
+    exit 1
+fi
+echo "series.csv: OK ($((lines - 1)) rows)"

@@ -12,6 +12,11 @@ cmake --preset default
 cmake --build build -j"$jobs"
 ctest --test-dir build --output-on-failure -j"$jobs"
 
+# Observability checks (also part of the full suite above): unit
+# tests plus the end-to-end trace/report export + trace_lint.py pass
+# (ctest entry `trace_export`, scripts/check_trace.sh).
+ctest --test-dir build -L obs --output-on-failure
+
 cmake --preset asan-ubsan
 cmake --build build-sanitize -j"$jobs"
 ctest --test-dir build-sanitize -L sanitize --output-on-failure -j"$jobs"

@@ -1,0 +1,109 @@
+#!/usr/bin/env python3
+"""Validate a chrome://tracing / Perfetto trace_event JSON file.
+
+Checks, per the trace_event format spec:
+  * the file parses as JSON and has a `traceEvents` array;
+  * every event carries the required keys for its phase;
+  * `ts` is monotonically non-decreasing per (pid, tid) track for
+    duration events (B/E) — the exporter sorts, so a violation means
+    a broken merge;
+  * B/E begin/end events are balanced on every (pid, tid) stack;
+  * X complete events have a non-negative `dur`;
+  * metadata (M) events are structural and skipped.
+
+Usage: trace_lint.py trace.json [trace2.json ...]
+Exit status 0 when every file passes, 1 otherwise.
+"""
+
+import json
+import sys
+
+
+def lint(path):
+    errors = []
+    try:
+        with open(path, "r", encoding="utf-8") as f:
+            doc = json.load(f)
+    except (OSError, ValueError) as e:
+        return ["%s: cannot parse: %s" % (path, e)]
+
+    events = doc.get("traceEvents")
+    if not isinstance(events, list):
+        return ["%s: no `traceEvents` array" % path]
+
+    last_ts = {}   # (pid, tid) -> last B/E timestamp
+    depth = {}     # (pid, tid) -> open B count
+    for i, ev in enumerate(events):
+        where = "%s: event %d" % (path, i)
+        if not isinstance(ev, dict):
+            errors.append("%s: not an object" % where)
+            continue
+        ph = ev.get("ph")
+        if ph is None:
+            errors.append("%s: missing `ph`" % where)
+            continue
+        if ph == "M":
+            continue
+        for key in ("pid", "tid", "ts", "name"):
+            if key not in ev:
+                errors.append("%s: missing `%s` (ph=%s)"
+                              % (where, key, ph))
+        if "ts" not in ev:
+            continue
+        track = (ev.get("pid"), ev.get("tid"))
+        ts = ev["ts"]
+        if not isinstance(ts, (int, float)):
+            errors.append("%s: non-numeric ts %r" % (where, ts))
+            continue
+        if ph in ("B", "E"):
+            if ts < last_ts.get(track, float("-inf")):
+                errors.append(
+                    "%s: ts %s goes backwards on track %s"
+                    % (where, ts, track))
+            last_ts[track] = ts
+            d = depth.get(track, 0)
+            if ph == "B":
+                depth[track] = d + 1
+            else:
+                if d <= 0:
+                    errors.append("%s: E without matching B on "
+                                  "track %s" % (where, track))
+                else:
+                    depth[track] = d - 1
+        elif ph == "X":
+            dur = ev.get("dur")
+            if not isinstance(dur, (int, float)) or dur < 0:
+                errors.append("%s: X with bad dur %r" % (where, dur))
+        elif ph in ("i", "I"):
+            pass
+        elif ph == "C":
+            if "args" not in ev:
+                errors.append("%s: counter without args" % where)
+        else:
+            errors.append("%s: unknown phase %r" % (where, ph))
+
+    for track, d in sorted(depth.items()):
+        if d != 0:
+            errors.append("%s: %d unclosed B event(s) on track %s"
+                          % (path, d, track))
+    if not errors:
+        n = sum(1 for e in events
+                if isinstance(e, dict) and e.get("ph") != "M")
+        print("%s: OK (%d events)" % (path, n))
+    return errors
+
+
+def main(argv):
+    if len(argv) < 2:
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+    failed = False
+    for path in argv[1:]:
+        for err in lint(path):
+            print(err, file=sys.stderr)
+            failed = True
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -2,6 +2,7 @@
 
 #include <cstdlib>
 #include <cstring>
+#include <iomanip>
 #include <iostream>
 #include <mutex>
 
@@ -43,7 +44,24 @@ levelName(LogLevel lvl)
     return "?";
 }
 
+// Thread-local so concurrent Engine runs (each on its own stack, see
+// Engine::run) prefix with their own simulator's clock.
+thread_local std::function<double()> tlClock;
+thread_local int tlSm = -1;
+
 } // namespace
+
+void
+Logger::setClock(std::function<double()> now)
+{
+    tlClock = std::move(now);
+}
+
+void
+Logger::setSm(int sm)
+{
+    tlSm = sm;
+}
 
 LogLevel
 Logger::level()
@@ -62,7 +80,15 @@ Logger::emit(LogLevel lvl, const std::string& msg)
 {
     static std::mutex mtx;
     std::lock_guard<std::mutex> lock(mtx);
-    std::cerr << "[" << levelName(lvl) << "] " << msg << "\n";
+    std::cerr << "[" << levelName(lvl) << "] ";
+    if (enabled(LogLevel::Trace) && tlClock) {
+        std::cerr << "cycle=" << std::setprecision(15) << tlClock()
+                  << std::setprecision(6);
+        if (tlSm >= 0)
+            std::cerr << " sm=" << tlSm;
+        std::cerr << " ";
+    }
+    std::cerr << msg << "\n";
 }
 
 } // namespace vp

@@ -10,6 +10,7 @@
 #ifndef VP_COMMON_LOGGING_HH
 #define VP_COMMON_LOGGING_HH
 
+#include <functional>
 #include <sstream>
 #include <string>
 
@@ -33,6 +34,20 @@ class Logger
 
     /** True when records at @p lvl would be emitted. */
     static bool enabled(LogLevel lvl) { return lvl >= level(); }
+
+    /**
+     * Install a thread-local simulated-clock source. While the Trace
+     * level is active, every record emitted from this thread carries
+     * a structured `cycle=<n>` prefix (plus `sm=<id>` when setSm has
+     * tagged the thread), so interleaved VP_LOG=trace output can be
+     * correlated with exported traces. Pass an empty function to
+     * uninstall. The Engine installs its run's simulator clock for
+     * the duration of a run.
+     */
+    static void setClock(std::function<double()> now);
+
+    /** Tag records from this thread with SM @p sm (-1 clears). */
+    static void setSm(int sm);
 };
 
 } // namespace vp

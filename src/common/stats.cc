@@ -1,6 +1,7 @@
 #include "common/stats.hh"
 
 #include <algorithm>
+#include <cmath>
 
 namespace vp {
 
@@ -9,6 +10,9 @@ Accumulator::add(double v)
 {
     ++count_;
     sum_ += v;
+    double delta = v - mean_;
+    mean_ += delta / static_cast<double>(count_);
+    m2_ += delta * (v - mean_);
     min_ = std::min(min_, v);
     max_ = std::max(max_, v);
 }
@@ -16,10 +20,29 @@ Accumulator::add(double v)
 void
 Accumulator::merge(const Accumulator& other)
 {
+    if (other.count_ == 0)
+        return;
+    if (count_ == 0) {
+        *this = other;
+        return;
+    }
+    // Chan et al. pairwise combination of Welford states.
+    double na = static_cast<double>(count_);
+    double nb = static_cast<double>(other.count_);
+    double delta = other.mean_ - mean_;
+    double n = na + nb;
+    mean_ += delta * nb / n;
+    m2_ += other.m2_ + delta * delta * na * nb / n;
     count_ += other.count_;
     sum_ += other.sum_;
     min_ = std::min(min_, other.min_);
     max_ = std::max(max_, other.max_);
+}
+
+double
+Accumulator::stddev() const
+{
+    return std::sqrt(variance());
 }
 
 void

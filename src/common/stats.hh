@@ -14,7 +14,16 @@
 
 namespace vp {
 
-/** Running summary (count / sum / min / max / mean) of a scalar. */
+/**
+ * Running summary (count / sum / min / max / mean / variance) of a
+ * scalar. Variance uses Welford's online update (Chan et al.'s
+ * pairwise form in merge()), so it is numerically stable for long
+ * runs of nearby samples.
+ *
+ * mean() returns 0 for an empty accumulator — indistinguishable from
+ * a genuine zero-sum. Call empty() before rendering a mean so "no
+ * samples" and "mean of 0" display differently.
+ */
 class Accumulator
 {
   public:
@@ -23,6 +32,9 @@ class Accumulator
 
     /** Merge another accumulator into this one. */
     void merge(const Accumulator& other);
+
+    /** True when no samples have been folded in. */
+    bool empty() const { return count_ == 0; }
 
     /** Number of samples folded in so far. */
     std::uint64_t count() const { return count_; }
@@ -36,8 +48,17 @@ class Accumulator
     /** Largest sample, or -inf when empty. */
     double max() const { return max_; }
 
-    /** Arithmetic mean, or 0 when empty. */
-    double mean() const { return count_ ? sum_ / count_ : 0.0; }
+    /** Arithmetic mean, or 0 when empty (see empty()). */
+    double mean() const { return count_ ? mean_ : 0.0; }
+
+    /** Population variance, or 0 with fewer than two samples. */
+    double variance() const
+    {
+        return count_ > 1 ? m2_ / static_cast<double>(count_) : 0.0;
+    }
+
+    /** Population standard deviation (sqrt of variance()). */
+    double stddev() const;
 
     /** Reset to the empty state. */
     void clear();
@@ -45,6 +66,8 @@ class Accumulator
   private:
     std::uint64_t count_ = 0;
     double sum_ = 0.0;
+    double mean_ = 0.0;
+    double m2_ = 0.0;
     double min_ = std::numeric_limits<double>::infinity();
     double max_ = -std::numeric_limits<double>::infinity();
 };

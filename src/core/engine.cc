@@ -1,6 +1,8 @@
 #include "core/engine.hh"
 
+#include <algorithm>
 #include <limits>
+#include <memory>
 #include <string>
 
 #include "common/logging.hh"
@@ -35,6 +37,29 @@ Engine::runTimed(AppDriver& driver, const PipelineConfig& config,
     Device dev(sim, cfg_);
     Host host(sim, dev);
 
+    // Under VP_LOG=trace, prefix every record of this run with the
+    // simulated clock (and SM id, tagged in processBatch). RAII so
+    // every return path — including structured failures — uninstalls
+    // the hook; other levels never pay the std::function call.
+    struct LogClockScope
+    {
+        bool armed = false;
+        explicit LogClockScope(Simulator* s)
+        {
+            if (Logger::enabled(LogLevel::Trace)) {
+                armed = true;
+                Logger::setClock([s] { return s->now(); });
+            }
+        }
+        ~LogClockScope()
+        {
+            if (armed) {
+                Logger::setClock({});
+                Logger::setSm(-1);
+            }
+        }
+    } logClock(&sim);
+
     // All fault/recovery state lives on this stack frame, keeping
     // runTimed const and re-entrant: repeated runs under the same
     // plan are bit-reproducible because each builds a fresh seeded
@@ -43,6 +68,18 @@ Engine::runTimed(AppDriver& driver, const PipelineConfig& config,
     FaultContext fc;
     RecoveryConfig rc;
     bool faulted = plan_.has_value() || recovery_.has_value();
+
+    // Observability state is per-run and shares the run's stack
+    // discipline: a fresh ObsData keeps repeated runs independent,
+    // and the shared_ptr survives into RunResult::obs so callers can
+    // export traces after the run stack unwinds.
+    std::shared_ptr<ObsData> obs;
+    if (obsCfg_) {
+        obs = std::make_shared<ObsData>(*obsCfg_, &sim);
+        dev.setTracer(obs->tracerPtr());
+        fc.obs = obs.get();
+    }
+
     if (plan_) {
         plan_->validate();
         injector.emplace(*plan_);
@@ -84,30 +121,38 @@ Engine::runTimed(AppDriver& driver, const PipelineConfig& config,
         });
     }
 
+    if (obs && obs->sampler.enabled())
+        runner->registerProbes(obs->sampler);
+
     runner->start(driver);
+
+    Tracer* tracer = obs ? obs->tracerPtr() : nullptr;
 
     bool watchdogOn = faulted && rc.watchdogIntervalCycles > 0.0;
     bool timeoutOn = faulted && rc.drainTimeoutCycles > 0.0;
+    bool samplerOn = obs && obs->sampler.enabled();
 
     bool drained;
     std::optional<RunOutcome> failure;
     std::string reason;
-    if (!watchdogOn && !timeoutOn) {
+    if (!watchdogOn && !timeoutOn && !samplerOn) {
         drained = sim.runUntil(cycleLimit, eventLimit_);
     } else {
-        // Slice the run at watchdog checkpoints and sample the
-        // runner's drain-progress heartbeat between slices. This
-        // costs no simulation events, so a healthy run's event
-        // trace — and cycle count — is identical to an unsupervised
-        // one.
+        // Slice the run at watchdog checkpoints and sampler
+        // boundaries, and sample the runner's drain-progress
+        // heartbeat / metric probes between slices. This costs no
+        // simulation events, so a healthy run's event trace — and
+        // cycle count — is identical to an unsupervised one.
         std::uint64_t lastProgress = runner->drainProgress();
         std::uint64_t lastEvents = sim.eventsRun();
         int stalledChecks = 0;
-        Tick checkpoint = watchdogOn
-            ? rc.watchdogIntervalCycles
-            : std::numeric_limits<Tick>::infinity();
+        constexpr Tick kInf = std::numeric_limits<Tick>::infinity();
+        Tick checkpoint =
+            watchdogOn ? rc.watchdogIntervalCycles : kInf;
+        Tick sampNext = samplerOn ? obs->sampler.interval() : kInf;
         for (;;) {
-            Tick target = std::min(checkpoint, cycleLimit);
+            Tick target =
+                std::min({checkpoint, sampNext, cycleLimit});
             if (timeoutOn)
                 target = std::min(target, rc.drainTimeoutCycles);
             std::uint64_t budget = eventLimit_ > sim.eventsRun()
@@ -118,6 +163,10 @@ Engine::runTimed(AppDriver& driver, const PipelineConfig& config,
                 break;
             if (sim.eventsRun() >= eventLimit_ || target >= cycleLimit)
                 break;
+            if (samplerOn && target >= sampNext) {
+                obs->sampler.sampleAt(sampNext);
+                sampNext += obs->sampler.interval();
+            }
             if (timeoutOn && target >= rc.drainTimeoutCycles) {
                 failure = RunOutcome::DrainTimeout;
                 reason = "global drain timeout ("
@@ -125,8 +174,14 @@ Engine::runTimed(AppDriver& driver, const PipelineConfig& config,
                     + " cycles) elapsed\n" + runner->diagnoseStall();
                 break;
             }
+            if (!watchdogOn || target < checkpoint)
+                continue;
             std::uint64_t progress = runner->drainProgress();
             std::uint64_t events = sim.eventsRun();
+            if (tracer) {
+                tracer->instant(TraceKind::WatchdogCheck, 0,
+                                sim.now(), stalledChecks);
+            }
             if (progress != lastProgress) {
                 stalledChecks = 0;
             } else if (events != lastEvents
@@ -152,13 +207,35 @@ Engine::runTimed(AppDriver& driver, const PipelineConfig& config,
         }
     }
 
+    // Close out the run's trace and attach the observability data to
+    // whatever result goes back to the caller. On failure paths the
+    // tail of the trace ring is the flight recorder: append it to the
+    // diagnostic so post-mortems need no separate export step.
+    auto finishObs = [&](RunResult& result) {
+        if (!obs)
+            return;
+        if (tracer) {
+            tracer->span(TraceKind::RunSpan, 0, 0.0, sim.now(),
+                         tracer->intern(config.describe(pipe)));
+        }
+        result.obs = obs;
+    };
+    auto attachTraceTail = [&](std::string& why) {
+        if (tracer && obs->config.diagnosticTailEvents > 0) {
+            why += "\nlast trace events:\n"
+                + tracer->tail(obs->config.diagnosticTailEvents);
+        }
+    };
+
     if (failure) {
         RunResult result = runner->collect();
         result.completed = false;
         result.outcome = *failure;
+        attachTraceTail(reason);
         result.failureReason = std::move(reason);
         result.faults.watchdogFired =
             *failure == RunOutcome::Stalled;
+        finishObs(result);
         return result;
     }
     if (!drained) {
@@ -177,8 +254,11 @@ Engine::runTimed(AppDriver& driver, const PipelineConfig& config,
             RunResult result = runner->collect();
             result.completed = false;
             result.outcome = RunOutcome::Stalled;
-            result.failureReason = "drained events but work is left\n"
+            std::string why = "drained events but work is left\n"
                 + runner->diagnoseStall();
+            attachTraceTail(why);
+            result.failureReason = std::move(why);
+            finishObs(result);
             return result;
         }
         VP_REQUIRE(false,
@@ -196,6 +276,7 @@ Engine::runTimed(AppDriver& driver, const PipelineConfig& config,
     } else {
         result.outcome = RunOutcome::VerifyFailed;
     }
+    finishObs(result);
     return result;
 }
 

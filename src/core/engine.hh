@@ -15,6 +15,7 @@
 #include "core/run_result.hh"
 #include "core/runtime.hh"
 #include "gpu/device_config.hh"
+#include "obs/obs.hh"
 #include "sim/fault.hh"
 
 namespace vp {
@@ -65,6 +66,34 @@ class Engine
 
     /** @} */
 
+    /** @name Observability @{ */
+
+    /**
+     * Arm tracing/metrics/sampling for subsequent runs. Each run
+     * builds its own ObsData and hands it back through
+     * RunResult::obs. Tracing is passive — it records simulated
+     * timestamps without scheduling simulation events — so an
+     * observed run's event sequence and cycle count are identical to
+     * an unobserved one.
+     */
+    void
+    setObservability(const ObsConfig& oc)
+    {
+        obsCfg_ = oc;
+    }
+
+    /** Stop collecting traces/metrics. */
+    void clearObservability() { obsCfg_.reset(); }
+
+    /** The armed observability configuration, if any. */
+    const std::optional<ObsConfig>&
+    observability() const
+    {
+        return obsCfg_;
+    }
+
+    /** @} */
+
     /**
      * Run @p driver under @p config to completion.
      * Fatal when the run livelocks or leaves work pending.
@@ -93,6 +122,7 @@ class Engine
     std::uint64_t eventLimit_ = 400000000ULL;
     std::optional<FaultPlan> plan_;
     std::optional<RecoveryConfig> recovery_;
+    std::optional<ObsConfig> obsCfg_;
 };
 
 } // namespace vp

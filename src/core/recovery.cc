@@ -7,19 +7,6 @@
 
 namespace vp {
 
-const char*
-runOutcomeName(RunOutcome o)
-{
-    switch (o) {
-      case RunOutcome::Completed: return "completed";
-      case RunOutcome::Degraded: return "degraded";
-      case RunOutcome::VerifyFailed: return "verify-failed";
-      case RunOutcome::Stalled: return "stalled";
-      case RunOutcome::DrainTimeout: return "drain-timeout";
-    }
-    return "unknown";
-}
-
 Tick
 RecoveryConfig::backoffFor(std::uint32_t tries) const
 {
@@ -72,6 +59,9 @@ RecoveryManager::scheduleRedeliver(
         [this, stage, q, fn = std::move(redeliver), count] {
             buffered_[static_cast<std::size_t>(stage)] -= count;
             ++redeliveries_;
+            if (tracer_)
+                tracer_->instant(TraceKind::Redeliver, 0,
+                                 sim_->now(), stage, count);
             fn(*q);
             if (onRedelivered_)
                 onRedelivered_(stage);

@@ -19,6 +19,7 @@
 #include <string>
 #include <vector>
 
+#include "obs/trace.hh"
 #include "queueing/work_queue.hh"
 #include "sim/simulator.hh"
 
@@ -139,12 +140,17 @@ class RecoveryManager
         onRedelivered_ = std::move(fn);
     }
 
+    /** Attach the run tracer (null detaches; never owned): each
+     *  redelivery landing records a Redeliver instant. */
+    void setTracer(Tracer* t) { tracer_ = t; }
+
   private:
     Simulator* sim_ = nullptr;
     const RecoveryConfig* cfg_ = nullptr;
     std::vector<std::int64_t> buffered_;
     std::uint64_t redeliveries_ = 0;
     std::function<void(int)> onRedelivered_;
+    Tracer* tracer_ = nullptr;
 };
 
 } // namespace vp

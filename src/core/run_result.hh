@@ -7,6 +7,7 @@
 #define VP_CORE_RUN_RESULT_HH
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -17,6 +18,8 @@
 #include "queueing/work_queue.hh"
 
 namespace vp {
+
+struct ObsData;
 
 /** How a run ended. */
 enum class RunOutcome
@@ -36,7 +39,18 @@ enum class RunOutcome
 };
 
 /** Human-readable name of @p o. */
-const char* runOutcomeName(RunOutcome o);
+inline const char*
+runOutcomeName(RunOutcome o)
+{
+    switch (o) {
+      case RunOutcome::Completed: return "completed";
+      case RunOutcome::Degraded: return "degraded";
+      case RunOutcome::VerifyFailed: return "verify-failed";
+      case RunOutcome::Stalled: return "stalled";
+      case RunOutcome::DrainTimeout: return "drain-timeout";
+    }
+    return "unknown";
+}
 
 /** Per-stage accounting of one run. */
 struct StageRunStats
@@ -102,6 +116,13 @@ struct RunResult
     std::string failureReason;
     /** Fault-injection and recovery counters. */
     FaultRecoveryStats faults;
+
+    /**
+     * Observability bundle of the run (trace, metrics, histograms,
+     * time-series), present when the engine ran with an ObsConfig;
+     * null otherwise. Shared so RunResult stays copyable.
+     */
+    std::shared_ptr<ObsData> obs;
 };
 
 } // namespace vp

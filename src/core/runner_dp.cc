@@ -68,6 +68,8 @@ DpRunner::spawnKernel(int s, int items, bool fromDevice)
     // Invariant: claimed_[t] counts queued items of stage t that
     // already have a kernel on the way.
     claimed_[s] += items;
+    if (tracer_ && fromDevice)
+        tracer_->instant(TraceKind::DpSpawn, 0, sim_.now(), s, items);
 
     StageBase& st = pipe_.stage(s);
     int cap = batchCapacity(s);

@@ -197,6 +197,10 @@ GroupsRunner::blockMain(BlockContext& ctx, int specIdx)
     int& count = blockCount_[key];
     if (count >= spec.blocksPerSm) {
         ++retreats_;
+        if (tracer_)
+            tracer_->instant(TraceKind::Retreat,
+                             static_cast<std::int16_t>(ctx.smId()),
+                             sim_.now(), specIdx);
         ctx.delay(20.0, [&ctx] { ctx.exit(); });
         return;
     }
@@ -308,6 +312,9 @@ GroupsRunner::maybeRefill()
             continue;
         --refillBudget_;
         ++refills_;
+        if (tracer_)
+            tracer_->instant(TraceKind::Refill, 0, sim_.now(), best,
+                             static_cast<std::int32_t>(depth));
         VP_DEBUG("online tuner: refilling `" << spec.name << "` ("
                  << depth << " items stalled)");
         launchSpec(static_cast<int>(i), {}, true);

@@ -101,6 +101,10 @@ KbkRunner::startNextFlows()
     Flow& flow = flows_[nextFlowToSeed_++];
     flow.active = true;
     ++activeFlows_;
+    if (tracer_)
+        tracer_->begin(TraceKind::FlowSpan,
+                       static_cast<std::int16_t>(flow.id),
+                       sim_.now(), flow.id);
     seedFlow(*driver_, *flow.queues, flow.id);
     flowPass(flow);
 }
@@ -201,6 +205,10 @@ KbkRunner::flowFinished(Flow& flow)
 {
     flow.active = false;
     --activeFlows_;
+    if (tracer_)
+        tracer_->end(TraceKind::FlowSpan,
+                     static_cast<std::int16_t>(flow.id), sim_.now(),
+                     flow.id);
     VP_DEBUG("kbk: flow " << flow.id << " finished");
     startNextFlows();
 }

@@ -20,6 +20,20 @@ RunnerBase::RunnerBase(Simulator& sim, Device& dev, Host& host,
         recoveryCfg_ = *fc.recovery;
     recovery_.init(&sim_, &recoveryCfg_, pipe_.stageCount());
 
+    obs_ = fc.obs;
+    if (obs_) {
+        tracer_ = obs_->tracerPtr();
+        recovery_.setTracer(tracer_);
+        obs_->stageNames.clear();
+        obs_->stageBatchCycles.clear();
+        for (int s = 0; s < pipe.stageCount(); ++s) {
+            obs_->stageNames.push_back(pipe.stage(s).name);
+            // Batch latencies start around tens of cycles; a 1.25
+            // growth gives ~12% bucket resolution across the range.
+            obs_->stageBatchCycles.emplace_back(16.0, 1.25);
+        }
+    }
+
     bool anyBoundedQueue = false;
     for (int s = 0; s < pipe_.stageCount(); ++s)
         anyBoundedQueue |= pipe_.stage(s).queueCapacity > 0;
@@ -53,6 +67,10 @@ RunnerBase::makeQueues(QueueSet& qs)
             qs.back()->setCapacity(pipe_.stage(s).queueCapacity);
         if (instrumentBatches_)
             qs.back()->enableRetryMeta();
+        if (tracer_)
+            qs.back()->setTrace(
+                tracer_, static_cast<std::int16_t>(s),
+                tracer_->intern(pipe_.stage(s).name));
     }
 }
 
@@ -195,6 +213,8 @@ RunnerBase::processBatch(BlockContext& ctx, QueueSet& qs, int s,
                          StageMask inlineMask, int maxItems,
                          EventFn next, QueueSet* pushInto)
 {
+    if (Logger::enabled(LogLevel::Trace))
+        Logger::setSm(ctx.smId());
     if (instrumentBatches_) {
         processBatchFI(ctx, qs, s, inlineMask, maxItems,
                        std::move(next), pushInto);
@@ -212,6 +232,7 @@ RunnerBase::processBatch(BlockContext& ctx, QueueSet& qs, int s,
     ExecContext ectx(pipe_, inlineMask, ctx.smId(),
                      std::max(1, st.threadNum));
     int avail = static_cast<int>(std::min<std::size_t>(q.size(), cap));
+    Tick bstart = sim_.now();
     Tick pop_cost = q.accessCost(dcfg, sim_.now(), std::max(avail, 1));
     BatchResult br = st.runBatch(ectx, q, cap);
     VP_ASSERT(br.items > 0, "processBatch on an empty queue for stage `"
@@ -245,12 +266,12 @@ RunnerBase::processBatch(BlockContext& ctx, QueueSet& qs, int s,
     BlockContext* cp = &ctx;
     QueueSet* qsp = pushInto ? pushInto : &qs;
 
-    cp->delay(pop_cost, [this, cp, qsp, s, w,
+    cp->delay(pop_cost, [this, cp, qsp, s, w, bstart,
                          outputs = std::move(outputs), items,
                          next = std::move(next)]() mutable {
         Tick exec_start = sim_.now();
         cp->exec(w, [this, cp, qsp, s, outputs = std::move(outputs),
-                     items, exec_start,
+                     items, exec_start, bstart,
                      next = std::move(next)]() mutable {
             stageStats_[s].execCycles += sim_.now() - exec_start;
             const DeviceConfig& dcfg2 = dev_.config();
@@ -271,7 +292,8 @@ RunnerBase::processBatch(BlockContext& ctx, QueueSet& qs, int s,
                 }
             }
 
-            auto commit = [this, qsp, s, outputs = std::move(outputs),
+            auto commit = [this, cp, qsp, s, bstart,
+                           outputs = std::move(outputs),
                            items, next = std::move(next)]() mutable {
                 pending_.add(
                     static_cast<std::int64_t>(outputs.size()));
@@ -279,6 +301,8 @@ RunnerBase::processBatch(BlockContext& ctx, QueueSet& qs, int s,
                     o.push(*(*qsp)[o.stage]);
                 inFlight_[s] -= items;
                 pending_.sub(items);
+                if (obs_)
+                    noteBatchDone(s, cp->smId(), bstart, items);
                 next();
             };
             if (push_cost > 0.0 && !outputs.empty())
@@ -306,6 +330,7 @@ RunnerBase::processBatchFI(BlockContext& ctx, QueueSet& qs, int s,
     ExecContext ectx(pipe_, inlineMask, ctx.smId(),
                      std::max(1, st.threadNum));
     int avail = static_cast<int>(std::min<std::size_t>(q.size(), cap));
+    Tick bstart = sim_.now();
     Tick pop_cost = q.accessCost(dcfg, sim_.now(), std::max(avail, 1));
 
     const FaultPlan* plan = injector_ ? &injector_->plan() : nullptr;
@@ -321,14 +346,26 @@ RunnerBase::processBatchFI(BlockContext& ctx, QueueSet& qs, int s,
                                    wantCapture, fb);
     int faulted = fb.retried + fb.deadLettered;
     faultStats_.taskFaults += faulted;
+    if (tracer_ && faulted > 0)
+        tracer_->instant(TraceKind::TaskFault,
+                         static_cast<std::int16_t>(ctx.smId()),
+                         sim_.now(), s, faulted);
     if (fb.deadLettered > 0) {
         stageStats_[s].deadLettered += fb.deadLettered;
         faultStats_.deadLettered += fb.deadLettered;
         pending_.sub(fb.deadLettered);
+        if (tracer_)
+            tracer_->instant(TraceKind::DeadLetter,
+                             static_cast<std::int16_t>(ctx.smId()),
+                             sim_.now(), s, fb.deadLettered);
     }
     if (fb.retried > 0) {
         stageStats_[s].retried += fb.retried;
         faultStats_.tasksRetried += fb.retried;
+        if (tracer_)
+            tracer_->instant(TraceKind::Retry,
+                             static_cast<std::int16_t>(ctx.smId()),
+                             sim_.now(), s, fb.retried);
         recovery_.scheduleRedeliver(s, &q, std::move(fb.redeliver),
                                     fb.retried, fb.maxTries);
     }
@@ -378,12 +415,12 @@ RunnerBase::processBatchFI(BlockContext& ctx, QueueSet& qs, int s,
     BlockContext* cp = &ctx;
     QueueSet* qsp = pushInto ? pushInto : &qs;
 
-    cp->delay(pop_cost + detect, [this, cp, qsp, s, w,
+    cp->delay(pop_cost + detect, [this, cp, qsp, s, w, bstart,
                                   outputs = std::move(outputs), items,
                                   next = std::move(next)]() mutable {
         Tick exec_start = sim_.now();
         cp->exec(w, [this, cp, qsp, s, outputs = std::move(outputs),
-                     items, exec_start,
+                     items, exec_start, bstart,
                      next = std::move(next)]() mutable {
             stageStats_[s].execCycles += sim_.now() - exec_start;
             const DeviceConfig& dcfg2 = dev_.config();
@@ -442,13 +479,19 @@ RunnerBase::processBatchFI(BlockContext& ctx, QueueSet& qs, int s,
             auto st = std::make_shared<CommitState>();
             st->outputs = std::move(outputs);
             st->next = std::move(next);
-            st->tryCommit = [this, cp, qsp, s, items,
+            st->tryCommit = [this, cp, qsp, s, items, bstart,
                              stw = std::weak_ptr<CommitState>(st)]() {
                 auto self = stw.lock();
                 VP_ASSERT(self, "commit state expired");
                 for (const StagedOutput& o : self->outputs) {
                     if ((*qsp)[o.stage]->full()) {
                         ++faultStats_.backpressureWaits;
+                        if (tracer_)
+                            tracer_->instant(
+                                TraceKind::Backpressure,
+                                static_cast<std::int16_t>(
+                                    cp->smId()),
+                                sim_.now(), o.stage);
                         cp->delay(dev_.config().pollIntervalCycles,
                                   [self] { self->tryCommit(); });
                         return;
@@ -461,6 +504,8 @@ RunnerBase::processBatchFI(BlockContext& ctx, QueueSet& qs, int s,
                 inFlight_[s] -= items;
                 pending_.sub(items);
                 inFlightBatches_.erase(cp);
+                if (obs_)
+                    noteBatchDone(s, cp->smId(), bstart, items);
                 self->next();
             };
             if (push_cost > 0.0) {
@@ -484,6 +529,11 @@ RunnerBase::blockAborted(BlockContext& ctx)
             // Retryable stage: replay the pre-execution copies.
             stageStats_[b.stage].retried += b.items;
             faultStats_.tasksRetried += b.items;
+            if (tracer_)
+                tracer_->instant(
+                    TraceKind::Retry,
+                    static_cast<std::int16_t>(ctx.smId()),
+                    sim_.now(), b.stage, b.items);
             recovery_.scheduleRedeliver(b.stage, b.q,
                                         std::move(b.capture),
                                         b.items, 1);
@@ -492,6 +542,11 @@ RunnerBase::blockAborted(BlockContext& ctx)
             pending_.sub(b.items);
             stageStats_[b.stage].deadLettered += b.items;
             faultStats_.deadLettered += b.items;
+            if (tracer_)
+                tracer_->instant(
+                    TraceKind::DeadLetter,
+                    static_cast<std::int16_t>(ctx.smId()),
+                    sim_.now(), b.stage, b.items);
         }
     }
     onBlockAborted(ctx);
@@ -501,6 +556,32 @@ void
 RunnerBase::smFailed(int sm)
 {
     onSmFailed(sm);
+}
+
+void
+RunnerBase::registerProbes(Sampler& sampler)
+{
+    for (int s = 0; s < pipe_.stageCount(); ++s)
+        sampler.addSeries(
+            "queue_depth/" + pipe_.stage(s).name, [this, s] {
+                return static_cast<double>(totalQueued(s));
+            });
+    sampler.addSeries("resident_blocks", [this] {
+        return static_cast<double>(dev_.residentBlocks());
+    });
+    // Occupancy as a block-slot fraction: resident blocks over the
+    // device-wide residency limit.
+    double slots = static_cast<double>(dev_.numSms())
+        * dev_.config().maxBlocksPerSm;
+    sampler.addSeries("occupancy", [this, slots] {
+        return slots > 0.0 ? dev_.residentBlocks() / slots : 0.0;
+    });
+    sampler.addSeries("pending_work", [this] {
+        return static_cast<double>(pending_.value());
+    });
+    sampler.addSeries("in_flight_retries", [this] {
+        return static_cast<double>(recovery_.totalBuffered());
+    });
 }
 
 std::string

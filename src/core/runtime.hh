@@ -28,6 +28,7 @@
 #include "core/stage.hh"
 #include "gpu/block.hh"
 #include "gpu/host.hh"
+#include "obs/obs.hh"
 #include "queueing/pending_counter.hh"
 
 namespace vp {
@@ -46,6 +47,9 @@ struct FaultContext
     FaultInjector* injector = nullptr;
     /** Retry/backoff policy; owned by the caller. */
     const RecoveryConfig* recovery = nullptr;
+    /** Observability bundle (tracer/metrics/histograms); owned by
+     *  the caller. Null runs fully uninstrumented. */
+    ObsData* obs = nullptr;
 };
 
 /** One stage's input queues (per execution flow). */
@@ -165,6 +169,14 @@ class RunnerBase
 
     /** Fault/recovery counters accumulated so far. */
     const FaultRecoveryStats& faultStats() const { return faultStats_; }
+
+    /**
+     * Register this runner's live-state probes (per-stage queue
+     * depths, resident blocks, occupancy, pending work, in-flight
+     * retries) on the run's sampler. Called by the engine once,
+     * before the run starts.
+     */
+    void registerProbes(Sampler& sampler);
 
   protected:
     /** Create one queue per stage into @p qs. */
@@ -294,6 +306,31 @@ class RunnerBase
         int items = 0;
     };
     std::map<BlockContext*, InFlightBatch> inFlightBatches_;
+
+    /** @} */
+
+    /** @name Observability @{ */
+
+    /** The run's observability bundle; null when not observing. */
+    ObsData* obs_ = nullptr;
+    /** The run tracer; null when tracing is off. */
+    Tracer* tracer_ = nullptr;
+
+    /** Record one finished stage batch (trace span + histogram). */
+    void
+    noteBatchDone(int s, int smId, Tick start, int items)
+    {
+        Tick dur = sim_.now() - start;
+        if (tracer_)
+            tracer_->span(TraceKind::StageBatch,
+                          static_cast<std::int16_t>(smId), start, dur,
+                          s, items);
+        if (obs_
+            && static_cast<std::size_t>(s)
+                   < obs_->stageBatchCycles.size())
+            obs_->stageBatchCycles[static_cast<std::size_t>(s)].add(
+                dur);
+    }
 
     /** @} */
 };

@@ -25,6 +25,24 @@ Device::sm(int i)
     return *sms_[i];
 }
 
+void
+Device::setTracer(Tracer* t)
+{
+    tracer_ = t;
+    for (auto& s : sms_)
+        s->setTracer(t);
+}
+
+void
+Device::traceResidency(int smId)
+{
+    if (tracer_)
+        tracer_->counter(TraceKind::ResidentBlocks,
+                         static_cast<std::int16_t>(smId), sim_.now(),
+                         sms_[static_cast<std::size_t>(smId)]
+                             ->residentBlocks());
+}
+
 Stream*
 Device::createStream()
 {
@@ -38,10 +56,19 @@ Device::launch(Stream* stream, std::shared_ptr<Kernel> kernel)
 {
     VP_REQUIRE(stream, "null stream");
     VP_REQUIRE(kernel, "null kernel");
+    if (tracer_)
+        tracer_->instant(TraceKind::KernelLaunch, 0, sim_.now(),
+                         tracer_->intern(kernel->name()),
+                         kernel->gridBlocks());
     if (injector_) {
         Tick d = injector_->launchDelay();
         if (d > 0.0) {
             ++stats_.launchDelays;
+            if (tracer_)
+                tracer_->instant(TraceKind::LaunchDelay, 0,
+                                 sim_.now(),
+                                 tracer_->intern(kernel->name()),
+                                 static_cast<std::int32_t>(d));
             VP_DEBUG("device: launch of `" << kernel->name()
                      << "` delayed " << d << " cycles (fault)");
             sim_.after(d,
@@ -76,6 +103,11 @@ Device::streamAdvance(Stream* stream)
     active_.push_back(stream->running_);
     VP_DEBUG("device: kernel `" << stream->running_->name()
              << "` starts on stream " << stream->id());
+    if (tracer_)
+        tracer_->begin(TraceKind::KernelSpan,
+                       static_cast<std::int16_t>(stream->id()),
+                       sim_.now(),
+                       tracer_->intern(stream->running_->name()));
     scheduleDispatch();
 }
 
@@ -110,6 +142,7 @@ Device::tryDispatch()
                 // Place one block of kernel k on this SM.
                 target.occupy(k->resources(), k->threadsPerBlock(),
                               k->id());
+                traceResidency(sm_idx);
                 int idx = k->blocksDispatched_++;
                 ++stats_.blocksDispatched;
                 stats_.peakResidentBlocks =
@@ -140,6 +173,7 @@ Device::blockExited(BlockContext& ctx)
     Kernel& k = ctx.kernel();
     sms_[ctx.smId()]->release(k.resources(), k.threadsPerBlock(),
                               k.id());
+    traceResidency(ctx.smId());
     ++k.blocksExited_;
     if (k.completed()) {
         // Find the shared_ptr owner in active_.
@@ -159,6 +193,11 @@ Device::kernelCompleted(const std::shared_ptr<Kernel>& kernel)
 {
     VP_DEBUG("device: kernel `" << kernel->name() << "` completed");
     std::shared_ptr<Kernel> k = kernel; // keep alive past erase
+    if (tracer_)
+        tracer_->end(TraceKind::KernelSpan,
+                     static_cast<std::int16_t>(
+                         kernelStream_[k->id()]->id()),
+                     sim_.now(), tracer_->intern(k->name()));
     active_.erase(std::remove(active_.begin(), active_.end(), k),
                   active_.end());
 
@@ -205,6 +244,9 @@ Device::failSm(int smId)
     failed.setOffline();
     ++stats_.smsFailed;
     VP_DEBUG("device: SM " << smId << " failed");
+    if (tracer_)
+        tracer_->instant(TraceKind::SmFail,
+                         static_cast<std::int16_t>(smId), sim_.now());
 
     // Evict every resident block. kernelCompleted() only mutates
     // blocks_ via deferred events, so iterating by index is safe.
@@ -217,6 +259,7 @@ Device::failSm(int smId)
         if (blockAbortHook_)
             blockAbortHook_(*ctx);
         failed.release(k.resources(), k.threadsPerBlock(), k.id());
+        traceResidency(smId);
         ++k.blocksExited_;
         ++stats_.blocksEvicted;
         if (k.completed()) {
@@ -281,6 +324,11 @@ Device::degradeSm(int smId, double factor)
     ++stats_.smsDegraded;
     VP_DEBUG("device: SM " << smId << " degraded to " << factor
              << "x throughput");
+    if (tracer_)
+        tracer_->instant(
+            TraceKind::SmDegrade, static_cast<std::int16_t>(smId),
+            sim_.now(), 0,
+            static_cast<std::int32_t>(factor * 100.0));
 }
 
 int

@@ -120,6 +120,13 @@ class Device
     }
 
     /**
+     * Attach the run tracer to the device and all SMs (null
+     * detaches; never owned). Records kernel launches/spans, block
+     * residency counters and SM fail/degrade instants.
+     */
+    void setTracer(Tracer* t);
+
+    /**
      * Kill an SM mid-run: refuse new blocks, drop its in-flight
      * executions, evict its resident blocks (firing the abort hook
      * per block), and force-complete kernels whose entire allowed SM
@@ -182,6 +189,10 @@ class Device
     FaultInjector* injector_ = nullptr;
     std::function<void(BlockContext&)> blockAbortHook_;
     std::function<void(int)> smFailedHook_;
+    Tracer* tracer_ = nullptr;
+
+    /** Record a ResidentBlocks counter sample for SM @p smId. */
+    void traceResidency(int smId);
 
     int nextKernelId_ = 0;
     int rrSm_ = 0;

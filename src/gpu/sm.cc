@@ -141,6 +141,7 @@ Sm::beginWork(const WorkSpec& work, int kernelId, EventFn onDone)
     Exec e;
     e.work = work;
     e.remaining = std::max(work.warpInsts, kEps);
+    e.start = sim_.now();
     e.kernelId = kernelId;
     e.id = nextExecId_++;
     e.onDone = std::move(onDone);
@@ -223,6 +224,12 @@ Sm::reschedule()
         auto keep = execs_.begin();
         for (auto it = execs_.begin(); it != execs_.end(); ++it) {
             if (it->remaining <= kEps) {
+                if (tracer_)
+                    tracer_->span(
+                        TraceKind::ExecSpan,
+                        static_cast<std::int16_t>(id_), it->start,
+                        sim_.now() - it->start, it->kernelId,
+                        static_cast<std::int32_t>(it->work.warps));
                 doneScratch_.push_back(std::move(it->onDone));
                 ++stats_.execsCompleted;
             } else {

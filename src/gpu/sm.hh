@@ -22,6 +22,7 @@
 #include "gpu/cost_model.hh"
 #include "gpu/device_config.hh"
 #include "gpu/resources.hh"
+#include "obs/trace.hh"
 #include "sim/simulator.hh"
 
 namespace vp {
@@ -133,6 +134,10 @@ class Sm
     /** Run statistics. */
     const SmStats& stats() const { return stats_; }
 
+    /** Attach the run tracer (null detaches; never owned). Completed
+     *  executions record ExecSpan complete events on this SM's track. */
+    void setTracer(Tracer* t) { tracer_ = t; }
+
   private:
     struct Exec
     {
@@ -143,6 +148,8 @@ class Sm
         double demand = 0.0;
         /** Fraction of issued demand that reaches DRAM; fixed. */
         double dramFrac = 0.0;
+        /** Start time (trace span anchor). */
+        Tick start = 0.0;
         ExecId id = 0;
         int kernelId = -1;
         EventFn onDone;
@@ -180,6 +187,7 @@ class Sm
     EventHandle completion_;
     bool offline_ = false;
     double throttle_ = 1.0;
+    Tracer* tracer_ = nullptr;
 
     SmStats stats_;
 };

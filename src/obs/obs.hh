@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Observability bundle: configuration + per-run data (tracer,
+ * metrics registry, sampler, per-stage latency histograms).
+ *
+ * An ObsData instance lives for one Engine run and is handed to the
+ * device, runners and queues as raw hooks (Tracer*, Sampler&). The
+ * engine stores the finished bundle on RunResult::obs so callers can
+ * export traces and reports after the run.
+ */
+
+#ifndef VP_OBS_OBS_HH
+#define VP_OBS_OBS_HH
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.hh"
+#include "obs/trace.hh"
+
+namespace vp {
+
+/** What to observe during a run. A default ObsConfig records a
+ *  trace but does not sample time-series. */
+struct ObsConfig
+{
+    /** Record trace events (spans/instants/counters). */
+    bool trace = true;
+    /** Trace ring capacity in events; oldest overwritten on wrap. */
+    std::size_t traceCapacity = 1u << 18;
+    /**
+     * Sample registered probes every this many simulated cycles
+     * (0 = no time-series). Sampling slices the run loop exactly
+     * like the watchdog — no simulation events are scheduled, so
+     * the run stays bit-identical.
+     */
+    Tick sampleIntervalCycles = 0.0;
+    /** Trace-tail length attached to stall/timeout diagnostics. */
+    std::size_t diagnosticTailEvents = 32;
+};
+
+/** Everything observed during one run. */
+struct ObsData
+{
+    ObsData(const ObsConfig& cfg, const Simulator* sim)
+        : config(cfg),
+          tracer(sim, cfg.trace ? cfg.traceCapacity : 0),
+          sampler(cfg.sampleIntervalCycles)
+    {
+    }
+
+    ObsConfig config;
+    Tracer tracer;
+    MetricsRegistry metrics;
+    Sampler sampler;
+    /** Batch latency (cycles, fetch→commit) per pipeline stage. */
+    std::vector<Histogram> stageBatchCycles;
+    /** Stage names parallel to stageBatchCycles. */
+    std::vector<std::string> stageNames;
+
+    /** The tracer as a hook pointer; null when tracing is off. */
+    Tracer* tracerPtr() { return tracer.enabled() ? &tracer : nullptr; }
+};
+
+} // namespace vp
+
+#endif // VP_OBS_OBS_HH

@@ -1,0 +1,233 @@
+#include "obs/report.hh"
+
+#include <algorithm>
+#include <cstdio>
+#include <ostream>
+#include <string>
+
+#include "core/run_result.hh"
+#include "obs/obs.hh"
+
+// NOTE: vp_obs does not link against vp_core; this translation unit
+// may use only header-inline content from core/gpu/queueing headers
+// (plain struct fields, inline functions). Keep it that way.
+
+namespace vp {
+
+namespace {
+
+std::string
+esc(const std::string& s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (char c : s) {
+        switch (c) {
+        case '"': out += "\\\""; break;
+        case '\\': out += "\\\\"; break;
+        case '\n': out += "\\n"; break;
+        case '\t': out += "\\t"; break;
+        default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof buf, "\\u%04x", c);
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+    return out;
+}
+
+/** Number formatting that is always valid JSON (no inf/nan). */
+std::string
+num(double v)
+{
+    if (!(v == v))
+        return "null";
+    if (v > 1e308 || v < -1e308)
+        return "null";
+    char buf[64];
+    std::snprintf(buf, sizeof buf, "%.6g", v);
+    return buf;
+}
+
+std::string
+uint(std::uint64_t v)
+{
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "%llu",
+                  static_cast<unsigned long long>(v));
+    return buf;
+}
+
+/** Latency-summary object of one histogram ({} when no samples). */
+void
+writeHistogram(std::ostream& os, const Histogram& h,
+               const char* indent)
+{
+    if (h.empty()) {
+        os << "{\"count\": 0}";
+        return;
+    }
+    os << "{\n"
+       << indent << "  \"count\": " << uint(h.count()) << ",\n"
+       << indent << "  \"mean\": " << num(h.mean()) << ",\n"
+       << indent << "  \"stddev\": " << num(h.stddev()) << ",\n"
+       << indent << "  \"min\": " << num(h.min()) << ",\n"
+       << indent << "  \"max\": " << num(h.max()) << ",\n"
+       << indent << "  \"p50\": " << num(h.percentile(0.50)) << ",\n"
+       << indent << "  \"p95\": " << num(h.percentile(0.95)) << ",\n"
+       << indent << "  \"p99\": " << num(h.percentile(0.99)) << "\n"
+       << indent << "}";
+}
+
+} // namespace
+
+void
+writeReportJson(std::ostream& os, const RunResult& r)
+{
+    const ObsData* obs = r.obs.get();
+
+    os << "{\n";
+    os << "  \"config\": \"" << esc(r.configName) << "\",\n";
+    os << "  \"device\": \"" << esc(r.deviceName) << "\",\n";
+    os << "  \"outcome\": \"" << runOutcomeName(r.outcome) << "\",\n";
+    os << "  \"completed\": " << (r.completed ? "true" : "false")
+       << ",\n";
+    os << "  \"cycles\": " << num(r.cycles) << ",\n";
+    os << "  \"ms\": " << num(r.ms) << ",\n";
+    os << "  \"sm_utilization\": " << num(r.smUtilization) << ",\n";
+    os << "  \"sim_events\": " << uint(r.simEvents) << ",\n";
+    os << "  \"polls\": " << uint(r.polls) << ",\n";
+    os << "  \"retreats\": " << uint(r.retreats) << ",\n";
+    os << "  \"refills\": " << uint(r.refills) << ",\n";
+
+    os << "  \"host\": {\"launches\": " << uint(r.host.launches)
+       << ", \"memcpys\": " << uint(r.host.memcpys)
+       << ", \"memcpy_bytes\": " << num(r.host.memcpyBytes)
+       << ", \"busy_cycles\": " << num(r.host.busyCycles) << "},\n";
+
+    os << "  \"device_stats\": {\"kernel_launches\": "
+       << uint(r.device.kernelLaunches)
+       << ", \"blocks_dispatched\": "
+       << uint(r.device.blocksDispatched)
+       << ", \"peak_resident_blocks\": " << r.device.peakResidentBlocks
+       << ", \"sms_failed\": " << r.device.smsFailed
+       << ", \"sms_degraded\": " << r.device.smsDegraded << "},\n";
+
+    os << "  \"faults\": {\"task_faults\": " << uint(r.faults.taskFaults)
+       << ", \"tasks_retried\": " << uint(r.faults.tasksRetried)
+       << ", \"dead_lettered\": " << uint(r.faults.deadLettered)
+       << ", \"dropped_pushes\": " << uint(r.faults.droppedPushes)
+       << ", \"corrupted_pushes\": " << uint(r.faults.corruptedPushes)
+       << ", \"backpressure_waits\": "
+       << uint(r.faults.backpressureWaits)
+       << ", \"watchdog_fired\": "
+       << (r.faults.watchdogFired ? "true" : "false") << "},\n";
+
+    os << "  \"stages\": [\n";
+    for (std::size_t i = 0; i < r.stages.size(); ++i) {
+        const StageRunStats& s = r.stages[i];
+        os << "    {\"name\": \"" << esc(s.name)
+           << "\", \"items\": " << uint(s.items)
+           << ", \"batches\": " << uint(s.batches)
+           << ", \"warp_insts\": " << num(s.warpInsts)
+           << ", \"exec_cycles\": " << num(s.execCycles)
+           << ", \"retried\": " << uint(s.retried)
+           << ", \"dead_lettered\": " << uint(s.deadLettered)
+           << ",\n     \"queue\": {\"pushes\": " << uint(s.queue.pushes)
+           << ", \"pops\": " << uint(s.queue.pops)
+           << ", \"max_depth\": " << uint(s.queue.maxDepth)
+           << ", \"op_cycles\": " << num(s.queue.opCycles)
+           << ", \"contention_cycles\": "
+           << num(s.queue.contentionCycles) << "}";
+        if (obs && i < obs->stageBatchCycles.size()) {
+            os << ",\n     \"batch_latency_cycles\": ";
+            writeHistogram(os, obs->stageBatchCycles[i], "     ");
+        }
+        os << "}" << (i + 1 < r.stages.size() ? "," : "") << "\n";
+    }
+    os << "  ]";
+
+    if (obs) {
+        os << ",\n  \"trace\": {\"enabled\": "
+           << (obs->tracer.enabled() ? "true" : "false")
+           << ", \"recorded\": " << uint(obs->tracer.recorded())
+           << ", \"dropped\": " << uint(obs->tracer.dropped())
+           << "},\n";
+
+        os << "  \"metrics\": {\n    \"counters\": {";
+        bool first = true;
+        for (const auto& [name, c] : obs->metrics.counters()) {
+            os << (first ? "" : ", ") << "\"" << esc(name)
+               << "\": " << uint(c.value());
+            first = false;
+        }
+        os << "},\n    \"gauges\": {";
+        first = true;
+        for (const auto& [name, g] : obs->metrics.gauges()) {
+            os << (first ? "" : ", ") << "\"" << esc(name)
+               << "\": " << num(g.value());
+            first = false;
+        }
+        os << "},\n    \"histograms\": {";
+        first = true;
+        for (const auto& [name, h] : obs->metrics.histograms()) {
+            os << (first ? "" : ", ") << "\"" << esc(name) << "\": ";
+            writeHistogram(os, h, "    ");
+            first = false;
+        }
+        os << "}\n  },\n";
+
+        os << "  \"series\": [\n";
+        const auto& series = obs->sampler.series();
+        for (std::size_t i = 0; i < series.size(); ++i) {
+            const TimeSeries& ts = series[i];
+            os << "    {\"name\": \"" << esc(ts.name) << "\", \"t\": [";
+            for (std::size_t k = 0; k < ts.t.size(); ++k)
+                os << (k ? ", " : "") << num(ts.t[k]);
+            os << "], \"v\": [";
+            for (std::size_t k = 0; k < ts.v.size(); ++k)
+                os << (k ? ", " : "") << num(ts.v[k]);
+            os << "]}" << (i + 1 < series.size() ? "," : "") << "\n";
+        }
+        os << "  ]";
+    }
+
+    if (!r.failureReason.empty())
+        os << ",\n  \"failure_reason\": \"" << esc(r.failureReason)
+           << "\"";
+    os << "\n}\n";
+}
+
+void
+writeTimeSeriesCsv(std::ostream& os, const ObsData& obs)
+{
+    const auto& series = obs.sampler.series();
+    os << "t";
+    for (const TimeSeries& s : series)
+        os << "," << s.name;
+    os << "\n";
+    std::size_t rows = 0;
+    for (const TimeSeries& s : series)
+        rows = std::max(rows, s.t.size());
+    for (std::size_t k = 0; k < rows; ++k) {
+        // All series share the sampler clock; take t from the first
+        // series long enough to cover row k.
+        for (const TimeSeries& s : series)
+            if (k < s.t.size()) {
+                os << num(s.t[k]);
+                break;
+            }
+        for (const TimeSeries& s : series) {
+            os << ",";
+            if (k < s.v.size())
+                os << num(s.v[k]);
+        }
+        os << "\n";
+    }
+}
+
+} // namespace vp

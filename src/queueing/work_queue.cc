@@ -66,6 +66,11 @@ QueueBase::recordPush(std::size_t depthAfter)
 {
     ++stats_.pushes;
     stats_.maxDepth = std::max(stats_.maxDepth, depthAfter);
+    if (tracer_)
+        tracer_->counter(TraceKind::QueueDepth, traceTrack_,
+                         tracer_->now(),
+                         static_cast<double>(depthAfter),
+                         traceName_);
     if (metaEnabled_) {
         tries_.push_back(nextTries_);
         nextTries_ = 0;
@@ -73,9 +78,14 @@ QueueBase::recordPush(std::size_t depthAfter)
 }
 
 void
-QueueBase::recordPop()
+QueueBase::recordPop(std::size_t depthAfter)
 {
     ++stats_.pops;
+    if (tracer_)
+        tracer_->counter(TraceKind::QueueDepth, traceTrack_,
+                         tracer_->now(),
+                         static_cast<double>(depthAfter),
+                         traceName_);
     if (metaEnabled_) {
         poppedTries_.clear();
         if (!tries_.empty()) {
@@ -86,9 +96,14 @@ QueueBase::recordPop()
 }
 
 void
-QueueBase::recordPops(std::uint64_t n)
+QueueBase::recordPops(std::uint64_t n, std::size_t depthAfter)
 {
     stats_.pops += n;
+    if (tracer_ && n > 0)
+        tracer_->counter(TraceKind::QueueDepth, traceTrack_,
+                         tracer_->now(),
+                         static_cast<double>(depthAfter),
+                         traceName_);
     if (metaEnabled_) {
         poppedTries_.clear();
         std::uint64_t take =

@@ -22,6 +22,7 @@
 
 #include "common/error.hh"
 #include "gpu/device_config.hh"
+#include "obs/trace.hh"
 #include "sim/simulator.hh"
 
 namespace vp {
@@ -89,6 +90,20 @@ class QueueBase
     /** Reset statistics (not contents). */
     void resetStats() { stats_ = QueueStats(); }
 
+    /**
+     * Attach the run tracer (null detaches; never owned): every
+     * push/pop records a QueueDepth counter sample on @p track
+     * (conventionally the consumer stage index). @p nameId is the
+     * tracer-interned display name.
+     */
+    void
+    setTrace(Tracer* t, std::int16_t track, std::int32_t nameId)
+    {
+        tracer_ = t;
+        traceTrack_ = track;
+        traceName_ = nameId;
+    }
+
     /** @name Capacity (backpressure / deadlock modeling) @{ */
 
     /** Bound the queue to @p cap items; 0 restores unbounded. */
@@ -133,10 +148,10 @@ class QueueBase
 
   protected:
     void recordPush(std::size_t depthAfter);
-    void recordPop();
+    void recordPop(std::size_t depthAfter);
 
     /** Record @p n pops in one bookkeeping step (batch pop). */
-    void recordPops(std::uint64_t n);
+    void recordPops(std::uint64_t n, std::size_t depthAfter);
 
     /** Keep retry metadata in sync with a clear() of the payload. */
     void metaCleared() { tries_.clear(); }
@@ -163,6 +178,9 @@ class QueueBase
     QueueStats stats_;
 
     std::size_t capacity_ = 0;
+    Tracer* tracer_ = nullptr;
+    std::int16_t traceTrack_ = 0;
+    std::int32_t traceName_ = -1;
     bool metaEnabled_ = false;
     std::uint32_t nextTries_ = 0;
     /** Per-item retry counts, parallel to the payload FIFO. */
@@ -216,7 +234,7 @@ class WorkQueue : public QueueBase
             return false;
         out = std::move(items_.front());
         items_.pop_front();
-        recordPop();
+        recordPop(items_.size());
         return true;
     }
 
@@ -230,7 +248,7 @@ class WorkQueue : public QueueBase
             out.push_back(std::move(items_.front()));
             items_.pop_front();
         }
-        recordPops(n);
+        recordPops(n, items_.size());
         return n;
     }
 

@@ -41,6 +41,58 @@ TEST(Accumulator, MergeCombines)
     EXPECT_DOUBLE_EQ(a.sum(), 13.0);
 }
 
+TEST(Accumulator, EmptyIsDistinguishableFromZeroMean)
+{
+    Accumulator a;
+    EXPECT_TRUE(a.empty());
+    a.add(-2.0);
+    a.add(2.0);
+    EXPECT_FALSE(a.empty());
+    // mean() == 0.0 no longer implies "no samples".
+    EXPECT_DOUBLE_EQ(a.mean(), 0.0);
+    EXPECT_EQ(a.count(), 2u);
+}
+
+TEST(Accumulator, WelfordVariance)
+{
+    // Population variance of {2, 4, 4, 4, 5, 5, 7, 9} is exactly 4.
+    Accumulator a;
+    for (double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0})
+        a.add(v);
+    EXPECT_DOUBLE_EQ(a.mean(), 5.0);
+    EXPECT_DOUBLE_EQ(a.variance(), 4.0);
+    EXPECT_DOUBLE_EQ(a.stddev(), 2.0);
+
+    Accumulator single;
+    single.add(3.0);
+    EXPECT_DOUBLE_EQ(single.variance(), 0.0);
+    EXPECT_DOUBLE_EQ(Accumulator{}.stddev(), 0.0);
+}
+
+TEST(Accumulator, MergePreservesMoments)
+{
+    // Chan's pairwise merge must agree with a single-pass fill.
+    Accumulator whole, left, right;
+    for (int i = 0; i < 50; ++i) {
+        double v = 0.37 * i * i - 11.0 * i + 3.0;
+        whole.add(v);
+        (i < 17 ? left : right).add(v);
+    }
+    left.merge(right);
+    EXPECT_EQ(left.count(), whole.count());
+    EXPECT_DOUBLE_EQ(left.mean(), whole.mean());
+    EXPECT_NEAR(left.variance(), whole.variance(),
+                1e-9 * whole.variance());
+
+    Accumulator empty;
+    left.merge(empty); // merging an empty set is a no-op
+    EXPECT_DOUBLE_EQ(left.mean(), whole.mean());
+    empty.merge(left); // merging INTO an empty set copies
+    EXPECT_DOUBLE_EQ(empty.mean(), whole.mean());
+    EXPECT_NEAR(empty.variance(), whole.variance(),
+                1e-9 * whole.variance());
+}
+
 TEST(Accumulator, ClearResets)
 {
     Accumulator a;
