@@ -281,6 +281,71 @@ benchObsMode(const std::string& app, int reps)
     return row;
 }
 
+struct ShardRow
+{
+    std::string app;
+    /** Simulated cycles, one device vs. the 2-device group. */
+    double singleCycles = 0.0;
+    double groupCycles = 0.0;
+    double speedup = 0.0;
+    double seconds = 0.0;
+    std::uint64_t events = 0;
+    std::uint64_t transfers = 0;
+    /** Per-stage item totals match the single-device run. */
+    bool conserved = false;
+    /** A rerun of the group reproduces cycles and event count. */
+    bool deterministic = false;
+};
+
+/**
+ * Multi-device sharding: the same app under the same Megakernel
+ * configuration on one GTX 1080 and on a 2x GTX 1080 group with the
+ * replicate plan. Reports the simulated-time speedup, checks exact
+ * work conservation against the single-device run, and reruns the
+ * group to confirm bit-identical determinism. Host wall time of the
+ * group run is also recorded (the simulator now carries two devices'
+ * events in one heap).
+ */
+ShardRow
+benchShard(const std::string& app, AppScale scale)
+{
+    DeviceConfig dev = DeviceConfig::byName("gtx1080");
+    auto stageItems = [](const RunResult& r) {
+        std::vector<std::uint64_t> v;
+        for (const auto& s : r.stages)
+            v.push_back(s.items + s.deadLettered);
+        return v;
+    };
+
+    ShardRow row;
+    row.app = app;
+
+    auto driver = makeApp(app, scale);
+    PipelineConfig cfg = makeMegakernelConfig(driver->pipeline());
+    ShardPlan plan = ShardPlan::replicateAll(driver->pipeline());
+
+    Engine single(dev);
+    RunResult r1 = single.run(*driver, cfg);
+
+    Engine group(DeviceGroupConfig::homogeneous(dev, 2));
+    auto t0 = Clock::now();
+    RunResult r2 = group.runSharded(*driver, cfg, plan);
+    row.seconds = secondsSince(t0);
+    RunResult r3 = group.runSharded(*driver, cfg, plan);
+
+    row.singleCycles = r1.cycles;
+    row.groupCycles = r2.cycles;
+    row.speedup = r2.cycles > 0.0 ? r1.cycles / r2.cycles : 0.0;
+    row.events = r2.simEvents;
+    row.transfers = r2.interconnect.transfers;
+    row.conserved = r1.completed && r2.completed
+        && stageItems(r1) == stageItems(r2);
+    row.deterministic = r2.cycles == r3.cycles
+        && r2.simEvents == r3.simEvents
+        && stageItems(r2) == stageItems(r3);
+    return row;
+}
+
 struct TunerRow
 {
     std::string app;
@@ -393,6 +458,33 @@ main(int argc, char** argv)
         return 1;
     }
 
+    vp::bench::header("multi-device sharding (raster, 2x gtx1080)");
+    ShardRow sh = benchShard(
+        "raster", smoke ? AppScale::Small : AppScale::Full);
+    std::printf("  1 device          %12.0f cycles\n"
+                "  2 devices         %12.0f cycles  speedup=%.2fx  "
+                "%8.3fs host\n"
+                "  transfers=%llu  work %s  reruns %s\n",
+                sh.singleCycles, sh.groupCycles, sh.speedup,
+                sh.seconds,
+                static_cast<unsigned long long>(sh.transfers),
+                sh.conserved ? "conserved" : "NOT CONSERVED",
+                sh.deterministic ? "bit-identical" : "DIVERGED");
+    if (!sh.conserved || !sh.deterministic) {
+        std::fprintf(stderr,
+                     "ERROR: 2-device shard %s\n",
+                     sh.conserved ? "rerun diverged"
+                                  : "lost or duplicated work");
+        return 1;
+    }
+    if (!smoke && sh.speedup <= 1.0) {
+        std::fprintf(stderr,
+                     "ERROR: 2 devices slower than 1 (%.2fx) on a "
+                     "throughput workload\n",
+                     sh.speedup);
+        return 1;
+    }
+
     vp::bench::header("auto-tuner wall clock (pyramid, small)");
     TunerRow serial = benchTunerSerial("pyramid");
     TunerRow par = benchTunerParallel("pyramid", smoke ? 2 : 4);
@@ -442,6 +534,21 @@ main(int argc, char** argv)
                      static_cast<unsigned long long>(om.events),
                      om.eventsMatch ? "true" : "false",
                      om.plainSeconds, om.disabledSeconds, om.ratio);
+        std::fprintf(json,
+                     "  \"multi_device\": {\"app\": \"%s\", "
+                     "\"devices\": 2, \"plan\": \"replicate\", "
+                     "\"single_cycles\": %.1f, "
+                     "\"group_cycles\": %.1f, \"speedup\": %.4f, "
+                     "\"events\": %llu, \"transfers\": %llu, "
+                     "\"group_seconds\": %.6f, "
+                     "\"work_conserved\": %s, "
+                     "\"reruns_identical\": %s},\n",
+                     sh.app.c_str(), sh.singleCycles, sh.groupCycles,
+                     sh.speedup,
+                     static_cast<unsigned long long>(sh.events),
+                     static_cast<unsigned long long>(sh.transfers),
+                     sh.seconds, sh.conserved ? "true" : "false",
+                     sh.deterministic ? "true" : "false");
         std::fprintf(json,
                      "  \"tuner\": {\"app\": \"%s\", "
                      "\"serial_seconds\": %.6f, "

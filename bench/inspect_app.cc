@@ -6,8 +6,16 @@
  *
  * Usage: inspect_app [--device=k20c|gtx1080] [app...]
  *                    [--config=baseline|megakernel|versapipe] [--only]
+ *                    [--devices=N] [--shard=replicate|rr|pin:d0,d1,..]
  *                    [--trace=out.json] [--report=out.report.json]
  *                    [--csv=out.csv] [--sample=N]
+ *
+ * --devices=N runs the Groups configurations (megakernel/versapipe)
+ * sharded over N identical devices joined by the default peer
+ * interconnect, under the --shard plan (default replicate), and adds
+ * per-device utilization plus interconnect totals to the output.
+ * Host-sequenced configurations (the KBK baseline) stay on one
+ * device.
  *
  * The export flags instrument the selected configuration (default:
  * versapipe) of the FIRST app shown. --trace writes a
@@ -35,6 +43,10 @@ struct ObsOptions
     std::string csvPath;
     std::string config = "versapipe";
     Tick sampleCycles = 0.0;
+    /** Devices to shard Groups configurations over (1 = plain run). */
+    int devices = 1;
+    /** Shard plan spec: replicate, rr, or pin:<d0>,<d1>,... */
+    std::string shard = "replicate";
     /** Show only the instrumented config (skips autotuning when the
      *  selected config is not versapipe — used by the ctest entry). */
     bool only = false;
@@ -104,13 +116,18 @@ exportObs(const RunResult& r, const DeviceConfig& dev,
 
 void
 show(const std::string& name, const DeviceConfig& dev,
-     const ObsOptions* opts)
+     const ObsOptions& opts, bool instrument)
 {
-    header(name + " on " + dev.name);
+    int devices = opts.devices;
+    std::string where = dev.name;
+    if (devices > 1)
+        where += " x" + std::to_string(devices)
+            + " shard=" + opts.shard;
+    header(name + " on " + where);
     auto app = makeApp(name);
     struct Entry { std::string label; PipelineConfig cfg; };
     auto want = [&](const std::string& label) {
-        return !opts || !opts->only || opts->config == label;
+        return !instrument || !opts.only || opts.config == label;
     };
     std::vector<Entry> entries;
     if (want("baseline"))
@@ -121,12 +138,30 @@ show(const std::string& name, const DeviceConfig& dev,
     if (want("versapipe"))
         entries.push_back({"versapipe", versapipeConfig(name, dev)});
     for (auto& [label, cfg] : entries) {
-        bool observe = opts && opts->config == label;
+        bool observe = instrument && opts.config == label;
+        bool sharded = devices > 1
+            && cfg.top == PipelineConfig::Top::Groups;
         RunResult r;
-        if (observe) {
+        if (sharded) {
+            Engine engine(
+                DeviceGroupConfig::homogeneous(dev, devices));
+            if (observe) {
+                ObsConfig oc;
+                oc.sampleIntervalCycles = opts.sampleCycles;
+                engine.setObservability(oc);
+            }
+            Pipeline& pipe = app->pipeline();
+            ShardPlan plan = opts.shard == "rr"
+                ? ShardPlan::pinnedRoundRobin(cfg, pipe, devices)
+                : ShardPlan::parse(opts.shard, pipe, devices);
+            r = engine.runSharded(*app, cfg, plan);
+            VP_REQUIRE(r.completed, app->name()
+                       << ": sharded run failed under "
+                       << r.configName << "\n" << r.failureReason);
+        } else if (observe) {
             Engine engine(dev);
             ObsConfig oc;
-            oc.sampleIntervalCycles = opts->sampleCycles;
+            oc.sampleIntervalCycles = opts.sampleCycles;
             engine.setObservability(oc);
             r = engine.run(*app, cfg);
             VP_REQUIRE(r.completed, app->name()
@@ -156,9 +191,33 @@ show(const std::string& name, const DeviceConfig& dev,
                   << " polls=" << r.polls
                   << " retreats=" << r.retreats
                   << " util=" << TextTable::num(r.smUtilization, 3)
-                  << "\n\n";
+                  << "\n";
+        if (!r.shardDevices.empty()) {
+            for (std::size_t i = 0; i < r.shardDevices.size(); ++i) {
+                const ShardDeviceStats& sd = r.shardDevices[i];
+                std::cout << "  d" << i << " " << sd.deviceName
+                          << ": util="
+                          << TextTable::num(sd.smUtilization, 3)
+                          << " launches=" << sd.device.kernelLaunches
+                          << " peakBlocks="
+                          << sd.device.peakResidentBlocks << "\n";
+            }
+            std::cout << "  interconnect: transfers="
+                      << r.interconnect.transfers << " bytes="
+                      << TextTable::num(r.interconnect.bytes, 0)
+                      << " serialize ms="
+                      << TextTable::num(
+                             dev.cyclesToMs(
+                                 r.interconnect.serializeCycles), 3)
+                      << " wait ms="
+                      << TextTable::num(
+                             dev.cyclesToMs(
+                                 r.interconnect.waitCycles), 3)
+                      << "\n";
+        }
+        std::cout << "\n";
         if (observe)
-            exportObs(r, dev, *opts);
+            exportObs(r, dev, opts);
     }
 }
 
@@ -198,6 +257,12 @@ main(int argc, char** argv)
             opts.config = v;
         } else if (flagValue(arg, "--sample", i, v)) {
             opts.sampleCycles = std::stod(v);
+        } else if (flagValue(arg, "--devices", i, v)) {
+            opts.devices = std::stoi(v);
+            VP_REQUIRE(opts.devices >= 1,
+                       "--devices wants a positive count");
+        } else if (flagValue(arg, "--shard", i, v)) {
+            opts.shard = v;
         } else if (arg == "--only") {
             opts.only = true;
         } else if (arg.rfind("--", 0) != 0) {
@@ -210,7 +275,7 @@ main(int argc, char** argv)
         apps = appNames();
     bool first = true;
     for (const std::string& name : apps) {
-        show(name, dev, first && opts.wanted() ? &opts : nullptr);
+        show(name, dev, opts, first && opts.wanted());
         first = false;
     }
     return 0;

@@ -101,6 +101,9 @@ Engine::runTimed(AppDriver& driver, const PipelineConfig& config,
     if (plan_ && !plan_->smEvents.empty()) {
         auto handles = std::make_shared<std::vector<EventHandle>>();
         for (const SmFaultEvent& e : plan_->smEvents) {
+            VP_CHECK(e.device == 0, ErrorCode::Config,
+                     "fault plan targets device " << e.device
+                     << " but this is a single-device run");
             VP_CHECK(e.sm >= 0 && e.sm < dev.numSms(),
                      ErrorCode::Config,
                      "fault plan: SM " << e.sm

@@ -14,7 +14,9 @@
 #include "core/recovery.hh"
 #include "core/run_result.hh"
 #include "core/runtime.hh"
+#include "core/shard.hh"
 #include "gpu/device_config.hh"
+#include "gpu/device_group.hh"
 #include "obs/obs.hh"
 #include "sim/fault.hh"
 
@@ -27,8 +29,29 @@ class Engine
     /** @param cfg the device to simulate. */
     explicit Engine(DeviceConfig cfg);
 
+    /**
+     * Multi-device engine: runs shard over the devices of @p group,
+     * connected by its simulated interconnect. Single-device entry
+     * points (run/runTimed) keep using the first device.
+     */
+    explicit Engine(DeviceGroupConfig group);
+
     /** The device configuration runs execute on. */
     const DeviceConfig& deviceConfig() const { return cfg_; }
+
+    /** Devices available to sharded runs (1 without a group). */
+    int
+    deviceCount() const
+    {
+        return group_ ? static_cast<int>(group_->devices.size()) : 1;
+    }
+
+    /** The group configuration, if constructed with one. */
+    const std::optional<DeviceGroupConfig>&
+    groupConfig() const
+    {
+        return group_;
+    }
 
     /** @name Fault injection and recovery @{ */
 
@@ -114,6 +137,22 @@ class Engine
                                       const PipelineConfig& config,
                                       double cycleLimit) const;
 
+    /**
+     * Run @p driver sharded over the engine's device group under
+     * @p plan. Requires construction with a DeviceGroupConfig and a
+     * Groups configuration (ShardPlan::validate). A single-device
+     * group with a replicate plan is the degenerate case and matches
+     * run() event-for-event.
+     */
+    RunResult runSharded(AppDriver& driver,
+                         const PipelineConfig& config,
+                         const ShardPlan& plan) const;
+
+    /** Timeout-execute variant of runSharded (auto-tuner primitive). */
+    std::optional<RunResult>
+    runShardedTimed(AppDriver& driver, const PipelineConfig& config,
+                    const ShardPlan& plan, double cycleLimit) const;
+
     /** Cap on simulation events per run (livelock guard). */
     void setEventLimit(std::uint64_t limit) { eventLimit_ = limit; }
 
@@ -123,6 +162,7 @@ class Engine
     std::optional<FaultPlan> plan_;
     std::optional<RecoveryConfig> recovery_;
     std::optional<ObsConfig> obsCfg_;
+    std::optional<DeviceGroupConfig> group_;
 };
 
 } // namespace vp

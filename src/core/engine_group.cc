@@ -1,0 +1,503 @@
+/**
+ * @file
+ * Multi-device (sharded) execution: Engine::runSharded runs one
+ * pipeline over the devices of a DeviceGroup under a ShardPlan.
+ *
+ * Each device gets its own runner over the shared simulator; the
+ * group coordinator routes seed items to their devices, forwards
+ * cross-device pushes through the interconnect, and answers the
+ * remote-work queries behind block-exit decisions. One shared
+ * PendingCounter covers queued, in-flight and in-transit work, so
+ * group-wide termination detection needs no extra protocol: the run
+ * drains exactly when the counter does.
+ */
+
+#include "core/engine.hh"
+
+#include <algorithm>
+#include <limits>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/logging.hh"
+#include "gpu/device_group.hh"
+
+namespace vp {
+
+Engine::Engine(DeviceGroupConfig group)
+    : cfg_(group.devices.empty() ? DeviceConfig{} : group.devices[0])
+{
+    group.validate();
+    group_ = std::move(group);
+}
+
+/**
+ * Friend of Seeder: builds the routed seeders of a sharded run.
+ * Pinned stages seed straight to their home device; replicated
+ * stages hash each item over the group (shardSeedDevice), which is
+ * the only point where replicated work is distributed — intermediate
+ * outputs stay on the producing device for locality.
+ */
+class GroupCoordinator
+{
+  public:
+    static void
+    seedAll(AppDriver& driver, Pipeline& pipe,
+            std::vector<std::unique_ptr<RunnerBase>>& runners,
+            const ShardPlan& plan, PendingCounter& pending)
+    {
+        int n = static_cast<int>(runners.size());
+        for (int f = 0; f < driver.flowCount(); ++f) {
+            Seeder seeder;
+            seeder.pipe_ = &pipe;
+            seeder.noteSeeded_ = [&pending](int stage, int items) {
+                (void)stage;
+                pending.add(items);
+            };
+            seeder.route_ = [&runners, &plan,
+                             n](int stage, int ordinal) -> QueueBase& {
+                int home = plan.homeDevice(stage);
+                int dev = home >= 0
+                    ? home
+                    : shardSeedDevice(stage, ordinal, n);
+                return runners[static_cast<std::size_t>(dev)]
+                    ->deliveryQueue(
+                        stage, static_cast<std::uint64_t>(ordinal));
+            };
+            driver.seedFlow(seeder, f);
+        }
+    }
+};
+
+namespace {
+
+/** Fold runner @p ri's collected stats into @p merged. */
+void
+mergeRunnerResult(RunResult& merged, const RunResult& ri)
+{
+    for (std::size_t s = 0; s < merged.stages.size(); ++s) {
+        StageRunStats& a = merged.stages[s];
+        const StageRunStats& b = ri.stages[s];
+        a.items += b.items;
+        a.batches += b.batches;
+        a.warpInsts += b.warpInsts;
+        a.execCycles += b.execCycles;
+        a.retried += b.retried;
+        a.deadLettered += b.deadLettered;
+        a.queue.pushes += b.queue.pushes;
+        a.queue.pops += b.queue.pops;
+        a.queue.maxDepth = std::max(a.queue.maxDepth,
+                                    b.queue.maxDepth);
+        a.queue.opCycles += b.queue.opCycles;
+        a.queue.contentionCycles += b.queue.contentionCycles;
+    }
+    merged.polls += ri.polls;
+    merged.retreats += ri.retreats;
+    merged.refills += ri.refills;
+
+    merged.faults.taskFaults += ri.faults.taskFaults;
+    merged.faults.tasksRetried += ri.faults.tasksRetried;
+    merged.faults.deadLettered += ri.faults.deadLettered;
+    merged.faults.droppedPushes += ri.faults.droppedPushes;
+    merged.faults.corruptedPushes += ri.faults.corruptedPushes;
+    merged.faults.slowdowns += ri.faults.slowdowns;
+    merged.faults.backpressureWaits += ri.faults.backpressureWaits;
+    merged.faults.degradeRelaunches += ri.faults.degradeRelaunches;
+    merged.faults.launchDelays += ri.faults.launchDelays;
+    merged.faults.smsFailed += ri.faults.smsFailed;
+    merged.faults.smsDegraded += ri.faults.smsDegraded;
+    merged.faults.blocksEvicted += ri.faults.blocksEvicted;
+}
+
+} // namespace
+
+RunResult
+Engine::runSharded(AppDriver& driver, const PipelineConfig& config,
+                   const ShardPlan& plan) const
+{
+    auto r = runShardedTimed(driver, config, plan,
+                             std::numeric_limits<double>::infinity());
+    VP_ASSERT(r.has_value(), "untimed sharded run reported a timeout");
+    return *r;
+}
+
+std::optional<RunResult>
+Engine::runShardedTimed(AppDriver& driver,
+                        const PipelineConfig& config,
+                        const ShardPlan& plan,
+                        double cycleLimit) const
+{
+    VP_CHECK(group_.has_value(), ErrorCode::Config,
+             "runSharded requires an Engine built from a "
+             "DeviceGroupConfig");
+    const DeviceGroupConfig& gcfg = *group_;
+    int n = gcfg.size();
+
+    Pipeline& pipe = driver.pipeline();
+    pipe.validate();
+    for (const DeviceConfig& dcfg : gcfg.devices)
+        config.validate(pipe, dcfg);
+    plan.validate(pipe, config, n);
+    driver.reset();
+    pipe.resetStages();
+
+    Simulator sim;
+    DeviceGroup group(sim, gcfg);
+    Interconnect& icx = group.interconnect();
+
+    struct LogClockScope
+    {
+        bool armed = false;
+        explicit LogClockScope(Simulator* s)
+        {
+            if (Logger::enabled(LogLevel::Trace)) {
+                armed = true;
+                Logger::setClock([s] { return s->now(); });
+            }
+        }
+        ~LogClockScope()
+        {
+            if (armed) {
+                Logger::setClock({});
+                Logger::setSm(-1);
+            }
+        }
+    } logClock(&sim);
+
+    std::optional<FaultInjector> injector;
+    RecoveryConfig rc;
+    bool faulted = plan_.has_value() || recovery_.has_value();
+
+    std::shared_ptr<ObsData> obs;
+    if (obsCfg_) {
+        obs = std::make_shared<ObsData>(*obsCfg_, &sim);
+        for (int i = 0; i < n; ++i) {
+            group.device(i).setTracer(obs->tracerPtr());
+            // Streams get 64 tracks per device — far beyond any
+            // realistic per-device stream count.
+            group.device(i).setTraceTrackBase(group.smTrackBase(i),
+                                              i * 64);
+        }
+    }
+    Tracer* tracer = obs ? obs->tracerPtr() : nullptr;
+    if (tracer) {
+        icx.setTraceHook([tracer](int src, int dst, double bytes,
+                                  Tick submit, Tick arrival) {
+            tracer->span(TraceKind::Transfer,
+                         static_cast<std::int16_t>(dst), submit,
+                         arrival - submit, src,
+                         static_cast<std::int32_t>(bytes));
+        });
+    }
+
+    if (plan_) {
+        plan_->validate();
+        injector.emplace(*plan_);
+        for (int i = 0; i < n; ++i)
+            group.device(i).setFaultInjector(&*injector);
+    }
+    if (recovery_) {
+        recovery_->validate();
+        rc = *recovery_;
+    }
+
+    // Group-wide termination: one counter spans queued items,
+    // in-flight batches and in-transit transfers on every device
+    // (producers commit outputs with add() before sub()bing their
+    // inputs, so the counter never dips to zero while work exists).
+    PendingCounter pending;
+
+    // Contexts must outlive the runners that point at them; the
+    // callback members are filled in after the runners exist.
+    std::vector<ShardContext> shardCtxs(static_cast<std::size_t>(n));
+    std::vector<std::unique_ptr<RunnerBase>> runners;
+    for (int i = 0; i < n; ++i) {
+        ShardContext& sc = shardCtxs[static_cast<std::size_t>(i)];
+        sc.deviceIndex = i;
+        sc.numDevices = n;
+        sc.smTrackBase = group.smTrackBase(i);
+        sc.plan = &plan;
+        sc.sharedPending = &pending;
+
+        FaultContext fc;
+        fc.shard = &sc;
+        if (injector)
+            fc.injector = &*injector;
+        if (recovery_)
+            fc.recovery = &*recovery_;
+        if (obs)
+            fc.obs = obs.get();
+        runners.push_back(makeRunner(sim, group.device(i),
+                                     group.host(i), pipe, config,
+                                     fc));
+    }
+
+    // Cross-device forwarding: a push into a remote stub on device i
+    // rides the interconnect to the stage's home device and lands in
+    // that runner's delivery queue at arrival time. The rolling
+    // sequence spreads deliveries over queue shards deterministically.
+    auto deliverySeq =
+        std::make_shared<std::uint64_t>(0);
+    for (int i = 0; i < n; ++i) {
+        ShardContext& sc = shardCtxs[static_cast<std::size_t>(i)];
+        sc.forward = [&icx, &runners, &plan, i, deliverySeq](
+                         int stage, int bytes,
+                         std::function<void(QueueBase&)> deliver) {
+            int home = plan.homeDevice(stage);
+            VP_ASSERT(home >= 0, "remote forward of an unpinned stage");
+            icx.transfer(
+                i, home, static_cast<double>(bytes),
+                [&runners, home, stage, deliverySeq,
+                 deliver = std::move(deliver)] {
+                    deliver(
+                        runners[static_cast<std::size_t>(home)]
+                            ->deliveryQueue(stage, (*deliverySeq)++));
+                });
+        };
+        sc.remoteWork = [&icx, &runners, i,
+                         n](StageMask relevant) -> bool {
+            if (icx.inFlight() > 0)
+                return true;
+            for (int j = 0; j < n; ++j)
+                if (j != i
+                    && runners[static_cast<std::size_t>(j)]->localWork(
+                        relevant))
+                    return true;
+            return false;
+        };
+    }
+
+    // Scripted SM faults, per target device; cancelled on drain.
+    if (plan_ && !plan_->smEvents.empty()) {
+        auto handles = std::make_shared<std::vector<EventHandle>>();
+        for (const SmFaultEvent& e : plan_->smEvents) {
+            VP_CHECK(e.device >= 0 && e.device < n, ErrorCode::Config,
+                     "fault plan: device " << e.device
+                     << " out of range (group has " << n
+                     << " devices)");
+            Device& dev = group.device(e.device);
+            VP_CHECK(e.sm >= 0 && e.sm < dev.numSms(),
+                     ErrorCode::Config,
+                     "fault plan: SM " << e.sm
+                     << " out of range (device " << e.device
+                     << " has " << dev.numSms() << " SMs)");
+            handles->push_back(sim.at(e.time, [&dev, e] {
+                if (dev.sm(e.sm).offline())
+                    return;
+                if (e.kind == SmFaultEvent::Kind::Kill)
+                    dev.failSm(e.sm);
+                else
+                    dev.degradeSm(e.sm, e.factor);
+            }));
+        }
+        pending.notifyOnDrain([&sim, handles] {
+            for (EventHandle h : *handles)
+                sim.cancel(h);
+        });
+    }
+
+    if (obs && obs->sampler.enabled()) {
+        for (auto& r : runners)
+            r->registerProbes(obs->sampler);
+        obs->sampler.addSeries("interconnect_in_flight", [&icx] {
+            return static_cast<double>(icx.inFlight());
+        });
+    }
+
+    GroupCoordinator::seedAll(driver, pipe, runners, plan, pending);
+    for (auto& r : runners)
+        r->start(driver);
+
+    auto groupProgress = [&runners, &icx] {
+        std::uint64_t p = icx.stats().delivered;
+        for (const auto& r : runners)
+            p += r->drainProgress();
+        return p;
+    };
+    auto groupDiagnose = [&runners, &icx] {
+        std::ostringstream os;
+        os << "interconnect: inFlight=" << icx.inFlight() << "\n";
+        for (std::size_t i = 0; i < runners.size(); ++i)
+            os << "device " << i << ":\n"
+               << runners[i]->diagnoseStall();
+        return os.str();
+    };
+
+    bool watchdogOn = faulted && rc.watchdogIntervalCycles > 0.0;
+    bool timeoutOn = faulted && rc.drainTimeoutCycles > 0.0;
+    bool samplerOn = obs && obs->sampler.enabled();
+
+    bool drained;
+    std::optional<RunOutcome> failure;
+    std::string reason;
+    if (!watchdogOn && !timeoutOn && !samplerOn) {
+        drained = sim.runUntil(cycleLimit, eventLimit_);
+    } else {
+        // Same supervision slicing as the single-device engine
+        // (engine.cc), with progress and diagnostics group-wide.
+        std::uint64_t lastProgress = groupProgress();
+        std::uint64_t lastEvents = sim.eventsRun();
+        int stalledChecks = 0;
+        constexpr Tick kInf = std::numeric_limits<Tick>::infinity();
+        Tick checkpoint =
+            watchdogOn ? rc.watchdogIntervalCycles : kInf;
+        Tick sampNext = samplerOn ? obs->sampler.interval() : kInf;
+        for (;;) {
+            Tick target =
+                std::min({checkpoint, sampNext, cycleLimit});
+            if (timeoutOn)
+                target = std::min(target, rc.drainTimeoutCycles);
+            std::uint64_t budget = eventLimit_ > sim.eventsRun()
+                ? eventLimit_ - sim.eventsRun()
+                : 0;
+            drained = sim.runUntil(target, budget);
+            if (drained)
+                break;
+            if (sim.eventsRun() >= eventLimit_ || target >= cycleLimit)
+                break;
+            if (samplerOn && target >= sampNext) {
+                obs->sampler.sampleAt(sampNext);
+                sampNext += obs->sampler.interval();
+            }
+            if (timeoutOn && target >= rc.drainTimeoutCycles) {
+                failure = RunOutcome::DrainTimeout;
+                reason = "global drain timeout ("
+                    + std::to_string(rc.drainTimeoutCycles)
+                    + " cycles) elapsed\n" + groupDiagnose();
+                break;
+            }
+            if (!watchdogOn || target < checkpoint)
+                continue;
+            std::uint64_t progress = groupProgress();
+            std::uint64_t events = sim.eventsRun();
+            if (tracer) {
+                tracer->instant(TraceKind::WatchdogCheck, 0,
+                                sim.now(), stalledChecks);
+            }
+            if (progress != lastProgress) {
+                stalledChecks = 0;
+            } else if (events != lastEvents && pending.value() > 0) {
+                if (++stalledChecks >= rc.watchdogStallChecks) {
+                    failure = RunOutcome::Stalled;
+                    reason = "watchdog: no drain progress for "
+                        + std::to_string(stalledChecks)
+                        + " checks\n" + groupDiagnose();
+                    break;
+                }
+            }
+            lastProgress = progress;
+            lastEvents = events;
+            checkpoint += rc.watchdogIntervalCycles;
+        }
+    }
+
+    auto collectMerged = [&]() {
+        RunResult merged = runners[0]->collect();
+        std::vector<RunResult> per;
+        per.push_back(merged);
+        for (int i = 1; i < n; ++i) {
+            per.push_back(runners[static_cast<std::size_t>(i)]
+                              ->collect());
+            mergeRunnerResult(merged, per.back());
+        }
+        double steals = 0.0;
+        for (const RunResult& ri : per)
+            steals += ri.extra.get("steals");
+        merged.extra.set("steals", steals);
+
+        merged.cycles = sim.now();
+        merged.ms = gcfg.devices[0].cyclesToMs(merged.cycles);
+        merged.simEvents = sim.eventsRun();
+        merged.deviceName = gcfg.describe();
+        merged.configName = config.describe(pipe) + " shard="
+            + plan.describe();
+        merged.interconnect = icx.stats();
+
+        double issue = 0.0;
+        for (int i = 0; i < n; ++i) {
+            ShardDeviceStats sd;
+            sd.deviceName = gcfg.devices[static_cast<std::size_t>(i)]
+                                .name;
+            sd.device = per[static_cast<std::size_t>(i)].device;
+            sd.host = per[static_cast<std::size_t>(i)].host;
+            sd.smUtilization =
+                per[static_cast<std::size_t>(i)].smUtilization;
+            merged.shardDevices.push_back(std::move(sd));
+            for (int s = 0; s < group.device(i).numSms(); ++s)
+                issue += group.device(i).sm(s).stats().issueCycles;
+        }
+        if (merged.cycles > 0.0 && group.totalSms() > 0)
+            merged.smUtilization =
+                issue / (merged.cycles * group.totalSms());
+        return merged;
+    };
+
+    auto finishObs = [&](RunResult& result) {
+        if (!obs)
+            return;
+        if (tracer) {
+            tracer->span(TraceKind::RunSpan, 0, 0.0, sim.now(),
+                         tracer->intern(result.configName));
+        }
+        result.obs = obs;
+    };
+    auto attachTraceTail = [&](std::string& why) {
+        if (tracer && obs->config.diagnosticTailEvents > 0) {
+            why += "\nlast trace events:\n"
+                + tracer->tail(obs->config.diagnosticTailEvents);
+        }
+    };
+
+    if (failure) {
+        RunResult result = collectMerged();
+        result.completed = false;
+        result.outcome = *failure;
+        attachTraceTail(reason);
+        result.failureReason = std::move(reason);
+        result.faults.watchdogFired = *failure == RunOutcome::Stalled;
+        finishObs(result);
+        return result;
+    }
+    if (!drained) {
+        VP_CHECK(sim.eventsRun() < eventLimit_, ErrorCode::Livelock,
+                 "sharded run exceeded the event limit ("
+                 << eventLimit_ << ") — livelock in config `"
+                 << config.describe(pipe) << "`?");
+        VP_DEBUG("engine: sharded timeout at " << sim.now()
+                 << " cycles for `" << config.describe(pipe) << "`");
+        return std::nullopt;
+    }
+    if (pending.value() != 0) {
+        if (faulted) {
+            RunResult result = collectMerged();
+            result.completed = false;
+            result.outcome = RunOutcome::Stalled;
+            std::string why = "drained events but work is left\n"
+                + groupDiagnose();
+            attachTraceTail(why);
+            result.failureReason = std::move(why);
+            finishObs(result);
+            return result;
+        }
+        VP_REQUIRE(false,
+                   "sharded run drained events but left work pending "
+                   "(config `" << config.describe(pipe) << "`)");
+    }
+
+    RunResult result = collectMerged();
+    result.completed = driver.verify();
+    if (result.completed) {
+        result.outcome = RunOutcome::Completed;
+    } else if (result.faults.deadLettered > 0
+               || result.faults.droppedPushes > 0) {
+        result.outcome = RunOutcome::Degraded;
+    } else {
+        result.outcome = RunOutcome::VerifyFailed;
+    }
+    finishObs(result);
+    return result;
+}
+
+} // namespace vp

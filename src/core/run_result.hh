@@ -16,6 +16,7 @@
 #include "gpu/device.hh"
 #include "gpu/host.hh"
 #include "queueing/work_queue.hh"
+#include "sim/interconnect.hh"
 
 namespace vp {
 
@@ -72,6 +73,17 @@ struct StageRunStats
     QueueStats queue;
 };
 
+/** Per-device breakdown of a sharded (multi-device) run. */
+struct ShardDeviceStats
+{
+    /** Device model name (e.g. "gtx1080"). */
+    std::string deviceName;
+    DeviceStats device;
+    HostStats host;
+    /** This device's SM issue-slot utilization [0,1]. */
+    double smUtilization = 0.0;
+};
+
 /** Everything measured during one pipeline run. */
 struct RunResult
 {
@@ -100,6 +112,11 @@ struct RunResult
 
     /** Extra counters (model-specific). */
     StatGroup extra;
+
+    /** Per-device breakdown; empty on single-device runs. */
+    std::vector<ShardDeviceStats> shardDevices;
+    /** Cross-device transfer totals; zero on single-device runs. */
+    InterconnectStats interconnect;
 
     /** Simulation events dispatched during this run (host-side
      *  engine-throughput metric, not a property of the modeled

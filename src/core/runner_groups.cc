@@ -41,6 +41,14 @@ GroupsRunner::homeQueues(int smId)
     return *shards_[smId % shards_.size()];
 }
 
+QueueBase&
+GroupsRunner::deliveryQueue(int stage, std::uint64_t hint)
+{
+    if (shards_.empty())
+        return *queues_[stage];
+    return *(*shards_[hint % shards_.size()])[stage];
+}
+
 int
 GroupsRunner::findWork(int smId, const std::vector<int>& stages,
                        QueueSet*& qs)
@@ -68,6 +76,13 @@ GroupsRunner::buildSpecs()
 {
     for (std::size_t g = 0; g < cfg_.groups.size(); ++g) {
         const StageGroup& grp = cfg_.groups[g];
+        // Sharded: groups homed on another device launch no kernels
+        // here. Placement is uniform within a group (ShardPlan::
+        // validate), so the first stage decides for all of them.
+        if (shard_ && shard_->plan && !grp.stages.empty()
+            && shard_->plan->pinnedElsewhere(grp.stages.front(),
+                                             shard_->deviceIndex))
+            continue;
         auto configured_blocks = [&](int key) {
             auto it = grp.blocksPerSm.find(key);
             return it == grp.blocksPerSm.end() ? 0 : it->second;
@@ -138,7 +153,10 @@ GroupsRunner::buildSpecs()
 void
 GroupsRunner::start(AppDriver& driver)
 {
-    if (cfg_.distributedQueues) {
+    if (shard_) {
+        // Sharded runs are seeded once by the group coordinator,
+        // which routes each item to its device; do not re-seed here.
+    } else if (cfg_.distributedQueues) {
         // Seed flows round-robin across the shards; stealing
         // rebalances single-flow workloads at runtime.
         for (int f = 0; f < driver.flowCount(); ++f)
@@ -199,7 +217,8 @@ GroupsRunner::blockMain(BlockContext& ctx, int specIdx)
         ++retreats_;
         if (tracer_)
             tracer_->instant(TraceKind::Retreat,
-                             static_cast<std::int16_t>(ctx.smId()),
+                             static_cast<std::int16_t>(trackBase_
+                                                       + ctx.smId()),
                              sim_.now(), specIdx);
         ctx.delay(20.0, [&ctx] { ctx.exit(); });
         return;
@@ -283,7 +302,7 @@ GroupsRunner::onSmFailed(int sm)
 void
 GroupsRunner::onKernelComplete()
 {
-    if (cfg_.onlineAdaptation && !pending_.done())
+    if (cfg_.onlineAdaptation && !pendingPtr_->done())
         maybeRefill();
 }
 

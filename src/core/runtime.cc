@@ -20,6 +20,16 @@ RunnerBase::RunnerBase(Simulator& sim, Device& dev, Host& host,
         recoveryCfg_ = *fc.recovery;
     recovery_.init(&sim_, &recoveryCfg_, pipe_.stageCount());
 
+    // Shard wiring must precede makeQueues: remote-stub installation
+    // depends on the plan, and seeding/commits go through the shared
+    // counter.
+    shard_ = fc.shard;
+    if (shard_) {
+        trackBase_ = shard_->smTrackBase;
+        if (shard_->sharedPending)
+            pendingPtr_ = shard_->sharedPending;
+    }
+
     obs_ = fc.obs;
     if (obs_) {
         tracer_ = obs_->tracerPtr();
@@ -62,15 +72,34 @@ RunnerBase::makeQueues(QueueSet& qs)
 {
     qs.clear();
     for (int s = 0; s < pipe_.stageCount(); ++s) {
-        qs.push_back(pipe_.stage(s).makeQueue());
-        if (pipe_.stage(s).queueCapacity > 0)
-            qs.back()->setCapacity(pipe_.stage(s).queueCapacity);
+        StageBase& st = pipe_.stage(s);
+        bool remote = shard_ && shard_->plan
+            && shard_->plan->pinnedElsewhere(s, shard_->deviceIndex);
+        if (remote) {
+            // Stage homed on another device: pushes divert across
+            // the interconnect. No capacity — cross-device hops sit
+            // outside bounded-queue backpressure (remote_queue.hh).
+            qs.push_back(st.makeRemoteStub(
+                [this, s](int bytes,
+                          std::function<void(QueueBase&)> deliver) {
+                    shard_->forward(s, bytes, std::move(deliver));
+                }));
+        } else {
+            qs.push_back(st.makeQueue());
+            if (st.queueCapacity > 0)
+                qs.back()->setCapacity(st.queueCapacity);
+        }
         if (instrumentBatches_)
             qs.back()->enableRetryMeta();
-        if (tracer_)
-            qs.back()->setTrace(
-                tracer_, static_cast<std::int16_t>(s),
-                tracer_->intern(pipe_.stage(s).name));
+        if (tracer_) {
+            std::string qname = st.name;
+            if (shard_ && shard_->numDevices > 1)
+                qname = "d" + std::to_string(shard_->deviceIndex)
+                    + "/" + qname;
+            qs.back()->setTrace(tracer_,
+                                static_cast<std::int16_t>(s),
+                                tracer_->intern(qname));
+        }
     }
 }
 
@@ -89,15 +118,14 @@ RunnerBase::seedFlow(AppDriver& driver, QueueSet& qs, int flow)
     seeder.queues_ = &qs;
     seeder.noteSeeded_ = [this](int stage, int n) {
         (void)stage;
-        pending_.add(n);
+        pendingPtr_->add(n);
     };
     driver.seedFlow(seeder, flow);
 }
 
 bool
-RunnerBase::futureWorkPossible(int s) const
+RunnerBase::localWork(StageMask relevant) const
 {
-    StageMask relevant = pipe_.ancestorsOf(s) | (StageMask(1) << s);
     for (int i = 0; i < pipe_.stageCount(); ++i) {
         if (!(relevant & (StageMask(1) << i)))
             continue;
@@ -112,6 +140,17 @@ RunnerBase::futureWorkPossible(int s) const
                 return true;
     }
     return false;
+}
+
+bool
+RunnerBase::futureWorkPossible(int s) const
+{
+    StageMask relevant = pipe_.ancestorsOf(s) | (StageMask(1) << s);
+    if (localWork(relevant))
+        return true;
+    // Sharded: a remote device running an ancestor stage — or an
+    // item in flight on the interconnect — may still feed us.
+    return shard_ && shard_->remoteWork && shard_->remoteWork(relevant);
 }
 
 std::uint64_t
@@ -295,12 +334,12 @@ RunnerBase::processBatch(BlockContext& ctx, QueueSet& qs, int s,
             auto commit = [this, cp, qsp, s, bstart,
                            outputs = std::move(outputs),
                            items, next = std::move(next)]() mutable {
-                pending_.add(
+                pendingPtr_->add(
                     static_cast<std::int64_t>(outputs.size()));
                 for (StagedOutput& o : outputs)
                     o.push(*(*qsp)[o.stage]);
                 inFlight_[s] -= items;
-                pending_.sub(items);
+                pendingPtr_->sub(items);
                 if (obs_)
                     noteBatchDone(s, cp->smId(), bstart, items);
                 next();
@@ -348,15 +387,15 @@ RunnerBase::processBatchFI(BlockContext& ctx, QueueSet& qs, int s,
     faultStats_.taskFaults += faulted;
     if (tracer_ && faulted > 0)
         tracer_->instant(TraceKind::TaskFault,
-                         static_cast<std::int16_t>(ctx.smId()),
+                         static_cast<std::int16_t>(trackBase_ + ctx.smId()),
                          sim_.now(), s, faulted);
     if (fb.deadLettered > 0) {
         stageStats_[s].deadLettered += fb.deadLettered;
         faultStats_.deadLettered += fb.deadLettered;
-        pending_.sub(fb.deadLettered);
+        pendingPtr_->sub(fb.deadLettered);
         if (tracer_)
             tracer_->instant(TraceKind::DeadLetter,
-                             static_cast<std::int16_t>(ctx.smId()),
+                             static_cast<std::int16_t>(trackBase_ + ctx.smId()),
                              sim_.now(), s, fb.deadLettered);
     }
     if (fb.retried > 0) {
@@ -364,7 +403,7 @@ RunnerBase::processBatchFI(BlockContext& ctx, QueueSet& qs, int s,
         faultStats_.tasksRetried += fb.retried;
         if (tracer_)
             tracer_->instant(TraceKind::Retry,
-                             static_cast<std::int16_t>(ctx.smId()),
+                             static_cast<std::int16_t>(trackBase_ + ctx.smId()),
                              sim_.now(), s, fb.retried);
         recovery_.scheduleRedeliver(s, &q, std::move(fb.redeliver),
                                     fb.retried, fb.maxTries);
@@ -490,19 +529,19 @@ RunnerBase::processBatchFI(BlockContext& ctx, QueueSet& qs, int s,
                             tracer_->instant(
                                 TraceKind::Backpressure,
                                 static_cast<std::int16_t>(
-                                    cp->smId()),
+                                    trackBase_ + cp->smId()),
                                 sim_.now(), o.stage);
                         cp->delay(dev_.config().pollIntervalCycles,
                                   [self] { self->tryCommit(); });
                         return;
                     }
                 }
-                pending_.add(static_cast<std::int64_t>(
+                pendingPtr_->add(static_cast<std::int64_t>(
                     self->outputs.size()));
                 for (StagedOutput& o : self->outputs)
                     o.push(*(*qsp)[o.stage]);
                 inFlight_[s] -= items;
-                pending_.sub(items);
+                pendingPtr_->sub(items);
                 inFlightBatches_.erase(cp);
                 if (obs_)
                     noteBatchDone(s, cp->smId(), bstart, items);
@@ -532,20 +571,20 @@ RunnerBase::blockAborted(BlockContext& ctx)
             if (tracer_)
                 tracer_->instant(
                     TraceKind::Retry,
-                    static_cast<std::int16_t>(ctx.smId()),
+                    static_cast<std::int16_t>(trackBase_ + ctx.smId()),
                     sim_.now(), b.stage, b.items);
             recovery_.scheduleRedeliver(b.stage, b.q,
                                         std::move(b.capture),
                                         b.items, 1);
         } else {
             // Non-retryable: the in-flight items die with the block.
-            pending_.sub(b.items);
+            pendingPtr_->sub(b.items);
             stageStats_[b.stage].deadLettered += b.items;
             faultStats_.deadLettered += b.items;
             if (tracer_)
                 tracer_->instant(
                     TraceKind::DeadLetter,
-                    static_cast<std::int16_t>(ctx.smId()),
+                    static_cast<std::int16_t>(trackBase_ + ctx.smId()),
                     sim_.now(), b.stage, b.items);
         }
     }
@@ -561,25 +600,32 @@ RunnerBase::smFailed(int sm)
 void
 RunnerBase::registerProbes(Sampler& sampler)
 {
+    // Per-device series prefix so group runs keep the devices apart.
+    std::string pre;
+    if (shard_ && shard_->numDevices > 1)
+        pre = "d" + std::to_string(shard_->deviceIndex) + "/";
     for (int s = 0; s < pipe_.stageCount(); ++s)
         sampler.addSeries(
-            "queue_depth/" + pipe_.stage(s).name, [this, s] {
+            pre + "queue_depth/" + pipe_.stage(s).name, [this, s] {
                 return static_cast<double>(totalQueued(s));
             });
-    sampler.addSeries("resident_blocks", [this] {
+    sampler.addSeries(pre + "resident_blocks", [this] {
         return static_cast<double>(dev_.residentBlocks());
     });
     // Occupancy as a block-slot fraction: resident blocks over the
     // device-wide residency limit.
     double slots = static_cast<double>(dev_.numSms())
         * dev_.config().maxBlocksPerSm;
-    sampler.addSeries("occupancy", [this, slots] {
+    sampler.addSeries(pre + "occupancy", [this, slots] {
         return slots > 0.0 ? dev_.residentBlocks() / slots : 0.0;
     });
-    sampler.addSeries("pending_work", [this] {
-        return static_cast<double>(pending_.value());
-    });
-    sampler.addSeries("in_flight_retries", [this] {
+    if (!shard_ || shard_->deviceIndex == 0) {
+        // pending_work is group-wide when sharded; register it once.
+        sampler.addSeries("pending_work", [this] {
+            return static_cast<double>(pendingPtr_->value());
+        });
+    }
+    sampler.addSeries(pre + "in_flight_retries", [this] {
         return static_cast<double>(recovery_.totalBuffered());
     });
 }
@@ -589,7 +635,7 @@ RunnerBase::diagnoseStall() const
 {
     std::ostringstream os;
     os << "pipeline stalled at cycle " << sim_.now() << ": pending="
-       << pending_.value() << "\n";
+       << pendingPtr_->value() << "\n";
     for (int s = 0; s < pipe_.stageCount(); ++s) {
         os << "  stage `" << pipe_.stage(s).name
            << "`: queued=" << totalQueued(s);

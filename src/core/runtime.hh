@@ -25,6 +25,7 @@
 #include "core/pipeline.hh"
 #include "core/recovery.hh"
 #include "core/run_result.hh"
+#include "core/shard.hh"
 #include "core/stage.hh"
 #include "gpu/block.hh"
 #include "gpu/host.hh"
@@ -35,6 +36,41 @@ namespace vp {
 
 class RunnerBase;
 class FaultInjector;
+
+/**
+ * Wiring of one runner into a multi-device shard: its position in
+ * the group, the shared termination counter, and callbacks into the
+ * group coordinator for remote-work queries and cross-device item
+ * forwarding. Null (the default) runs single-device exactly as
+ * before — every shard hook is behind a null check.
+ */
+struct ShardContext
+{
+    /** This runner's device index within the group. */
+    int deviceIndex = 0;
+    /** Devices in the group. */
+    int numDevices = 1;
+    /** First global trace track of this device's SMs. */
+    int smTrackBase = 0;
+    /** Stage placement over the group; owned by the caller. */
+    const ShardPlan* plan = nullptr;
+    /** Group-wide outstanding-work counter; owned by the caller. */
+    PendingCounter* sharedPending = nullptr;
+    /**
+     * True when another device (or an in-flight transfer) may still
+     * generate work for any stage in the mask. Consulted by block
+     * exit decisions so a device does not retire its blocks while a
+     * remote producer is still running.
+     */
+    std::function<bool(StageMask)> remoteWork;
+    /**
+     * Forward one item of a pinned stage toward its home device:
+     * (stage, payload bytes, deliver closure). The coordinator pays
+     * the interconnect cost and delivers at arrival time.
+     */
+    std::function<void(int, int, std::function<void(QueueBase&)>)>
+        forward;
+};
 
 /**
  * Optional fault-injection/recovery wiring handed to a runner. Both
@@ -50,6 +86,8 @@ struct FaultContext
     /** Observability bundle (tracer/metrics/histograms); owned by
      *  the caller. Null runs fully uninstrumented. */
     ObsData* obs = nullptr;
+    /** Multi-device shard wiring; null runs single-device. */
+    const ShardContext* shard = nullptr;
 };
 
 /** One stage's input queues (per execution flow). */
@@ -69,10 +107,18 @@ class Seeder
     {
         using T = typename S::DataItemType;
         int idx = pipe_->indexOf<S>();
-        auto& q = typedQueue<T>(*(*queues_)[idx]);
         int n = static_cast<int>(items.size());
-        for (auto& it : items)
-            q.push(std::move(it));
+        if (route_) {
+            // Sharded seeding: the group coordinator routes each
+            // item to a device queue by (stage, ordinal).
+            for (auto& it : items)
+                typedQueue<T>(route_(idx, ordinal_++))
+                    .push(std::move(it));
+        } else {
+            auto& q = typedQueue<T>(*(*queues_)[idx]);
+            for (auto& it : items)
+                q.push(std::move(it));
+        }
         noteSeeded_(idx, n);
     }
 
@@ -88,9 +134,13 @@ class Seeder
 
   private:
     friend class RunnerBase;
+    friend class GroupCoordinator;
     Pipeline* pipe_ = nullptr;
     QueueSet* queues_ = nullptr;
     std::function<void(int, int)> noteSeeded_;
+    /** Per-item device routing for sharded seeding (else null). */
+    std::function<QueueBase&(int, int)> route_;
+    int ordinal_ = 0;
 };
 
 /**
@@ -143,11 +193,31 @@ class RunnerBase
     /** Gather statistics after the simulation has drained. */
     RunResult collect();
 
-    /** Outstanding-work counter. */
-    PendingCounter& pending() { return pending_; }
+    /** Outstanding-work counter (the group's when sharded). */
+    PendingCounter& pending() { return *pendingPtr_; }
 
     /** Primary input queue of stage @p s. */
     QueueBase& queue(int s) { return *queues_[s]; }
+
+    /**
+     * Queue that cross-device deliveries and coordinator seeds for
+     * stage @p stage should land in. @p hint spreads deliveries over
+     * queue shards under distributed queues (GroupsRunner override).
+     */
+    virtual QueueBase&
+    deliveryQueue(int stage, std::uint64_t hint)
+    {
+        (void)hint;
+        return *queues_[stage];
+    }
+
+    /**
+     * True when this runner holds work for any stage in @p relevant:
+     * queued items, in-flight batches, or buffered retries. The
+     * group coordinator queries it across devices to decide whether
+     * a remote device may still produce work.
+     */
+    bool localWork(StageMask relevant) const;
 
     /**
      * Monotonic heartbeat sampled by the engine's watchdog between
@@ -269,6 +339,12 @@ class RunnerBase
     /** Additional queue sets (flow replicas) included in stats. */
     std::vector<QueueSet*> extraQueueSets_;
     PendingCounter pending_;
+    /** Effective counter: &pending_, or the group's when sharded. */
+    PendingCounter* pendingPtr_ = &pending_;
+    /** Multi-device wiring; null on single-device runs. */
+    const ShardContext* shard_ = nullptr;
+    /** Global trace-track offset of this device's SMs/stages. */
+    int trackBase_ = 0;
     std::vector<std::int64_t> inFlight_;
     std::vector<StageRunStats> stageStats_;
     std::vector<std::vector<int>> stageKernels_;
@@ -323,8 +399,8 @@ class RunnerBase
         Tick dur = sim_.now() - start;
         if (tracer_)
             tracer_->span(TraceKind::StageBatch,
-                          static_cast<std::int16_t>(smId), start, dur,
-                          s, items);
+                          static_cast<std::int16_t>(trackBase_ + smId),
+                          start, dur, s, items);
         if (obs_
             && static_cast<std::size_t>(s)
                    < obs_->stageBatchCycles.size())
@@ -344,6 +420,8 @@ class GroupsRunner : public RunnerBase
                  FaultContext fc = {});
 
     void start(AppDriver& driver) override;
+
+    QueueBase& deliveryQueue(int stage, std::uint64_t hint) override;
 
   protected:
     void onBlockAborted(BlockContext& ctx) override;

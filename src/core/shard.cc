@@ -1,0 +1,181 @@
+#include "core/shard.hh"
+
+#include <cstdint>
+#include <sstream>
+
+#include "common/error.hh"
+
+namespace vp {
+
+ShardPlan
+ShardPlan::replicateAll(const Pipeline& pipe)
+{
+    ShardPlan plan;
+    plan.stages.assign(static_cast<std::size_t>(pipe.stageCount()),
+                       StagePlace{Placement::Replicate, 0});
+    return plan;
+}
+
+ShardPlan
+ShardPlan::pinnedRoundRobin(const PipelineConfig& cfg,
+                            const Pipeline& pipe, int nDevices)
+{
+    VP_REQUIRE(nDevices >= 1, "shard plan over zero devices");
+    ShardPlan plan;
+    plan.stages.assign(static_cast<std::size_t>(pipe.stageCount()),
+                       StagePlace{Placement::Pin, 0});
+    if (cfg.top == PipelineConfig::Top::Groups && !cfg.groups.empty()) {
+        for (std::size_t g = 0; g < cfg.groups.size(); ++g)
+            for (int s : cfg.groups[g].stages)
+                plan.stages[static_cast<std::size_t>(s)] = StagePlace{
+                    Placement::Pin,
+                    static_cast<int>(g) % nDevices};
+    } else {
+        for (int s = 0; s < pipe.stageCount(); ++s)
+            plan.stages[static_cast<std::size_t>(s)] =
+                StagePlace{Placement::Pin, s % nDevices};
+    }
+    return plan;
+}
+
+ShardPlan
+ShardPlan::parse(const std::string& spec, const Pipeline& pipe,
+                 int nDevices)
+{
+    if (spec.empty() || spec == "replicate")
+        return replicateAll(pipe);
+    if (spec == "rr") {
+        // Per-stage round robin; group-aware callers should use
+        // pinnedRoundRobin with their config instead.
+        ShardPlan plan;
+        for (int s = 0; s < pipe.stageCount(); ++s)
+            plan.stages.push_back(
+                StagePlace{Placement::Pin, s % nDevices});
+        return plan;
+    }
+    VP_CHECK(spec.rfind("pin:", 0) == 0, ErrorCode::Config,
+             "shard spec `" << spec
+             << "`: expected replicate, rr, or pin:<d0>,<d1>,...");
+    ShardPlan plan;
+    std::istringstream in(spec.substr(4));
+    std::string tok;
+    while (std::getline(in, tok, ',')) {
+        std::size_t used = 0;
+        int d = -1;
+        try {
+            d = std::stoi(tok, &used);
+        } catch (const std::exception&) {
+            used = 0;
+        }
+        VP_CHECK(used == tok.size() && d >= 0 && d < nDevices,
+                 ErrorCode::Config,
+                 "shard spec `" << spec << "`: bad device `" << tok
+                 << "` (group has " << nDevices << " devices)");
+        plan.stages.push_back(StagePlace{Placement::Pin, d});
+    }
+    VP_CHECK(static_cast<int>(plan.stages.size())
+                 == pipe.stageCount(),
+             ErrorCode::Config,
+             "shard spec `" << spec << "` names "
+             << plan.stages.size() << " stages; pipeline has "
+             << pipe.stageCount());
+    return plan;
+}
+
+bool
+ShardPlan::anyPinned() const
+{
+    for (const StagePlace& p : stages)
+        if (p.place == Placement::Pin)
+            return true;
+    return false;
+}
+
+std::string
+ShardPlan::describe() const
+{
+    if (!anyPinned())
+        return "replicate";
+    std::ostringstream os;
+    os << "pin[";
+    for (std::size_t s = 0; s < stages.size(); ++s) {
+        if (s)
+            os << ",";
+        if (stages[s].place == Placement::Replicate)
+            os << "*";
+        else
+            os << stages[s].device;
+    }
+    os << "]";
+    return os.str();
+}
+
+void
+ShardPlan::validate(const Pipeline& pipe, const PipelineConfig& cfg,
+                    int nDevices) const
+{
+    VP_CHECK(static_cast<int>(stages.size()) == pipe.stageCount(),
+             ErrorCode::Config,
+             "shard plan covers " << stages.size()
+             << " stages; pipeline has " << pipe.stageCount());
+    VP_CHECK(cfg.top == PipelineConfig::Top::Groups,
+             ErrorCode::Config,
+             "sharding requires a persistent-block (Groups) "
+             "configuration; KBK and dynamic parallelism are "
+             "host-sequenced per device");
+    for (const StagePlace& p : stages) {
+        VP_CHECK(p.place == Placement::Replicate
+                     || (p.device >= 0 && p.device < nDevices),
+                 ErrorCode::Config,
+                 "shard plan pins a stage to device " << p.device
+                 << "; group has " << nDevices << " devices");
+    }
+    for (const StageGroup& grp : cfg.groups) {
+        for (std::size_t i = 1; i < grp.stages.size(); ++i) {
+            const StagePlace& a =
+                stages[static_cast<std::size_t>(grp.stages[0])];
+            const StagePlace& b =
+                stages[static_cast<std::size_t>(grp.stages[i])];
+            bool same = a.place == b.place
+                && (a.place == Placement::Replicate
+                    || a.device == b.device);
+            VP_CHECK(same, ErrorCode::Config,
+                     "shard plan splits stage group containing `"
+                     << pipe.stage(grp.stages[0]).name
+                     << "`: placement must be uniform within a "
+                        "group (its kernel launches per device as "
+                        "a unit)");
+        }
+    }
+}
+
+std::vector<ShardPlan>
+defaultShardPlans(const PipelineConfig& cfg, const Pipeline& pipe,
+                  int nDevices)
+{
+    std::vector<ShardPlan> plans;
+    plans.push_back(ShardPlan::replicateAll(pipe));
+    if (nDevices > 1 && cfg.top == PipelineConfig::Top::Groups
+        && cfg.groups.size() > 1)
+        plans.push_back(
+            ShardPlan::pinnedRoundRobin(cfg, pipe, nDevices));
+    return plans;
+}
+
+int
+shardSeedDevice(int stage, int ordinal, int nDevices)
+{
+    // splitmix64 of (stage, ordinal): cheap, well-mixed, and fully
+    // deterministic across platforms.
+    std::uint64_t x = (static_cast<std::uint64_t>(
+                           static_cast<std::uint32_t>(stage))
+                       << 32)
+        | static_cast<std::uint32_t>(ordinal);
+    x += 0x9e3779b97f4a7c15ULL;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+    x = x ^ (x >> 31);
+    return static_cast<int>(x % static_cast<std::uint64_t>(nDevices));
+}
+
+} // namespace vp

@@ -1,0 +1,126 @@
+/**
+ * @file
+ * ShardPlan: how a pipeline's stages are placed onto the devices of
+ * a DeviceGroup.
+ *
+ * Two placements exist per stage:
+ *
+ *  - Replicate: the stage runs on every device. Seed items entering
+ *    a replicated stage are distributed across the devices by a
+ *    deterministic item hash; intermediate outputs to a replicated
+ *    stage stay on the producing device (data locality).
+ *  - Pin: the stage runs on exactly one home device. Producers on
+ *    other devices push into a remote stub whose items hop across
+ *    the interconnect, paying transfer cost, before landing in the
+ *    home device's real queue.
+ *
+ * Sharding requires a persistent-block (Top::Groups) configuration,
+ * and placement must be uniform within each stage group: a merged
+ * RTC/Megakernel kernel is launched — or not — per device as a unit,
+ * and RTC's inline chaining bypasses queues entirely, so splitting a
+ * group across devices has no sound execution.
+ */
+
+#ifndef VP_CORE_SHARD_HH
+#define VP_CORE_SHARD_HH
+
+#include <string>
+#include <vector>
+
+#include "core/model_config.hh"
+#include "core/pipeline.hh"
+
+namespace vp {
+
+/** Per-stage device placement of one pipeline over one group. */
+struct ShardPlan
+{
+    enum class Placement
+    {
+        /** Run the stage on every device (items hashed at seed). */
+        Replicate,
+        /** Run the stage only on `device`; remote producers pay an
+         *  interconnect hop. */
+        Pin,
+    };
+
+    struct StagePlace
+    {
+        Placement place = Placement::Replicate;
+        int device = 0;
+    };
+
+    /** Placement of each stage, indexed by stage. */
+    std::vector<StagePlace> stages;
+
+    /** Every stage replicated on every device. */
+    static ShardPlan replicateAll(const Pipeline& pipe);
+
+    /**
+     * Stage groups of @p cfg pinned round-robin across @p nDevices
+     * (group g's stages on device g % n) — the cross-device analogue
+     * of the coarse pipeline's SM partitioning.
+     */
+    static ShardPlan pinnedRoundRobin(const PipelineConfig& cfg,
+                                      const Pipeline& pipe,
+                                      int nDevices);
+
+    /**
+     * Parse a CLI spec: "replicate", "rr" (round-robin pinning by
+     * stage group of the config in use — resolved by the caller via
+     * pinnedRoundRobin), or "pin:0,1,1,..." listing one home device
+     * per stage. Fatal on malformed specs.
+     */
+    static ShardPlan parse(const std::string& spec,
+                           const Pipeline& pipe, int nDevices);
+
+    /** True when stage @p s does not run on device @p device. */
+    bool
+    pinnedElsewhere(int s, int device) const
+    {
+        const StagePlace& p = stages[static_cast<std::size_t>(s)];
+        return p.place == Placement::Pin && p.device != device;
+    }
+
+    /** Home device of stage @p s, or -1 when replicated. */
+    int
+    homeDevice(int s) const
+    {
+        const StagePlace& p = stages[static_cast<std::size_t>(s)];
+        return p.place == Placement::Pin ? p.device : -1;
+    }
+
+    /** True when any stage is pinned (cross-device hops possible). */
+    bool anyPinned() const;
+
+    /** "replicate" / "pin[0,1,1]"-style synopsis. */
+    std::string describe() const;
+
+    /**
+     * Fatal unless the plan covers @p pipe's stages with in-range
+     * devices, @p cfg is a Groups configuration, and placement is
+     * uniform within each stage group.
+     */
+    void validate(const Pipeline& pipe, const PipelineConfig& cfg,
+                  int nDevices) const;
+};
+
+/**
+ * The shard plans the auto-tuner sweeps for an n-device group under
+ * configuration @p cfg: replicate-everywhere plus (when the config
+ * has at least two stage groups) round-robin pinning.
+ */
+std::vector<ShardPlan> defaultShardPlans(const PipelineConfig& cfg,
+                                         const Pipeline& pipe,
+                                         int nDevices);
+
+/**
+ * Deterministic device choice for seed item @p ordinal of stage
+ * @p stage over @p nDevices (splitmix64 hash — stable across
+ * platforms and runs).
+ */
+int shardSeedDevice(int stage, int ordinal, int nDevices);
+
+} // namespace vp
+
+#endif // VP_CORE_SHARD_HH

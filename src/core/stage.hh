@@ -24,6 +24,7 @@
 
 #include "common/error.hh"
 #include "gpu/resources.hh"
+#include "queueing/remote_queue.hh"
 #include "queueing/work_queue.hh"
 
 namespace vp {
@@ -128,6 +129,14 @@ class StageBase
 
     /** Create this stage's input work queue. */
     virtual std::unique_ptr<QueueBase> makeQueue() const = 0;
+
+    /**
+     * Create a remote stub standing in for this stage's queue on
+     * devices the stage is not homed on: pushes divert through
+     * @p forward to the home device (see remote_queue.hh).
+     */
+    virtual std::unique_ptr<QueueBase>
+    makeRemoteStub(RemoteForward forward) const = 0;
 
     /**
      * Pop up to @p maxItems items from @p q and execute each,
@@ -301,6 +310,13 @@ class Stage : public StageBase
     makeQueue() const override
     {
         return std::make_unique<WorkQueue<T>>(name);
+    }
+
+    std::unique_ptr<QueueBase>
+    makeRemoteStub(RemoteForward forward) const override
+    {
+        return std::make_unique<RemoteStubQueue<T>>(
+            name, std::move(forward));
     }
 
     // Defined in stage_impl.hh (needs the Pipeline definition).

@@ -34,11 +34,22 @@ Device::setTracer(Tracer* t)
 }
 
 void
+Device::setTraceTrackBase(int smBase, int streamBase)
+{
+    smTrackBase_ = smBase;
+    streamTrackBase_ = streamBase;
+    for (std::size_t i = 0; i < sms_.size(); ++i)
+        sms_[i]->setTraceTrack(smBase + static_cast<int>(i));
+}
+
+void
 Device::traceResidency(int smId)
 {
     if (tracer_)
         tracer_->counter(TraceKind::ResidentBlocks,
-                         static_cast<std::int16_t>(smId), sim_.now(),
+                         static_cast<std::int16_t>(smTrackBase_
+                                                   + smId),
+                         sim_.now(),
                          sms_[static_cast<std::size_t>(smId)]
                              ->residentBlocks());
 }
@@ -105,7 +116,8 @@ Device::streamAdvance(Stream* stream)
              << "` starts on stream " << stream->id());
     if (tracer_)
         tracer_->begin(TraceKind::KernelSpan,
-                       static_cast<std::int16_t>(stream->id()),
+                       static_cast<std::int16_t>(streamTrackBase_
+                                                 + stream->id()),
                        sim_.now(),
                        tracer_->intern(stream->running_->name()));
     scheduleDispatch();
@@ -196,7 +208,8 @@ Device::kernelCompleted(const std::shared_ptr<Kernel>& kernel)
     if (tracer_)
         tracer_->end(TraceKind::KernelSpan,
                      static_cast<std::int16_t>(
-                         kernelStream_[k->id()]->id()),
+                         streamTrackBase_
+                         + kernelStream_[k->id()]->id()),
                      sim_.now(), tracer_->intern(k->name()));
     active_.erase(std::remove(active_.begin(), active_.end(), k),
                   active_.end());
@@ -246,7 +259,9 @@ Device::failSm(int smId)
     VP_DEBUG("device: SM " << smId << " failed");
     if (tracer_)
         tracer_->instant(TraceKind::SmFail,
-                         static_cast<std::int16_t>(smId), sim_.now());
+                         static_cast<std::int16_t>(smTrackBase_
+                                                   + smId),
+                         sim_.now());
 
     // Evict every resident block. kernelCompleted() only mutates
     // blocks_ via deferred events, so iterating by index is safe.
@@ -326,7 +341,8 @@ Device::degradeSm(int smId, double factor)
              << "x throughput");
     if (tracer_)
         tracer_->instant(
-            TraceKind::SmDegrade, static_cast<std::int16_t>(smId),
+            TraceKind::SmDegrade,
+            static_cast<std::int16_t>(smTrackBase_ + smId),
             sim_.now(), 0,
             static_cast<std::int32_t>(factor * 100.0));
 }

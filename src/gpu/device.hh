@@ -127,6 +127,13 @@ class Device
     void setTracer(Tracer* t);
 
     /**
+     * Offset the trace tracks this device (and its SMs/streams)
+     * records on, so the devices of a group render on disjoint
+     * timeline rows. Call after setTracer.
+     */
+    void setTraceTrackBase(int smBase, int streamBase);
+
+    /**
      * Kill an SM mid-run: refuse new blocks, drop its in-flight
      * executions, evict its resident blocks (firing the abort hook
      * per block), and force-complete kernels whose entire allowed SM
@@ -190,6 +197,9 @@ class Device
     std::function<void(BlockContext&)> blockAbortHook_;
     std::function<void(int)> smFailedHook_;
     Tracer* tracer_ = nullptr;
+    /** Added to SM-track / stream-track trace ids (device groups). */
+    int smTrackBase_ = 0;
+    int streamTrackBase_ = 0;
 
     /** Record a ResidentBlocks counter sample for SM @p smId. */
     void traceResidency(int smId);

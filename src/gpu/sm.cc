@@ -227,7 +227,9 @@ Sm::reschedule()
                 if (tracer_)
                     tracer_->span(
                         TraceKind::ExecSpan,
-                        static_cast<std::int16_t>(id_), it->start,
+                        static_cast<std::int16_t>(
+                            traceTrack_ >= 0 ? traceTrack_ : id_),
+                        it->start,
                         sim_.now() - it->start, it->kernelId,
                         static_cast<std::int32_t>(it->work.warps));
                 doneScratch_.push_back(std::move(it->onDone));

@@ -138,6 +138,10 @@ class Sm
      *  executions record ExecSpan complete events on this SM's track. */
     void setTracer(Tracer* t) { tracer_ = t; }
 
+    /** Override the trace track this SM records on (defaults to the
+     *  SM id; device groups offset it to keep tracks disjoint). */
+    void setTraceTrack(int track) { traceTrack_ = track; }
+
   private:
     struct Exec
     {
@@ -188,6 +192,8 @@ class Sm
     bool offline_ = false;
     double throttle_ = 1.0;
     Tracer* tracer_ = nullptr;
+    /** Trace track; -1 falls back to the SM id. */
+    int traceTrack_ = -1;
 
     SmStats stats_;
 };

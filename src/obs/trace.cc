@@ -33,6 +33,7 @@ traceKindName(TraceKind k)
     case TraceKind::Retreat: return "retreat";
     case TraceKind::DpSpawn: return "dp_spawn";
     case TraceKind::WatchdogCheck: return "watchdog_check";
+    case TraceKind::Transfer: return "transfer";
     }
     return "?";
 }
@@ -98,6 +99,7 @@ enum : int
     PidQueues = 4,
     PidFlows = 5,
     PidFaults = 6,
+    PidInterconnect = 7,
 };
 
 struct ExportMeta
@@ -138,6 +140,8 @@ placeEvent(const TraceEvent& e)
     case TraceKind::SmDegrade:
     case TraceKind::Retreat:
         return {PidSms, e.track};
+    case TraceKind::Transfer:
+        return {PidInterconnect, e.track};
     }
     return {PidHost, 0};
 }
@@ -306,6 +310,7 @@ exportTraceJson(std::ostream& os, const Tracer& t)
     writeMeta(os, PidQueues, "queues", first);
     writeMeta(os, PidFlows, "flows", first);
     writeMeta(os, PidFaults, "faults", first);
+    writeMeta(os, PidInterconnect, "interconnect", first);
     for (const TraceEvent& e : out)
         writeEvent(os, e, t.strings(), first);
     os << "\n  ]\n}\n";

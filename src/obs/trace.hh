@@ -75,6 +75,9 @@ enum class TraceKind : std::uint8_t
     DpSpawn,
     /** Engine watchdog checkpoint (instant; a = stalled checks). */
     WatchdogCheck,
+    /** Cross-device interconnect transfer (complete span; track =
+     *  destination device, a = source device, b = bytes). */
+    Transfer,
 };
 
 /** Human-readable name of @p k. */

@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Remote-hop queue stub for sharded pipelines.
+ *
+ * When a stage is pinned to another device of the group, the local
+ * runner installs a RemoteStubQueue in that stage's queue slot. A
+ * push into the stub does not buffer locally: it hands the item to a
+ * forward callback (wired by the group coordinator), which pays the
+ * interconnect transfer cost and delivers the item into the home
+ * device's real queue at the modeled arrival time.
+ *
+ * The stub therefore always reports size 0 — local blocks never find
+ * work for remote stages, and full() is never true, so cross-device
+ * hops do not participate in bounded-queue backpressure (transfers
+ * in flight are bounded by the producers' batch sizes instead).
+ */
+
+#ifndef VP_QUEUEING_REMOTE_QUEUE_HH
+#define VP_QUEUEING_REMOTE_QUEUE_HH
+
+#include <functional>
+#include <utility>
+
+#include "queueing/work_queue.hh"
+
+namespace vp {
+
+/**
+ * Forwards one pushed item toward its home device: arguments are the
+ * payload bytes and a closure that pushes the item into whatever
+ * queue the coordinator delivers it to.
+ */
+using RemoteForward =
+    std::function<void(int, std::function<void(QueueBase&)>)>;
+
+/** Queue stub whose pushes divert to another device. */
+template <typename T>
+class RemoteStubQueue : public WorkQueue<T>
+{
+  public:
+    RemoteStubQueue(std::string name, RemoteForward forward)
+        : WorkQueue<T>(std::move(name)), forward_(std::move(forward))
+    {}
+
+    void
+    push(T v) override
+    {
+        forward_(this->itemBytes(),
+                 [v = std::move(v)](QueueBase& dst) mutable {
+                     typedQueue<T>(dst).push(std::move(v));
+                 });
+    }
+
+  private:
+    RemoteForward forward_;
+};
+
+} // namespace vp
+
+#endif // VP_QUEUEING_REMOTE_QUEUE_HH

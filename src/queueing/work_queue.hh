@@ -218,8 +218,9 @@ class WorkQueue : public QueueBase
         return items_[i];
     }
 
-    /** Append one item. */
-    void
+    /** Append one item. Virtual so RemoteStubQueue can divert pushes
+     *  of stages homed on another device through the interconnect. */
+    virtual void
     push(T v)
     {
         items_.push_back(std::move(v));

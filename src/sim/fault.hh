@@ -43,11 +43,13 @@ struct SmFaultEvent
 
     /** Virtual time (cycles) at which the event fires. */
     Tick time = 0.0;
-    /** Target SM index. */
+    /** Target SM index (local to the target device). */
     int sm = 0;
     Kind kind = Kind::Kill;
     /** Throughput multiplier for Degrade (0 < factor <= 1). */
     double factor = 0.5;
+    /** Target device of a multi-device group (0 on single device). */
+    int device = 0;
 };
 
 /**

@@ -23,26 +23,47 @@ autotune(Engine& engine, AppDriver& driver, const TunerOptions& opts)
     TunerResult result;
     double best = std::numeric_limits<double>::infinity();
     bool have_best = false;
+    int nDevices = engine.deviceCount();
 
-    for (PipelineConfig& cfg : candidates) {
-        cfg.onlineAdaptation = opts.onlineAdaptation;
+    auto consider = [&](const PipelineConfig& cfg,
+                        const ShardPlan* plan) {
         double limit = have_best
             ? best * opts.timeoutFactor
             : std::numeric_limits<double>::infinity();
         ++result.evaluated;
-        auto run = engine.runTimed(driver, cfg, limit);
+        auto run = plan
+            ? engine.runShardedTimed(driver, cfg, *plan, limit)
+            : engine.runTimed(driver, cfg, limit);
         if (!run) {
             ++result.timedOut;
-            continue;
+            return;
         }
-        result.finished.emplace_back(cfg.describe(pipe), run->cycles);
+        std::string synopsis = cfg.describe(pipe);
+        if (plan)
+            synopsis += " shard=" + plan->describe();
+        result.finished.emplace_back(synopsis, run->cycles);
         if (!have_best || run->cycles < best) {
             best = run->cycles;
             have_best = true;
             result.best = cfg;
             result.bestRun = *run;
+            result.bestSharded = plan != nullptr;
+            result.bestPlan = plan ? *plan : ShardPlan{};
             VP_DEBUG("tuner: new best " << run->cycles << " cycles: "
-                     << cfg.describe(pipe));
+                     << synopsis);
+        }
+    };
+
+    for (PipelineConfig& cfg : candidates) {
+        cfg.onlineAdaptation = opts.onlineAdaptation;
+        if (nDevices > 1 && cfg.top == PipelineConfig::Top::Groups) {
+            // Multi-device engine: the shard plan is one more tuning
+            // dimension of each Groups candidate.
+            for (const ShardPlan& plan :
+                 defaultShardPlans(cfg, pipe, nDevices))
+                consider(cfg, &plan);
+        } else {
+            consider(cfg, nullptr);
         }
     }
     VP_REQUIRE(have_best, "every candidate configuration timed out");

@@ -46,6 +46,15 @@ struct TunerResult
     int timedOut = 0;
     /** (config synopsis, cycles) of every finished candidate. */
     std::vector<std::pair<std::string, double>> finished;
+    /**
+     * Winning shard plan when the engine holds a device group: the
+     * tuner then sweeps config x shard-plan (replicate, and — for
+     * multi-group configs — round-robin pinning). `bestSharded`
+     * distinguishes the winner (a sharded run of `bestPlan`) from a
+     * plain single-device run.
+     */
+    ShardPlan bestPlan;
+    bool bestSharded = false;
 };
 
 /**
