@@ -21,12 +21,14 @@
 #include <chrono>
 #include <cstdio>
 #include <cstring>
+#include <limits>
 #include <string>
 #include <vector>
 
 #include "apps/registry.hh"
 #include "bench_util.hh"
 #include "core/engine.hh"
+#include "core/versapipe.hh"
 #include "gpu/device.hh"
 #include "gpu/host.hh"
 #include "sim/simulator.hh"
@@ -369,6 +371,278 @@ benchTunerSerial(const std::string& app)
     return row;
 }
 
+// ---------------------------------------------------------------- //
+// Adaptive load-balance controller                                 //
+// ---------------------------------------------------------------- //
+
+/** Item of the two-phase pipeline below. */
+struct PhaseItem
+{
+    int v = 0;
+    /** 0 = front-heavy phase, 1 = back-heavy phase. */
+    int phase = 0;
+};
+
+struct PhaseBack;
+
+/**
+ * Front half of a deliberately phase-skewed two-stage fine pipeline:
+ * expensive during phase 0, cheap during phase 1 (PhaseBack is the
+ * mirror image). Seeding all phase-0 items before the phase-1 items
+ * moves the bottleneck from front to back midway through the run —
+ * the situation a static block partition cannot serve well.
+ */
+struct PhaseFront : Stage<PhaseItem>
+{
+    double heavyInsts = 3000.0;
+    double lightInsts = 300.0;
+
+    PhaseFront()
+    {
+        name = "front";
+        resources.regsPerThread = 32;
+        resources.codeBytes = 4000;
+        blockThreads = 32; // small batches keep queue depths live
+        retryable = true;
+    }
+
+    TaskCost
+    cost(const PhaseItem& it) const override
+    {
+        TaskCost c;
+        c.computeInsts = it.phase == 0 ? heavyInsts : lightInsts;
+        c.memInsts = 20;
+        return c;
+    }
+
+    void execute(ExecContext& ctx, PhaseItem& it) override;
+};
+
+/** Back half: cheap during phase 0, expensive during phase 1. */
+struct PhaseBack : Stage<PhaseItem>
+{
+    double heavyInsts = 3000.0;
+    double lightInsts = 300.0;
+
+    PhaseBack()
+    {
+        name = "back";
+        resources.regsPerThread = 32;
+        resources.codeBytes = 4000;
+        blockThreads = 32;
+    }
+
+    TaskCost
+    cost(const PhaseItem& it) const override
+    {
+        TaskCost c;
+        c.computeInsts = it.phase == 0 ? lightInsts : heavyInsts;
+        c.memInsts = 20;
+        return c;
+    }
+
+    void
+    execute(ExecContext&, PhaseItem&) override
+    {
+        ++done;
+    }
+
+    void reset() override { done = 0; }
+
+    int done = 0;
+};
+
+inline void
+PhaseFront::execute(ExecContext& ctx, PhaseItem& it)
+{
+    ctx.enqueue<PhaseBack>(it);
+}
+
+/** Two-phase workload; balanced = both phases cost the same. */
+class PhaseApp : public AppDriver
+{
+  public:
+    explicit PhaseApp(int perPhase, bool balanced)
+        : perPhase_(perPhase)
+    {
+        pipe_.addStage<PhaseFront>();
+        pipe_.addStage<PhaseBack>();
+        pipe_.link<PhaseFront, PhaseBack>();
+        if (balanced) {
+            double mid = 1650.0;
+            auto& f = pipe_.stageAs<PhaseFront>();
+            auto& b = pipe_.stageAs<PhaseBack>();
+            f.heavyInsts = f.lightInsts = mid;
+            b.heavyInsts = b.lightInsts = mid;
+        }
+    }
+
+    std::string name() const override { return "phase-skew"; }
+
+    Pipeline& pipeline() override { return pipe_; }
+
+    void reset() override {}
+
+    void
+    seedFlow(Seeder& seeder, int) override
+    {
+        std::vector<PhaseItem> items;
+        for (int p = 0; p < 2; ++p)
+            for (int i = 0; i < perPhase_; ++i)
+                items.push_back(PhaseItem{i, p});
+        seeder.insert<PhaseFront>(std::move(items));
+    }
+
+    double inputBytes() const override { return 1 << 14; }
+
+    bool
+    verify() override
+    {
+        return pipe_.stageAs<PhaseBack>().done == 2 * perPhase_;
+    }
+
+  private:
+    Pipeline pipe_;
+    int perPhase_;
+};
+
+/**
+ * Fine two-stage configuration with an explicit block split, bound
+ * to one SM so the block budget — not raw SM count — is the scarce
+ * resource the controller trades.
+ */
+PipelineConfig
+fineSplit(int frontBlocks, int backBlocks)
+{
+    StageGroup g;
+    g.stages = {0, 1};
+    g.model = ExecModel::FinePipeline;
+    g.sms = {0};
+    g.blocksPerSm[0] = frontBlocks;
+    g.blocksPerSm[1] = backBlocks;
+    PipelineConfig cfg;
+    cfg.groups = {g};
+    return cfg;
+}
+
+struct AdaptiveRow
+{
+    /** Skewed workload: phase-0-tuned static vs adaptive from the
+     *  same initial partition. */
+    double staticCycles = 0.0;
+    double adaptiveCycles = 0.0;
+    double gain = 0.0; //!< staticCycles / adaptiveCycles
+    double moves = 0.0;
+    /** Balanced workload: best static split vs adaptive. */
+    double balancedStaticCycles = 0.0;
+    double balancedAdaptiveCycles = 0.0;
+    double balancedRatio = 0.0; //!< adaptive / best static
+    /** Two adaptive runs are bit-identical. */
+    bool deterministic = false;
+    /** A disabled AdaptiveConfig leaves the event trace untouched. */
+    bool disabledIdentical = false;
+    std::uint64_t events = 0;
+    double plainSeconds = 0.0;
+    double disabledSeconds = 0.0;
+    double disabledRatio = 0.0;
+};
+
+/**
+ * The online load-balance controller on a workload whose bottleneck
+ * moves mid-run: front-heavy for the first half of the items,
+ * back-heavy for the second. The static partition is the one an
+ * offline tuner would pick for phase 0 (front-weighted); the
+ * controller starts from the same partition and must rebalance.
+ * Also measures the disabled-config overhead with the interleaved
+ * min-wall methodology of benchFaultMode.
+ */
+AdaptiveRow
+benchAdaptive(bool smoke)
+{
+    DeviceConfig dev = DeviceConfig::k20c();
+    int perPhase = smoke ? 1500 : 6000;
+    AdaptiveConfig ac;
+    ac.enabled = true;
+    ac.epochCycles = 25000.0;
+    ac.hysteresis = 0.25;
+    ac.minDwellEpochs = 1;
+
+    AdaptiveRow row;
+
+    // Skewed: static phase-0 partition vs adaptive from the same.
+    PipelineConfig wrongPhase = fineSplit(6, 2);
+    {
+        PhaseApp app(perPhase, false);
+        Engine eng(dev);
+        row.staticCycles = eng.run(app, wrongPhase).cycles;
+
+        eng.setAdaptive(ac);
+        RunResult a1 = eng.run(app, wrongPhase);
+        RunResult a2 = eng.run(app, wrongPhase);
+        row.adaptiveCycles = a1.cycles;
+        row.moves = a1.extra.get("adaptiveMoves");
+        row.gain = a1.cycles > 0.0
+            ? row.staticCycles / a1.cycles
+            : 0.0;
+        row.deterministic = a1.cycles == a2.cycles
+            && a1.simEvents == a2.simEvents;
+    }
+
+    // Balanced: the controller should not lose to the best static
+    // split when there is nothing to fix.
+    {
+        PhaseApp app(perPhase, true);
+        Engine eng(dev);
+        row.balancedStaticCycles =
+            std::numeric_limits<double>::infinity();
+        for (int front = 3; front <= 5; ++front) {
+            double c =
+                eng.run(app, fineSplit(front, 8 - front)).cycles;
+            row.balancedStaticCycles =
+                std::min(row.balancedStaticCycles, c);
+        }
+        eng.setAdaptive(ac);
+        row.balancedAdaptiveCycles =
+            eng.run(app, fineSplit(4, 4)).cycles;
+        row.balancedRatio = row.balancedAdaptiveCycles
+            / row.balancedStaticCycles;
+    }
+
+    // Disabled-config overhead: armed-but-disabled must take the
+    // untouched fast path (bit-identical events, wall ratio ~1).
+    {
+        Engine plain(dev);
+        Engine armed(dev);
+        armed.setAdaptive(AdaptiveConfig{}); // disabled
+        row.plainSeconds = 1e30;
+        row.disabledSeconds = 1e30;
+        std::uint64_t plainEvents = 0, disabledEvents = 0;
+        int reps = smoke ? 3 : 10;
+        for (int i = 0; i < reps; ++i) {
+            {
+                PhaseApp app(perPhase, false);
+                auto t0 = Clock::now();
+                RunResult r = plain.run(app, wrongPhase);
+                row.plainSeconds =
+                    std::min(row.plainSeconds, secondsSince(t0));
+                plainEvents = r.simEvents;
+            }
+            {
+                PhaseApp app(perPhase, false);
+                auto t0 = Clock::now();
+                RunResult r = armed.run(app, wrongPhase);
+                row.disabledSeconds =
+                    std::min(row.disabledSeconds, secondsSince(t0));
+                disabledEvents = r.simEvents;
+            }
+        }
+        row.events = plainEvents;
+        row.disabledIdentical = plainEvents == disabledEvents;
+        row.disabledRatio = row.disabledSeconds / row.plainSeconds;
+    }
+    return row;
+}
+
 TunerRow
 benchTunerParallel(const std::string& app, int threads)
 {
@@ -485,6 +759,53 @@ main(int argc, char** argv)
         return 1;
     }
 
+    vp::bench::header("adaptive load balancing (phase-skew, fine)");
+    AdaptiveRow ad = benchAdaptive(smoke);
+    std::printf("  static (wrong)    %12.0f cycles\n"
+                "  adaptive          %12.0f cycles  gain=%.2fx  "
+                "moves=%.0f  reruns %s\n"
+                "  balanced          %12.0f vs best static %.0f  "
+                "ratio=%.4f\n"
+                "  disabled          ratio=%.4f  events %s\n",
+                ad.staticCycles, ad.adaptiveCycles, ad.gain, ad.moves,
+                ad.deterministic ? "bit-identical" : "DIVERGED",
+                ad.balancedAdaptiveCycles, ad.balancedStaticCycles,
+                ad.balancedRatio, ad.disabledRatio,
+                ad.disabledIdentical ? "identical" : "DIVERGED");
+    if (!ad.disabledIdentical) {
+        std::fprintf(stderr,
+                     "ERROR: disabled adaptive config changed the "
+                     "event trace\n");
+        return 1;
+    }
+    if (!ad.deterministic) {
+        std::fprintf(stderr,
+                     "ERROR: adaptive reruns diverged\n");
+        return 1;
+    }
+    if (ad.gain < 1.10) {
+        std::fprintf(stderr,
+                     "ERROR: adaptive gain %.2fx on the skewed "
+                     "workload (budget: >=1.10x)\n",
+                     ad.gain);
+        return 1;
+    }
+    if (ad.balancedRatio > 1.02) {
+        std::fprintf(stderr,
+                     "ERROR: adaptive is %.1f%% behind the best "
+                     "static split on a balanced workload "
+                     "(budget: <=2%%)\n",
+                     (ad.balancedRatio - 1.0) * 100.0);
+        return 1;
+    }
+    if (!smoke && ad.disabledRatio >= 1.02) {
+        std::fprintf(stderr,
+                     "ERROR: disabled adaptive config costs %.1f%% "
+                     "(budget: <2%%)\n",
+                     (ad.disabledRatio - 1.0) * 100.0);
+        return 1;
+    }
+
     vp::bench::header("auto-tuner wall clock (pyramid, small)");
     TunerRow serial = benchTunerSerial("pyramid");
     TunerRow par = benchTunerParallel("pyramid", smoke ? 2 : 4);
@@ -549,6 +870,23 @@ main(int argc, char** argv)
                      static_cast<unsigned long long>(sh.transfers),
                      sh.seconds, sh.conserved ? "true" : "false",
                      sh.deterministic ? "true" : "false");
+        std::fprintf(json,
+                     "  \"adaptive\": {\"app\": \"phase-skew\", "
+                     "\"static_cycles\": %.1f, "
+                     "\"adaptive_cycles\": %.1f, \"gain\": %.4f, "
+                     "\"moves\": %.0f, "
+                     "\"balanced_static_cycles\": %.1f, "
+                     "\"balanced_adaptive_cycles\": %.1f, "
+                     "\"balanced_ratio\": %.4f, "
+                     "\"reruns_identical\": %s, "
+                     "\"disabled_events_identical\": %s, "
+                     "\"disabled_overhead_ratio\": %.4f},\n",
+                     ad.staticCycles, ad.adaptiveCycles, ad.gain,
+                     ad.moves, ad.balancedStaticCycles,
+                     ad.balancedAdaptiveCycles, ad.balancedRatio,
+                     ad.deterministic ? "true" : "false",
+                     ad.disabledIdentical ? "true" : "false",
+                     ad.disabledRatio);
         std::fprintf(json,
                      "  \"tuner\": {\"app\": \"%s\", "
                      "\"serial_seconds\": %.6f, "

@@ -7,8 +7,15 @@
  * Usage: inspect_app [--device=k20c|gtx1080] [app...]
  *                    [--config=baseline|megakernel|versapipe] [--only]
  *                    [--devices=N] [--shard=replicate|rr|pin:d0,d1,..]
+ *                    [--adaptive[=epochCycles]]
  *                    [--trace=out.json] [--report=out.report.json]
  *                    [--csv=out.csv] [--sample=N]
+ *
+ * --adaptive arms the online load-balance controller (default epoch
+ * 50000 cycles) on every configuration with an adjustable
+ * block-to-stage partition — FinePipeline groups of two or more
+ * stages — and reports the controller's epoch and migration counts.
+ * Other configurations run unchanged.
  *
  * --devices=N runs the Groups configurations (megakernel/versapipe)
  * sharded over N identical devices joined by the default peer
@@ -47,6 +54,10 @@ struct ObsOptions
     int devices = 1;
     /** Shard plan spec: replicate, rr, or pin:<d0>,<d1>,... */
     std::string shard = "replicate";
+    /** Arm the online load-balance controller where applicable. */
+    bool adaptive = false;
+    /** Controller epoch override (<= 0 keeps the default). */
+    Tick adaptiveEpoch = 0.0;
     /** Show only the instrumented config (skips autotuning when the
      *  selected config is not versapipe — used by the ctest entry). */
     bool only = false;
@@ -137,10 +148,15 @@ show(const std::string& name, const DeviceConfig& dev,
             {"megakernel", makeMegakernelConfig(app->pipeline())});
     if (want("versapipe"))
         entries.push_back({"versapipe", versapipeConfig(name, dev)});
+    AdaptiveConfig ac;
+    ac.enabled = opts.adaptive;
+    if (opts.adaptiveEpoch > 0.0)
+        ac.epochCycles = opts.adaptiveEpoch;
     for (auto& [label, cfg] : entries) {
         bool observe = instrument && opts.config == label;
         bool sharded = devices > 1
             && cfg.top == PipelineConfig::Top::Groups;
+        bool adapt = opts.adaptive && adaptiveApplicable(cfg);
         RunResult r;
         if (sharded) {
             Engine engine(
@@ -150,6 +166,8 @@ show(const std::string& name, const DeviceConfig& dev,
                 oc.sampleIntervalCycles = opts.sampleCycles;
                 engine.setObservability(oc);
             }
+            if (adapt)
+                engine.setAdaptive(ac);
             Pipeline& pipe = app->pipeline();
             ShardPlan plan = opts.shard == "rr"
                 ? ShardPlan::pinnedRoundRobin(cfg, pipe, devices)
@@ -158,11 +176,15 @@ show(const std::string& name, const DeviceConfig& dev,
             VP_REQUIRE(r.completed, app->name()
                        << ": sharded run failed under "
                        << r.configName << "\n" << r.failureReason);
-        } else if (observe) {
+        } else if (observe || adapt) {
             Engine engine(dev);
-            ObsConfig oc;
-            oc.sampleIntervalCycles = opts.sampleCycles;
-            engine.setObservability(oc);
+            if (observe) {
+                ObsConfig oc;
+                oc.sampleIntervalCycles = opts.sampleCycles;
+                engine.setObservability(oc);
+            }
+            if (adapt)
+                engine.setAdaptive(ac);
             r = engine.run(*app, cfg);
             VP_REQUIRE(r.completed, app->name()
                        << ": verification failed under "
@@ -192,6 +214,10 @@ show(const std::string& name, const DeviceConfig& dev,
                   << " retreats=" << r.retreats
                   << " util=" << TextTable::num(r.smUtilization, 3)
                   << "\n";
+        if (adapt)
+            std::cout << "adaptive: " << ac.describe() << " epochs="
+                      << r.extra.get("adaptiveEpochs") << " moves="
+                      << r.extra.get("adaptiveMoves") << "\n";
         if (!r.shardDevices.empty()) {
             for (std::size_t i = 0; i < r.shardDevices.size(); ++i) {
                 const ShardDeviceStats& sd = r.shardDevices[i];
@@ -263,6 +289,13 @@ main(int argc, char** argv)
                        "--devices wants a positive count");
         } else if (flagValue(arg, "--shard", i, v)) {
             opts.shard = v;
+        } else if (arg == "--adaptive") {
+            opts.adaptive = true;
+        } else if (arg.rfind("--adaptive=", 0) == 0) {
+            opts.adaptive = true;
+            opts.adaptiveEpoch =
+                std::stod(arg.substr(std::string("--adaptive=")
+                                         .size()));
         } else if (arg == "--only") {
             opts.only = true;
         } else if (arg.rfind("--", 0) != 0) {

@@ -1,0 +1,134 @@
+#include "core/adaptive.hh"
+
+#include <algorithm>
+#include <limits>
+#include <sstream>
+
+#include "common/error.hh"
+
+namespace vp {
+
+void
+AdaptiveConfig::validate() const
+{
+    if (!enabled)
+        return;
+    VP_CHECK(epochCycles > 0.0, ErrorCode::Config,
+             "adaptive: epochCycles must be positive (got "
+             << epochCycles << ")");
+    VP_CHECK(hysteresis >= 0.0, ErrorCode::Config,
+             "adaptive: hysteresis must be non-negative (got "
+             << hysteresis << ")");
+    VP_CHECK(minDwellEpochs >= 1, ErrorCode::Config,
+             "adaptive: minDwellEpochs must be >= 1 (got "
+             << minDwellEpochs << ")");
+    VP_CHECK(ewmaAlpha > 0.0 && ewmaAlpha <= 1.0, ErrorCode::Config,
+             "adaptive: ewmaAlpha must be in (0, 1] (got "
+             << ewmaAlpha << ")");
+    VP_CHECK(donorIdleFraction >= 0.0 && donorIdleFraction <= 1.0,
+             ErrorCode::Config,
+             "adaptive: donorIdleFraction must be in [0, 1] (got "
+             << donorIdleFraction << ")");
+}
+
+std::string
+AdaptiveConfig::describe() const
+{
+    if (!enabled)
+        return "adaptive=off";
+    std::ostringstream os;
+    os << "adaptive(epoch=" << epochCycles << " hyst=" << hysteresis
+       << " dwell=" << minDwellEpochs << " alpha=" << ewmaAlpha
+       << " idle=" << donorIdleFraction << ")";
+    return os.str();
+}
+
+bool
+adaptiveApplicable(const PipelineConfig& cfg)
+{
+    if (cfg.top != PipelineConfig::Top::Groups)
+        return false;
+    for (const StageGroup& grp : cfg.groups)
+        if (grp.model == ExecModel::FinePipeline
+            && grp.stages.size() >= 2)
+            return true;
+    return false;
+}
+
+AdaptiveController::AdaptiveController(const AdaptiveConfig& cfg,
+                                       std::vector<int> maxBlocks)
+    : cfg_(cfg), maxBlocks_(std::move(maxBlocks))
+{
+}
+
+std::optional<AdaptiveMove>
+AdaptiveController::step(const std::vector<AdaptiveLoad>& loads)
+{
+    ++epoch_;
+    // Dwell: the first decision waits a full dwell as well, giving
+    // the depth EWMAs time to warm up past the seeding transient.
+    if (epoch_ - lastMoveEpoch_ < cfg_.minDwellEpochs)
+        return std::nullopt;
+
+    int n = static_cast<int>(loads.size());
+    auto score = [&loads](int i) {
+        const AdaptiveLoad& l = loads[static_cast<std::size_t>(i)];
+        return l.depth / static_cast<double>(std::max(1, l.blocks));
+    };
+    auto cap = [this](int i) {
+        return static_cast<std::size_t>(i) < maxBlocks_.size()
+            ? maxBlocks_[static_cast<std::size_t>(i)]
+            : 1;
+    };
+
+    // Per stage group, one donor -> receiver proposal; the most
+    // imbalanced group wins. All comparisons are strict with
+    // lowest-index tie-breaking, so the decision is deterministic.
+    std::optional<AdaptiveMove> best;
+    double bestRatio = 0.0;
+    for (int i = 0; i < n; ++i) {
+        const AdaptiveLoad& recv = loads[static_cast<std::size_t>(i)];
+        if (recv.drained || recv.blocks >= cap(i))
+            continue;
+        double recvScore = score(i);
+        if (recvScore <= 0.0)
+            continue;
+        for (int j = 0; j < n; ++j) {
+            const AdaptiveLoad& donor =
+                loads[static_cast<std::size_t>(j)];
+            if (j == i || donor.group != recv.group
+                || donor.blocks <= 1)
+                continue;
+            // Depth alone cannot tell a busy stage with a small
+            // working set from a starving one; only stages whose
+            // blocks demonstrably idled (or that are drained) may
+            // donate.
+            if (!donor.drained
+                && donor.idleFrac < cfg_.donorIdleFraction)
+                continue;
+            double donorScore = score(j);
+            if (recvScore <= (1.0 + cfg_.hysteresis) * donorScore)
+                continue;
+            double ratio = donorScore > 0.0
+                ? recvScore / donorScore
+                : std::numeric_limits<double>::infinity();
+            if (!best || ratio > bestRatio) {
+                // A drained donor's blocks have already retired, so
+                // its whole surplus transfers in one decision.
+                int count = donor.drained
+                    ? std::min(donor.blocks - 1,
+                               cap(i) - recv.blocks)
+                    : 1;
+                best = AdaptiveMove{j, i, count};
+                bestRatio = ratio;
+            }
+        }
+    }
+    if (best) {
+        lastMoveEpoch_ = epoch_;
+        ++moves_;
+    }
+    return best;
+}
+
+} // namespace vp

@@ -1,0 +1,154 @@
+/**
+ * @file
+ * Online adaptive load balancing: the paper's FinePipeline/Hybrid
+ * block-to-stage partition (section 6's load-balance knob), moved
+ * from offline search to runtime feedback control.
+ *
+ * The offline tuner picks an *initial* per-SM block budget per fine
+ * stage; skewed or phase-changing workloads then drift away from it.
+ * The AdaptiveController watches the smoothed input-queue depth of
+ * every fine stage at fixed controller epochs (k * epochCycles, the
+ * same zero-sim-event slicing the watchdog and sampler use) and
+ * migrates one block of per-SM budget from the most over-provisioned
+ * stage to the most starved one, via the runtime's existing
+ * retreat/refill machinery. Hysteresis plus a minimum dwell between
+ * moves keeps the controller from oscillating.
+ *
+ * Every decision is a pure function of the sampled simulator state
+ * and the controller's own (deterministic) history, so adaptive runs
+ * are bit-reproducible; a default AdaptiveConfig{} (disabled) leaves
+ * the engine event-for-event identical to an unadapted run.
+ */
+
+#ifndef VP_CORE_ADAPTIVE_HH
+#define VP_CORE_ADAPTIVE_HH
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/model_config.hh"
+#include "sim/simulator.hh"
+
+namespace vp {
+
+/** Online load-balance controller policy. */
+struct AdaptiveConfig
+{
+    /** Master switch; disabled runs are identical to the seed. */
+    bool enabled = false;
+
+    /** Controller epoch length in simulated cycles. */
+    Tick epochCycles = 50000.0;
+
+    /**
+     * Required load imbalance before a move: the starved stage's
+     * per-block depth must exceed the donor's by this fraction.
+     */
+    double hysteresis = 0.25;
+
+    /** Epochs a new partition must dwell before the next move. */
+    int minDwellEpochs = 2;
+
+    /** Smoothing of the per-queue depth EWMA the controller reads. */
+    double ewmaAlpha = 0.5;
+
+    /**
+     * Idleness a donor must show before giving up a block: the
+     * fraction of its blocks' time spent poll-waiting during the
+     * last epoch. Queue depth alone cannot distinguish "keeping up
+     * with a small working set" from "starving" — an upstream stage
+     * holding the whole remaining input would otherwise raid a busy
+     * downstream one. Drained stages donate regardless.
+     */
+    double donorIdleFraction = 0.01;
+
+    /** Fatal on nonsensical parameters (enabled configs only). */
+    void validate() const;
+
+    /** Human-readable synopsis for logs and tuner reports. */
+    std::string describe() const;
+};
+
+/**
+ * True when @p cfg has a partition the controller can act on: a
+ * FinePipeline group of at least two stages (one per-stage kernel
+ * each, sharing the group's SMs block-wise). Other models have no
+ * runtime-adjustable block-to-stage split.
+ */
+bool adaptiveApplicable(const PipelineConfig& cfg);
+
+/** One adjustable target's sampled state at a controller epoch. */
+struct AdaptiveLoad
+{
+    /** Smoothed input-queue depth (items). */
+    double depth = 0.0;
+    /** Current per-SM block budget. */
+    int blocks = 1;
+    /** Stage group the target belongs to (moves stay inside it). */
+    int group = 0;
+    /** True when the stage can receive no further work. */
+    bool drained = false;
+    /**
+     * Fraction of the stage's block-time spent poll-waiting since
+     * the last epoch (occupancy signal; 0 = fully busy).
+     */
+    double idleFrac = 0.0;
+};
+
+/** One rebalance decision: migrate per-SM block budget. */
+struct AdaptiveMove
+{
+    int from = -1;  //!< donor target index
+    int to = -1;    //!< receiver target index
+    int count = 1;  //!< blocks of per-SM budget to migrate
+};
+
+/**
+ * The controller law. Deliberately stateless beyond the epoch/dwell
+ * counters: step() maps the current sampled loads to at most one
+ * move, deterministically (ties break toward the lowest index).
+ */
+class AdaptiveController
+{
+  public:
+    /**
+     * @param cfg policy parameters
+     * @param maxBlocks per-target occupancy cap on the per-SM budget
+     */
+    AdaptiveController(const AdaptiveConfig& cfg,
+                       std::vector<int> maxBlocks);
+
+    /**
+     * Advance one epoch. Per target, score = depth / blocks (the
+     * per-block backlog). Within each stage group, the controller
+     * proposes moving budget from a donor (budget > 1) that is
+     * provably over-provisioned — idleFrac at least
+     * donorIdleFraction, or drained — to the highest-scored receiver
+     * (budget below its occupancy cap, not drained) when the
+     * receiver's score exceeds the donor's by the hysteresis margin
+     * and the dwell has elapsed. Across groups, the most imbalanced
+     * proposal wins. A drained donor surrenders all surplus budget
+     * at once (its blocks have already retired); a busy-but-idle one
+     * gives up a single block per move.
+     */
+    std::optional<AdaptiveMove>
+    step(const std::vector<AdaptiveLoad>& loads);
+
+    /** Epochs stepped so far. */
+    int epochs() const { return epoch_; }
+
+    /** Moves issued so far. */
+    int moves() const { return moves_; }
+
+  private:
+    AdaptiveConfig cfg_;
+    std::vector<int> maxBlocks_;
+    int epoch_ = 0;
+    int lastMoveEpoch_ = 0;
+    int moves_ = 0;
+};
+
+} // namespace vp
+
+#endif // VP_CORE_ADAPTIVE_HH

@@ -127,6 +127,15 @@ Engine::runTimed(AppDriver& driver, const PipelineConfig& config,
     if (obs && obs->sampler.enabled())
         runner->registerProbes(obs->sampler);
 
+    // Arm the adaptive load-balance controller (if configured and
+    // the runner has an adjustable partition) before seeding, so the
+    // depth EWMAs see every push from the first item on.
+    bool adaptOn = false;
+    if (adaptiveCfg_ && adaptiveCfg_->enabled) {
+        adaptiveCfg_->validate();
+        adaptOn = runner->armAdaptive(*adaptiveCfg_);
+    }
+
     runner->start(driver);
 
     Tracer* tracer = obs ? obs->tracerPtr() : nullptr;
@@ -138,7 +147,7 @@ Engine::runTimed(AppDriver& driver, const PipelineConfig& config,
     bool drained;
     std::optional<RunOutcome> failure;
     std::string reason;
-    if (!watchdogOn && !timeoutOn && !samplerOn) {
+    if (!watchdogOn && !timeoutOn && !samplerOn && !adaptOn) {
         drained = sim.runUntil(cycleLimit, eventLimit_);
     } else {
         // Slice the run at watchdog checkpoints and sampler
@@ -153,9 +162,11 @@ Engine::runTimed(AppDriver& driver, const PipelineConfig& config,
         Tick checkpoint =
             watchdogOn ? rc.watchdogIntervalCycles : kInf;
         Tick sampNext = samplerOn ? obs->sampler.interval() : kInf;
+        Tick adaptNext = adaptOn ? adaptiveCfg_->epochCycles : kInf;
         for (;;) {
             Tick target =
-                std::min({checkpoint, sampNext, cycleLimit});
+                std::min({checkpoint, sampNext, adaptNext,
+                          cycleLimit});
             if (timeoutOn)
                 target = std::min(target, rc.drainTimeoutCycles);
             std::uint64_t budget = eventLimit_ > sim.eventsRun()
@@ -169,6 +180,10 @@ Engine::runTimed(AppDriver& driver, const PipelineConfig& config,
             if (samplerOn && target >= sampNext) {
                 obs->sampler.sampleAt(sampNext);
                 sampNext += obs->sampler.interval();
+            }
+            if (adaptOn && target >= adaptNext) {
+                runner->adaptEpoch();
+                adaptNext += adaptiveCfg_->epochCycles;
             }
             if (timeoutOn && target >= rc.drainTimeoutCycles) {
                 failure = RunOutcome::DrainTimeout;

@@ -117,6 +117,38 @@ class Engine
 
     /** @} */
 
+    /** @name Online load balancing @{ */
+
+    /**
+     * Arm the adaptive load-balance controller for subsequent runs
+     * (core/adaptive.hh). At every controller epoch the engine
+     * pauses event delivery — the same zero-sim-event slicing the
+     * watchdog and sampler use — samples the smoothed fine-stage
+     * queue depths, and lets the controller migrate one block of
+     * per-SM budget between stages. A disabled config (the default
+     * AdaptiveConfig{}) leaves runs event-for-event identical to an
+     * engine that never saw this call; configurations with no fine
+     * group simply never arm.
+     */
+    void
+    setAdaptive(const AdaptiveConfig& ac)
+    {
+        ac.validate();
+        adaptiveCfg_ = ac;
+    }
+
+    /** Stop adapting. */
+    void clearAdaptive() { adaptiveCfg_.reset(); }
+
+    /** The armed adaptive configuration, if any. */
+    const std::optional<AdaptiveConfig>&
+    adaptive() const
+    {
+        return adaptiveCfg_;
+    }
+
+    /** @} */
+
     /**
      * Run @p driver under @p config to completion.
      * Fatal when the run livelocks or leaves work pending.
@@ -162,6 +194,7 @@ class Engine
     std::optional<FaultPlan> plan_;
     std::optional<RecoveryConfig> recovery_;
     std::optional<ObsConfig> obsCfg_;
+    std::optional<AdaptiveConfig> adaptiveCfg_;
     std::optional<DeviceGroupConfig> group_;
 };
 

@@ -238,23 +238,50 @@ Engine::runShardedTimed(AppDriver& driver,
     // rides the interconnect to the stage's home device and lands in
     // that runner's delivery queue at arrival time. The rolling
     // sequence spreads deliveries over queue shards deterministically.
+    //
+    // Bounded stages keep backpressure across devices via a credit
+    // scheme: per-stage counters charge every in-flight transfer
+    // against the home queue's capacity, and the remote stubs'
+    // full() consults them (remoteFull below). Without the in-flight
+    // term a burst of transfers could overshoot the bound arbitrarily
+    // between submission and delivery.
     auto deliverySeq =
         std::make_shared<std::uint64_t>(0);
+    auto inTransit = std::make_shared<std::vector<std::int64_t>>(
+        static_cast<std::size_t>(pipe.stageCount()), 0);
     for (int i = 0; i < n; ++i) {
         ShardContext& sc = shardCtxs[static_cast<std::size_t>(i)];
-        sc.forward = [&icx, &runners, &plan, i, deliverySeq](
-                         int stage, int bytes,
-                         std::function<void(QueueBase&)> deliver) {
+        sc.forward = [&icx, &runners, &plan, i, deliverySeq,
+                      inTransit](int stage, int bytes,
+                                 std::function<void(QueueBase&)>
+                                     deliver) {
             int home = plan.homeDevice(stage);
             VP_ASSERT(home >= 0, "remote forward of an unpinned stage");
+            ++(*inTransit)[static_cast<std::size_t>(stage)];
             icx.transfer(
                 i, home, static_cast<double>(bytes),
-                [&runners, home, stage, deliverySeq,
+                [&runners, home, stage, deliverySeq, inTransit,
                  deliver = std::move(deliver)] {
+                    --(*inTransit)[static_cast<std::size_t>(stage)];
                     deliver(
                         runners[static_cast<std::size_t>(home)]
                             ->deliveryQueue(stage, (*deliverySeq)++));
                 });
+        };
+        sc.remoteFull = [&runners, &plan, &pipe,
+                         inTransit](int stage) -> bool {
+            std::size_t cap = pipe.stage(stage).queueCapacity;
+            if (cap == 0)
+                return false;
+            int home = plan.homeDevice(stage);
+            if (home < 0)
+                return false;
+            std::size_t charged =
+                runners[static_cast<std::size_t>(home)]->queuedFor(
+                    stage)
+                + static_cast<std::size_t>(
+                    (*inTransit)[static_cast<std::size_t>(stage)]);
+            return charged >= cap;
         };
         sc.remoteWork = [&icx, &runners, i,
                          n](StageMask relevant) -> bool {
@@ -306,6 +333,17 @@ Engine::runShardedTimed(AppDriver& driver,
         });
     }
 
+    // Per-device controllers: each armed runner rebalances its own
+    // locally homed fine group; epochs fire group-wide in device
+    // order at the same slice boundaries.
+    bool adaptOn = false;
+    if (adaptiveCfg_ && adaptiveCfg_->enabled) {
+        adaptiveCfg_->validate();
+        for (auto& r : runners)
+            if (r->armAdaptive(*adaptiveCfg_))
+                adaptOn = true;
+    }
+
     GroupCoordinator::seedAll(driver, pipe, runners, plan, pending);
     for (auto& r : runners)
         r->start(driver);
@@ -332,7 +370,7 @@ Engine::runShardedTimed(AppDriver& driver,
     bool drained;
     std::optional<RunOutcome> failure;
     std::string reason;
-    if (!watchdogOn && !timeoutOn && !samplerOn) {
+    if (!watchdogOn && !timeoutOn && !samplerOn && !adaptOn) {
         drained = sim.runUntil(cycleLimit, eventLimit_);
     } else {
         // Same supervision slicing as the single-device engine
@@ -344,9 +382,11 @@ Engine::runShardedTimed(AppDriver& driver,
         Tick checkpoint =
             watchdogOn ? rc.watchdogIntervalCycles : kInf;
         Tick sampNext = samplerOn ? obs->sampler.interval() : kInf;
+        Tick adaptNext = adaptOn ? adaptiveCfg_->epochCycles : kInf;
         for (;;) {
             Tick target =
-                std::min({checkpoint, sampNext, cycleLimit});
+                std::min({checkpoint, sampNext, adaptNext,
+                          cycleLimit});
             if (timeoutOn)
                 target = std::min(target, rc.drainTimeoutCycles);
             std::uint64_t budget = eventLimit_ > sim.eventsRun()
@@ -360,6 +400,11 @@ Engine::runShardedTimed(AppDriver& driver,
             if (samplerOn && target >= sampNext) {
                 obs->sampler.sampleAt(sampNext);
                 sampNext += obs->sampler.interval();
+            }
+            if (adaptOn && target >= adaptNext) {
+                for (auto& r : runners)
+                    r->adaptEpoch();
+                adaptNext += adaptiveCfg_->epochCycles;
             }
             if (timeoutOn && target >= rc.drainTimeoutCycles) {
                 failure = RunOutcome::DrainTimeout;
@@ -403,9 +448,18 @@ Engine::runShardedTimed(AppDriver& driver,
             mergeRunnerResult(merged, per.back());
         }
         double steals = 0.0;
-        for (const RunResult& ri : per)
+        double adEpochs = 0.0;
+        double adMoves = 0.0;
+        for (const RunResult& ri : per) {
             steals += ri.extra.get("steals");
+            adEpochs += ri.extra.get("adaptiveEpochs");
+            adMoves += ri.extra.get("adaptiveMoves");
+        }
         merged.extra.set("steals", steals);
+        if (adaptOn) {
+            merged.extra.set("adaptiveEpochs", adEpochs);
+            merged.extra.set("adaptiveMoves", adMoves);
+        }
 
         merged.cycles = sim.now();
         merged.ms = gcfg.devices[0].cyclesToMs(merged.cycles);

@@ -105,6 +105,7 @@ GroupsRunner::buildSpecs()
                 }
                 spec.blocksPerSm = std::max(1, want);
                 spec.groupIdx = static_cast<int>(g);
+                spec.fine = true;
                 specs_.push_back(std::move(spec));
             }
         } else {
@@ -234,6 +235,28 @@ GroupsRunner::blockLoop(BlockContext& ctx, int specIdx,
                         Tick pollBackoff)
 {
     const KernelSpec& spec = specs_[specIdx];
+    if (adaptiveArmed_) {
+        // The controller shrank this spec's per-SM budget: surplus
+        // blocks retreat, freeing their slot for the receiving
+        // stage's refill. Guarded by the armed flag, so unadapted
+        // runs take exactly the pre-controller path.
+        auto key = std::make_pair(specIdx, ctx.smId());
+        auto it = blockCount_.find(key);
+        if (it != blockCount_.end()
+            && it->second > spec.blocksPerSm) {
+            --it->second;
+            blockSpec_.erase(&ctx);
+            ++retreats_;
+            if (tracer_)
+                tracer_->instant(
+                    TraceKind::Retreat,
+                    static_cast<std::int16_t>(trackBase_
+                                              + ctx.smId()),
+                    sim_.now(), specIdx);
+            ctx.delay(20.0, [&ctx] { ctx.exit(); });
+            return;
+        }
+    }
     if (!anyFutureWork(spec.stages)) {
         // This stage group has fully drained: retire the block.
         auto key = std::make_pair(specIdx, ctx.smId());
@@ -247,6 +270,9 @@ GroupsRunner::blockLoop(BlockContext& ctx, int specIdx,
     if (s < 0) {
         // Upstream still working: poll with exponential backoff.
         ++polls_;
+        if (adaptiveArmed_)
+            adaptIdle_[static_cast<std::size_t>(specIdx)]
+                += pollBackoff;
         Tick next_backoff = std::min(
             pollBackoff * 1.5, dev_.config().pollIntervalCycles * 3.0);
         ctx.delay(pollBackoff, [this, &ctx, specIdx, next_backoff] {
@@ -339,6 +365,124 @@ GroupsRunner::maybeRefill()
         launchSpec(static_cast<int>(i), {}, true);
         return;
     }
+}
+
+bool
+GroupsRunner::armAdaptive(const AdaptiveConfig& cfg)
+{
+    // Adjustable targets: fine-pipeline specs in groups with at
+    // least two of them (a lone fine stage has nobody to trade
+    // block budget with). Under sharding only locally homed groups
+    // built specs, so each device's controller is independent.
+    adaptTargets_.clear();
+    std::map<int, int> finePerGroup;
+    for (const KernelSpec& spec : specs_)
+        if (spec.fine)
+            ++finePerGroup[spec.groupIdx];
+    std::vector<int> caps;
+    for (std::size_t i = 0; i < specs_.size(); ++i) {
+        const KernelSpec& spec = specs_[i];
+        if (!spec.fine || finePerGroup[spec.groupIdx] < 2)
+            continue;
+        adaptTargets_.push_back(static_cast<int>(i));
+        // A receiver may grow past its tuned budget up to the
+        // occupancy limit of its own kernel.
+        caps.push_back(std::max(
+            spec.blocksPerSm,
+            maxBlocksPerSm(dev_.config(), spec.res, spec.threads)
+                .blocksPerSm));
+    }
+    if (adaptTargets_.size() < 2) {
+        adaptTargets_.clear();
+        return false;
+    }
+    for (int t : adaptTargets_) {
+        int s = specs_[static_cast<std::size_t>(t)].stages.front();
+        queues_[static_cast<std::size_t>(s)]->enableDepthEwma(
+            cfg.ewmaAlpha);
+        for (auto& sh : shards_)
+            (*sh)[static_cast<std::size_t>(s)]->enableDepthEwma(
+                cfg.ewmaAlpha);
+    }
+    adaptCfg_ = cfg;
+    adaptIdle_.assign(specs_.size(), 0.0);
+    adaptIdleLast_.assign(specs_.size(), 0.0);
+    adaptCtl_ = std::make_unique<AdaptiveController>(
+        cfg, std::move(caps));
+    adaptiveArmed_ = true;
+    return true;
+}
+
+double
+GroupsRunner::adaptDepth(int specIdx) const
+{
+    int s = specs_[static_cast<std::size_t>(specIdx)].stages.front();
+    double d = queues_[static_cast<std::size_t>(s)]->depthEwma();
+    for (const auto& sh : shards_)
+        d += (*sh)[static_cast<std::size_t>(s)]->depthEwma();
+    return d;
+}
+
+void
+GroupsRunner::adaptEpoch()
+{
+    if (!adaptCtl_)
+        return;
+    std::vector<AdaptiveLoad> loads;
+    loads.reserve(adaptTargets_.size());
+    for (int t : adaptTargets_) {
+        const KernelSpec& spec = specs_[static_cast<std::size_t>(t)];
+        AdaptiveLoad l;
+        l.depth = adaptDepth(t);
+        l.blocks = spec.blocksPerSm;
+        l.group = spec.groupIdx;
+        l.drained = !futureWorkPossible(spec.stages.front());
+        // Occupancy: poll-wait cycles this spec's blocks burned
+        // since the last epoch, normalised by the block-time the
+        // epoch offered them.
+        double idleDelta = adaptIdle_[static_cast<std::size_t>(t)]
+            - adaptIdleLast_[static_cast<std::size_t>(t)];
+        adaptIdleLast_[static_cast<std::size_t>(t)] =
+            adaptIdle_[static_cast<std::size_t>(t)];
+        int smCount = spec.sms.empty()
+            ? dev_.numSms()
+            : static_cast<int>(spec.sms.size());
+        l.idleFrac = idleDelta
+            / (adaptCfg_.epochCycles
+               * std::max(1, spec.blocksPerSm * smCount));
+        loads.push_back(l);
+    }
+    ++adaptEpochs_;
+    if (obs_)
+        obs_->metrics.counter("adaptive/epochs").add();
+    if (tracer_)
+        tracer_->instant(TraceKind::AdaptiveEpoch, 0, sim_.now(),
+                         static_cast<std::int32_t>(adaptMoves_));
+    auto move = adaptCtl_->step(loads);
+    if (!move)
+        return;
+    int from = adaptTargets_[static_cast<std::size_t>(move->from)];
+    int to = adaptTargets_[static_cast<std::size_t>(move->to)];
+    specs_[static_cast<std::size_t>(from)].blocksPerSm -=
+        move->count;
+    specs_[static_cast<std::size_t>(to)].blocksPerSm += move->count;
+    adaptMoves_ += static_cast<std::uint64_t>(move->count);
+    if (obs_)
+        obs_->metrics.counter("adaptive/moves")
+            .add(static_cast<std::uint64_t>(move->count));
+    if (tracer_)
+        tracer_->instant(
+            TraceKind::AdaptiveMove, 0, sim_.now(),
+            specs_[static_cast<std::size_t>(from)].stages.front(),
+            specs_[static_cast<std::size_t>(to)].stages.front());
+    VP_DEBUG("adaptive: +" << move->count << " block/SM `"
+             << specs_[static_cast<std::size_t>(to)].name << "` <- `"
+             << specs_[static_cast<std::size_t>(from)].name << "`");
+    // The receiver gains its blocks through a refill launch: the
+    // wider grid fills the raised per-SM budget and the surplus
+    // retreats on arrival. Donor blocks over budget retreat at
+    // their next loop iteration (see blockLoop).
+    launchSpec(to, specs_[static_cast<std::size_t>(to)].sms, true);
 }
 
 } // namespace vp

@@ -77,13 +77,21 @@ RunnerBase::makeQueues(QueueSet& qs)
             && shard_->plan->pinnedElsewhere(s, shard_->deviceIndex);
         if (remote) {
             // Stage homed on another device: pushes divert across
-            // the interconnect. No capacity — cross-device hops sit
-            // outside bounded-queue backpressure (remote_queue.hh).
+            // the interconnect. Bounded stages keep backpressure via
+            // the coordinator's credit probe — full() consults the
+            // home queue's depth plus in-flight transfers, so a
+            // remote producer stalls exactly when a local one would.
+            RemoteFullProbe probe;
+            if (st.queueCapacity > 0)
+                probe = [this, s] {
+                    return shard_->remoteFull && shard_->remoteFull(s);
+                };
             qs.push_back(st.makeRemoteStub(
                 [this, s](int bytes,
                           std::function<void(QueueBase&)> deliver) {
                     shard_->forward(s, bytes, std::move(deliver));
-                }));
+                },
+                std::move(probe)));
         } else {
             qs.push_back(st.makeQueue());
             if (st.queueCapacity > 0)
@@ -670,6 +678,12 @@ RunnerBase::collect()
     r.retreats = retreats_;
     r.refills = refills_;
     r.extra.set("steals", static_cast<double>(steals_));
+    if (adaptiveArmed_) {
+        r.extra.set("adaptiveEpochs",
+                    static_cast<double>(adaptEpochs_));
+        r.extra.set("adaptiveMoves",
+                    static_cast<double>(adaptMoves_));
+    }
 
     r.faults = faultStats_;
     r.faults.smsFailed = r.device.smsFailed;

@@ -21,6 +21,7 @@
 #include <string>
 #include <vector>
 
+#include "core/adaptive.hh"
 #include "core/model_config.hh"
 #include "core/pipeline.hh"
 #include "core/recovery.hh"
@@ -70,6 +71,13 @@ struct ShardContext
      */
     std::function<void(int, int, std::function<void(QueueBase&)>)>
         forward;
+    /**
+     * Credit probe for bounded stages pinned remotely: true when the
+     * stage's home queue is out of credit (home depth + in-flight
+     * transfers >= home capacity), so producers on this device must
+     * backpressure exactly like the home device's own producers.
+     */
+    std::function<bool(int)> remoteFull;
 };
 
 /**
@@ -248,6 +256,21 @@ class RunnerBase
      */
     void registerProbes(Sampler& sampler);
 
+    /** Items currently queued for stage @p s (all queue sets). */
+    std::size_t queuedFor(int s) const { return totalQueued(s); }
+
+    /**
+     * Arm the online load-balance controller. @return true when this
+     * runner has an adjustable block-to-stage partition (a fine
+     * group of >= 2 stages under GroupsRunner); the engine then
+     * drives adaptEpoch() at every controller epoch. The base
+     * implementation declines — only GroupsRunner overrides it.
+     */
+    virtual bool armAdaptive(const AdaptiveConfig&) { return false; }
+
+    /** One controller epoch: sample loads, maybe migrate a block. */
+    virtual void adaptEpoch() {}
+
   protected:
     /** Create one queue per stage into @p qs. */
     void makeQueues(QueueSet& qs);
@@ -355,6 +378,15 @@ class RunnerBase
     std::uint64_t steals_ = 0;
     std::string configName_;
 
+    /** @name Online load balancing @{ */
+
+    /** True once armAdaptive accepted a controller. */
+    bool adaptiveArmed_ = false;
+    std::uint64_t adaptEpochs_ = 0;
+    std::uint64_t adaptMoves_ = 0;
+
+    /** @} */
+
     /** Items queued for stage @p s across all queue sets. */
     std::size_t totalQueued(int s) const;
 
@@ -423,6 +455,9 @@ class GroupsRunner : public RunnerBase
 
     QueueBase& deliveryQueue(int stage, std::uint64_t hint) override;
 
+    bool armAdaptive(const AdaptiveConfig& cfg) override;
+    void adaptEpoch() override;
+
   protected:
     void onBlockAborted(BlockContext& ctx) override;
     void onSmFailed(int sm) override;
@@ -439,6 +474,7 @@ class GroupsRunner : public RunnerBase
         int blocksPerSm = 1;
         int threads = 256;        //!< block size of this kernel
         int groupIdx = 0;
+        bool fine = false;        //!< one stage of a fine group
     };
 
     void buildSpecs();
@@ -470,6 +506,23 @@ class GroupsRunner : public RunnerBase
     std::map<BlockContext*, int> blockSpec_;
     int liveKernels_ = 0;
     int refillBudget_ = 64;
+
+    /** @name Online load balancing @{ */
+
+    /** Controller, armed by the engine when a fine group exists. */
+    std::unique_ptr<AdaptiveController> adaptCtl_;
+    AdaptiveConfig adaptCfg_;
+    /** Spec indices whose blocksPerSm the controller may adjust. */
+    std::vector<int> adaptTargets_;
+    /** Accumulated poll-wait cycles per spec (occupancy signal). */
+    std::vector<double> adaptIdle_;
+    /** adaptIdle_ snapshot at the previous controller epoch. */
+    std::vector<double> adaptIdleLast_;
+
+    /** Smoothed input depth of fine spec @p specIdx's stage. */
+    double adaptDepth(int specIdx) const;
+
+    /** @} */
 };
 
 /** Host-sequenced kernel-by-kernel runner (plus stream variant). */

@@ -47,6 +47,9 @@ ShardPlan::parse(const std::string& spec, const Pipeline& pipe,
     if (spec == "rr") {
         // Per-stage round robin; group-aware callers should use
         // pinnedRoundRobin with their config instead.
+        VP_CHECK(nDevices >= 1, ErrorCode::Config,
+                 "shard spec `rr`: group has " << nDevices
+                 << " devices; need at least 1");
         ShardPlan plan;
         for (int s = 0; s < pipe.stageCount(); ++s)
             plan.stages.push_back(
@@ -73,6 +76,10 @@ ShardPlan::parse(const std::string& spec, const Pipeline& pipe,
                  << "` (group has " << nDevices << " devices)");
         plan.stages.push_back(StagePlace{Placement::Pin, d});
     }
+    VP_CHECK(!plan.stages.empty(), ErrorCode::Config,
+             "shard spec `" << spec
+             << "`: empty device list (expected pin:<d0>,<d1>,... "
+                "with one device per stage)");
     VP_CHECK(static_cast<int>(plan.stages.size())
                  == pipe.stageCount(),
              ErrorCode::Config,

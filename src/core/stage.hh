@@ -133,10 +133,13 @@ class StageBase
     /**
      * Create a remote stub standing in for this stage's queue on
      * devices the stage is not homed on: pushes divert through
-     * @p forward to the home device (see remote_queue.hh).
+     * @p forward to the home device (see remote_queue.hh). For
+     * bounded stages, @p fullProbe wires the credit scheme that
+     * keeps backpressure working across the interconnect.
      */
     virtual std::unique_ptr<QueueBase>
-    makeRemoteStub(RemoteForward forward) const = 0;
+    makeRemoteStub(RemoteForward forward,
+                   RemoteFullProbe fullProbe = {}) const = 0;
 
     /**
      * Pop up to @p maxItems items from @p q and execute each,
@@ -313,10 +316,14 @@ class Stage : public StageBase
     }
 
     std::unique_ptr<QueueBase>
-    makeRemoteStub(RemoteForward forward) const override
+    makeRemoteStub(RemoteForward forward,
+                   RemoteFullProbe fullProbe = {}) const override
     {
-        return std::make_unique<RemoteStubQueue<T>>(
+        auto stub = std::make_unique<RemoteStubQueue<T>>(
             name, std::move(forward));
+        if (fullProbe)
+            stub->setFullProbe(std::move(fullProbe));
+        return stub;
     }
 
     // Defined in stage_impl.hh (needs the Pipeline definition).

@@ -34,6 +34,8 @@ traceKindName(TraceKind k)
     case TraceKind::DpSpawn: return "dp_spawn";
     case TraceKind::WatchdogCheck: return "watchdog_check";
     case TraceKind::Transfer: return "transfer";
+    case TraceKind::AdaptiveEpoch: return "adaptive_epoch";
+    case TraceKind::AdaptiveMove: return "adaptive_move";
     }
     return "?";
 }
@@ -135,6 +137,8 @@ placeEvent(const TraceEvent& e)
     case TraceKind::LaunchDelay:
     case TraceKind::Refill:
     case TraceKind::DpSpawn:
+    case TraceKind::AdaptiveEpoch:
+    case TraceKind::AdaptiveMove:
         return {PidFaults, e.track};
     case TraceKind::SmFail:
     case TraceKind::SmDegrade:

@@ -78,6 +78,11 @@ enum class TraceKind : std::uint8_t
     /** Cross-device interconnect transfer (complete span; track =
      *  destination device, a = source device, b = bytes). */
     Transfer,
+    /** Adaptive-controller epoch (instant; a = moves so far). */
+    AdaptiveEpoch,
+    /** Adaptive block migration (instant; a = donor stage, b =
+     *  receiver stage). */
+    AdaptiveMove,
 };
 
 /** Human-readable name of @p k. */

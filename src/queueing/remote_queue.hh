@@ -9,10 +9,14 @@
  * interconnect transfer cost and delivers the item into the home
  * device's real queue at the modeled arrival time.
  *
- * The stub therefore always reports size 0 — local blocks never find
- * work for remote stages, and full() is never true, so cross-device
- * hops do not participate in bounded-queue backpressure (transfers
- * in flight are bounded by the producers' batch sizes instead).
+ * The stub always reports size 0 — local blocks never find work for
+ * remote stages. Bounded-queue backpressure, however, must survive
+ * the hop: full() consults a coordinator-wired credit probe that
+ * charges the home queue's depth *plus* every in-flight transfer
+ * against the home capacity, so a producer on the wrong device
+ * commit-waits exactly like a local producer would. Without the
+ * probe (unbounded stages, or single-device runs) full() stays
+ * false, as before.
  */
 
 #ifndef VP_QUEUEING_REMOTE_QUEUE_HH
@@ -33,6 +37,12 @@ namespace vp {
 using RemoteForward =
     std::function<void(int, std::function<void(QueueBase&)>)>;
 
+/**
+ * Answers "is the home queue of this stage out of credit?" — true
+ * when home depth + in-flight transfers >= home capacity.
+ */
+using RemoteFullProbe = std::function<bool()>;
+
 /** Queue stub whose pushes divert to another device. */
 template <typename T>
 class RemoteStubQueue : public WorkQueue<T>
@@ -41,6 +51,24 @@ class RemoteStubQueue : public WorkQueue<T>
     RemoteStubQueue(std::string name, RemoteForward forward)
         : WorkQueue<T>(std::move(name)), forward_(std::move(forward))
     {}
+
+    /** Wire the credit probe (bounded home stages only). */
+    void
+    setFullProbe(RemoteFullProbe probe)
+    {
+        fullProbe_ = std::move(probe);
+    }
+
+    /**
+     * Credit-scheme backpressure: the stub itself never buffers, but
+     * a bounded home queue's capacity counts items already there and
+     * items still riding the interconnect.
+     */
+    bool
+    full() const override
+    {
+        return fullProbe_ && fullProbe_();
+    }
 
     void
     push(T v) override
@@ -53,6 +81,7 @@ class RemoteStubQueue : public WorkQueue<T>
 
   private:
     RemoteForward forward_;
+    RemoteFullProbe fullProbe_;
 };
 
 } // namespace vp

@@ -66,6 +66,9 @@ QueueBase::recordPush(std::size_t depthAfter)
 {
     ++stats_.pushes;
     stats_.maxDepth = std::max(stats_.maxDepth, depthAfter);
+    if (ewmaEnabled_)
+        depthEwma_ +=
+            ewmaAlpha_ * (static_cast<double>(depthAfter) - depthEwma_);
     if (tracer_)
         tracer_->counter(TraceKind::QueueDepth, traceTrack_,
                          tracer_->now(),
@@ -81,6 +84,9 @@ void
 QueueBase::recordPop(std::size_t depthAfter)
 {
     ++stats_.pops;
+    if (ewmaEnabled_)
+        depthEwma_ +=
+            ewmaAlpha_ * (static_cast<double>(depthAfter) - depthEwma_);
     if (tracer_)
         tracer_->counter(TraceKind::QueueDepth, traceTrack_,
                          tracer_->now(),
@@ -99,6 +105,9 @@ void
 QueueBase::recordPops(std::uint64_t n, std::size_t depthAfter)
 {
     stats_.pops += n;
+    if (ewmaEnabled_ && n > 0)
+        depthEwma_ +=
+            ewmaAlpha_ * (static_cast<double>(depthAfter) - depthEwma_);
     if (tracer_ && n > 0)
         tracer_->counter(TraceKind::QueueDepth, traceTrack_,
                          tracer_->now(),

@@ -87,8 +87,21 @@ class QueueBase
     /** Run statistics. */
     const QueueStats& stats() const { return stats_; }
 
-    /** Reset statistics (not contents). */
-    void resetStats() { stats_ = QueueStats(); }
+    /**
+     * Reset statistics (not contents). Also clears the contention
+     * window: the recent-access ring is part of the per-run cost
+     * accounting, so a queue reused across runs must not charge
+     * phantom contention from the previous run's accesses.
+     */
+    void
+    resetStats()
+    {
+        stats_ = QueueStats();
+        recent_.clear();
+        recentHead_ = 0;
+        recentCount_ = 0;
+        depthEwma_ = 0.0;
+    }
 
     /**
      * Attach the run tracer (null detaches; never owned): every
@@ -112,8 +125,49 @@ class QueueBase
     /** Configured capacity; 0 means unbounded. */
     std::size_t capacity() const { return capacity_; }
 
-    /** True when a bounded queue has no room for another item. */
-    bool full() const { return capacity_ > 0 && size() >= capacity_; }
+    /**
+     * True when a bounded queue has no room for another item.
+     * Virtual so RemoteStubQueue can honor the *home* queue's
+     * capacity through a coordinator-wired credit probe.
+     */
+    virtual bool
+    full() const
+    {
+        return capacity_ > 0 && size() >= capacity_;
+    }
+
+    /** @} */
+
+    /** @name Depth EWMA (adaptive load-balance signal) @{
+     *
+     * When enabled, every push/pop folds the post-operation depth
+     * into an exponentially weighted moving average inside the
+     * existing bookkeeping hooks. The smoothed depth is what the
+     * online load-balance controller reads at its epochs — pure
+     * host-side arithmetic, never a simulation event, so enabling it
+     * cannot perturb a run. Disabled (the default), the only cost on
+     * the hot path is one branch per bookkeeping call.
+     */
+
+    /** Start tracking the depth EWMA with smoothing @p alpha. */
+    void
+    enableDepthEwma(double alpha)
+    {
+        ewmaEnabled_ = true;
+        ewmaAlpha_ = alpha;
+        depthEwma_ = static_cast<double>(size());
+    }
+
+    /** True once enableDepthEwma() was called. */
+    bool depthEwmaEnabled() const { return ewmaEnabled_; }
+
+    /** Smoothed queue depth (instantaneous size when disabled). */
+    double
+    depthEwma() const
+    {
+        return ewmaEnabled_ ? depthEwma_
+                            : static_cast<double>(size());
+    }
 
     /** @} */
 
@@ -178,6 +232,9 @@ class QueueBase
     QueueStats stats_;
 
     std::size_t capacity_ = 0;
+    bool ewmaEnabled_ = false;
+    double ewmaAlpha_ = 0.5;
+    double depthEwma_ = 0.0;
     Tracer* tracer_ = nullptr;
     std::int16_t traceTrack_ = 0;
     std::int32_t traceName_ = -1;

@@ -25,15 +25,21 @@ autotune(Engine& engine, AppDriver& driver, const TunerOptions& opts)
     bool have_best = false;
     int nDevices = engine.deviceCount();
 
+    bool sweepAdaptive = opts.adaptive && opts.adaptive->enabled;
+
     auto consider = [&](const PipelineConfig& cfg,
-                        const ShardPlan* plan) {
+                        const ShardPlan* plan, bool adaptive) {
         double limit = have_best
             ? best * opts.timeoutFactor
             : std::numeric_limits<double>::infinity();
         ++result.evaluated;
+        if (adaptive)
+            engine.setAdaptive(*opts.adaptive);
         auto run = plan
             ? engine.runShardedTimed(driver, cfg, *plan, limit)
             : engine.runTimed(driver, cfg, limit);
+        if (adaptive)
+            engine.clearAdaptive();
         if (!run) {
             ++result.timedOut;
             return;
@@ -41,6 +47,8 @@ autotune(Engine& engine, AppDriver& driver, const TunerOptions& opts)
         std::string synopsis = cfg.describe(pipe);
         if (plan)
             synopsis += " shard=" + plan->describe();
+        if (adaptive)
+            synopsis += " +adaptive";
         result.finished.emplace_back(synopsis, run->cycles);
         if (!have_best || run->cycles < best) {
             best = run->cycles;
@@ -49,6 +57,7 @@ autotune(Engine& engine, AppDriver& driver, const TunerOptions& opts)
             result.bestRun = *run;
             result.bestSharded = plan != nullptr;
             result.bestPlan = plan ? *plan : ShardPlan{};
+            result.bestAdaptive = adaptive;
             VP_DEBUG("tuner: new best " << run->cycles << " cycles: "
                      << synopsis);
         }
@@ -56,14 +65,20 @@ autotune(Engine& engine, AppDriver& driver, const TunerOptions& opts)
 
     for (PipelineConfig& cfg : candidates) {
         cfg.onlineAdaptation = opts.onlineAdaptation;
+        bool adaptable = sweepAdaptive && adaptiveApplicable(cfg);
         if (nDevices > 1 && cfg.top == PipelineConfig::Top::Groups) {
             // Multi-device engine: the shard plan is one more tuning
             // dimension of each Groups candidate.
             for (const ShardPlan& plan :
-                 defaultShardPlans(cfg, pipe, nDevices))
-                consider(cfg, &plan);
+                 defaultShardPlans(cfg, pipe, nDevices)) {
+                consider(cfg, &plan, false);
+                if (adaptable)
+                    consider(cfg, &plan, true);
+            }
         } else {
-            consider(cfg, nullptr);
+            consider(cfg, nullptr, false);
+            if (adaptable)
+                consider(cfg, nullptr, true);
         }
     }
     VP_REQUIRE(have_best, "every candidate configuration timed out");
@@ -95,11 +110,22 @@ autotuneParallel(const DeviceConfig& deviceCfg,
     Pipeline& pipe = driver0->pipeline();
     ProfileResult profile = profileApp(engine, *driver0);
 
-    std::vector<PipelineConfig> candidates = enumerateConfigs(
+    std::vector<PipelineConfig> configs = enumerateConfigs(
         pipe, deviceCfg, profile, opts.search);
-    VP_REQUIRE(!candidates.empty(), "no candidate configurations");
-    for (PipelineConfig& cfg : candidates)
+    VP_REQUIRE(!configs.empty(), "no candidate configurations");
+    for (PipelineConfig& cfg : configs)
         cfg.onlineAdaptation = opts.onlineAdaptation;
+
+    // One job per (config, controller) variant: with the adaptive
+    // sweep armed, applicable configs are tried both ways, exactly
+    // like the serial sweep.
+    bool sweepAdaptive = opts.adaptive && opts.adaptive->enabled;
+    std::vector<std::pair<PipelineConfig, bool>> candidates;
+    for (const PipelineConfig& cfg : configs) {
+        candidates.emplace_back(cfg, false);
+        if (sweepAdaptive && adaptiveApplicable(cfg))
+            candidates.emplace_back(cfg, true);
+    }
     if (threads > static_cast<int>(candidates.size()))
         threads = static_cast<int>(candidates.size());
 
@@ -127,7 +153,12 @@ autotuneParallel(const DeviceConfig& deviceCfg,
                 bestSoFar.load(std::memory_order_relaxed)
                 * opts.timeoutFactor;
             try {
-                auto run = eng.runTimed(driver, candidates[i], limit);
+                if (candidates[i].second)
+                    eng.setAdaptive(*opts.adaptive);
+                else
+                    eng.clearAdaptive();
+                auto run =
+                    eng.runTimed(driver, candidates[i].first, limit);
                 if (!run)
                     continue;
                 double cycles = run->cycles;
@@ -180,13 +211,17 @@ autotuneParallel(const DeviceConfig& deviceCfg,
             ++result.timedOut;
             continue;
         }
-        result.finished.emplace_back(candidates[i].describe(pipe),
+        std::string synopsis = candidates[i].first.describe(pipe);
+        if (candidates[i].second)
+            synopsis += " +adaptive";
+        result.finished.emplace_back(std::move(synopsis),
                                      runs[i]->cycles);
         if (!have_best || runs[i]->cycles < best) {
             best = runs[i]->cycles;
             have_best = true;
-            result.best = candidates[i];
+            result.best = candidates[i].first;
             result.bestRun = *runs[i];
+            result.bestAdaptive = candidates[i].second;
         }
     }
     VP_REQUIRE(have_best, "every candidate configuration timed out");

@@ -31,6 +31,15 @@ struct TunerOptions
     /** Enable online adaptation in the returned configuration. */
     bool onlineAdaptation = false;
     /**
+     * When set (and enabled), the adaptive load-balance controller
+     * joins the search space: every candidate with an adjustable
+     * partition (adaptiveApplicable) is evaluated both without and
+     * with the controller armed, and TunerResult::bestAdaptive
+     * reports which variant won. The tuned candidate's per-stage
+     * block budgets seed the controller's initial partition.
+     */
+    std::optional<AdaptiveConfig> adaptive;
+    /**
      * Worker threads for autotuneParallel (<= 0 means one per
      * hardware thread). autotune() ignores this.
      */
@@ -55,6 +64,12 @@ struct TunerResult
      */
     ShardPlan bestPlan;
     bool bestSharded = false;
+    /**
+     * True when the winning run had the adaptive controller armed
+     * (TunerOptions::adaptive): the caller should pair `best` with
+     * Engine::setAdaptive to reproduce it.
+     */
+    bool bestAdaptive = false;
 };
 
 /**

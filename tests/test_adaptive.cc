@@ -1,0 +1,263 @@
+/**
+ * @file
+ * Online adaptive load-balance controller: configuration validation,
+ * applicability, the controller law itself, and the end-to-end
+ * determinism guarantees (adaptive reruns are bit-identical; a
+ * disabled controller leaves the engine event-for-event identical to
+ * an unadapted run).
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/shard.hh"
+#include "toy_apps.hh"
+
+using namespace vp;
+using test::LinearApp;
+
+namespace {
+
+AdaptiveConfig
+on()
+{
+    AdaptiveConfig ac;
+    ac.enabled = true;
+    ac.minDwellEpochs = 1;
+    ac.hysteresis = 0.25;
+    return ac;
+}
+
+AdaptiveLoad
+load(double depth, int blocks, double idleFrac = 0.0,
+     bool drained = false, int group = 0)
+{
+    AdaptiveLoad l;
+    l.depth = depth;
+    l.blocks = blocks;
+    l.idleFrac = idleFrac;
+    l.drained = drained;
+    l.group = group;
+    return l;
+}
+
+} // namespace
+
+TEST(AdaptiveConfig, ValidateRejectsBadParameters)
+{
+    auto expectConfigError = [](AdaptiveConfig ac) {
+        ac.enabled = true;
+        try {
+            ac.validate();
+            FAIL() << ac.describe() << " validated";
+        } catch (const FatalError& e) {
+            EXPECT_EQ(e.code(), ErrorCode::Config);
+        }
+    };
+    AdaptiveConfig ac;
+    ac.epochCycles = 0.0;
+    expectConfigError(ac);
+    ac = {};
+    ac.hysteresis = -0.1;
+    expectConfigError(ac);
+    ac = {};
+    ac.minDwellEpochs = 0;
+    expectConfigError(ac);
+    ac = {};
+    ac.ewmaAlpha = 0.0;
+    expectConfigError(ac);
+    ac = {};
+    ac.ewmaAlpha = 1.5;
+    expectConfigError(ac);
+    ac = {};
+    ac.donorIdleFraction = -0.5;
+    expectConfigError(ac);
+
+    // Disabled configs never validate their parameters: the default
+    // AdaptiveConfig{} must stay a safe no-op.
+    AdaptiveConfig off;
+    off.epochCycles = 0.0;
+    EXPECT_NO_THROW(off.validate());
+}
+
+TEST(AdaptiveConfig, ApplicableOnlyToMultiStageFineGroups)
+{
+    DeviceConfig dev = DeviceConfig::byName("gtx1080");
+    LinearApp app;
+    Pipeline& pipe = app.pipeline();
+    EXPECT_TRUE(adaptiveApplicable(makeFineConfig(pipe, dev)));
+    EXPECT_FALSE(adaptiveApplicable(makeMegakernelConfig(pipe)));
+    EXPECT_FALSE(adaptiveApplicable(makeCoarseConfig(pipe, dev)));
+    EXPECT_FALSE(adaptiveApplicable(makeKbkConfig()));
+}
+
+TEST(AdaptiveController, MovesFromIdleDonorToBacklog)
+{
+    AdaptiveController ctl(on(), {8, 8});
+    auto move = ctl.step({load(100.0, 2), load(0.0, 2, 0.5)});
+    ASSERT_TRUE(move.has_value());
+    EXPECT_EQ(move->from, 1);
+    EXPECT_EQ(move->to, 0);
+    EXPECT_EQ(move->count, 1);
+    EXPECT_EQ(ctl.moves(), 1);
+}
+
+TEST(AdaptiveController, BusyDonorNeverRaided)
+{
+    // Both stages fully busy: depth imbalance alone (an upstream
+    // stage holding the whole remaining input) must not trigger a
+    // move.
+    AdaptiveController ctl(on(), {8, 8});
+    EXPECT_FALSE(ctl.step({load(1000.0, 2), load(1.0, 2, 0.0)}));
+}
+
+TEST(AdaptiveController, DwellDelaysTheFirstAndSubsequentMoves)
+{
+    AdaptiveConfig ac = on();
+    ac.minDwellEpochs = 3;
+    AdaptiveController ctl(ac, {8, 8});
+    std::vector<AdaptiveLoad> loads{load(100.0, 2),
+                                    load(0.0, 2, 0.5)};
+    EXPECT_FALSE(ctl.step(loads)); // epoch 1
+    EXPECT_FALSE(ctl.step(loads)); // epoch 2
+    EXPECT_TRUE(ctl.step(loads));  // epoch 3: dwell elapsed
+    EXPECT_FALSE(ctl.step(loads)); // epoch 4: dwelling again
+}
+
+TEST(AdaptiveController, HysteresisHoldsNearBalance)
+{
+    AdaptiveConfig ac = on();
+    ac.hysteresis = 0.5;
+    AdaptiveController ctl(ac, {8, 8});
+    // Receiver per-block backlog only 40% above the donor's: inside
+    // the 50% hysteresis band.
+    EXPECT_FALSE(ctl.step({load(14.0, 2), load(10.0, 2, 0.5)}));
+    EXPECT_TRUE(ctl.step({load(16.0, 2), load(10.0, 2, 0.5)}));
+}
+
+TEST(AdaptiveController, DrainedDonorSurrendersAllSurplus)
+{
+    AdaptiveController ctl(on(), {8, 8});
+    auto move =
+        ctl.step({load(50.0, 1), load(0.0, 5, 0.0, true)});
+    ASSERT_TRUE(move.has_value());
+    EXPECT_EQ(move->from, 1);
+    EXPECT_EQ(move->to, 0);
+    EXPECT_EQ(move->count, 4);
+}
+
+TEST(AdaptiveController, ReceiverCapLimitsBulkMoves)
+{
+    AdaptiveController ctl(on(), {3, 8});
+    auto move =
+        ctl.step({load(50.0, 1), load(0.0, 5, 0.0, true)});
+    ASSERT_TRUE(move.has_value());
+    EXPECT_EQ(move->count, 2); // cap 3, receiver already holds 1
+}
+
+TEST(AdaptiveController, ReceiverAtCapRefuses)
+{
+    AdaptiveController ctl(on(), {2, 8});
+    EXPECT_FALSE(ctl.step({load(100.0, 2), load(0.0, 4, 0.5)}));
+}
+
+TEST(AdaptiveController, MovesStayInsideStageGroups)
+{
+    AdaptiveController ctl(on(), {8, 8});
+    EXPECT_FALSE(ctl.step(
+        {load(100.0, 2, 0.0, false, 0), load(0.0, 2, 0.5, false, 1)}));
+}
+
+TEST(AdaptiveController, LowestIndexReceiverWinsTies)
+{
+    AdaptiveController ctl(on(), {8, 8, 8});
+    auto move = ctl.step(
+        {load(100.0, 2), load(100.0, 2), load(0.0, 2, 0.5)});
+    ASSERT_TRUE(move.has_value());
+    EXPECT_EQ(move->to, 0);
+}
+
+TEST(AdaptiveEngine, AdaptiveRerunsAreBitIdentical)
+{
+    DeviceConfig dev = DeviceConfig::byName("gtx1080");
+    LinearApp app(4, 80);
+    PipelineConfig cfg = makeFineConfig(app.pipeline(), dev);
+    AdaptiveConfig ac = on();
+    ac.epochCycles = 5000.0;
+    Engine engine(dev);
+    engine.setAdaptive(ac);
+    RunResult r1 = engine.run(app, cfg);
+    RunResult r2 = engine.run(app, cfg);
+    ASSERT_TRUE(r1.completed) << r1.failureReason;
+    ASSERT_TRUE(r2.completed) << r2.failureReason;
+    EXPECT_EQ(r1.cycles, r2.cycles);
+    EXPECT_EQ(r1.simEvents, r2.simEvents);
+    EXPECT_EQ(r1.polls, r2.polls);
+    EXPECT_EQ(r1.retreats, r2.retreats);
+    EXPECT_GT(r1.extra.get("adaptiveEpochs"), 0.0);
+    EXPECT_EQ(r1.extra.get("adaptiveEpochs"),
+              r2.extra.get("adaptiveEpochs"));
+    EXPECT_EQ(r1.extra.get("adaptiveMoves"),
+              r2.extra.get("adaptiveMoves"));
+}
+
+TEST(AdaptiveEngine, DisabledControllerIsEventForEventIdentical)
+{
+    DeviceConfig dev = DeviceConfig::byName("gtx1080");
+    LinearApp app(4, 80);
+    PipelineConfig cfg = makeFineConfig(app.pipeline(), dev);
+
+    Engine plain(dev);
+    RunResult seed = plain.run(app, cfg);
+    ASSERT_TRUE(seed.completed);
+
+    // A default (disabled) AdaptiveConfig must not perturb the run:
+    // same virtual time AND the same number of simulation events.
+    Engine armed(dev);
+    armed.setAdaptive(AdaptiveConfig{});
+    RunResult off = armed.run(app, cfg);
+    ASSERT_TRUE(off.completed);
+    EXPECT_EQ(off.cycles, seed.cycles);
+    EXPECT_EQ(off.simEvents, seed.simEvents);
+    EXPECT_EQ(off.polls, seed.polls);
+    EXPECT_EQ(off.retreats, seed.retreats);
+    EXPECT_EQ(off.extra.get("adaptiveEpochs"), 0.0);
+
+    // clearAdaptive() restores the seed behavior after an enabled
+    // controller was set.
+    armed.setAdaptive(on());
+    armed.clearAdaptive();
+    RunResult cleared = armed.run(app, cfg);
+    ASSERT_TRUE(cleared.completed);
+    EXPECT_EQ(cleared.cycles, seed.cycles);
+    EXPECT_EQ(cleared.simEvents, seed.simEvents);
+}
+
+TEST(AdaptiveEngine, ShardedAdaptiveRerunsAreBitIdentical)
+{
+    DeviceConfig dev = DeviceConfig::byName("gtx1080");
+    LinearApp app(4, 80);
+    PipelineConfig cfg = makeFineConfig(app.pipeline(), dev);
+    AdaptiveConfig ac = on();
+    ac.epochCycles = 5000.0;
+    Engine group(DeviceGroupConfig::homogeneous(dev, 2));
+    group.setAdaptive(ac);
+    ShardPlan plan = ShardPlan::replicateAll(app.pipeline());
+    RunResult r1 = group.runSharded(app, cfg, plan);
+    RunResult r2 = group.runSharded(app, cfg, plan);
+    ASSERT_TRUE(r1.completed) << r1.failureReason;
+    ASSERT_TRUE(r2.completed) << r2.failureReason;
+    EXPECT_EQ(r1.cycles, r2.cycles);
+    EXPECT_EQ(r1.simEvents, r2.simEvents);
+    EXPECT_EQ(r1.extra.get("adaptiveEpochs"),
+              r2.extra.get("adaptiveEpochs"));
+    EXPECT_EQ(r1.extra.get("adaptiveMoves"),
+              r2.extra.get("adaptiveMoves"));
+}
+
+TEST(AdaptiveEngine, SetAdaptiveValidatesEagerly)
+{
+    Engine engine(DeviceConfig::byName("gtx1080"));
+    AdaptiveConfig bad = on();
+    bad.epochCycles = -1.0;
+    EXPECT_THROW(engine.setAdaptive(bad), FatalError);
+}

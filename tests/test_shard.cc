@@ -59,6 +59,33 @@ TEST(ShardPlan, FactoriesAndParse)
     EXPECT_THROW(ShardPlan::parse("bogus", pipe, 2), FatalError);
 }
 
+TEST(ShardPlan, ParseRejectsBadSpecsAsConfigErrors)
+{
+    // Regression: parse() used to accept out-of-range device
+    // indices and empty pin lists, deferring the blow-up to deep
+    // inside the sharded run. Every malformed spec must fail fast
+    // with ErrorCode::Config.
+    auto app = makeApp("pyramid", AppScale::Small);
+    Pipeline& pipe = app->pipeline();
+    auto expectConfigError = [&pipe](const std::string& spec,
+                                     int nDevices) {
+        try {
+            ShardPlan::parse(spec, pipe, nDevices);
+            FAIL() << "`" << spec << "` parsed without error";
+        } catch (const FatalError& e) {
+            EXPECT_EQ(e.code(), ErrorCode::Config)
+                << "`" << spec << "`";
+        }
+    };
+    expectConfigError("pin:", 2);         // empty device list
+    expectConfigError("pin:0,-1,0", 2);   // negative device
+    expectConfigError("pin:0,2,0", 2);    // index >= device count
+    expectConfigError("pin:0,1,", 2);     // trailing empty token
+    expectConfigError("pin:0,1 ,0", 2);   // embedded whitespace
+    expectConfigError("pin:0,1", 2);      // stage-count mismatch
+    expectConfigError("pinned:0,1,0", 2); // unknown scheme
+}
+
 TEST(ShardPlan, ValidateRejectsSplitGroupsAndNonGroupTops)
 {
     auto app = makeApp("pyramid", AppScale::Small);

@@ -140,6 +140,51 @@ TEST(WorkQueue, ContentionCyclesRecordedInStats)
     EXPECT_GT(q.stats().contentionCycles, 0.0);
 }
 
+TEST(WorkQueue, ResetStatsClearsContentionWindow)
+{
+    // Regression: resetStats() used to leave the recent-access ring
+    // populated, so a queue reused across runs charged phantom
+    // contention from the previous run's accesses.
+    auto cfg = DeviceConfig::k20c();
+    WorkQueue<int> used("used");
+    used.accessCost(cfg, 0.0, 1);
+    used.accessCost(cfg, 0.0, 1);
+    used.accessCost(cfg, 1.0, 1);
+    used.resetStats();
+    WorkQueue<int> fresh("fresh");
+    EXPECT_DOUBLE_EQ(used.accessCost(cfg, 1.0, 1),
+                     fresh.accessCost(cfg, 1.0, 1));
+    EXPECT_DOUBLE_EQ(used.stats().contentionCycles,
+                     fresh.stats().contentionCycles);
+}
+
+TEST(WorkQueue, RunResetRunMatchesTwoFreshRuns)
+{
+    auto cfg = DeviceConfig::k20c();
+    auto runPattern = [&cfg](QueueBase& q) {
+        Tick total = 0.0;
+        for (int i = 0; i < 8; ++i)
+            total += q.accessCost(cfg, 0.5 * i, 2);
+        return total;
+    };
+    WorkQueue<int> reused("q");
+    Tick first = runPattern(reused);
+    reused.resetStats();
+    Tick second = runPattern(reused);
+    EXPECT_DOUBLE_EQ(second, first);
+}
+
+TEST(WorkQueue, ResetStatsResetsDepthEwma)
+{
+    WorkQueue<int> q("q");
+    q.enableDepthEwma(0.5);
+    q.push(1);
+    q.push(2);
+    EXPECT_GT(q.depthEwma(), 0.0);
+    q.resetStats();
+    EXPECT_DOUBLE_EQ(q.depthEwma(), 0.0);
+}
+
 TEST(WorkQueue, MoveOnlyPayloadsSupported)
 {
     WorkQueue<std::unique_ptr<int>> q("q");
