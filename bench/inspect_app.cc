@@ -7,6 +7,7 @@
  * Usage: inspect_app [--device=k20c|gtx1080] [app...]
  *                    [--config=baseline|megakernel|versapipe] [--only]
  *                    [--devices=N] [--shard=replicate|rr|pin:d0,d1,..]
+ *                    [--host-threads=N]
  *                    [--adaptive[=epochCycles]]
  *                    [--trace=out.json] [--report=out.report.json]
  *                    [--csv=out.csv] [--sample=N]
@@ -22,7 +23,9 @@
  * interconnect, under the --shard plan (default replicate), and adds
  * per-device utilization plus interconnect totals to the output.
  * Host-sequenced configurations (the KBK baseline) stay on one
- * device.
+ * device. --host-threads=N drives eligible sharded runs with N host
+ * threads (one event loop per device, docs/MODEL.md); results are
+ * identical to the serial group loop.
  *
  * The export flags instrument the selected configuration (default:
  * versapipe) of the FIRST app shown. --trace writes a
@@ -54,6 +57,8 @@ struct ObsOptions
     int devices = 1;
     /** Shard plan spec: replicate, rr, or pin:<d0>,<d1>,... */
     std::string shard = "replicate";
+    /** Host threads for sharded runs (1 = serial group loop). */
+    int hostThreads = 1;
     /** Arm the online load-balance controller where applicable. */
     bool adaptive = false;
     /** Controller epoch override (<= 0 keeps the default). */
@@ -161,6 +166,7 @@ show(const std::string& name, const DeviceConfig& dev,
         if (sharded) {
             Engine engine(
                 DeviceGroupConfig::homogeneous(dev, devices));
+            engine.setHostThreads(opts.hostThreads);
             if (observe) {
                 ObsConfig oc;
                 oc.sampleIntervalCycles = opts.sampleCycles;
@@ -289,6 +295,10 @@ main(int argc, char** argv)
                        "--devices wants a positive count");
         } else if (flagValue(arg, "--shard", i, v)) {
             opts.shard = v;
+        } else if (flagValue(arg, "--host-threads", i, v)) {
+            opts.hostThreads = std::stoi(v);
+            VP_REQUIRE(opts.hostThreads >= 1,
+                       "--host-threads wants a positive count");
         } else if (arg == "--adaptive") {
             opts.adaptive = true;
         } else if (arg.rfind("--adaptive=", 0) == 0) {

@@ -53,6 +53,26 @@ class Engine
         return group_;
     }
 
+    /**
+     * Host threads driving sharded runs (see
+     * DeviceGroupConfig::hostThreads). 1 keeps the serial group
+     * loop; >1 selects the host-parallel loop when the run is
+     * eligible. No effect on an engine without a device group.
+     */
+    void
+    setHostThreads(int threads)
+    {
+        if (group_)
+            group_->hostThreads = threads;
+    }
+
+    /** Configured host threads for sharded runs. */
+    int
+    hostThreads() const
+    {
+        return group_ ? group_->hostThreads : 1;
+    }
+
     /** @name Fault injection and recovery @{ */
 
     /**
@@ -189,6 +209,17 @@ class Engine
     void setEventLimit(std::uint64_t limit) { eventLimit_ = limit; }
 
   private:
+    /**
+     * Host-parallel sharded loop (engine_group_parallel.cc): one
+     * simulator per device, each driven by its own host thread,
+     * synchronized in conservative lookahead windows. Dispatched to
+     * by runShardedTimed when hostParallelEligible.
+     */
+    std::optional<RunResult>
+    runShardedParallel(AppDriver& driver,
+                       const PipelineConfig& config,
+                       const ShardPlan& plan, double cycleLimit) const;
+
     DeviceConfig cfg_;
     std::uint64_t eventLimit_ = 400000000ULL;
     std::optional<FaultPlan> plan_;

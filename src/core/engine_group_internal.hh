@@ -1,0 +1,190 @@
+/**
+ * @file
+ * Machinery shared by the serial (engine_group.cc) and host-parallel
+ * (engine_group_parallel.cc) sharded run loops: the seeding
+ * coordinator, per-runner result merging, and the eligibility test
+ * that decides which loop a sharded run takes.
+ */
+
+#ifndef VP_CORE_ENGINE_GROUP_INTERNAL_HH
+#define VP_CORE_ENGINE_GROUP_INTERNAL_HH
+
+#include <algorithm>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "common/logging.hh"
+#include "core/run_result.hh"
+#include "core/runtime.hh"
+#include "core/shard.hh"
+#include "gpu/device_group.hh"
+#include "sim/fault.hh"
+
+namespace vp {
+
+/**
+ * Friend of Seeder: builds the routed seeders of a sharded run.
+ * Pinned stages seed straight to their home device; replicated
+ * stages hash each item over the group (shardSeedDevice), which is
+ * the only point where replicated work is distributed — intermediate
+ * outputs stay on the producing device for locality.
+ */
+class GroupCoordinator
+{
+  public:
+    static void
+    seedAll(AppDriver& driver, Pipeline& pipe,
+            std::vector<std::unique_ptr<RunnerBase>>& runners,
+            const ShardPlan& plan, PendingCounter& pending)
+    {
+        int n = static_cast<int>(runners.size());
+        for (int f = 0; f < driver.flowCount(); ++f) {
+            Seeder seeder;
+            seeder.pipe_ = &pipe;
+            seeder.noteSeeded_ = [&pending](int stage, int items) {
+                (void)stage;
+                pending.add(items);
+            };
+            seeder.route_ = [&runners, &plan,
+                             n](int stage, int ordinal) -> QueueBase& {
+                int home = plan.homeDevice(stage);
+                int dev = home >= 0
+                    ? home
+                    : shardSeedDevice(stage, ordinal, n);
+                return runners[static_cast<std::size_t>(dev)]
+                    ->deliveryQueue(
+                        stage, static_cast<std::uint64_t>(ordinal));
+            };
+            driver.seedFlow(seeder, f);
+        }
+    }
+
+    /**
+     * Host-parallel variant: each seeded item is counted on its
+     * *destination* device's member counter instead of one shared
+     * counter. Equivalent to seedAll + group-mode deltas: no events
+     * are running yet and group mode disables drain callbacks, so
+     * only the barrier-time sum matters. Every member is marked
+     * started afterwards so a device that received no seeds does not
+     * report done() vacuously.
+     */
+    static void
+    seedAllGrouped(AppDriver& driver, Pipeline& pipe,
+                   std::vector<std::unique_ptr<RunnerBase>>& runners,
+                   const ShardPlan& plan,
+                   std::vector<PendingCounter>& counters)
+    {
+        int n = static_cast<int>(runners.size());
+        for (int f = 0; f < driver.flowCount(); ++f) {
+            Seeder seeder;
+            seeder.pipe_ = &pipe;
+            seeder.noteSeeded_ = [](int, int) {};
+            seeder.route_ = [&runners, &plan, &counters,
+                             n](int stage, int ordinal) -> QueueBase& {
+                int home = plan.homeDevice(stage);
+                int dev = home >= 0
+                    ? home
+                    : shardSeedDevice(stage, ordinal, n);
+                counters[static_cast<std::size_t>(dev)].add(1);
+                return runners[static_cast<std::size_t>(dev)]
+                    ->deliveryQueue(
+                        stage, static_cast<std::uint64_t>(ordinal));
+            };
+            driver.seedFlow(seeder, f);
+        }
+        for (PendingCounter& c : counters)
+            c.markStarted();
+    }
+};
+
+namespace groupdetail {
+
+/** Fold runner @p ri's collected stats into @p merged. */
+inline void
+mergeRunnerResult(RunResult& merged, const RunResult& ri)
+{
+    for (std::size_t s = 0; s < merged.stages.size(); ++s) {
+        StageRunStats& a = merged.stages[s];
+        const StageRunStats& b = ri.stages[s];
+        a.items += b.items;
+        a.batches += b.batches;
+        a.warpInsts += b.warpInsts;
+        a.execCycles += b.execCycles;
+        a.retried += b.retried;
+        a.deadLettered += b.deadLettered;
+        a.queue.pushes += b.queue.pushes;
+        a.queue.pops += b.queue.pops;
+        a.queue.maxDepth = std::max(a.queue.maxDepth,
+                                    b.queue.maxDepth);
+        a.queue.opCycles += b.queue.opCycles;
+        a.queue.contentionCycles += b.queue.contentionCycles;
+    }
+    merged.polls += ri.polls;
+    merged.retreats += ri.retreats;
+    merged.refills += ri.refills;
+
+    merged.faults.taskFaults += ri.faults.taskFaults;
+    merged.faults.tasksRetried += ri.faults.tasksRetried;
+    merged.faults.deadLettered += ri.faults.deadLettered;
+    merged.faults.droppedPushes += ri.faults.droppedPushes;
+    merged.faults.corruptedPushes += ri.faults.corruptedPushes;
+    merged.faults.slowdowns += ri.faults.slowdowns;
+    merged.faults.backpressureWaits += ri.faults.backpressureWaits;
+    merged.faults.degradeRelaunches += ri.faults.degradeRelaunches;
+    merged.faults.launchDelays += ri.faults.launchDelays;
+    merged.faults.smsFailed += ri.faults.smsFailed;
+    merged.faults.smsDegraded += ri.faults.smsDegraded;
+    merged.faults.blocksEvicted += ri.faults.blocksEvicted;
+}
+
+/**
+ * True when a sharded run may take the host-parallel loop. The
+ * parallel loop is conservative: anything whose determinism or
+ * thread-safety it cannot reproduce falls back to the serial loop.
+ *
+ *  - onlineAdaptation reads the group pending counter mid-window
+ *    (GroupsRunner::onKernelComplete), which is only exact at
+ *    barriers.
+ *  - Probabilistic fault draws consume one shared RNG stream whose
+ *    order depends on event interleaving; scripted SM events are
+ *    fine (they draw nothing).
+ *  - Trace-level logging installs a global clock bound to one
+ *    simulator.
+ *  - Bounded pinned stages use the cross-device credit scheme
+ *    (remoteFull), which reads remote queue depths mid-window.
+ */
+inline bool
+hostParallelEligible(const DeviceGroupConfig& gcfg, int n,
+                     const Pipeline& pipe,
+                     const PipelineConfig& config,
+                     const ShardPlan& plan,
+                     const std::optional<FaultPlan>& faults)
+{
+    if (gcfg.hostThreads <= 1 || n <= 1)
+        return false;
+    if (config.onlineAdaptation)
+        return false;
+    if (faults
+        && (faults->anyTaskFaults() || faults->anyPushFaults()
+            || faults->launchDelayProb > 0.0))
+        return false;
+    if (Logger::enabled(LogLevel::Trace))
+        return false;
+    // Malformed plans fall through to the serial loop's validation
+    // so the error message is identical.
+    if (plan.stages.size()
+        != static_cast<std::size_t>(pipe.stageCount()))
+        return false;
+    for (int s = 0; s < pipe.stageCount(); ++s)
+        if (plan.homeDevice(s) >= 0
+            && pipe.stage(s).queueCapacity > 0)
+            return false;
+    return true;
+}
+
+} // namespace groupdetail
+
+} // namespace vp
+
+#endif // VP_CORE_ENGINE_GROUP_INTERNAL_HH

@@ -1,0 +1,1187 @@
+/**
+ * @file
+ * Host-parallel multi-device execution: one event loop per device,
+ * each driven by its own host thread, synchronized in conservative
+ * lookahead windows (docs/MODEL.md, "Host-parallel simulation").
+ *
+ * The serial group loop (engine_group.cc) merges every device's
+ * events into one heap, so wall-clock time grows with the group even
+ * though the devices are nearly independent. This loop gives each
+ * device its own Simulator and exploits the interconnect's minimum
+ * link latency L as lookahead: within a window no cross-device event
+ * can affect another device, so the devices advance fully in
+ * parallel and exchange in-transit deliveries at window barriers.
+ *
+ * Two tiers, chosen by the shard plan:
+ *
+ *  - Exact (replicate-only plans): no stage is pinned, so no
+ *    transfer ever crosses devices and the lookahead is infinite.
+ *    The only cross-device coupling is the remote-work query behind
+ *    block-exit decisions. Per ancestor-closed stage mask that work
+ *    is *monotone* — once a device's closure drains it can never
+ *    refill (in-flight batches count as work, there is no external
+ *    input) — so each device advertises a horizon (the time of its
+ *    next unexecuted event) and per-closure drain times through
+ *    atomics, and a querying device waits until every peer has
+ *    passed the query time, then answers exactly. Same-tick order
+ *    between devices is resolved by device index; the golden-corpus
+ *    suite pins the merged schedule byte-for-byte against the
+ *    serial loop.
+ *
+ *  - Conserving (pinned plans): cross-device pushes are recorded in
+ *    per-device outboxes during a window of width
+ *    min(boundary, min next event + L) and replayed at the barrier
+ *    in merged (submit tick, device, sequence) order through
+ *    Interconnect::route, which reproduces link serialization and
+ *    contention; deliveries are scheduled on the home device's
+ *    simulator at arrival (always >= the window end, by
+ *    construction). Remote-work queries answer from a snapshot
+ *    frozen at the last barrier — conservatively over-reporting
+ *    work, which costs extra polls but conserves every item — so
+ *    runs are deterministic and fingerprint-identical to the serial
+ *    loop.
+ *
+ * Supervision (sampler, adaptive epochs, drain timeout, watchdog,
+ * scripted SM faults) runs on the coordinator thread at window
+ * barriers, aligned to the same boundaries as the serial loop's
+ * slicing ladder.
+ */
+
+#include <algorithm>
+#include <atomic>
+#include <cmath>
+#include <condition_variable>
+#include <cstdint>
+#include <exception>
+#include <functional>
+#include <limits>
+#include <memory>
+#include <mutex>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "common/logging.hh"
+#include "core/engine.hh"
+#include "core/engine_group_internal.hh"
+#include "gpu/device_group.hh"
+
+namespace vp {
+
+namespace {
+
+constexpr Tick kInf = std::numeric_limits<Tick>::infinity();
+
+/**
+ * Counting semaphore bounding how many device windows run at once:
+ * min(hostThreads, devices) permits. Workers hold a permit while
+ * executing a window and release it while parked at the barrier (or
+ * during long remote-work spins, so a probed device can be scheduled
+ * even when hostThreads < devices).
+ */
+class Permits
+{
+  public:
+    explicit Permits(int count) : count_(count) {}
+
+    void
+    acquire()
+    {
+        std::unique_lock<std::mutex> lk(m_);
+        cv_.wait(lk, [this] { return count_ > 0; });
+        --count_;
+    }
+
+    void
+    release()
+    {
+        {
+            std::lock_guard<std::mutex> lk(m_);
+            ++count_;
+        }
+        cv_.notify_one();
+    }
+
+  private:
+    std::mutex m_;
+    std::condition_variable cv_;
+    int count_;
+};
+
+/**
+ * Two-phase window barrier between the coordinator and the device
+ * workers. The coordinator publishes the next window's plan, bumps
+ * the generation (release), waits for every worker to arrive, then
+ * does the barrier work while the workers are parked. All shared
+ * plain (non-atomic) state is written by exactly one side while the
+ * other is parked, with the barrier mutex providing the
+ * happens-before edges.
+ */
+class WindowBarrier
+{
+  public:
+    explicit WindowBarrier(int n) : n_(n) {}
+
+    /** Worker: wait for generation > @p gen. False on shutdown. */
+    bool
+    awaitGo(int gen)
+    {
+        std::unique_lock<std::mutex> lk(m_);
+        cv_.wait(lk, [&] { return done_ || gen_ > gen; });
+        return !done_;
+    }
+
+    /** Worker: report this window finished. */
+    void
+    arrive()
+    {
+        {
+            std::lock_guard<std::mutex> lk(m_);
+            ++arrived_;
+        }
+        cv_.notify_all();
+    }
+
+    /** Coordinator: start the next window. */
+    void
+    release()
+    {
+        {
+            std::lock_guard<std::mutex> lk(m_);
+            arrived_ = 0;
+            ++gen_;
+        }
+        cv_.notify_all();
+    }
+
+    /** Coordinator: wait until every worker arrived. */
+    void
+    awaitAll()
+    {
+        std::unique_lock<std::mutex> lk(m_);
+        cv_.wait(lk, [&] { return arrived_ == n_; });
+    }
+
+    /** Coordinator: wake every worker for exit. Idempotent. */
+    void
+    shutdown()
+    {
+        {
+            std::lock_guard<std::mutex> lk(m_);
+            done_ = true;
+        }
+        cv_.notify_all();
+    }
+
+  private:
+    std::mutex m_;
+    std::condition_variable cv_;
+    int n_;
+    int arrived_ = 0;
+    int gen_ = 0;
+    bool done_ = false;
+};
+
+/**
+ * One device's progress advertisement for the exact tier. horizon is
+ * stored (release) before each event executes, so a peer that reads
+ * horizon > t (acquire) knows every event of this device at or
+ * before t — and every drainedAt store those events made — is
+ * visible. drainedAt[s] is the time the ancestor closure of stage s
+ * went permanently workless: +inf while work remains, -inf when the
+ * closure was workless from the start. Write-once (monotonicity).
+ */
+struct DeviceProgress
+{
+    explicit DeviceProgress(int stages) : drainedAt(stages)
+    {
+        for (auto& d : drainedAt)
+            d.store(kInf, std::memory_order_relaxed);
+    }
+
+    std::atomic<Tick> horizon{0.0};
+    std::vector<std::atomic<Tick>> drainedAt;
+};
+
+/** One cross-device push recorded during a conserving-tier window. */
+struct MailboxPost
+{
+    int stage = 0;
+    int srcDev = 0;
+    int bytes = 0;
+    Tick submit = 0.0;
+    std::uint64_t srcSeq = 0;
+    std::function<void(QueueBase&)> deliver;
+};
+
+/** Minimum cycles between a cross-device submit and its arrival. */
+Tick
+minLinkLatency(const InterconnectConfig& icfg)
+{
+    if (icfg.kind == InterconnectConfig::Kind::Peer)
+        return icfg.peerLatencyCycles;
+    // Host-staged transfers take an uplink and a downlink hop, each
+    // adding its latency after serialization.
+    return 2.0 * icfg.hostLatencyCycles;
+}
+
+} // namespace
+
+std::optional<RunResult>
+Engine::runShardedParallel(AppDriver& driver,
+                           const PipelineConfig& config,
+                           const ShardPlan& plan,
+                           double cycleLimit) const
+{
+    const DeviceGroupConfig& gcfg = *group_;
+    int n = gcfg.size();
+
+    Pipeline& pipe = driver.pipeline();
+    pipe.validate();
+    for (const DeviceConfig& dcfg : gcfg.devices)
+        config.validate(pipe, dcfg);
+    plan.validate(pipe, config, n);
+    driver.reset();
+    pipe.resetStages();
+
+    std::vector<std::unique_ptr<Simulator>> simOwners;
+    std::vector<Simulator*> sims;
+    for (int i = 0; i < n; ++i) {
+        simOwners.push_back(std::make_unique<Simulator>());
+        sims.push_back(simOwners.back().get());
+    }
+    DeviceGroup group(sims, gcfg);
+    Interconnect& icx = group.interconnect();
+
+    const int stageCount = pipe.stageCount();
+    const bool exact = !plan.anyPinned();
+    const Tick lookahead = minLinkLatency(gcfg.interconnect);
+
+    // Per-device observability shards: the tracer hooks and batch
+    // histograms fire on worker threads, so each device records into
+    // its own bundle; the shards merge into the main bundle (which
+    // only the coordinator writes) after the run.
+    std::shared_ptr<ObsData> obs;
+    std::vector<std::unique_ptr<ObsData>> shardObs;
+    if (obsCfg_) {
+        obs = std::make_shared<ObsData>(*obsCfg_, sims[0]);
+        for (int i = 0; i < n; ++i) {
+            shardObs.push_back(
+                std::make_unique<ObsData>(*obsCfg_, sims[i]));
+            group.device(i).setTracer(shardObs.back()->tracerPtr());
+            group.device(i).setTraceTrackBase(group.smTrackBase(i),
+                                              i * 64);
+        }
+    }
+    Tracer* tracer = obs ? obs->tracerPtr() : nullptr;
+
+    std::optional<FaultInjector> injector;
+    RecoveryConfig rc;
+    bool faulted = plan_.has_value() || recovery_.has_value();
+    if (plan_) {
+        // Eligibility guarantees the plan is smEvents-only, so the
+        // shared injector never draws randomness from worker threads.
+        plan_->validate();
+        injector.emplace(*plan_);
+        for (int i = 0; i < n; ++i)
+            group.device(i).setFaultInjector(&*injector);
+    }
+    if (recovery_) {
+        recovery_->validate();
+        rc = *recovery_;
+    }
+
+    // Group-wide termination: each device keeps a local delta of the
+    // shared outstanding-work count (a pinned consumer may retire
+    // items a remote producer added, so deltas go negative); the sum
+    // is exact whenever the workers are parked at a barrier.
+    std::vector<PendingCounter> counters(
+        static_cast<std::size_t>(n));
+    auto groupPending = [&counters]() {
+        std::int64_t v = 0;
+        for (const PendingCounter& c : counters)
+            v += c.localValue();
+        return v;
+    };
+    for (PendingCounter& c : counters)
+        c.enableGroupMode(groupPending);
+
+    // Progress advertisements. Horizons are maintained by both
+    // tiers (the execution fence needs them everywhere); the
+    // closure drain times only feed the exact tier's probes.
+    std::vector<std::unique_ptr<DeviceProgress>> progress;
+    std::vector<StageMask> closure(
+        static_cast<std::size_t>(stageCount), 0);
+    for (int s = 0; s < stageCount; ++s)
+        closure[static_cast<std::size_t>(s)] =
+            pipe.ancestorsOf(s) | (StageMask(1) << s);
+    std::vector<StageMask> undrained(static_cast<std::size_t>(n), 0);
+    for (int i = 0; i < n; ++i)
+        progress.push_back(
+            std::make_unique<DeviceProgress>(stageCount));
+
+    // Conserving-tier mailbox state. frozenWork/frozenTransit are
+    // written only at barriers (workers parked) and read only during
+    // windows; the barrier provides the ordering.
+    std::vector<std::vector<MailboxPost>> outbox(
+        static_cast<std::size_t>(n));
+    std::vector<std::uint64_t> outboxSeq(
+        static_cast<std::size_t>(n), 0);
+    std::vector<std::uint64_t> deliveredFired(
+        static_cast<std::size_t>(n), 0);
+    std::uint64_t routedTotal = 0;
+    std::uint64_t deliveryHint = 0;
+    std::vector<std::pair<Tick, int>> transitTimeline;
+    std::vector<StageMask> frozenWork(static_cast<std::size_t>(n),
+                                      0);
+    bool frozenTransit = false;
+    auto firedSum = [&deliveredFired]() {
+        std::uint64_t f = 0;
+        for (std::uint64_t d : deliveredFired)
+            f += d;
+        return f;
+    };
+
+    Permits permits(std::min(gcfg.hostThreads, n));
+
+    // True whenever the workers are parked (between windows and
+    // before/after the loop): remote-work queries from the
+    // coordinator — adaptive epochs, stall diagnosis — then answer
+    // from live runner state, exactly like the serial loop, instead
+    // of the window protocols (whose spin would deadlock against
+    // parked workers). Written only while workers are parked; the
+    // barrier mutex orders it against worker reads.
+    bool atBarrier = true;
+
+    std::vector<ShardContext> shardCtxs(static_cast<std::size_t>(n));
+    std::vector<std::unique_ptr<RunnerBase>> runners;
+    for (int i = 0; i < n; ++i) {
+        ShardContext& sc = shardCtxs[static_cast<std::size_t>(i)];
+        sc.deviceIndex = i;
+        sc.numDevices = n;
+        sc.smTrackBase = group.smTrackBase(i);
+        sc.plan = &plan;
+        sc.sharedPending = &counters[static_cast<std::size_t>(i)];
+
+        FaultContext fc;
+        fc.shard = &sc;
+        if (injector)
+            fc.injector = &*injector;
+        if (recovery_)
+            fc.recovery = &*recovery_;
+        if (obs)
+            fc.obs = shardObs[static_cast<std::size_t>(i)].get();
+        runners.push_back(makeRunner(*sims[static_cast<std::size_t>(
+                                         i)],
+                                     group.device(i), group.host(i),
+                                     pipe, config, fc));
+    }
+
+    // Merged-order wait: block until every peer's horizon has
+    // passed (t, i) — no peer will ever again execute an event the
+    // serial loop would have ordered before this device's current
+    // one. This is both an ordering and a mutual-exclusion
+    // primitive: two devices inside fenced sections at once would
+    // contradict horizon monotonicity within a window. Deadlock-
+    // free: the least (tick, device) waiter's condition is already
+    // met by every other waiter, so it only waits on devices that
+    // are executing events, and a failed worker parks its horizon
+    // at +inf.
+    auto awaitPeersPast = [&](int i, Tick t) {
+        std::uint32_t pendingMask = 0;
+        for (int j = 0; j < n; ++j) {
+            if (j == i)
+                continue;
+            Tick hj = progress[static_cast<std::size_t>(j)]
+                          ->horizon.load(std::memory_order_acquire);
+            if (!(hj > t || (hj == t && j > i)))
+                pendingMask |= 1u << j;
+        }
+        if (!pendingMask)
+            return;
+        // Hand the run permit back after a while so a waited-on
+        // device can be scheduled even when hostThreads < devices.
+        bool holding = true;
+        std::uint32_t spins = 0;
+        while (pendingMask) {
+            for (int j = 0; j < n; ++j) {
+                if (!(pendingMask & (1u << j)))
+                    continue;
+                Tick hj =
+                    progress[static_cast<std::size_t>(j)]
+                        ->horizon.load(std::memory_order_acquire);
+                if (hj > t || (hj == t && j > i))
+                    pendingMask &= ~(1u << j);
+            }
+            if (!pendingMask)
+                break;
+            if (holding && ++spins >= 512) {
+                permits.release();
+                holding = false;
+            }
+            std::this_thread::yield();
+        }
+        if (!holding)
+            permits.acquire();
+    };
+
+    // Exact-tier remote-work query: wait until every peer's horizon
+    // passes the probe point (same-tick ties resolved by device
+    // index: lower index acts first), then answer from the
+    // write-once closure drain times. Deadlock-free: among spinning
+    // probes the least (tick, device) one only waits on devices that
+    // are executing events.
+    auto probeRemote = [&](int i, StageMask relevant) -> bool {
+        int s = -1;
+        for (int c = 0; c < stageCount; ++c)
+            if (closure[static_cast<std::size_t>(c)] == relevant) {
+                s = c;
+                break;
+            }
+        VP_ASSERT(s >= 0,
+                  "remote-work query for a non-closure mask "
+                      << relevant);
+        Tick tp = sims[static_cast<std::size_t>(i)]->now();
+        std::uint32_t pendingMask = 0;
+        for (int j = 0; j < n; ++j) {
+            if (j == i)
+                continue;
+            const DeviceProgress& pj =
+                *progress[static_cast<std::size_t>(j)];
+            Tick dAt = pj.drainedAt[static_cast<std::size_t>(s)].load(
+                std::memory_order_acquire);
+            if (dAt != kInf) {
+                if (!(dAt < tp || (dAt == tp && j < i)))
+                    return true; // drained after the probe point
+                continue;        // drained before it
+            }
+            Tick hj = pj.horizon.load(std::memory_order_acquire);
+            if (hj > tp || (hj == tp && j > i))
+                return true; // undrained and past the probe point
+            pendingMask |= 1u << j;
+        }
+        if (!pendingMask)
+            return false;
+        // Spin on the stragglers; hand the run permit back after a
+        // while so a probed device can be scheduled even when
+        // hostThreads < devices.
+        bool holding = true;
+        bool answer = false;
+        std::uint32_t spins = 0;
+        while (pendingMask) {
+            for (int j = 0; j < n && pendingMask; ++j) {
+                if (!(pendingMask & (1u << j)))
+                    continue;
+                const DeviceProgress& pj =
+                    *progress[static_cast<std::size_t>(j)];
+                Tick dAt =
+                    pj.drainedAt[static_cast<std::size_t>(s)].load(
+                        std::memory_order_acquire);
+                if (dAt != kInf) {
+                    pendingMask &= ~(1u << j);
+                    if (!(dAt < tp || (dAt == tp && j < i))) {
+                        answer = true;
+                        pendingMask = 0;
+                    }
+                    continue;
+                }
+                Tick hj =
+                    pj.horizon.load(std::memory_order_acquire);
+                if (hj > tp || (hj == tp && j > i)) {
+                    answer = true;
+                    pendingMask = 0;
+                }
+            }
+            if (!pendingMask)
+                break;
+            if (holding && ++spins >= 512) {
+                permits.release();
+                holding = false;
+            }
+            std::this_thread::yield();
+        }
+        if (!holding)
+            permits.acquire();
+        return answer;
+    };
+
+    // The serial loop's live answer, valid while workers are parked.
+    auto remoteWorkAtBarrier = [&](int i,
+                                   StageMask relevant) -> bool {
+        if (!exact && routedTotal - firedSum() > 0)
+            return true;
+        for (int j = 0; j < n; ++j)
+            if (j != i
+                && runners[static_cast<std::size_t>(j)]->localWork(
+                    relevant))
+                return true;
+        return false;
+    };
+
+    for (int i = 0; i < n; ++i) {
+        ShardContext& sc = shardCtxs[static_cast<std::size_t>(i)];
+        if (exact) {
+            sc.remoteWork = [&probeRemote, &remoteWorkAtBarrier,
+                             &atBarrier,
+                             i](StageMask relevant) -> bool {
+                if (atBarrier)
+                    return remoteWorkAtBarrier(i, relevant);
+                return probeRemote(i, relevant);
+            };
+            sc.forward = [](int, int,
+                            std::function<void(QueueBase&)>) {
+                VP_ASSERT(false,
+                          "cross-device forward under a "
+                          "replicate-only plan");
+            };
+        } else {
+            sc.remoteWork = [&frozenWork, &frozenTransit,
+                             &remoteWorkAtBarrier, &atBarrier, i,
+                             n](StageMask relevant) -> bool {
+                if (atBarrier)
+                    return remoteWorkAtBarrier(i, relevant);
+                if (frozenTransit)
+                    return true;
+                for (int j = 0; j < n; ++j)
+                    if (j != i
+                        && (frozenWork[static_cast<std::size_t>(j)]
+                            & relevant))
+                        return true;
+                return false;
+            };
+            sc.forward = [&outbox, &outboxSeq, &sims, &plan,
+                          i](int stage, int bytes,
+                             std::function<void(QueueBase&)>
+                                 deliver) {
+                VP_ASSERT(plan.homeDevice(stage) >= 0,
+                          "remote forward of an unpinned stage");
+                outbox[static_cast<std::size_t>(i)].push_back(
+                    {stage, i, bytes,
+                     sims[static_cast<std::size_t>(i)]->now(),
+                     outboxSeq[static_cast<std::size_t>(i)]++,
+                     std::move(deliver)});
+            };
+        }
+        // Eligibility excludes bounded pinned stages, so the
+        // cross-device credit scheme never charges anything (the
+        // serial loop also answers false for unbounded stages).
+        sc.remoteFull = [](int) { return false; };
+        // Application code (stage execute()) may touch state shared
+        // across devices; both tiers run it in merged event order.
+        sc.execFence = [&awaitPeersPast, &sims, i] {
+            awaitPeersPast(
+                i, sims[static_cast<std::size_t>(i)]->now());
+        };
+    }
+
+    // Scripted SM faults land directly on the target device's
+    // simulator; a barrier just before each fault time decides
+    // cancellation (the serial loop cancels on drain — outcome is
+    // identical: the fault fires iff work is still pending at its
+    // time).
+    struct FaultEventRef
+    {
+        Tick time;
+        int device;
+        EventHandle handle;
+    };
+    std::vector<FaultEventRef> faultRefs;
+    std::vector<Tick> faultBarriers;
+    if (plan_ && !plan_->smEvents.empty()) {
+        for (const SmFaultEvent& e : plan_->smEvents) {
+            VP_CHECK(e.device >= 0 && e.device < n, ErrorCode::Config,
+                     "fault plan: device " << e.device
+                     << " out of range (group has " << n
+                     << " devices)");
+            Device& dev = group.device(e.device);
+            VP_CHECK(e.sm >= 0 && e.sm < dev.numSms(),
+                     ErrorCode::Config,
+                     "fault plan: SM " << e.sm
+                     << " out of range (device " << e.device
+                     << " has " << dev.numSms() << " SMs)");
+            EventHandle h = sims[static_cast<std::size_t>(e.device)]
+                                ->at(e.time, [&dev, e] {
+                                    if (dev.sm(e.sm).offline())
+                                        return;
+                                    if (e.kind
+                                        == SmFaultEvent::Kind::Kill)
+                                        dev.failSm(e.sm);
+                                    else
+                                        dev.degradeSm(e.sm,
+                                                      e.factor);
+                                });
+            faultRefs.push_back({e.time, e.device, h});
+            faultBarriers.push_back(
+                std::nextafter(e.time, -kInf));
+        }
+        std::sort(faultBarriers.begin(), faultBarriers.end());
+        faultBarriers.erase(std::unique(faultBarriers.begin(),
+                                        faultBarriers.end()),
+                            faultBarriers.end());
+    }
+
+    if (obs && obs->sampler.enabled()) {
+        for (auto& r : runners)
+            r->registerProbes(obs->sampler);
+        obs->sampler.addSeries(
+            "interconnect_in_flight",
+            [&routedTotal, &firedSum, exact] {
+                return exact ? 0.0
+                             : static_cast<double>(routedTotal
+                                                   - firedSum());
+            });
+    }
+
+    bool adaptOn = false;
+    if (adaptiveCfg_ && adaptiveCfg_->enabled) {
+        adaptiveCfg_->validate();
+        for (auto& r : runners)
+            if (r->armAdaptive(*adaptiveCfg_))
+                adaptOn = true;
+    }
+
+    GroupCoordinator::seedAllGrouped(driver, pipe, runners, plan,
+                                     counters);
+    for (auto& r : runners)
+        r->start(driver);
+
+    if (exact) {
+        for (int i = 0; i < n; ++i) {
+            StageMask wm =
+                runners[static_cast<std::size_t>(i)]->localWorkMask();
+            StageMask undr = 0;
+            for (int s = 0; s < stageCount; ++s) {
+                if (closure[static_cast<std::size_t>(s)] & wm)
+                    undr |= StageMask(1) << s;
+                else
+                    progress[static_cast<std::size_t>(i)]
+                        ->drainedAt[static_cast<std::size_t>(s)]
+                        .store(-kInf, std::memory_order_relaxed);
+            }
+            undrained[static_cast<std::size_t>(i)] = undr;
+        }
+    }
+
+    // ---- window machinery -------------------------------------
+
+    WindowBarrier barrier(n);
+    struct WindowPlan
+    {
+        Tick target = 0.0;
+        std::uint64_t budget = 0;
+    } wplan;
+    std::vector<std::exception_ptr> workerErrors(
+        static_cast<std::size_t>(n));
+    std::atomic<bool> workerFailed{false};
+
+    auto noteFailure = [&](int i, std::exception_ptr e) {
+        workerErrors[static_cast<std::size_t>(i)] = std::move(e);
+        workerFailed.store(true, std::memory_order_release);
+        progress[static_cast<std::size_t>(i)]->horizon.store(
+            kInf, std::memory_order_release);
+    };
+
+    auto runWindowExact = [&](int i) {
+        Simulator& sim = *sims[static_cast<std::size_t>(i)];
+        RunnerBase& runner = *runners[static_cast<std::size_t>(i)];
+        DeviceProgress& pr = *progress[static_cast<std::size_t>(i)];
+        std::uint64_t ran = 0;
+        for (;;) {
+            Tick t = sim.nextEventTime();
+            pr.horizon.store(t, std::memory_order_release);
+            if (t > wplan.target)
+                break;
+            if (ran >= wplan.budget) {
+                // Event budget blown: the coordinator will fail the
+                // run at the barrier; lift the horizon so no peer
+                // spins on this device meanwhile.
+                pr.horizon.store(kInf, std::memory_order_release);
+                break;
+            }
+            sim.step();
+            ++ran;
+            StageMask undr = undrained[static_cast<std::size_t>(i)];
+            if (undr) {
+                StageMask wm = runner.localWorkMask();
+                for (int s = 0; s < stageCount; ++s) {
+                    StageMask bit = StageMask(1) << s;
+                    if (!(undr & bit))
+                        continue;
+                    if (closure[static_cast<std::size_t>(s)] & wm)
+                        continue;
+                    pr.drainedAt[static_cast<std::size_t>(s)].store(
+                        sim.now(), std::memory_order_release);
+                    undr &= ~bit;
+                }
+                undrained[static_cast<std::size_t>(i)] = undr;
+            }
+        }
+    };
+
+    // Like Simulator::runUntil(target, budget), but advertising the
+    // horizon before each event so execution fences see this
+    // device's progress.
+    auto runWindowConserving = [&](int i) {
+        Simulator& sim = *sims[static_cast<std::size_t>(i)];
+        DeviceProgress& pr = *progress[static_cast<std::size_t>(i)];
+        std::uint64_t ran = 0;
+        for (;;) {
+            Tick t = sim.nextEventTime();
+            pr.horizon.store(t, std::memory_order_release);
+            if (t > wplan.target)
+                break;
+            if (ran >= wplan.budget) {
+                pr.horizon.store(kInf, std::memory_order_release);
+                break;
+            }
+            sim.step();
+            ++ran;
+        }
+    };
+
+    std::vector<std::thread> workers;
+    struct WorkerScope
+    {
+        WindowBarrier& barrier;
+        std::vector<std::thread>& threads;
+        ~WorkerScope()
+        {
+            barrier.shutdown();
+            for (std::thread& t : threads)
+                if (t.joinable())
+                    t.join();
+        }
+    } workerScope{barrier, workers};
+    for (int i = 0; i < n; ++i)
+        workers.emplace_back([&, i] {
+            int gen = 0;
+            for (;;) {
+                if (!barrier.awaitGo(gen))
+                    break;
+                ++gen;
+                permits.acquire();
+                try {
+                    if (exact)
+                        runWindowExact(i);
+                    else
+                        runWindowConserving(i);
+                } catch (...) {
+                    noteFailure(i, std::current_exception());
+                }
+                permits.release();
+                barrier.arrive();
+            }
+        });
+
+    // ---- coordinator helpers ----------------------------------
+
+    auto eventsSum = [&sims]() {
+        std::uint64_t e = 0;
+        for (const Simulator* s : sims)
+            e += s->eventsRun();
+        return e;
+    };
+    auto globalNow = [&sims]() {
+        Tick t = 0.0;
+        for (const Simulator* s : sims)
+            t = std::max(t, s->now());
+        return t;
+    };
+    auto minNextEvent = [&sims]() {
+        Tick t = kInf;
+        for (const Simulator* s : sims)
+            t = std::min(t, s->nextEventTime());
+        return t;
+    };
+    auto groupProgress = [&]() {
+        std::uint64_t p = firedSum();
+        for (const auto& r : runners)
+            p += r->drainProgress();
+        return p;
+    };
+    auto groupDiagnose = [&]() {
+        std::ostringstream os;
+        os << "interconnect: inFlight="
+           << (exact ? 0 : routedTotal - firedSum()) << "\n";
+        for (std::size_t i = 0; i < runners.size(); ++i)
+            os << "device " << i << ":\n"
+               << runners[i]->diagnoseStall();
+        return os.str();
+    };
+
+    // Drain the window's outboxes: replay link occupancy in merged
+    // submission order, then schedule the deliveries (arrival is
+    // always >= the window end — any submit is >= the window-start
+    // minimum next event, and the window ended at most lookahead
+    // after that).
+    auto flushMailboxes = [&]() {
+        std::vector<MailboxPost> posts;
+        for (auto& box : outbox) {
+            for (MailboxPost& p : box)
+                posts.push_back(std::move(p));
+            box.clear();
+        }
+        if (posts.empty())
+            return;
+        std::sort(posts.begin(), posts.end(),
+                  [](const MailboxPost& a, const MailboxPost& b) {
+                      if (a.submit != b.submit)
+                          return a.submit < b.submit;
+                      if (a.srcDev != b.srcDev)
+                          return a.srcDev < b.srcDev;
+                      return a.srcSeq < b.srcSeq;
+                  });
+        struct Routed
+        {
+            Tick arrival;
+            std::size_t idx;
+        };
+        std::vector<Routed> routed;
+        routed.reserve(posts.size());
+        for (std::size_t k = 0; k < posts.size(); ++k) {
+            const MailboxPost& p = posts[k];
+            int home = plan.homeDevice(p.stage);
+            Tick arrival =
+                icx.route(p.srcDev, home,
+                          static_cast<double>(p.bytes), p.submit);
+            if (tracer)
+                tracer->span(TraceKind::Transfer,
+                             static_cast<std::int16_t>(home),
+                             p.submit, arrival - p.submit, p.srcDev,
+                             p.bytes);
+            ++routedTotal;
+            transitTimeline.push_back({p.submit, +1});
+            transitTimeline.push_back({arrival, -1});
+            routed.push_back({arrival, k});
+        }
+        std::stable_sort(routed.begin(), routed.end(),
+                         [](const Routed& a, const Routed& b) {
+                             return a.arrival < b.arrival;
+                         });
+        for (const Routed& r : routed) {
+            MailboxPost& p = posts[r.idx];
+            int home = plan.homeDevice(p.stage);
+            std::uint64_t hint = deliveryHint++;
+            RunnerBase* homeRunner =
+                runners[static_cast<std::size_t>(home)].get();
+            std::uint64_t* fired =
+                &deliveredFired[static_cast<std::size_t>(home)];
+            sims[static_cast<std::size_t>(home)]->at(
+                r.arrival,
+                [deliver = std::move(p.deliver), homeRunner,
+                 stage = p.stage, hint, fired] {
+                    ++*fired;
+                    deliver(homeRunner->deliveryQueue(stage, hint));
+                });
+        }
+    };
+
+    bool watchdogOn = faulted && rc.watchdogIntervalCycles > 0.0;
+    bool timeoutOn = faulted && rc.drainTimeoutCycles > 0.0;
+    bool samplerOn = obs && obs->sampler.enabled();
+
+    // ---- the window loop --------------------------------------
+
+    bool drained = false;
+    std::optional<RunOutcome> failure;
+    std::string reason;
+    std::uint64_t lastProgress = groupProgress();
+    std::uint64_t lastEvents = 0;
+    int stalledChecks = 0;
+    Tick checkpoint = watchdogOn ? rc.watchdogIntervalCycles : kInf;
+    Tick sampNext = samplerOn ? obs->sampler.interval() : kInf;
+    Tick adaptNext = adaptOn ? adaptiveCfg_->epochCycles : kInf;
+    std::size_t nextFaultBarrier = 0;
+    bool workerThrew = false;
+
+    for (;;) {
+        Tick minNext = minNextEvent();
+        if (minNext == kInf) {
+            drained = true;
+            break;
+        }
+        Tick target =
+            std::min({checkpoint, sampNext, adaptNext, cycleLimit});
+        if (timeoutOn)
+            target = std::min(target, rc.drainTimeoutCycles);
+        if (nextFaultBarrier < faultBarriers.size())
+            target =
+                std::min(target, faultBarriers[nextFaultBarrier]);
+        if (!exact)
+            target = std::min(target, minNext + lookahead);
+
+        std::uint64_t soFar = eventsSum();
+        wplan.target = target;
+        wplan.budget =
+            eventLimit_ > soFar ? eventLimit_ - soFar : 0;
+
+        // Refresh the progress advertisements / frozen snapshot:
+        // the coordinator may have changed simulator state since
+        // the last window (deliveries, fault cancellation,
+        // adaptive launches).
+        for (int j = 0; j < n; ++j)
+            progress[static_cast<std::size_t>(j)]->horizon.store(
+                sims[static_cast<std::size_t>(j)]->nextEventTime(),
+                std::memory_order_release);
+        if (!exact) {
+            for (int j = 0; j < n; ++j)
+                frozenWork[static_cast<std::size_t>(j)] =
+                    runners[static_cast<std::size_t>(j)]
+                        ->localWorkMask();
+            frozenTransit = routedTotal - firedSum() > 0;
+        }
+
+        atBarrier = false;
+        barrier.release();
+        barrier.awaitAll();
+        atBarrier = true;
+
+        if (workerFailed.load(std::memory_order_acquire)) {
+            workerThrew = true;
+            break;
+        }
+        if (!exact)
+            flushMailboxes();
+
+        if (minNextEvent() == kInf) {
+            drained = true;
+            break;
+        }
+        if (eventsSum() >= eventLimit_ || target >= cycleLimit)
+            break;
+        if (nextFaultBarrier < faultBarriers.size()
+            && target >= faultBarriers[nextFaultBarrier]) {
+            ++nextFaultBarrier;
+            if (groupPending() == 0) {
+                for (const FaultEventRef& f : faultRefs)
+                    sims[static_cast<std::size_t>(f.device)]->cancel(
+                        f.handle);
+                nextFaultBarrier = faultBarriers.size();
+            }
+        }
+        if (samplerOn && target >= sampNext) {
+            obs->sampler.sampleAt(sampNext);
+            sampNext += obs->sampler.interval();
+        }
+        if (adaptOn && target >= adaptNext) {
+            // Epochs fire at a common group time, like the serial
+            // loop's shared clock; the clock-only advance is legal
+            // because every remaining event lies beyond the window.
+            Tick gnow = globalNow();
+            for (Simulator* s : sims)
+                if (s->pendingEvents() == 0
+                    || s->nextEventTime() + 1e-9 >= gnow)
+                    s->advanceTo(gnow);
+            for (auto& r : runners)
+                r->adaptEpoch();
+            adaptNext += adaptiveCfg_->epochCycles;
+        }
+        if (timeoutOn && target >= rc.drainTimeoutCycles) {
+            failure = RunOutcome::DrainTimeout;
+            reason = "global drain timeout ("
+                + std::to_string(rc.drainTimeoutCycles)
+                + " cycles) elapsed\n" + groupDiagnose();
+            break;
+        }
+        if (!watchdogOn || target < checkpoint)
+            continue;
+        std::uint64_t progressNow = groupProgress();
+        std::uint64_t events = eventsSum();
+        if (tracer)
+            tracer->instant(TraceKind::WatchdogCheck, 0,
+                            globalNow(), stalledChecks);
+        if (progressNow != lastProgress) {
+            stalledChecks = 0;
+        } else if (events != lastEvents && groupPending() > 0) {
+            if (++stalledChecks >= rc.watchdogStallChecks) {
+                failure = RunOutcome::Stalled;
+                reason = "watchdog: no drain progress for "
+                    + std::to_string(stalledChecks) + " checks\n"
+                    + groupDiagnose();
+                break;
+            }
+        }
+        lastProgress = progressNow;
+        lastEvents = events;
+        checkpoint += rc.watchdogIntervalCycles;
+    }
+
+    barrier.shutdown();
+    for (std::thread& t : workers)
+        if (t.joinable())
+            t.join();
+
+    if (workerThrew)
+        for (const std::exception_ptr& e : workerErrors)
+            if (e)
+                std::rethrow_exception(e);
+
+    // ---- merge and report -------------------------------------
+
+    if (!exact) {
+        std::uint64_t fired = firedSum();
+        std::sort(transitTimeline.begin(), transitTimeline.end());
+        std::int64_t cur = 0;
+        std::uint64_t peak = 0;
+        for (const auto& [t, d] : transitTimeline) {
+            cur += d;
+            peak = std::max(peak, static_cast<std::uint64_t>(
+                                      std::max<std::int64_t>(cur,
+                                                             0)));
+        }
+        icx.setDeliveryCounters(fired, routedTotal - fired, peak);
+    }
+
+    bool obsMerged = false;
+    auto mergeObs = [&]() {
+        if (!obs || obsMerged)
+            return;
+        obsMerged = true;
+        obs->stageNames = shardObs[0]->stageNames;
+        obs->stageBatchCycles = shardObs[0]->stageBatchCycles;
+        for (int i = 1; i < n; ++i) {
+            const ObsData& sh = *shardObs[static_cast<std::size_t>(
+                i)];
+            for (std::size_t s = 0;
+                 s < obs->stageBatchCycles.size()
+                 && s < sh.stageBatchCycles.size();
+                 ++s)
+                obs->stageBatchCycles[s].merge(
+                    sh.stageBatchCycles[s]);
+        }
+        for (int i = 0; i < n; ++i) {
+            const ObsData& sh = *shardObs[static_cast<std::size_t>(
+                i)];
+            obs->tracer.absorb(sh.tracer);
+            for (const auto& [name, c] : sh.metrics.counters())
+                obs->metrics.counter(name).add(c.value());
+            for (const auto& [name, g] : sh.metrics.gauges())
+                obs->metrics.gauge(name).set(g.value());
+        }
+    };
+    mergeObs();
+
+    Tick gnow = globalNow();
+    auto collectMerged = [&]() {
+        for (Simulator* s : sims)
+            if (s->pendingEvents() == 0
+                || s->nextEventTime() + 1e-9 >= gnow)
+                s->advanceTo(gnow);
+        RunResult merged = runners[0]->collect();
+        std::vector<RunResult> per;
+        per.push_back(merged);
+        for (int i = 1; i < n; ++i) {
+            per.push_back(
+                runners[static_cast<std::size_t>(i)]->collect());
+            groupdetail::mergeRunnerResult(merged, per.back());
+        }
+        double steals = 0.0;
+        double adEpochs = 0.0;
+        double adMoves = 0.0;
+        for (const RunResult& ri : per) {
+            steals += ri.extra.get("steals");
+            adEpochs += ri.extra.get("adaptiveEpochs");
+            adMoves += ri.extra.get("adaptiveMoves");
+        }
+        merged.extra.set("steals", steals);
+        if (adaptOn) {
+            merged.extra.set("adaptiveEpochs", adEpochs);
+            merged.extra.set("adaptiveMoves", adMoves);
+        }
+
+        merged.cycles = gnow;
+        merged.ms = gcfg.devices[0].cyclesToMs(merged.cycles);
+        merged.simEvents = eventsSum();
+        merged.deviceName = gcfg.describe();
+        merged.configName = config.describe(pipe) + " shard="
+            + plan.describe();
+        merged.interconnect = icx.stats();
+
+        double issue = 0.0;
+        for (int i = 0; i < n; ++i) {
+            ShardDeviceStats sd;
+            sd.deviceName =
+                gcfg.devices[static_cast<std::size_t>(i)].name;
+            sd.device = per[static_cast<std::size_t>(i)].device;
+            sd.host = per[static_cast<std::size_t>(i)].host;
+            sd.smUtilization =
+                per[static_cast<std::size_t>(i)].smUtilization;
+            merged.shardDevices.push_back(std::move(sd));
+            for (int s = 0; s < group.device(i).numSms(); ++s)
+                issue += group.device(i).sm(s).stats().issueCycles;
+        }
+        if (merged.cycles > 0.0 && group.totalSms() > 0)
+            merged.smUtilization =
+                issue / (merged.cycles * group.totalSms());
+        return merged;
+    };
+
+    auto finishObs = [&](RunResult& result) {
+        if (!obs)
+            return;
+        if (tracer) {
+            tracer->span(TraceKind::RunSpan, 0, 0.0, gnow,
+                         tracer->intern(result.configName));
+        }
+        result.obs = obs;
+    };
+    auto attachTraceTail = [&](std::string& why) {
+        if (tracer && obs->config.diagnosticTailEvents > 0) {
+            why += "\nlast trace events:\n"
+                + tracer->tail(obs->config.diagnosticTailEvents);
+        }
+    };
+
+    if (failure) {
+        RunResult result = collectMerged();
+        result.completed = false;
+        result.outcome = *failure;
+        attachTraceTail(reason);
+        result.failureReason = std::move(reason);
+        result.faults.watchdogFired = *failure == RunOutcome::Stalled;
+        finishObs(result);
+        return result;
+    }
+    if (!drained) {
+        VP_CHECK(eventsSum() < eventLimit_, ErrorCode::Livelock,
+                 "sharded run exceeded the event limit ("
+                 << eventLimit_ << ") — livelock in config `"
+                 << config.describe(pipe) << "`?");
+        VP_DEBUG("engine: sharded timeout at " << gnow
+                 << " cycles for `" << config.describe(pipe) << "`");
+        return std::nullopt;
+    }
+    if (groupPending() != 0) {
+        if (faulted) {
+            RunResult result = collectMerged();
+            result.completed = false;
+            result.outcome = RunOutcome::Stalled;
+            std::string why = "drained events but work is left\n"
+                + groupDiagnose();
+            attachTraceTail(why);
+            result.failureReason = std::move(why);
+            finishObs(result);
+            return result;
+        }
+        VP_REQUIRE(false,
+                   "sharded run drained events but left work pending "
+                   "(config `" << config.describe(pipe) << "`)");
+    }
+
+    RunResult result = collectMerged();
+    result.completed = driver.verify();
+    if (result.completed) {
+        result.outcome = RunOutcome::Completed;
+    } else if (result.faults.deadLettered > 0
+               || result.faults.droppedPushes > 0) {
+        result.outcome = RunOutcome::Degraded;
+    } else {
+        result.outcome = RunOutcome::VerifyFailed;
+    }
+    finishObs(result);
+    return result;
+}
+
+} // namespace vp

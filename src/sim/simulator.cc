@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 
 namespace vp {
 
@@ -170,6 +171,33 @@ Simulator::runUntil(Tick timeLimit, std::uint64_t eventLimit)
         dispatchNext();
     }
     return true;
+}
+
+Tick
+Simulator::nextEventTime() const
+{
+    return heap_.empty() ? std::numeric_limits<Tick>::infinity()
+                         : heap_[0].when;
+}
+
+bool
+Simulator::step()
+{
+    if (heap_.empty() || stop_)
+        return false;
+    dispatchNext();
+    return true;
+}
+
+void
+Simulator::advanceTo(Tick t)
+{
+    if (!(t > now_))
+        return;
+    VP_ASSERT(heap_.empty() || heap_[0].when + 1e-9 >= t,
+              "advanceTo(" << t << ") would skip an event at "
+                           << heap_[0].when);
+    now_ = t;
 }
 
 bool

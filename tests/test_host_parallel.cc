@@ -1,0 +1,254 @@
+/**
+ * @file
+ * Host-parallel multi-device loop tests (engine_group_parallel.cc):
+ * the parallel loop must be indistinguishable from the serial group
+ * loop in everything but wall-clock time. Replicate-only plans take
+ * the exact tier and must match event-for-event (cycles, event and
+ * poll counts); pinned plans take the conserving tier and must match
+ * the work fingerprint deterministically. Scripted SM faults must
+ * land on the right device in the right window. Runs under the
+ * `sanitize` and `tsan` ctest labels.
+ */
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <string>
+
+#include "apps/registry.hh"
+#include "core/engine.hh"
+#include "core/shard.hh"
+#include "tuner/offline_tuner.hh"
+
+using namespace vp;
+
+namespace {
+
+DeviceGroupConfig
+twoGtx1080()
+{
+    return DeviceGroupConfig::homogeneous(
+        DeviceConfig::byName("gtx1080"), 2);
+}
+
+/** Per-stage processed-item counts (the conservation fingerprint). */
+std::map<std::string, std::uint64_t>
+fingerprint(const RunResult& r)
+{
+    std::map<std::string, std::uint64_t> fp;
+    for (const StageRunStats& s : r.stages)
+        fp[s.name] = s.items + s.deadLettered;
+    return fp;
+}
+
+RunResult
+runWithThreads(const std::string& app, const PipelineConfig& cfg,
+               bool pinned, int hostThreads)
+{
+    auto driver = makeApp(app, AppScale::Small);
+    Engine engine(twoGtx1080());
+    engine.setHostThreads(hostThreads);
+    ShardPlan plan = pinned
+        ? ShardPlan::pinnedRoundRobin(cfg, driver->pipeline(), 2)
+        : ShardPlan::replicateAll(driver->pipeline());
+    return engine.runSharded(*driver, cfg, plan);
+}
+
+} // namespace
+
+// Exact tier: a replicate-only plan has no cross-device transfers,
+// so the host-parallel loop replays the serial merged schedule
+// event for event — cycles, event count, poll count and per-stage
+// work all bit-identical for any thread count.
+TEST(HostParallel, ReplicatePlansAreBitIdenticalToSerial)
+{
+    for (const std::string app : {"raster", "pyramid", "ldpc"}) {
+        auto driver = makeApp(app, AppScale::Small);
+        PipelineConfig cfg =
+            makeMegakernelConfig(driver->pipeline());
+        RunResult serial = runWithThreads(app, cfg, false, 1);
+        ASSERT_TRUE(serial.completed) << app;
+        for (int threads : {2, 4}) {
+            RunResult par =
+                runWithThreads(app, cfg, false, threads);
+            ASSERT_TRUE(par.completed)
+                << app << " x" << threads << ": "
+                << par.failureReason;
+            EXPECT_EQ(par.cycles, serial.cycles)
+                << app << " x" << threads;
+            EXPECT_EQ(par.simEvents, serial.simEvents)
+                << app << " x" << threads;
+            EXPECT_EQ(par.polls, serial.polls)
+                << app << " x" << threads;
+            EXPECT_EQ(fingerprint(par), fingerprint(serial))
+                << app << " x" << threads;
+        }
+    }
+}
+
+// Conserving tier: pinned plans exchange work over the
+// interconnect; the parallel loop replays transfers at window
+// barriers, so per-stage work, transfer totals and verification
+// must match the serial loop exactly.
+TEST(HostParallel, PinnedPlansConserveWorkAndTransfers)
+{
+    for (const std::string app : {"raster", "pyramid"}) {
+        auto driver = makeApp(app, AppScale::Small);
+        PipelineConfig cfg =
+            makeMegakernelConfig(driver->pipeline());
+        RunResult serial = runWithThreads(app, cfg, true, 1);
+        ASSERT_TRUE(serial.completed) << app;
+        RunResult par = runWithThreads(app, cfg, true, 2);
+        ASSERT_TRUE(par.completed)
+            << app << ": " << par.failureReason;
+        EXPECT_EQ(fingerprint(par), fingerprint(serial)) << app;
+        EXPECT_EQ(par.interconnect.transfers,
+                  serial.interconnect.transfers)
+            << app;
+        EXPECT_EQ(par.interconnect.delivered,
+                  serial.interconnect.delivered)
+            << app;
+    }
+}
+
+// The conserving tier must also be deterministic run to run: two
+// identical parallel runs produce identical cycle and event counts
+// (window barriers serialize every cross-device interaction).
+TEST(HostParallel, ParallelRunsAreDeterministic)
+{
+    auto driver = makeApp("raster", AppScale::Small);
+    PipelineConfig cfg = makeMegakernelConfig(driver->pipeline());
+    RunResult a = runWithThreads("raster", cfg, true, 2);
+    RunResult b = runWithThreads("raster", cfg, true, 2);
+    ASSERT_TRUE(a.completed);
+    ASSERT_TRUE(b.completed);
+    EXPECT_EQ(a.cycles, b.cycles);
+    EXPECT_EQ(a.simEvents, b.simEvents);
+    EXPECT_EQ(a.polls, b.polls);
+    EXPECT_EQ(fingerprint(a), fingerprint(b));
+}
+
+// Regression for cross-device fault targeting: a scripted SM kill on
+// device 1 must land in device 1's event loop in the correct window.
+// The group finishes (possibly degraded), only device 1 loses an SM,
+// and the result matches the serial loop bit for bit (the scenario
+// is replicate-only, i.e. exact tier).
+TEST(HostParallel, SmKillOnDeviceOneMatchesSerial)
+{
+    auto makeEngine = [](int hostThreads) {
+        FaultPlan fp;
+        SmFaultEvent kill;
+        kill.time = 2000.0;
+        kill.sm = 0;
+        kill.kind = SmFaultEvent::Kind::Kill;
+        kill.device = 1;
+        fp.smEvents.push_back(kill);
+        Engine engine(twoGtx1080());
+        engine.setFaultPlan(fp);
+        engine.setRecovery(RecoveryConfig{});
+        engine.setHostThreads(hostThreads);
+        return engine;
+    };
+    auto runOnce = [&](int hostThreads) {
+        auto app = makeApp("raster", AppScale::Small);
+        PipelineConfig cfg = makeMegakernelConfig(app->pipeline());
+        ShardPlan plan = ShardPlan::replicateAll(app->pipeline());
+        Engine engine = makeEngine(hostThreads);
+        return engine.runSharded(*app, cfg, plan);
+    };
+
+    RunResult serial = runOnce(1);
+    RunResult par = runOnce(2);
+    for (const RunResult* r : {&serial, &par}) {
+        EXPECT_TRUE(r->outcome == RunOutcome::Completed
+                    || r->outcome == RunOutcome::Degraded)
+            << runOutcomeName(r->outcome) << "\n"
+            << r->failureReason;
+        ASSERT_EQ(r->shardDevices.size(), 2u);
+        EXPECT_EQ(r->shardDevices[0].device.smsFailed, 0u);
+        EXPECT_EQ(r->shardDevices[1].device.smsFailed, 1u);
+    }
+    EXPECT_EQ(par.cycles, serial.cycles);
+    EXPECT_EQ(par.simEvents, serial.simEvents);
+    EXPECT_EQ(fingerprint(par), fingerprint(serial));
+    EXPECT_EQ(par.faults.smsFailed, serial.faults.smsFailed);
+}
+
+// Ineligible runs silently fall back to the serial loop and still
+// succeed: online adaptation reads shared state mid-window, so a
+// config that arms it keeps serial semantics under any hostThreads.
+TEST(HostParallel, IneligibleRunsFallBackToSerial)
+{
+    auto app = makeApp("raster", AppScale::Small);
+    PipelineConfig cfg = makeMegakernelConfig(app->pipeline());
+    cfg.onlineAdaptation = true;
+    ShardPlan plan = ShardPlan::replicateAll(app->pipeline());
+
+    Engine serial(twoGtx1080());
+    RunResult r1 = serial.runSharded(*app, cfg, plan);
+    Engine par(twoGtx1080());
+    par.setHostThreads(2);
+    RunResult r2 = par.runSharded(*app, cfg, plan);
+    ASSERT_TRUE(r1.completed);
+    ASSERT_TRUE(r2.completed);
+    EXPECT_EQ(r2.cycles, r1.cycles);
+    EXPECT_EQ(r2.simEvents, r1.simEvents);
+    EXPECT_EQ(fingerprint(r2), fingerprint(r1));
+}
+
+// Observability under the parallel loop: per-device trace shards
+// merge into one bundle — events from both devices, batch
+// histograms, and summed metrics — and the run stays fingerprint-
+// and cycle-identical to an unobserved one (tracing is passive).
+TEST(HostParallel, ObservedParallelRunMergesShards)
+{
+    auto run = [](bool observe) {
+        auto app = makeApp("raster", AppScale::Small);
+        PipelineConfig cfg = makeMegakernelConfig(app->pipeline());
+        ShardPlan plan = ShardPlan::replicateAll(app->pipeline());
+        Engine engine(twoGtx1080());
+        engine.setHostThreads(2);
+        if (observe) {
+            ObsConfig oc;
+            oc.sampleIntervalCycles = 1000.0;
+            engine.setObservability(oc);
+        }
+        return engine.runSharded(*app, cfg, plan);
+    };
+    RunResult plain = run(false);
+    RunResult obs = run(true);
+    ASSERT_TRUE(plain.completed);
+    ASSERT_TRUE(obs.completed);
+    EXPECT_EQ(obs.cycles, plain.cycles);
+    EXPECT_EQ(obs.simEvents, plain.simEvents);
+    ASSERT_NE(obs.obs, nullptr);
+    EXPECT_GT(obs.obs->tracer.recorded(), 0u);
+    EXPECT_FALSE(obs.obs->sampler.series().empty());
+    EXPECT_FALSE(obs.obs->stageNames.empty());
+}
+
+// The tuner's group sweep under hostThreads=2 picks the identical
+// winner (config, plan, cycles) as the serial sweep: eligible
+// candidates reproduce serial results and ineligible ones fall back.
+TEST(HostParallel, TunerWinnerIdenticalUnderHostThreads)
+{
+    TunerOptions opts;
+    opts.search.smCandidates = 2;
+    opts.search.blockCandidates = 2;
+    opts.search.maxConfigs = 24;
+
+    auto sweep = [&](int hostThreads) {
+        auto app = makeApp("pyramid", AppScale::Small);
+        Engine engine(twoGtx1080());
+        TunerOptions o = opts;
+        o.hostThreads = hostThreads;
+        return autotune(engine, *app, o);
+    };
+    TunerResult serial = sweep(0);
+    TunerResult par = sweep(2);
+    EXPECT_EQ(par.bestRun.cycles, serial.bestRun.cycles);
+    EXPECT_EQ(par.bestRun.configName, serial.bestRun.configName);
+    EXPECT_EQ(par.bestSharded, serial.bestSharded);
+    EXPECT_EQ(par.bestPlan.describe(), serial.bestPlan.describe());
+    EXPECT_EQ(par.evaluated, serial.evaluated);
+}
