@@ -8,6 +8,8 @@
  *                    [--config=baseline|megakernel|versapipe] [--only]
  *                    [--devices=N] [--shard=replicate|rr|pin:d0,d1,..]
  *                    [--host-threads=N]
+ *                    [--kill-device=<dev>@<cycle>]
+ *                    [--fail-link=<src>-><dst>@<cycle>]
  *                    [--adaptive[=epochCycles]]
  *                    [--trace=out.json] [--report=out.report.json]
  *                    [--csv=out.csv] [--sample=N]
@@ -26,6 +28,13 @@
  * device. --host-threads=N drives eligible sharded runs with N host
  * threads (one event loop per device, docs/MODEL.md); results are
  * identical to the serial group loop.
+ *
+ * --kill-device and --fail-link (both repeatable) script failover
+ * chaos into the sharded runs: the named device dies (or the
+ * directed interconnect path fails) at the given simulated cycle,
+ * pinned stages re-home onto survivors, and the run reports a
+ * Degraded outcome with a failover summary. Both flags require
+ * --devices=N with N > 1.
  *
  * The export flags instrument the selected configuration (default:
  * versapipe) of the FIRST app shown. --trace writes a
@@ -59,6 +68,8 @@ struct ObsOptions
     std::string shard = "replicate";
     /** Host threads for sharded runs (1 = serial group loop). */
     int hostThreads = 1;
+    /** Scripted device kills / link failures for sharded runs. */
+    FaultPlan faults;
     /** Arm the online load-balance controller where applicable. */
     bool adaptive = false;
     /** Controller epoch override (<= 0 keeps the default). */
@@ -72,7 +83,44 @@ struct ObsOptions
         return !tracePath.empty() || !reportPath.empty()
             || !csvPath.empty();
     }
+
+    bool chaos() const
+    {
+        return !faults.deviceEvents.empty()
+            || !faults.linkEvents.empty();
+    }
 };
+
+/** Parse "<dev>@<cycle>" into a scripted device kill. */
+DeviceFaultEvent
+parseKillDevice(const std::string& v)
+{
+    std::size_t at = v.find('@');
+    VP_REQUIRE(at != std::string::npos && at > 0,
+               "--kill-device wants <dev>@<cycle>, got `" << v << "`");
+    DeviceFaultEvent e;
+    e.device = std::stoi(v.substr(0, at));
+    e.time = std::stod(v.substr(at + 1));
+    return e;
+}
+
+/** Parse "<src>-><dst>@<cycle>" into a scripted link failure. */
+LinkFaultEvent
+parseFailLink(const std::string& v)
+{
+    std::size_t arrow = v.find("->");
+    std::size_t at = v.find('@');
+    VP_REQUIRE(arrow != std::string::npos && at != std::string::npos
+                   && arrow > 0 && at > arrow + 2,
+               "--fail-link wants <src>-><dst>@<cycle>, got `" << v
+               << "`");
+    LinkFaultEvent e;
+    e.src = std::stoi(v.substr(0, arrow));
+    e.dst = std::stoi(v.substr(arrow + 2, at - arrow - 2));
+    e.time = std::stod(v.substr(at + 1));
+    e.kind = LinkFaultEvent::Kind::Fail;
+    return e;
+}
 
 void
 writeFile(const std::string& path, const std::string& what,
@@ -174,12 +222,21 @@ show(const std::string& name, const DeviceConfig& dev,
             }
             if (adapt)
                 engine.setAdaptive(ac);
+            if (opts.chaos()) {
+                engine.setFaultPlan(opts.faults);
+                engine.setRecovery(RecoveryConfig{});
+            }
             Pipeline& pipe = app->pipeline();
             ShardPlan plan = opts.shard == "rr"
                 ? ShardPlan::pinnedRoundRobin(cfg, pipe, devices)
                 : ShardPlan::parse(opts.shard, pipe, devices);
             r = engine.runSharded(*app, cfg, plan);
-            VP_REQUIRE(r.completed, app->name()
+            // Chaos runs legitimately finish Degraded; anything
+            // else failing is still fatal.
+            VP_REQUIRE(r.completed
+                           || (opts.chaos()
+                               && r.outcome == RunOutcome::Degraded),
+                       app->name()
                        << ": sharded run failed under "
                        << r.configName << "\n" << r.failureReason);
         } else if (observe || adapt) {
@@ -232,7 +289,29 @@ show(const std::string& name, const DeviceConfig& dev,
                           << TextTable::num(sd.smUtilization, 3)
                           << " launches=" << sd.device.kernelLaunches
                           << " peakBlocks="
-                          << sd.device.peakResidentBlocks << "\n";
+                          << sd.device.peakResidentBlocks;
+                if (sd.failed)
+                    std::cout << " FAILED evacuated="
+                              << sd.itemsEvacuated;
+                if (sd.stagesRehomedIn > 0)
+                    std::cout << " adoptedStages="
+                              << sd.stagesRehomedIn;
+                std::cout << "\n";
+            }
+            if (r.faults.devicesFailed > 0 || r.faults.linksFailed > 0
+                || r.faults.linksDegraded > 0) {
+                std::cout << "  failover: outcome="
+                          << runOutcomeName(r.outcome)
+                          << " devicesFailed="
+                          << r.faults.devicesFailed
+                          << " linksFailed=" << r.faults.linksFailed
+                          << " stagesRehomed="
+                          << r.faults.stagesRehomed
+                          << " redelivered="
+                          << r.faults.transfersRedelivered
+                          << " evacuated=" << r.faults.itemsEvacuated
+                          << " deadLettered="
+                          << r.faults.deadLettered << "\n";
             }
             std::cout << "  interconnect: transfers="
                       << r.interconnect.transfers << " bytes="
@@ -299,6 +378,10 @@ main(int argc, char** argv)
             opts.hostThreads = std::stoi(v);
             VP_REQUIRE(opts.hostThreads >= 1,
                        "--host-threads wants a positive count");
+        } else if (flagValue(arg, "--kill-device", i, v)) {
+            opts.faults.deviceEvents.push_back(parseKillDevice(v));
+        } else if (flagValue(arg, "--fail-link", i, v)) {
+            opts.faults.linkEvents.push_back(parseFailLink(v));
         } else if (arg == "--adaptive") {
             opts.adaptive = true;
         } else if (arg.rfind("--adaptive=", 0) == 0) {
@@ -314,6 +397,9 @@ main(int argc, char** argv)
     }
     if (opts.wanted() && opts.sampleCycles <= 0.0)
         opts.sampleCycles = 1000.0;
+    VP_REQUIRE(!opts.chaos() || opts.devices > 1,
+               "--kill-device/--fail-link script multi-device "
+               "failover; add --devices=N with N > 1");
     if (apps.empty())
         apps = appNames();
     bool first = true;

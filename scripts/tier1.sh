@@ -20,3 +20,9 @@ ctest --test-dir build -L obs --output-on-failure
 cmake --preset asan-ubsan
 cmake --build build-sanitize -j"$jobs"
 ctest --test-dir build-sanitize -L sanitize --output-on-failure -j"$jobs"
+
+# Reduced chaos smoke under the sanitizers: a handful of randomized
+# device/link failover scenarios with memory and UB checking. The
+# full 100-seed sweep runs in the plain build (ctest label `chaos`,
+# part of the full suite above).
+VP_CHAOS_SEEDS=10 ctest --test-dir build-sanitize -L chaos --output-on-failure

@@ -82,6 +82,14 @@ Engine::runTimed(AppDriver& driver, const PipelineConfig& config,
 
     if (plan_) {
         plan_->validate();
+        // Eager target validation: a scripted event aimed at a
+        // device/SM/stage this run does not have is rejected up
+        // front instead of silently never firing.
+        plan_->validateTargets({dev.numSms()}, pipe.stageCount());
+        VP_CHECK(!plan_->anyDeviceFaults() && !plan_->anyLinkFaults(),
+                 ErrorCode::Config,
+                 "fault plan scripts device/link failures but this "
+                 "is a single-device run");
         injector.emplace(*plan_);
         fc.injector = &*injector;
         dev.setFaultInjector(&*injector);
@@ -101,14 +109,7 @@ Engine::runTimed(AppDriver& driver, const PipelineConfig& config,
     if (plan_ && !plan_->smEvents.empty()) {
         auto handles = std::make_shared<std::vector<EventHandle>>();
         for (const SmFaultEvent& e : plan_->smEvents) {
-            VP_CHECK(e.device == 0, ErrorCode::Config,
-                     "fault plan targets device " << e.device
-                     << " but this is a single-device run");
-            VP_CHECK(e.sm >= 0 && e.sm < dev.numSms(),
-                     ErrorCode::Config,
-                     "fault plan: SM " << e.sm
-                     << " out of range (device has " << dev.numSms()
-                     << " SMs)");
+            // Range checks already ran in validateTargets above.
             handles->push_back(sim.at(e.time, [&dev, e] {
                 if (dev.sm(e.sm).offline())
                     return;

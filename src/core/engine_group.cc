@@ -37,6 +37,61 @@ Engine::Engine(DeviceGroupConfig group)
 
 using groupdetail::mergeRunnerResult;
 
+namespace {
+
+/**
+ * Coordinator-side failover bookkeeping of one sharded run. Armed
+ * only when the fault plan scripts device or link events; when
+ * disarmed every consulting site takes its pre-failover path, so
+ * runs without such plans stay event-for-event identical.
+ */
+struct FailoverState
+{
+    bool armed = false;
+    /** Per device: still accepting work. */
+    std::vector<char> alive;
+    /** Per stage: re-homed device, or -1 for the plan's home. */
+    std::vector<int> homeOverride;
+    /** Per device: items drained off it when it died. */
+    std::vector<std::uint64_t> evacuated;
+    /** Per device: stages this survivor adopted. */
+    std::vector<int> rehomedIn;
+    /** Per stage: items dead-lettered at failed-link push sites. */
+    std::vector<std::uint64_t> linkDeadLettered;
+    int devicesFailed = 0;
+    int linksFailed = 0;
+    int linksDegraded = 0;
+    int stagesRehomed = 0;
+    std::uint64_t transfersRedelivered = 0;
+
+    int
+    curHome(int stage, const ShardPlan& plan) const
+    {
+        int o = homeOverride[static_cast<std::size_t>(stage)];
+        return o >= 0 ? o : plan.homeDevice(stage);
+    }
+
+    /**
+     * Live landing device for @p stage: the (possibly re-homed)
+     * pinned home, or for replicated stages the lowest-index
+     * survivor. Pinned homes are always live outside the kill
+     * handler itself — death immediately re-homes them.
+     */
+    int
+    liveTarget(int stage, const ShardPlan& plan) const
+    {
+        int home = curHome(stage, plan);
+        if (home >= 0)
+            return home;
+        for (std::size_t d = 0; d < alive.size(); ++d)
+            if (alive[d])
+                return static_cast<int>(d);
+        return 0;
+    }
+};
+
+} // namespace
+
 RunResult
 Engine::runSharded(AppDriver& driver, const PipelineConfig& config,
                    const ShardPlan& plan) const
@@ -129,6 +184,13 @@ Engine::runShardedTimed(AppDriver& driver,
 
     if (plan_) {
         plan_->validate();
+        // Eager target validation: scripted events aimed at devices,
+        // SMs, stages or links this group does not have are rejected
+        // up front instead of silently never firing.
+        std::vector<int> smsPerDevice;
+        for (const DeviceConfig& dcfg : gcfg.devices)
+            smsPerDevice.push_back(dcfg.numSms);
+        plan_->validateTargets(smsPerDevice, pipe.stageCount());
         injector.emplace(*plan_);
         for (int i = 0; i < n; ++i)
             group.device(i).setFaultInjector(&*injector);
@@ -184,32 +246,89 @@ Engine::runShardedTimed(AppDriver& driver,
         std::make_shared<std::uint64_t>(0);
     auto inTransit = std::make_shared<std::vector<std::int64_t>>(
         static_cast<std::size_t>(pipe.stageCount()), 0);
+
+    // Failover state: armed only for plans with device/link events.
+    // Every fo-consulting branch below is behind fo->armed, so runs
+    // without such plans take exactly the pre-failover event path.
+    auto fo = std::make_shared<FailoverState>();
+    bool failoverOn = plan_
+        && (plan_->anyDeviceFaults() || plan_->anyLinkFaults());
+    if (failoverOn) {
+        fo->armed = true;
+        fo->alive.assign(static_cast<std::size_t>(n), 1);
+        fo->homeOverride.assign(
+            static_cast<std::size_t>(pipe.stageCount()), -1);
+        fo->evacuated.assign(static_cast<std::size_t>(n), 0);
+        fo->rehomedIn.assign(static_cast<std::size_t>(n), 0);
+        fo->linkDeadLettered.assign(
+            static_cast<std::size_t>(pipe.stageCount()), 0);
+    }
+
     for (int i = 0; i < n; ++i) {
         ShardContext& sc = shardCtxs[static_cast<std::size_t>(i)];
-        sc.forward = [&icx, &runners, &plan, i, deliverySeq,
-                      inTransit](int stage, int bytes,
-                                 std::function<void(QueueBase&)>
-                                     deliver) {
-            int home = plan.homeDevice(stage);
+        sc.forward = [&icx, &runners, &plan, &pending, &sim, i,
+                      deliverySeq, inTransit, fo,
+                      tracer](int stage, int bytes,
+                              std::function<void(QueueBase&)>
+                                  deliver) {
+            int home = fo->armed ? fo->curHome(stage, plan)
+                                 : plan.homeDevice(stage);
             VP_ASSERT(home >= 0, "remote forward of an unpinned stage");
+            if (fo->armed && !icx.pathUsable(i, home)) {
+                // Both endpoints alive but the link between them
+                // failed: the item is lost in a structured way.
+                // Ledger it (conservation) and release its pending
+                // unit so the group can still drain.
+                ++fo->linkDeadLettered[
+                    static_cast<std::size_t>(stage)];
+                pending.sub(1);
+                if (tracer)
+                    tracer->instant(TraceKind::DeadLetter, 0,
+                                    sim.now(), stage, 1);
+                return;
+            }
             ++(*inTransit)[static_cast<std::size_t>(stage)];
             icx.transfer(
                 i, home, static_cast<double>(bytes),
-                [&runners, home, stage, deliverySeq, inTransit,
-                 deliver = std::move(deliver)] {
+                [&runners, &plan, &sim, home, stage, deliverySeq,
+                 inTransit, fo, tracer,
+                 deliver = std::move(deliver)]() mutable {
                     --(*inTransit)[static_cast<std::size_t>(stage)];
+                    if (fo->armed
+                        && !fo->alive[static_cast<std::size_t>(home)]) {
+                        // Destination died while the payload was in
+                        // flight: redeliver through the new home's
+                        // recovery buffer. The pending unit stays
+                        // charged, so termination waits for it.
+                        int nh = fo->liveTarget(stage, plan);
+                        ++fo->transfersRedelivered;
+                        if (tracer)
+                            tracer->instant(
+                                TraceKind::TransferRedeliver, 0,
+                                sim.now(), stage, nh);
+                        runners[static_cast<std::size_t>(nh)]
+                            ->redeliverForeign(stage,
+                                               (*deliverySeq)++,
+                                               std::move(deliver));
+                        return;
+                    }
                     deliver(
                         runners[static_cast<std::size_t>(home)]
                             ->deliveryQueue(stage, (*deliverySeq)++));
                 });
         };
-        sc.remoteFull = [&runners, &plan, &pipe,
-                         inTransit](int stage) -> bool {
+        sc.remoteFull = [&icx, &runners, &plan, &pipe, i, inTransit,
+                         fo](int stage) -> bool {
             std::size_t cap = pipe.stage(stage).queueCapacity;
             if (cap == 0)
                 return false;
-            int home = plan.homeDevice(stage);
+            int home = fo->armed ? fo->curHome(stage, plan)
+                                 : plan.homeDevice(stage);
             if (home < 0)
+                return false;
+            // Pushes onto a failed path dead-letter immediately, so
+            // they must never backpressure-wait on home credit.
+            if (fo->armed && !icx.pathUsable(i, home))
                 return false;
             std::size_t charged =
                 runners[static_cast<std::size_t>(home)]->queuedFor(
@@ -231,20 +350,33 @@ Engine::runShardedTimed(AppDriver& driver,
         };
     }
 
-    // Scripted SM faults, per target device; cancelled on drain.
-    if (plan_ && !plan_->smEvents.empty()) {
+    // In-flight redeliveries buffered on a dead device's runner are
+    // rerouted at fire time: once a device is marked dead, anything
+    // its recovery manager still holds lands on the stage's live
+    // target instead.
+    if (failoverOn) {
+        for (int i = 0; i < n; ++i) {
+            runners[static_cast<std::size_t>(i)]->setRecoveryRedirect(
+                [&runners, &plan, fo, deliverySeq,
+                 i](int stage) -> QueueBase* {
+                    if (fo->alive[static_cast<std::size_t>(i)])
+                        return nullptr;
+                    int nh = fo->liveTarget(stage, plan);
+                    return &runners[static_cast<std::size_t>(nh)]
+                                ->deliveryQueue(stage,
+                                                (*deliverySeq)++);
+                });
+        }
+    }
+
+    // Scripted SM/device/link faults, per target device; range
+    // checks already ran in validateTargets above. Outstanding
+    // events are cancelled when the group drains.
+    if (plan_
+        && (!plan_->smEvents.empty() || failoverOn)) {
         auto handles = std::make_shared<std::vector<EventHandle>>();
         for (const SmFaultEvent& e : plan_->smEvents) {
-            VP_CHECK(e.device >= 0 && e.device < n, ErrorCode::Config,
-                     "fault plan: device " << e.device
-                     << " out of range (group has " << n
-                     << " devices)");
             Device& dev = group.device(e.device);
-            VP_CHECK(e.sm >= 0 && e.sm < dev.numSms(),
-                     ErrorCode::Config,
-                     "fault plan: SM " << e.sm
-                     << " out of range (device " << e.device
-                     << " has " << dev.numSms() << " SMs)");
             handles->push_back(sim.at(e.time, [&dev, e] {
                 if (dev.sm(e.sm).offline())
                     return;
@@ -252,6 +384,132 @@ Engine::runShardedTimed(AppDriver& driver,
                     dev.failSm(e.sm);
                 else
                     dev.degradeSm(e.sm, e.factor);
+            }));
+        }
+        for (const DeviceFaultEvent& e : plan_->deviceEvents) {
+            handles->push_back(sim.at(e.time, [&, fo, deliverySeq] {
+                int d = e.device;
+                if (!fo->alive[static_cast<std::size_t>(d)])
+                    return;
+                fo->alive[static_cast<std::size_t>(d)] = 0;
+                ++fo->devicesFailed;
+                if (tracer)
+                    tracer->instant(TraceKind::DeviceKill, 0,
+                                    sim.now(), d);
+                if (obs)
+                    obs->metrics.counter("failover/device_kills")
+                        .add();
+                // Order matters. (1) Sever the interconnect so no
+                // new transfers target the corpse. (2) Take every SM
+                // offline and evict resident blocks — aborted
+                // batches buffer on the dead runner's recovery
+                // manager, whose redirect now reroutes them. (3)
+                // Re-home pinned stages onto survivors BEFORE
+                // evacuating queues, so evacuated items land in
+                // queues that are already local at their new home.
+                icx.failDevice(d);
+                group.device(d).failDevice();
+
+                std::vector<std::int64_t> loads(
+                    static_cast<std::size_t>(n), 0);
+                for (int j = 0; j < n; ++j) {
+                    if (!fo->alive[static_cast<std::size_t>(j)])
+                        continue;
+                    for (int s = 0; s < pipe.stageCount(); ++s)
+                        loads[static_cast<std::size_t>(j)] +=
+                            static_cast<std::int64_t>(
+                                runners[static_cast<std::size_t>(j)]
+                                    ->queuedFor(s));
+                }
+                std::vector<std::vector<int>> adopted(
+                    static_cast<std::size_t>(n));
+                auto rehomeUnit = [&](const std::vector<int>& stages) {
+                    if (stages.empty()
+                        || fo->curHome(stages.front(), plan) != d)
+                        return;
+                    int nh = FailoverPolicy::rehome(stages.front(),
+                                                    loads, fo->alive);
+                    for (int s : stages) {
+                        fo->homeOverride[
+                            static_cast<std::size_t>(s)] = nh;
+                        ++fo->stagesRehomed;
+                        ++fo->rehomedIn[static_cast<std::size_t>(nh)];
+                        runners[static_cast<std::size_t>(nh)]
+                            ->takeOverStage(
+                                s, pipe.stage(s).queueCapacity);
+                        adopted[static_cast<std::size_t>(nh)]
+                            .push_back(s);
+                        if (tracer)
+                            tracer->instant(TraceKind::StageRehome, 0,
+                                            sim.now(), s, nh);
+                        if (obs)
+                            obs->metrics
+                                .counter("failover/stage_rehomes")
+                                .add();
+                    }
+                };
+                // Placement is uniform per stage group, so re-homing
+                // moves whole groups; stages outside any group (non-
+                // Groups tops never shard, but stay defensive) move
+                // singly.
+                std::vector<char> inGroup(
+                    static_cast<std::size_t>(pipe.stageCount()), 0);
+                for (const StageGroup& grp : config.groups) {
+                    for (int s : grp.stages)
+                        inGroup[static_cast<std::size_t>(s)] = 1;
+                    rehomeUnit(grp.stages);
+                }
+                for (int s = 0; s < pipe.stageCount(); ++s)
+                    if (!inGroup[static_cast<std::size_t>(s)])
+                        rehomeUnit({s});
+
+                // Capture the corpse's resident queue contents onto
+                // each stage's live target.
+                for (int s = 0; s < pipe.stageCount(); ++s) {
+                    RunnerBase& dead =
+                        *runners[static_cast<std::size_t>(d)];
+                    if (dead.queuedFor(s) == 0)
+                        continue;
+                    int t = fo->liveTarget(s, plan);
+                    std::size_t moved = dead.evacuateStage(
+                        s,
+                        runners[static_cast<std::size_t>(t)]
+                            ->deliveryQueue(s, (*deliverySeq)++));
+                    fo->evacuated[static_cast<std::size_t>(d)] +=
+                        moved;
+                }
+                // Launch kernels for adopted stage groups last, so
+                // their first dispatch sees the evacuated work.
+                for (int j = 0; j < n; ++j)
+                    if (!adopted[static_cast<std::size_t>(j)].empty())
+                        runners[static_cast<std::size_t>(j)]
+                            ->adoptStages(
+                                adopted[static_cast<std::size_t>(j)]);
+            }));
+        }
+        for (const LinkFaultEvent& e : plan_->linkEvents) {
+            handles->push_back(sim.at(e.time, [&, fo, e] {
+                if (e.kind == LinkFaultEvent::Kind::Fail) {
+                    if (!icx.pathUsable(e.src, e.dst))
+                        return;
+                    icx.failLink(e.src, e.dst);
+                    ++fo->linksFailed;
+                    if (tracer)
+                        tracer->instant(TraceKind::LinkFail, 0,
+                                        sim.now(), e.src, e.dst);
+                    if (obs)
+                        obs->metrics.counter("failover/link_fails")
+                            .add();
+                } else {
+                    icx.degradeLink(e.src, e.dst, e.factor);
+                    ++fo->linksDegraded;
+                    if (tracer)
+                        tracer->instant(TraceKind::LinkDegrade, 0,
+                                        sim.now(), e.src, e.dst);
+                    if (obs)
+                        obs->metrics.counter("failover/link_degrades")
+                            .add();
+                }
             }));
         }
         pending.notifyOnDrain([&sim, handles] {
@@ -413,9 +671,34 @@ Engine::runShardedTimed(AppDriver& driver,
             sd.host = per[static_cast<std::size_t>(i)].host;
             sd.smUtilization =
                 per[static_cast<std::size_t>(i)].smUtilization;
+            if (fo->armed) {
+                sd.failed = !fo->alive[static_cast<std::size_t>(i)];
+                sd.itemsEvacuated =
+                    fo->evacuated[static_cast<std::size_t>(i)];
+                sd.stagesRehomedIn =
+                    fo->rehomedIn[static_cast<std::size_t>(i)];
+            }
             merged.shardDevices.push_back(std::move(sd));
             for (int s = 0; s < group.device(i).numSms(); ++s)
                 issue += group.device(i).sm(s).stats().issueCycles;
+        }
+        if (fo->armed) {
+            merged.faults.devicesFailed = fo->devicesFailed;
+            merged.faults.linksFailed = fo->linksFailed;
+            merged.faults.linksDegraded = fo->linksDegraded;
+            merged.faults.stagesRehomed = fo->stagesRehomed;
+            merged.faults.transfersRedelivered =
+                fo->transfersRedelivered;
+            for (int i = 0; i < n; ++i)
+                merged.faults.itemsEvacuated +=
+                    fo->evacuated[static_cast<std::size_t>(i)];
+            for (int s = 0; s < pipe.stageCount(); ++s) {
+                std::uint64_t dl =
+                    fo->linkDeadLettered[static_cast<std::size_t>(s)];
+                merged.stages[static_cast<std::size_t>(s)]
+                    .deadLettered += dl;
+                merged.faults.deadLettered += dl;
+            }
         }
         if (merged.cycles > 0.0 && group.totalSms() > 0)
             merged.smUtilization =
@@ -477,9 +760,15 @@ Engine::runShardedTimed(AppDriver& driver,
 
     RunResult result = collectMerged();
     result.completed = driver.verify();
+    // Surviving a device kill or link failure is by definition a
+    // degraded run, even when every item still made it through: the
+    // group no longer matches its configuration.
+    bool failedOver = fo->devicesFailed > 0 || fo->linksFailed > 0
+        || fo->linksDegraded > 0;
     if (result.completed) {
-        result.outcome = RunOutcome::Completed;
-    } else if (result.faults.deadLettered > 0
+        result.outcome = failedOver ? RunOutcome::Degraded
+                                    : RunOutcome::Completed;
+    } else if (failedOver || result.faults.deadLettered > 0
                || result.faults.droppedPushes > 0) {
         result.outcome = RunOutcome::Degraded;
     } else {

@@ -149,6 +149,9 @@ mergeRunnerResult(RunResult& merged, const RunResult& ri)
  *  - Probabilistic fault draws consume one shared RNG stream whose
  *    order depends on event interleaving; scripted SM events are
  *    fine (they draw nothing).
+ *  - Device-kill and link fail/degrade plans drive the failover
+ *    path, which re-homes stages and re-routes deliveries through
+ *    coordinator state the windowed loop cannot replay.
  *  - Trace-level logging installs a global clock bound to one
  *    simulator.
  *  - Bounded pinned stages use the cross-device credit scheme
@@ -167,7 +170,8 @@ hostParallelEligible(const DeviceGroupConfig& gcfg, int n,
         return false;
     if (faults
         && (faults->anyTaskFaults() || faults->anyPushFaults()
-            || faults->launchDelayProb > 0.0))
+            || faults->launchDelayProb > 0.0
+            || faults->anyDeviceFaults() || faults->anyLinkFaults()))
         return false;
     if (Logger::enabled(LogLevel::Trace))
         return false;

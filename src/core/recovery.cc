@@ -62,7 +62,8 @@ RecoveryManager::scheduleRedeliver(
             if (tracer_)
                 tracer_->instant(TraceKind::Redeliver, 0,
                                  sim_->now(), stage, count);
-            fn(*q);
+            QueueBase* target = redirect_ ? redirect_(stage) : nullptr;
+            fn(target ? *target : *q);
             if (onRedelivered_)
                 onRedelivered_(stage);
         });

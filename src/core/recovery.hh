@@ -93,6 +93,23 @@ struct FaultRecoveryStats
     /** True when the stall watchdog converted a hang into a
      *  structured failure. */
     bool watchdogFired = false;
+
+    /** @name Failover (multi-device device/link failures) @{ */
+
+    /** Whole devices killed by scripted device faults. */
+    int devicesFailed = 0;
+    /** Interconnect paths failed / degraded by scripted events. */
+    int linksFailed = 0;
+    int linksDegraded = 0;
+    /** Pinned stages re-homed onto a survivor device. */
+    int stagesRehomed = 0;
+    /** In-flight transfers whose destination died mid-flight,
+     *  redelivered to the new home through the recovery buffer. */
+    std::uint64_t transfersRedelivered = 0;
+    /** Items drained out of a dead device's queues at kill time. */
+    std::uint64_t itemsEvacuated = 0;
+
+    /** @} */
 };
 
 /**
@@ -144,12 +161,27 @@ class RecoveryManager
      *  redelivery landing records a Redeliver instant. */
     void setTracer(Tracer* t) { tracer_ = t; }
 
+    /**
+     * Install a redirect consulted when each redelivery fires: a
+     * non-null return replaces the queue the batch would land in.
+     * The group coordinator uses it after a device death so
+     * redeliveries scheduled against a dead device's queues land on
+     * the stage's new home instead — including batches that were
+     * already waiting out their backoff when the device died.
+     */
+    void
+    setRedirect(std::function<QueueBase*(int)> fn)
+    {
+        redirect_ = std::move(fn);
+    }
+
   private:
     Simulator* sim_ = nullptr;
     const RecoveryConfig* cfg_ = nullptr;
     std::vector<std::int64_t> buffered_;
     std::uint64_t redeliveries_ = 0;
     std::function<void(int)> onRedelivered_;
+    std::function<QueueBase*(int)> redirect_;
     Tracer* tracer_ = nullptr;
 };
 

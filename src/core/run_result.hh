@@ -82,6 +82,13 @@ struct ShardDeviceStats
     HostStats host;
     /** This device's SM issue-slot utilization [0,1]. */
     double smUtilization = 0.0;
+
+    /** True when a scripted device fault killed this device. */
+    bool failed = false;
+    /** Items evacuated out of this device's queues at kill time. */
+    std::uint64_t itemsEvacuated = 0;
+    /** Pinned stages this device adopted from dead peers. */
+    int stagesRehomedIn = 0;
 };
 
 /** Everything measured during one pipeline run. */

@@ -74,6 +74,7 @@ GroupsRunner::findWork(int smId, const std::vector<int>& stages,
 void
 GroupsRunner::buildSpecs()
 {
+    builtGroups_.assign(cfg_.groups.size(), 0);
     for (std::size_t g = 0; g < cfg_.groups.size(); ++g) {
         const StageGroup& grp = cfg_.groups[g];
         // Sharded: groups homed on another device launch no kernels
@@ -83,6 +84,16 @@ GroupsRunner::buildSpecs()
             && shard_->plan->pinnedElsewhere(grp.stages.front(),
                                              shard_->deviceIndex))
             continue;
+        buildGroupSpecs(g);
+    }
+}
+
+void
+GroupsRunner::buildGroupSpecs(std::size_t g)
+{
+    builtGroups_[g] = 1;
+    {
+        const StageGroup& grp = cfg_.groups[g];
         auto configured_blocks = [&](int key) {
             auto it = grp.blocksPerSm.find(key);
             return it == grp.blocksPerSm.end() ? 0 : it->second;
@@ -149,6 +160,30 @@ GroupsRunner::buildSpecs()
             specs_.push_back(std::move(spec));
         }
     }
+}
+
+void
+GroupsRunner::adoptStages(const std::vector<int>& stages)
+{
+    std::size_t before = specs_.size();
+    for (std::size_t g = 0; g < cfg_.groups.size(); ++g) {
+        if (builtGroups_[g])
+            continue;
+        const StageGroup& grp = cfg_.groups[g];
+        bool adopted = false;
+        for (int s : grp.stages)
+            adopted = adopted
+                || std::find(stages.begin(), stages.end(), s)
+                    != stages.end();
+        if (adopted)
+            buildGroupSpecs(g);
+    }
+    if (adaptiveArmed_) {
+        adaptIdle_.resize(specs_.size(), 0.0);
+        adaptIdleLast_.resize(specs_.size(), 0.0);
+    }
+    for (std::size_t i = before; i < specs_.size(); ++i)
+        launchSpec(static_cast<int>(i), specs_[i].sms, false);
 }
 
 void

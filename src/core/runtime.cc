@@ -49,7 +49,10 @@ RunnerBase::RunnerBase(Simulator& sim, Device& dev, Host& host,
         anyBoundedQueue |= pipe_.stage(s).queueCapacity > 0;
     if (injector_) {
         const FaultPlan& plan = injector_->plan();
-        captureForReplay_ = !plan.smEvents.empty();
+        // Device kills evict blocks exactly like SM kills, so their
+        // in-flight batches need the same pre-execution capture.
+        captureForReplay_ =
+            !plan.smEvents.empty() || !plan.deviceEvents.empty();
         instrumentBatches_ = plan.anyTaskFaults() || plan.anyPushFaults()
             || captureForReplay_;
     }
@@ -192,6 +195,46 @@ RunnerBase::totalQueued(int s) const
     for (const QueueSet* qs : extraQueueSets_)
         total += (*qs)[s]->size();
     return total;
+}
+
+void
+RunnerBase::takeOverStage(int s, std::size_t capacity)
+{
+    queues_[s]->takeOverLocal();
+    queues_[s]->setCapacity(capacity);
+    for (QueueSet* qs : extraQueueSets_) {
+        (*qs)[s]->takeOverLocal();
+        (*qs)[s]->setCapacity(capacity);
+    }
+}
+
+std::size_t
+RunnerBase::evacuateStage(int s, QueueBase& dst)
+{
+    std::size_t moved = queues_[s]->drainInto(dst);
+    for (QueueSet* qs : extraQueueSets_)
+        moved += (*qs)[s]->drainInto(dst);
+    return moved;
+}
+
+void
+RunnerBase::redeliverForeign(int stage, std::uint64_t hint,
+                             std::function<void(QueueBase&)> deliver)
+{
+    recovery_.scheduleRedeliver(stage, &deliveryQueue(stage, hint),
+                                std::move(deliver), 1, 1);
+}
+
+void
+RunnerBase::setRecoveryRedirect(std::function<QueueBase*(int)> fn)
+{
+    recovery_.setRedirect(std::move(fn));
+}
+
+void
+RunnerBase::adoptStages(const std::vector<int>& stages)
+{
+    (void)stages;
 }
 
 bool

@@ -278,6 +278,50 @@ class RunnerBase
     /** Items currently queued for stage @p s (all queue sets). */
     std::size_t queuedFor(int s) const { return totalQueued(s); }
 
+    /** @name Device-failure failover (group coordinator hooks) @{ */
+
+    /**
+     * This device adopted stage @p s from a dead peer: flip every
+     * queue slot of the stage (remote stubs) to local buffering and
+     * restore the stage's configured capacity (@p capacity, 0 =
+     * unbounded).
+     */
+    void takeOverStage(int s, std::size_t capacity);
+
+    /**
+     * Drain every queue slot of stage @p s into @p dst (the new
+     * home's delivery queue). Called on a dead device's runner at
+     * kill time. @return items moved.
+     */
+    std::size_t evacuateStage(int s, QueueBase& dst);
+
+    /**
+     * Buffer one re-routed in-flight delivery for @p stage through
+     * this runner's recovery manager: the item waits out one backoff
+     * (counting as future work, so blocks keep polling) and then
+     * lands in this device's delivery queue. @p hint spreads
+     * deliveries over queue shards like a normal delivery.
+     */
+    void redeliverForeign(int stage, std::uint64_t hint,
+                          std::function<void(QueueBase&)> deliver);
+
+    /**
+     * Install the redirect consulted when this runner's buffered
+     * redeliveries fire; see RecoveryManager::setRedirect. The
+     * coordinator returns the current live queue for a stage once
+     * this device is dead, null while it is alive.
+     */
+    void setRecoveryRedirect(std::function<QueueBase*(int)> fn);
+
+    /**
+     * Launch kernels for stages this device adopted from a dead
+     * peer. Default no-op: only GroupsRunner (the only sharded
+     * runner) builds and launches the adopted groups' specs.
+     */
+    virtual void adoptStages(const std::vector<int>& stages);
+
+    /** @} */
+
     /**
      * Arm the online load-balance controller. @return true when this
      * runner has an adjustable block-to-stage partition (a fine
@@ -477,6 +521,8 @@ class GroupsRunner : public RunnerBase
     bool armAdaptive(const AdaptiveConfig& cfg) override;
     void adaptEpoch() override;
 
+    void adoptStages(const std::vector<int>& stages) override;
+
   protected:
     void onBlockAborted(BlockContext& ctx) override;
     void onSmFailed(int sm) override;
@@ -497,6 +543,10 @@ class GroupsRunner : public RunnerBase
     };
 
     void buildSpecs();
+
+    /** Build the specs of config group @p g (buildSpecs body). */
+    void buildGroupSpecs(std::size_t g);
+
     void launchSpec(int specIdx, const std::vector<int>& sms,
                     bool isRefill);
     void blockMain(BlockContext& ctx, int specIdx);
@@ -517,6 +567,8 @@ class GroupsRunner : public RunnerBase
                  QueueSet*& qs);
 
     std::vector<KernelSpec> specs_;
+    /** Config groups whose specs exist here (home or adopted). */
+    std::vector<char> builtGroups_;
     /** Per-SM queue shards when cfg.distributedQueues is set. */
     std::vector<std::unique_ptr<QueueSet>> shards_;
     /** (specIdx, smId) -> resident block count (block mapping). */

@@ -185,4 +185,37 @@ shardSeedDevice(int stage, int ordinal, int nDevices)
     return static_cast<int>(x % static_cast<std::uint64_t>(nDevices));
 }
 
+int
+FailoverPolicy::rehome(int stage,
+                       const std::vector<std::int64_t>& loads,
+                       const std::vector<char>& alive)
+{
+    auto tieHash = [stage](int dev) {
+        std::uint64_t x = (static_cast<std::uint64_t>(
+                               static_cast<std::uint32_t>(stage))
+                           << 32)
+            | static_cast<std::uint32_t>(dev);
+        x += 0x9e3779b97f4a7c15ULL;
+        x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+        x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+        return x ^ (x >> 31);
+    };
+    int best = -1;
+    for (int d = 0; d < static_cast<int>(alive.size()); ++d) {
+        if (!alive[static_cast<std::size_t>(d)])
+            continue;
+        if (best < 0) {
+            best = d;
+            continue;
+        }
+        std::int64_t ld = loads[static_cast<std::size_t>(d)];
+        std::int64_t lb = loads[static_cast<std::size_t>(best)];
+        if (ld < lb || (ld == lb && tieHash(d) < tieHash(best)))
+            best = d;
+    }
+    VP_REQUIRE(best >= 0, "failover: no surviving device to re-home "
+                          "stage " << stage << " onto");
+    return best;
+}
+
 } // namespace vp

@@ -24,6 +24,7 @@
 #ifndef VP_CORE_SHARD_HH
 #define VP_CORE_SHARD_HH
 
+#include <cstdint>
 #include <string>
 #include <vector>
 
@@ -120,6 +121,26 @@ std::vector<ShardPlan> defaultShardPlans(const PipelineConfig& cfg,
  * platforms and runs).
  */
 int shardSeedDevice(int stage, int ordinal, int nDevices);
+
+/**
+ * Deterministic re-shard policy for device-failure failover: when a
+ * pinned stage's home device dies, pick its new home among the
+ * survivors. Lowest load wins; ties break by a splitmix64 hash of
+ * (stage, device) so equal-load survivors are chosen evenly but
+ * reproducibly across reruns.
+ */
+struct FailoverPolicy
+{
+    /**
+     * New home for @p stage: the alive device with the smallest
+     * load, splitmix64 tie-break. @p loads holds one queued-work
+     * figure per device (dead entries ignored); @p alive flags the
+     * survivors. Fatal when no device is alive.
+     */
+    static int rehome(int stage,
+                      const std::vector<std::int64_t>& loads,
+                      const std::vector<char>& alive);
+};
 
 } // namespace vp
 

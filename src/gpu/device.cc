@@ -300,6 +300,58 @@ Device::failSm(int smId)
 }
 
 void
+Device::failDevice()
+{
+    bool any = false;
+    for (int s = 0; s < numSms(); ++s) {
+        if (sms_[static_cast<std::size_t>(s)]->offline())
+            continue;
+        any = true;
+        sms_[static_cast<std::size_t>(s)]->setOffline();
+        ++stats_.smsFailed;
+        if (tracer_)
+            tracer_->instant(TraceKind::SmFail,
+                             static_cast<std::int16_t>(smTrackBase_
+                                                       + s),
+                             sim_.now());
+    }
+    if (!any)
+        return;
+    VP_DEBUG("device: all SMs failed (device kill)");
+
+    // Evict every resident block on every SM. kernelCompleted()
+    // only mutates blocks_ via deferred events, so iterating by
+    // index is safe.
+    for (std::size_t i = 0; i < blocks_.size(); ++i) {
+        BlockContext* ctx = blocks_[i].get();
+        if (ctx->exited())
+            continue;
+        Kernel& k = ctx->kernel();
+        int smId = ctx->smId();
+        ctx->abortForFault();
+        if (blockAbortHook_)
+            blockAbortHook_(*ctx);
+        sm(smId).release(k.resources(), k.threadsPerBlock(), k.id());
+        traceResidency(smId);
+        ++k.blocksExited_;
+        ++stats_.blocksEvicted;
+        if (k.completed()) {
+            auto it = std::find_if(
+                active_.begin(), active_.end(),
+                [&](const std::shared_ptr<Kernel>& p) {
+                    return p.get() == &k;
+                });
+            VP_ASSERT(it != active_.end(),
+                      "evicted kernel not active");
+            kernelCompleted(*it);
+        }
+    }
+
+    retireStrandedKernels();
+    scheduleDispatch();
+}
+
+void
 Device::retireStrandedKernels()
 {
     // Snapshot: kernelCompleted() mutates active_.

@@ -143,6 +143,17 @@ class Device
      */
     void failSm(int smId);
 
+    /**
+     * Kill the whole device: every SM goes offline before any block
+     * is evicted, so the abort hooks observe an already-dead device
+     * and nothing (not even the SM-failed relaunch hook, which is
+     * deliberately not fired) can re-place work here. Resident
+     * blocks are evicted with the abort hook per block, stranded
+     * kernels are force-completed, and later stream launches strand
+     * harmlessly. Idempotent: a dead device stays dead.
+     */
+    void failDevice();
+
     /** Degrade an SM's throughput to @p factor of nominal. */
     void degradeSm(int smId, double factor);
 

@@ -36,6 +36,11 @@ traceKindName(TraceKind k)
     case TraceKind::Transfer: return "transfer";
     case TraceKind::AdaptiveEpoch: return "adaptive_epoch";
     case TraceKind::AdaptiveMove: return "adaptive_move";
+    case TraceKind::DeviceKill: return "device_kill";
+    case TraceKind::LinkFail: return "link_fail";
+    case TraceKind::LinkDegrade: return "link_degrade";
+    case TraceKind::StageRehome: return "stage_rehome";
+    case TraceKind::TransferRedeliver: return "transfer_redeliver";
     }
     return "?";
 }

@@ -83,6 +83,18 @@ enum class TraceKind : std::uint8_t
     /** Adaptive block migration (instant; a = donor stage, b =
      *  receiver stage). */
     AdaptiveMove,
+    /** Scripted whole-device kill (instant; a = device). */
+    DeviceKill,
+    /** Interconnect path failed (instant; a = src, b = dst). */
+    LinkFail,
+    /** Interconnect path degraded (instant; a = src, b = dst). */
+    LinkDegrade,
+    /** Pinned stage re-homed after a device death (instant; a =
+     *  stage, b = new home device). */
+    StageRehome,
+    /** In-flight transfer redelivered because its destination died
+     *  (instant; a = stage, b = new home device). */
+    TransferRedeliver,
 };
 
 /** Human-readable name of @p k. */

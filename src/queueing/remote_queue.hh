@@ -62,26 +62,42 @@ class RemoteStubQueue : public WorkQueue<T>
     /**
      * Credit-scheme backpressure: the stub itself never buffers, but
      * a bounded home queue's capacity counts items already there and
-     * items still riding the interconnect.
+     * items still riding the interconnect. After a failover takeover
+     * the stage is local and ordinary capacity rules apply.
      */
     bool
     full() const override
     {
+        if (local_)
+            return QueueBase::full();
         return fullProbe_ && fullProbe_();
     }
 
     void
     push(T v) override
     {
+        if (local_) {
+            WorkQueue<T>::push(std::move(v));
+            return;
+        }
         forward_(this->itemBytes(),
                  [v = std::move(v)](QueueBase& dst) mutable {
                      typedQueue<T>(dst).push(std::move(v));
                  });
     }
 
+    /**
+     * Failover re-homing: this stage's home device died and the
+     * coordinator elected this device the new home. From now on the
+     * stub buffers like an ordinary local queue; the coordinator
+     * re-points remote producers at this device.
+     */
+    void takeOverLocal() override { local_ = true; }
+
   private:
     RemoteForward forward_;
     RemoteFullProbe fullProbe_;
+    bool local_ = false;
 };
 
 } // namespace vp

@@ -73,6 +73,22 @@ class QueueBase
     /** Drop all buffered items. */
     virtual void clear() = 0;
 
+    /**
+     * Move every buffered item into @p dst (same payload type),
+     * recording the pops here and the pushes there. Failover
+     * evacuation: the group coordinator drains a dead device's
+     * queues into survivor queues without knowing the payload type.
+     * @return the number of items moved.
+     */
+    virtual std::size_t drainInto(QueueBase& dst) = 0;
+
+    /**
+     * Failover re-homing hook: a RemoteStubQueue switches to local
+     * buffering (its stage now lives on this device); a real queue
+     * ignores it.
+     */
+    virtual void takeOverLocal() {}
+
     /** True when no items are buffered. */
     bool empty() const { return size() == 0; }
 
@@ -294,6 +310,17 @@ class WorkQueue : public QueueBase
         items_.pop_front();
         recordPop(items_.size());
         return true;
+    }
+
+    std::size_t
+    drainInto(QueueBase& dst) override
+    {
+        WorkQueue<T>& t = typedQueue<T>(dst);
+        std::size_t n = items_.size();
+        T v;
+        while (pop(v))
+            t.push(std::move(v));
+        return n;
     }
 
     /** Pop up to @p maxItems items into @p out; returns the count. */

@@ -54,6 +54,85 @@ FaultPlan::validate() const
                  "scripted fault time " << f.atOrAfter
                                         << " must be >= 0");
     }
+    for (const DeviceFaultEvent& e : deviceEvents) {
+        VP_CHECK(e.time >= 0.0, ErrorCode::Config,
+                 "device fault event time " << e.time
+                                            << " must be >= 0");
+        VP_CHECK(e.device >= 0, ErrorCode::Config,
+                 "device fault event targets negative device "
+                     << e.device);
+    }
+    for (const LinkFaultEvent& e : linkEvents) {
+        VP_CHECK(e.time >= 0.0, ErrorCode::Config,
+                 "link fault event time " << e.time
+                                          << " must be >= 0");
+        VP_CHECK(e.src >= 0 && e.dst >= 0, ErrorCode::Config,
+                 "link fault event targets negative device ("
+                     << e.src << " -> " << e.dst << ")");
+        if (e.kind == LinkFaultEvent::Kind::Degrade) {
+            VP_CHECK(e.factor > 0.0 && e.factor <= 1.0,
+                     ErrorCode::Config,
+                     "link degrade factor " << e.factor
+                         << " for " << e.src << " -> " << e.dst
+                         << " outside (0, 1]");
+        }
+    }
+}
+
+void
+FaultPlan::validateTargets(const std::vector<int>& smsPerDevice,
+                           int stageCount) const
+{
+    int devices = static_cast<int>(smsPerDevice.size());
+    int maxSms = 0;
+    for (int s : smsPerDevice)
+        maxSms = s > maxSms ? s : maxSms;
+    for (const SmFaultEvent& e : smEvents) {
+        VP_CHECK(e.device >= 0 && e.device < devices,
+                 ErrorCode::Config,
+                 "fault plan: SM event targets device " << e.device
+                     << " but the run has " << devices
+                     << " device(s)");
+        VP_CHECK(e.sm
+                     < smsPerDevice[static_cast<std::size_t>(
+                         e.device)],
+                 ErrorCode::Config,
+                 "fault plan: SM event targets sm " << e.sm
+                     << " but device " << e.device << " has "
+                     << smsPerDevice[static_cast<std::size_t>(
+                            e.device)]
+                     << " SMs");
+    }
+    for (const ScriptedTaskFault& f : scripted) {
+        VP_CHECK(f.sm < maxSms, ErrorCode::Config,
+                 "fault plan: scripted fault targets sm " << f.sm
+                     << " but no device has more than " << maxSms
+                     << " SMs");
+        if (stageCount >= 0) {
+            VP_CHECK(f.stage < stageCount, ErrorCode::Config,
+                     "fault plan: scripted fault targets stage "
+                         << f.stage << " but the pipeline has "
+                         << stageCount << " stages");
+        }
+    }
+    for (const DeviceFaultEvent& e : deviceEvents) {
+        VP_CHECK(e.device >= 0 && e.device < devices,
+                 ErrorCode::Config,
+                 "fault plan: device kill targets device "
+                     << e.device << " but the run has " << devices
+                     << " device(s)");
+    }
+    for (const LinkFaultEvent& e : linkEvents) {
+        VP_CHECK(e.src >= 0 && e.src < devices && e.dst >= 0
+                     && e.dst < devices,
+                 ErrorCode::Config,
+                 "fault plan: link event targets path " << e.src
+                     << " -> " << e.dst << " but the run has "
+                     << devices << " device(s)");
+        VP_CHECK(e.src != e.dst, ErrorCode::Config,
+                 "fault plan: link event targets self-path "
+                     << e.src << " -> " << e.dst);
+    }
 }
 
 FaultInjector::FaultInjector(const FaultPlan& plan)

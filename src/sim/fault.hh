@@ -66,6 +66,46 @@ struct ScriptedTaskFault
 };
 
 /**
+ * A scripted whole-device failure: every SM of the device goes
+ * offline at once, its resident blocks are evicted, and the group
+ * coordinator re-homes the device's pinned stages onto survivors.
+ * Only meaningful for multi-device (sharded) runs.
+ */
+struct DeviceFaultEvent
+{
+    /** Virtual time (cycles) at which the device dies. */
+    Tick time = 0.0;
+    /** Target device index within the group. */
+    int device = 0;
+};
+
+/**
+ * A scripted interconnect path event between two group members:
+ * fail the src -> dst path for all future transfers, or scale its
+ * bandwidth. Transfers already in flight when the path fails still
+ * arrive (the payload has left the source).
+ */
+struct LinkFaultEvent
+{
+    enum class Kind
+    {
+        /** The src -> dst path becomes unusable for new transfers;
+         *  items pushed over it are dead-lettered. */
+        Fail,
+        /** The path's bandwidth is scaled by `factor`. */
+        Degrade,
+    };
+
+    /** Virtual time (cycles) at which the event fires. */
+    Tick time = 0.0;
+    int src = 0;
+    int dst = 0;
+    Kind kind = Kind::Fail;
+    /** Bandwidth multiplier for Degrade (0 < factor <= 1). */
+    double factor = 0.5;
+};
+
+/**
  * Seeded, config-driven description of the faults to inject into one
  * run. All probabilities are per-item (or per-push / per-launch);
  * zero disables that fault class without consuming RNG draws.
@@ -100,6 +140,10 @@ struct FaultPlan
     std::vector<SmFaultEvent> smEvents;
     /** Scripted transient-task-fault triggers. */
     std::vector<ScriptedTaskFault> scripted;
+    /** Scripted whole-device failures (sharded runs only). */
+    std::vector<DeviceFaultEvent> deviceEvents;
+    /** Scripted interconnect fail/degrade events (sharded runs). */
+    std::vector<LinkFaultEvent> linkEvents;
 
     /** True when any task-level fault (probabilistic or scripted)
      *  can fire — the runners pick the instrumented batch path. */
@@ -117,16 +161,34 @@ struct FaultPlan
         return pushDropProb > 0.0 || pushCorruptProb > 0.0;
     }
 
+    /** True when whole-device failures are scripted. */
+    bool anyDeviceFaults() const { return !deviceEvents.empty(); }
+
+    /** True when interconnect fail/degrade events are scripted. */
+    bool anyLinkFaults() const { return !linkEvents.empty(); }
+
     /** True when the plan injects anything at all. */
     bool
     enabled() const
     {
         return anyTaskFaults() || anyPushFaults()
-            || launchDelayProb > 0.0 || !smEvents.empty();
+            || launchDelayProb > 0.0 || !smEvents.empty()
+            || anyDeviceFaults() || anyLinkFaults();
     }
 
     /** Raise FatalError(Config) on out-of-range fields. */
     void validate() const;
+
+    /**
+     * Raise FatalError(Config) when any scripted event targets a
+     * device, SM, or stage that does not exist in the configured
+     * run — a scripted fault that can never fire is a plan bug, not
+     * a no-op. @p smsPerDevice holds the SM count of every group
+     * member (one entry for single-device runs); @p stageCount the
+     * pipeline's stage count (negative skips stage checks).
+     */
+    void validateTargets(const std::vector<int>& smsPerDevice,
+                         int stageCount) const;
 };
 
 /** Outcome of a push-fault decision. */

@@ -109,6 +109,48 @@ Interconnect::route(int src, int dst, double bytes, Tick submitTick)
         bytes, atHost);
 }
 
+void
+Interconnect::failLink(int src, int dst)
+{
+    VP_ASSERT(src >= 0 && src < devices_ && dst >= 0
+                  && dst < devices_,
+              "interconnect: device index out of range");
+    if (pathFailed_.empty())
+        pathFailed_.assign(
+            static_cast<std::size_t>(devices_ * devices_), 0);
+    pathFailed_[static_cast<std::size_t>(src * devices_ + dst)] = 1;
+}
+
+void
+Interconnect::failDevice(int dev)
+{
+    VP_ASSERT(dev >= 0 && dev < devices_,
+              "interconnect: device index out of range");
+    for (int other = 0; other < devices_; ++other) {
+        if (other == dev)
+            continue;
+        failLink(dev, other);
+        failLink(other, dev);
+    }
+}
+
+void
+Interconnect::degradeLink(int src, int dst, double factor)
+{
+    VP_ASSERT(src >= 0 && src < devices_ && dst >= 0
+                  && dst < devices_ && src != dst,
+              "interconnect: bad degrade path");
+    VP_ASSERT(factor > 0.0 && factor <= 1.0,
+              "interconnect: degrade factor outside (0, 1]");
+    if (cfg_.kind == InterconnectConfig::Kind::Peer) {
+        peerLink(src, dst).scaleBandwidth(factor);
+    } else {
+        links_[static_cast<std::size_t>(src)].scaleBandwidth(factor);
+        links_[static_cast<std::size_t>(devices_ + dst)]
+            .scaleBandwidth(factor);
+    }
+}
+
 InterconnectStats
 Interconnect::stats() const
 {

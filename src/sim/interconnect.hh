@@ -125,6 +125,9 @@ class Link
     /** Time at which the link next frees up. */
     Tick busyUntil() const { return busyUntil_; }
 
+    /** Scale the link's bandwidth by @p factor (degradation). */
+    void scaleBandwidth(double factor) { bw_ *= factor; }
+
     /** Per-link counters. */
     const LinkStats& stats() const { return stats_; }
 
@@ -197,6 +200,42 @@ class Interconnect
     /** Transfers submitted but not yet delivered. */
     std::uint64_t inFlight() const { return inFlight_; }
 
+    /** @name Path failure / degradation (failover support) @{
+     *
+     * The interconnect only records which directed paths are usable;
+     * the group coordinator decides what happens to traffic that
+     * would have used a failed path (re-home, redeliver, or
+     * dead-letter) because only it can keep the group's termination
+     * counter exact. Transfers already submitted are unaffected —
+     * the payload has left the source.
+     */
+
+    /** Mark the directed @p src -> @p dst path failed. */
+    void failLink(int src, int dst);
+
+    /** Mark every path to or from @p dev failed (device death). */
+    void failDevice(int dev);
+
+    /**
+     * Scale the bandwidth of the @p src -> @p dst path by
+     * @p factor. Peer topology degrades the pair's direct link;
+     * HostStaged degrades the source uplink and destination
+     * downlink (which other pairs share, like a real PCIe switch).
+     */
+    void degradeLink(int src, int dst, double factor);
+
+    /** True when the directed @p src -> @p dst path is usable. */
+    bool
+    pathUsable(int src, int dst) const
+    {
+        if (pathFailed_.empty())
+            return true;
+        return !pathFailed_[static_cast<std::size_t>(
+            src * devices_ + dst)];
+    }
+
+    /** @} */
+
     /** Group-wide counters (sums the links). */
     InterconnectStats stats() const;
 
@@ -213,6 +252,8 @@ class Interconnect
     /** Peer: devices*devices directed links (diagonal unused).
      *  HostStaged: per-device uplinks then downlinks. */
     std::vector<Link> links_;
+    /** Directed-path failure flags (devices^2, lazily allocated). */
+    std::vector<char> pathFailed_;
     std::uint64_t inFlight_ = 0;
     std::uint64_t delivered_ = 0;
     std::uint64_t maxInFlight_ = 0;

@@ -1,0 +1,176 @@
+/**
+ * @file
+ * Chaos suite: randomized fault plans (SM kills/degrades, whole-
+ * device kills, link fail/degrade events) thrown at multi-device
+ * groups across apps, execution models and shard plans. Every
+ * scenario must drain without hanging (hard drain-timeout watchdog),
+ * conserve items exactly (outcome Completed or Degraded — never
+ * Stalled or DrainTimeout), and replay bit-identically. Failures
+ * print the generator seed for replay.
+ *
+ * Seed count defaults to 100; VP_CHAOS_SEEDS overrides it (the
+ * sanitizer tier runs a reduced smoke).
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "apps/registry.hh"
+#include "common/rng.hh"
+#include "core/engine.hh"
+#include "core/recovery.hh"
+#include "core/shard.hh"
+#include "sim/fault.hh"
+
+using namespace vp;
+
+namespace {
+
+/** Per-stage processed-item counts (the conservation fingerprint). */
+std::vector<std::uint64_t>
+stageItems(const RunResult& r)
+{
+    std::vector<std::uint64_t> v;
+    for (const StageRunStats& s : r.stages)
+        v.push_back(s.items + s.deadLettered);
+    return v;
+}
+
+int
+seedCount()
+{
+    if (const char* env = std::getenv("VP_CHAOS_SEEDS")) {
+        int n = std::atoi(env);
+        if (n > 0)
+            return n;
+    }
+    return 100;
+}
+
+/**
+ * A random fault plan for an n-device group. Device kills spare at
+ * least one survivor, and SM kills never take out a whole device —
+ * losing every SM without the failover path is a legitimate stall,
+ * not a chaos finding.
+ */
+FaultPlan
+randomPlan(Rng& rng, int nDevices, int numSms)
+{
+    FaultPlan fp;
+    auto when = [&rng] { return rng.nextRange(0.0, 120000.0); };
+
+    int smEvents = static_cast<int>(rng.nextBelow(3));
+    for (int i = 0; i < smEvents; ++i) {
+        SmFaultEvent e;
+        e.time = when();
+        e.device = static_cast<int>(
+            rng.nextBelow(static_cast<std::uint32_t>(nDevices)));
+        e.sm = static_cast<int>(
+            rng.nextBelow(static_cast<std::uint32_t>(numSms)));
+        if (rng.nextBool(0.5)) {
+            e.kind = SmFaultEvent::Kind::Kill;
+        } else {
+            e.kind = SmFaultEvent::Kind::Degrade;
+            e.factor = rng.nextRange(0.3, 0.9);
+        }
+        fp.smEvents.push_back(e);
+    }
+
+    int maxKills = nDevices - 1;
+    int kills = static_cast<int>(
+        rng.nextBelow(static_cast<std::uint32_t>(maxKills + 1)));
+    std::vector<char> killed(static_cast<std::size_t>(nDevices), 0);
+    for (int i = 0; i < kills; ++i) {
+        int d = static_cast<int>(
+            rng.nextBelow(static_cast<std::uint32_t>(nDevices)));
+        if (killed[static_cast<std::size_t>(d)])
+            continue; // duplicate kills are legal but uninteresting
+        killed[static_cast<std::size_t>(d)] = 1;
+        DeviceFaultEvent e;
+        e.time = when();
+        e.device = d;
+        fp.deviceEvents.push_back(e);
+    }
+
+    int linkEvents = static_cast<int>(rng.nextBelow(3));
+    for (int i = 0; i < linkEvents && nDevices > 1; ++i) {
+        LinkFaultEvent e;
+        e.time = when();
+        e.src = static_cast<int>(
+            rng.nextBelow(static_cast<std::uint32_t>(nDevices)));
+        e.dst = static_cast<int>(rng.nextBelow(
+            static_cast<std::uint32_t>(nDevices - 1)));
+        if (e.dst >= e.src)
+            ++e.dst; // uniform over dst != src
+        if (rng.nextBool(0.5)) {
+            e.kind = LinkFaultEvent::Kind::Fail;
+        } else {
+            e.kind = LinkFaultEvent::Kind::Degrade;
+            e.factor = rng.nextRange(0.3, 0.9);
+        }
+        fp.linkEvents.push_back(e);
+    }
+    return fp;
+}
+
+} // namespace
+
+TEST(Chaos, RandomFaultPlansDrainConserveAndReplay)
+{
+    const DeviceConfig dev = DeviceConfig::byName("gtx1080");
+    const int numSeeds = seedCount();
+
+    for (int seed = 0; seed < numSeeds; ++seed) {
+        SCOPED_TRACE("chaos seed=" + std::to_string(seed));
+        Rng rng(static_cast<std::uint64_t>(seed),
+                0x5eedc0de5eedc0deULL);
+
+        const char* appName =
+            rng.nextBool(0.5) ? "raster" : "pyramid";
+        auto app = makeApp(appName, AppScale::Small);
+        Pipeline& pipe = app->pipeline();
+
+        int nDevices = 2 + static_cast<int>(rng.nextBelow(2));
+        PipelineConfig cfg = rng.nextBool(0.5)
+            ? makeMegakernelConfig(pipe)
+            : makeCoarseConfig(pipe, dev);
+
+        std::vector<ShardPlan> plans =
+            defaultShardPlans(cfg, pipe, nDevices);
+        ASSERT_FALSE(plans.empty());
+        const ShardPlan& plan = plans[rng.nextBelow(
+            static_cast<std::uint32_t>(plans.size()))];
+
+        FaultPlan fp = randomPlan(rng, nDevices, dev.numSms);
+
+        // Hard watchdog: a wedged scenario surfaces as DrainTimeout
+        // (failing the outcome assertion with the seed attached)
+        // instead of hanging the suite.
+        RecoveryConfig rc;
+        rc.drainTimeoutCycles = 50e6;
+
+        Engine group(DeviceGroupConfig::homogeneous(dev, nDevices));
+        group.setFaultPlan(fp);
+        group.setRecovery(rc);
+
+        RunResult r1 = group.runSharded(*app, cfg, plan);
+        ASSERT_TRUE(r1.outcome == RunOutcome::Completed
+                    || r1.outcome == RunOutcome::Degraded)
+            << "outcome=" << runOutcomeName(r1.outcome)
+            << " app=" << appName << " devices=" << nDevices
+            << " shard=" << plan.describe() << "\n"
+            << r1.failureReason;
+
+        RunResult r2 = group.runSharded(*app, cfg, plan);
+        EXPECT_EQ(r1.outcome, r2.outcome);
+        EXPECT_EQ(stageItems(r1), stageItems(r2));
+        EXPECT_EQ(r1.cycles, r2.cycles);
+        EXPECT_EQ(r1.simEvents, r2.simEvents);
+        EXPECT_EQ(r1.faults.deadLettered, r2.faults.deadLettered);
+        EXPECT_EQ(r1.faults.transfersRedelivered,
+                  r2.faults.transfersRedelivered);
+    }
+}
