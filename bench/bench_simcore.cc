@@ -284,6 +284,74 @@ benchObsMode(const std::string& app, int reps)
     return row;
 }
 
+struct ProvRow
+{
+    std::string app;
+    std::uint64_t events = 0;
+    double plainSeconds = 0.0;
+    double armedSeconds = 0.0;
+    /** armed/plain wall ratio (tracking is host-side bookkeeping). */
+    double ratio = 0.0;
+    bool eventsMatch = false;
+    bool cyclesMatch = false;
+    std::uint64_t itemsTracked = 0;
+};
+
+/**
+ * Overhead of per-item provenance tracking when armed (every seed
+ * tracked, tracing off). Recording is passive — the armed run must
+ * reproduce the plain run's event count and cycle count exactly; the
+ * wall cost of the host-side lineage bookkeeping is budgeted at 5%.
+ */
+ProvRow
+benchProvenance(const std::string& app, int reps)
+{
+    Engine plain(DeviceConfig::k20c());
+    Engine armed(DeviceConfig::k20c());
+    ObsConfig oc;
+    oc.trace = false;
+    oc.sampleIntervalCycles = 0.0;
+    oc.provenance = true;
+    armed.setObservability(oc);
+
+    ProvRow row;
+    row.app = app;
+    row.plainSeconds = 1e30;
+    row.armedSeconds = 1e30;
+    std::uint64_t plainEvents = 0, armedEvents = 0;
+    double plainCycles = 0.0, armedCycles = 0.0;
+    for (int i = 0; i < reps; ++i) {
+        {
+            auto driver = makeApp(app, AppScale::Small);
+            auto t0 = Clock::now();
+            RunResult r = plain.run(*driver,
+                                    makeMegakernelConfig(
+                                        driver->pipeline()));
+            row.plainSeconds =
+                std::min(row.plainSeconds, secondsSince(t0));
+            plainEvents = r.simEvents;
+            plainCycles = r.cycles;
+        }
+        {
+            auto driver = makeApp(app, AppScale::Small);
+            auto t0 = Clock::now();
+            RunResult r = armed.run(*driver,
+                                    makeMegakernelConfig(
+                                        driver->pipeline()));
+            row.armedSeconds =
+                std::min(row.armedSeconds, secondsSince(t0));
+            armedEvents = r.simEvents;
+            armedCycles = r.cycles;
+            row.itemsTracked = r.obs->provenance->records().size();
+        }
+    }
+    row.events = plainEvents;
+    row.eventsMatch = plainEvents == armedEvents;
+    row.cyclesMatch = plainCycles == armedCycles;
+    row.ratio = row.armedSeconds / row.plainSeconds;
+    return row;
+}
+
 struct ShardRow
 {
     std::string app;
@@ -809,6 +877,29 @@ main(int argc, char** argv)
         return 1;
     }
 
+    vp::bench::header("provenance overhead (pyramid, small)");
+    ProvRow pr = benchProvenance("pyramid", smoke ? 3 : 20);
+    std::printf("  plain             %8.3fms\n"
+                "  provenance armed  %8.3fms  ratio=%.4f  "
+                "events %s  cycles %s  items=%llu\n",
+                pr.plainSeconds * 1e3, pr.armedSeconds * 1e3,
+                pr.ratio, pr.eventsMatch ? "identical" : "DIVERGED",
+                pr.cyclesMatch ? "identical" : "DIVERGED",
+                static_cast<unsigned long long>(pr.itemsTracked));
+    if (!pr.eventsMatch || !pr.cyclesMatch) {
+        std::fprintf(stderr,
+                     "ERROR: armed provenance changed the %s\n",
+                     pr.eventsMatch ? "cycle count" : "event trace");
+        return 1;
+    }
+    if (!smoke && pr.ratio >= 1.05) {
+        std::fprintf(stderr,
+                     "ERROR: armed provenance costs %.1f%% "
+                     "(budget: <5%%)\n",
+                     (pr.ratio - 1.0) * 100.0);
+        return 1;
+    }
+
     vp::bench::header("multi-device sharding (raster, 2x gtx1080)");
     ShardRow sh = benchShard(
         "raster", smoke ? AppScale::Small : AppScale::Full);
@@ -929,7 +1020,11 @@ main(int argc, char** argv)
 
     std::FILE* json = std::fopen("BENCH_simcore.json", "w");
     if (json) {
-        std::fprintf(json, "{\n  \"rows\": [\n");
+        // scripts/bench_compare.py refuses to diff a smoke run
+        // against a full baseline (and vice versa), so record which
+        // shape this file is.
+        std::fprintf(json, "{\n  \"smoke\": %s,\n  \"rows\": [\n",
+                     smoke ? "true" : "false");
         for (std::size_t i = 0; i < rows.size(); ++i)
             std::fprintf(
                 json,
@@ -959,6 +1054,20 @@ main(int argc, char** argv)
                      static_cast<unsigned long long>(om.events),
                      om.eventsMatch ? "true" : "false",
                      om.plainSeconds, om.disabledSeconds, om.ratio);
+        std::fprintf(json,
+                     "  \"provenance\": {\"app\": \"%s\", "
+                     "\"events\": %llu, \"events_identical\": %s, "
+                     "\"cycles_identical\": %s, "
+                     "\"items_tracked\": %llu, "
+                     "\"plain_seconds\": %.6f, "
+                     "\"armed_seconds\": %.6f, "
+                     "\"overhead_ratio\": %.4f},\n",
+                     pr.app.c_str(),
+                     static_cast<unsigned long long>(pr.events),
+                     pr.eventsMatch ? "true" : "false",
+                     pr.cyclesMatch ? "true" : "false",
+                     static_cast<unsigned long long>(pr.itemsTracked),
+                     pr.plainSeconds, pr.armedSeconds, pr.ratio);
         std::fprintf(json,
                      "  \"multi_device\": {\"app\": \"%s\", "
                      "\"devices\": 2, \"plan\": \"replicate\", "

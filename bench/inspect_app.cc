@@ -13,6 +13,20 @@
  *                    [--adaptive[=epochCycles]]
  *                    [--trace=out.json] [--report=out.report.json]
  *                    [--csv=out.csv] [--sample=N]
+ *                    [--latency] [--critical-path[=N]] [--flow]
+ *                    [--prov-sample=K]
+ *
+ * The provenance flags arm per-item lineage tracking on the
+ * instrumented run (docs/MODEL.md, "Item provenance & critical
+ * path"). --latency prints the per-stage queue-wait / service
+ * decomposition with per-item latency percentiles — the bottleneck
+ * attribution table. --critical-path walks the lineage of the
+ * last-finishing item and prints the top N (default 10) ranked
+ * path segments: stages, queues and interconnect links that the
+ * makespan is actually made of. --flow adds Perfetto flow arrows
+ * linking each item's producing batch to its consuming batch in the
+ * --trace output. --prov-sample=K tracks every K-th seed lineage
+ * (default 1 = all).
  *
  * --adaptive arms the online load-balance controller (default epoch
  * 50000 cycles) on every configuration with an adjustable
@@ -77,11 +91,24 @@ struct ObsOptions
     /** Show only the instrumented config (skips autotuning when the
      *  selected config is not versapipe — used by the ctest entry). */
     bool only = false;
+    /** Print the per-stage wait/service latency decomposition. */
+    bool latency = false;
+    /** Ranked critical-path segments to print (-1 = off, 0 = all). */
+    int criticalPath = -1;
+    /** Emit lineage flow events into the --trace output. */
+    bool flow = false;
+    /** Track every K-th seed lineage (1 = all). */
+    std::uint64_t provSample = 1;
+
+    bool provWanted() const
+    {
+        return latency || criticalPath >= 0 || flow;
+    }
 
     bool wanted() const
     {
         return !tracePath.empty() || !reportPath.empty()
-            || !csvPath.empty();
+            || !csvPath.empty() || provWanted();
     }
 
     bool chaos() const
@@ -133,6 +160,84 @@ writeFile(const std::string& path, const std::string& what,
     std::cout << "wrote " << what << " -> " << path << "\n";
 }
 
+/**
+ * Per-stage bottleneck attribution: how long tracked items sat in
+ * each stage's queue vs. were serviced by it, with per-item
+ * percentiles from the finalized provenance histograms.
+ */
+void
+showLatency(const ObsData& obs, const DeviceConfig& dev)
+{
+    const ProvenanceTracker& pv = *obs.provenance;
+    auto decomp = pv.stageDecomposition();
+    double total = 0.0;
+    for (const StageDecomposition& d : decomp)
+        total += d.waitCycles + d.serviceCycles;
+    auto pct = [&](const std::string& name, double p) -> std::string {
+        auto it = obs.metrics.histograms().find(name);
+        if (it == obs.metrics.histograms().end()
+            || it->second.empty())
+            return "-";
+        return TextTable::num(
+            dev.cyclesToMs(it->second.percentile(p)), 4);
+    };
+    std::cout << "latency decomposition (tracked items):\n";
+    TextTable t({"stage", "waits", "wait ms", "wait p95 ms",
+                 "services", "service ms", "svc p95 ms", "share"});
+    for (const StageDecomposition& d : decomp) {
+        double share = total > 0.0
+            ? (d.waitCycles + d.serviceCycles) / total
+            : 0.0;
+        t.addRow({d.name, std::to_string(d.waits),
+                  TextTable::num(dev.cyclesToMs(d.waitCycles), 3),
+                  pct("prov/wait/" + d.name, 0.95),
+                  std::to_string(d.services),
+                  TextTable::num(dev.cyclesToMs(d.serviceCycles), 3),
+                  pct("prov/service/" + d.name, 0.95),
+                  TextTable::num(100.0 * share, 1) + "%"});
+    }
+    std::cout << t.render();
+    std::cout << "e2e per-item ms: p50=" << pct("prov/e2e_cycles", 0.50)
+              << " p95=" << pct("prov/e2e_cycles", 0.95)
+              << " p99=" << pct("prov/e2e_cycles", 0.99)
+              << "  transfer ms total="
+              << TextTable::num(
+                     dev.cyclesToMs(pv.transferCyclesTotal()), 3)
+              << "\n";
+}
+
+/** Ranked attribution of the last-finishing item's lineage chain. */
+void
+showCriticalPath(const ObsData& obs, const DeviceConfig& dev,
+                 double runCycles, int topN)
+{
+    const ProvenanceTracker& pv = *obs.provenance;
+    auto path = pv.criticalPath();
+    if (path.empty()) {
+        std::cout << "critical path: no completed tracked items\n";
+        return;
+    }
+    double pathCycles = 0.0;
+    for (const PathSegment& seg : path)
+        pathCycles += seg.cycles;
+    std::cout << "critical path: " << path.size() << " hops, "
+              << TextTable::num(dev.cyclesToMs(pathCycles), 3)
+              << " ms";
+    if (runCycles > 0.0)
+        std::cout << " ("
+                  << TextTable::num(100.0 * pathCycles / runCycles, 1)
+                  << "% of makespan)";
+    std::cout << "\n";
+    auto ranked = pv.rankedCriticalSegments(
+        topN > 0 ? static_cast<std::size_t>(topN) : 0);
+    TextTable t({"segment", "ms", "path share"});
+    for (const auto& [label, cycles] : ranked)
+        t.addRow({label, TextTable::num(dev.cyclesToMs(cycles), 4),
+                  TextTable::num(100.0 * cycles / pathCycles, 1)
+                      + "%"});
+    std::cout << t.render();
+}
+
 void
 exportObs(const RunResult& r, const DeviceConfig& dev,
           const ObsOptions& opts)
@@ -140,9 +245,12 @@ exportObs(const RunResult& r, const DeviceConfig& dev,
     VP_REQUIRE(r.obs, "run carried no observability data");
     const ObsData& obs = *r.obs;
     if (!opts.tracePath.empty()) {
-        writeFile(opts.tracePath, "trace", [&obs](std::ostream& out) {
-            exportTraceJson(out, obs.tracer);
-        });
+        const ProvenanceTracker* flows =
+            opts.flow ? obs.provenance.get() : nullptr;
+        writeFile(opts.tracePath, "trace",
+                  [&obs, flows](std::ostream& out) {
+                      exportTraceJson(out, obs.tracer, flows);
+                  });
     }
     if (!opts.reportPath.empty()) {
         writeFile(opts.reportPath, "report", [&r](std::ostream& out) {
@@ -175,7 +283,33 @@ exportObs(const RunResult& r, const DeviceConfig& dev,
     std::cout << t.render();
     std::cout << "trace events recorded=" << obs.tracer.recorded()
               << " dropped=" << obs.tracer.dropped()
-              << " series=" << obs.sampler.series().size() << "\n\n";
+              << " series=" << obs.sampler.series().size() << "\n";
+    if (obs.tracer.dropped() > 0)
+        std::cout << "WARNING: trace ring overflowed — the "
+                  << obs.tracer.dropped()
+                  << " oldest events were overwritten; the exported "
+                     "trace is missing its earliest history "
+                     "(increase ObsConfig::traceCapacity)\n";
+
+    if (obs.provenance) {
+        const ProvenanceTracker& pv = *obs.provenance;
+        std::cout << "provenance: tracked " << pv.seedsTracked()
+                  << "/" << pv.seedsSeen() << " seed lineages";
+        if (pv.sampleEvery() > 1)
+            std::cout << " (every " << pv.sampleEvery() << "th)";
+        std::cout << ", " << pv.records().size() << " items: "
+                  << pv.countByFate(ItemFate::Completed)
+                  << " completed, "
+                  << pv.countByFate(ItemFate::DeadLettered)
+                  << " dead-lettered, "
+                  << pv.countByFate(ItemFate::Dropped) << " dropped, "
+                  << pv.countByFate(ItemFate::Open) << " open\n";
+        if (opts.latency)
+            showLatency(obs, dev);
+        if (opts.criticalPath >= 0)
+            showCriticalPath(obs, dev, r.cycles, opts.criticalPath);
+    }
+    std::cout << "\n";
 }
 
 void
@@ -218,6 +352,8 @@ show(const std::string& name, const DeviceConfig& dev,
             if (observe) {
                 ObsConfig oc;
                 oc.sampleIntervalCycles = opts.sampleCycles;
+                oc.provenance = opts.provWanted();
+                oc.provenanceSampleEvery = opts.provSample;
                 engine.setObservability(oc);
             }
             if (adapt)
@@ -244,6 +380,8 @@ show(const std::string& name, const DeviceConfig& dev,
             if (observe) {
                 ObsConfig oc;
                 oc.sampleIntervalCycles = opts.sampleCycles;
+                oc.provenance = opts.provWanted();
+                oc.provenanceSampleEvery = opts.provSample;
                 engine.setObservability(oc);
             }
             if (adapt)
@@ -382,6 +520,22 @@ main(int argc, char** argv)
             opts.faults.deviceEvents.push_back(parseKillDevice(v));
         } else if (flagValue(arg, "--fail-link", i, v)) {
             opts.faults.linkEvents.push_back(parseFailLink(v));
+        } else if (arg == "--latency") {
+            opts.latency = true;
+        } else if (arg == "--critical-path") {
+            opts.criticalPath = 10;
+        } else if (arg.rfind("--critical-path=", 0) == 0) {
+            opts.criticalPath = std::stoi(
+                arg.substr(std::string("--critical-path=").size()));
+            VP_REQUIRE(opts.criticalPath >= 0,
+                       "--critical-path wants a non-negative count");
+        } else if (arg == "--flow") {
+            opts.flow = true;
+        } else if (flagValue(arg, "--prov-sample", i, v)) {
+            opts.provSample =
+                static_cast<std::uint64_t>(std::stoull(v));
+            VP_REQUIRE(opts.provSample >= 1,
+                       "--prov-sample wants K >= 1");
         } else if (arg == "--adaptive") {
             opts.adaptive = true;
         } else if (arg.rfind("--adaptive=", 0) == 0) {

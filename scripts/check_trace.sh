@@ -1,8 +1,9 @@
 #!/usr/bin/env bash
 # End-to-end observability check (ctest entry `trace_export`, label
-# `obs`): run the raster app through inspect_app with trace + report
-# export enabled, then lint the trace with scripts/trace_lint.py and
-# sanity-check the report.
+# `obs`): run the raster app through inspect_app with trace, report
+# and lineage-flow export enabled, then lint the trace (including
+# flow-event pairing) with scripts/trace_lint.py and sanity-check the
+# report's percentiles and provenance section.
 #
 # Usage: check_trace.sh <inspect_app-binary> <scripts-dir>
 set -euo pipefail
@@ -16,9 +17,23 @@ trap 'rm -rf "$workdir"' EXIT
     --trace="$workdir/trace.json" \
     --report="$workdir/report.json" \
     --csv="$workdir/series.csv" \
-    --sample=1000 > "$workdir/stdout.txt"
+    --sample=1000 --flow > "$workdir/stdout.txt"
 
 python3 "$scripts/trace_lint.py" "$workdir/trace.json"
+
+# --flow arms provenance: the trace must carry lineage flow arrows
+# (validated above) and the report the provenance section.
+python3 - "$workdir/trace.json" <<'EOF'
+import json, sys
+with open(sys.argv[1]) as f:
+    events = json.load(f)["traceEvents"]
+starts = sum(1 for e in events if e.get("ph") == "s")
+finishes = sum(1 for e in events if e.get("ph") == "f")
+assert starts > 0, "no flow start events in a --flow trace"
+assert starts == finishes, "unbalanced flows (%d s, %d f)" % (
+    starts, finishes)
+print("trace.json: OK (%d lineage flows)" % starts)
+EOF
 
 # The report must be valid JSON carrying per-stage percentiles and at
 # least two sampled time-series.
@@ -36,8 +51,13 @@ for s in stages:
 series = report.get("series", [])
 assert len(series) >= 2, "expected >= 2 time-series, got %d" % len(series)
 assert any(len(s["t"]) > 0 for s in series), "all time-series are empty"
-print("report.json: OK (%d stages, %d series)"
-      % (len(stages), len(series)))
+prov = report.get("provenance")
+assert prov, "no provenance section in a --flow report"
+assert prov["open"] == 0, "%d lineages never resolved" % prov["open"]
+assert prov["decomposition_error"] == 0, "inexact decomposition"
+assert prov["critical_path"]["segments"], "empty critical path"
+print("report.json: OK (%d stages, %d series, %d tracked items)"
+      % (len(stages), len(series), prov["items_tracked"]))
 EOF
 
 # The CSV must have a header plus at least one sample row.

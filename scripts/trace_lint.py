@@ -9,6 +9,9 @@ Checks, per the trace_event format spec:
     a broken merge;
   * B/E begin/end events are balanced on every (pid, tid) stack;
   * X complete events have a non-negative `dur`;
+  * flow events (s/t/f) carry an `id`, every flow id resolves to
+    exactly one start and one finish (steps optional in between),
+    and its timestamps are ordered start <= steps <= finish;
   * metadata (M) events are structural and skipped.
 
 Usage: trace_lint.py trace.json [trace2.json ...]
@@ -33,6 +36,7 @@ def lint(path):
 
     last_ts = {}   # (pid, tid) -> last B/E timestamp
     depth = {}     # (pid, tid) -> open B count
+    flows = {}     # id -> {"s": [ts...], "t": [ts...], "f": [ts...]}
     for i, ev in enumerate(events):
         where = "%s: event %d" % (path, i)
         if not isinstance(ev, dict):
@@ -74,6 +78,13 @@ def lint(path):
             dur = ev.get("dur")
             if not isinstance(dur, (int, float)) or dur < 0:
                 errors.append("%s: X with bad dur %r" % (where, dur))
+        elif ph in ("s", "t", "f"):
+            if "id" not in ev:
+                errors.append("%s: flow %s without `id`"
+                              % (where, ph))
+            else:
+                flows.setdefault(ev["id"], {"s": [], "t": [],
+                                            "f": []})[ph].append(ts)
         elif ph in ("i", "I"):
             pass
         elif ph == "C":
@@ -86,10 +97,25 @@ def lint(path):
         if d != 0:
             errors.append("%s: %d unclosed B event(s) on track %s"
                           % (path, d, track))
+
+    for fid, phases in sorted(flows.items(), key=lambda kv: str(kv[0])):
+        where = "%s: flow id %r" % (path, fid)
+        if len(phases["s"]) != 1:
+            errors.append("%s: %d start event(s), want exactly 1"
+                          % (where, len(phases["s"])))
+        if len(phases["f"]) != 1:
+            errors.append("%s: %d finish event(s), want exactly 1"
+                          % (where, len(phases["f"])))
+        if len(phases["s"]) == 1 and len(phases["f"]) == 1:
+            s, f = phases["s"][0], phases["f"][0]
+            if not all(s <= t <= f for t in phases["t"]) or s > f:
+                errors.append(
+                    "%s: timestamps out of order (s=%s t=%s f=%s)"
+                    % (where, s, phases["t"], f))
     if not errors:
         n = sum(1 for e in events
                 if isinstance(e, dict) and e.get("ph") != "M")
-        print("%s: OK (%d events)" % (path, n))
+        print("%s: OK (%d events, %d flows)" % (path, n, len(flows)))
     return errors
 
 

@@ -237,6 +237,8 @@ Engine::runTimed(AppDriver& driver, const PipelineConfig& config,
             tracer->span(TraceKind::RunSpan, 0, 0.0, sim.now(),
                          tracer->intern(config.describe(pipe)));
         }
+        if (obs->provenance)
+            obs->provenance->finalize(obs->metrics);
         result.obs = obs;
     };
     auto attachTraceTail = [&](std::string& why) {

@@ -121,9 +121,12 @@ Engine::runShardedTimed(AppDriver& driver,
     // therefore stay serial so the sweep's winner is reproducible at
     // any hostThreads. Untimed pinned runs keep the conserving tier.
     bool cycleExact = !plan.anyPinned();
+    // Provenance recording is single-threaded host state (one
+    // tracker, one id sequence); armed runs stay on the serial loop.
     if (groupdetail::hostParallelEligible(gcfg, n, pipe, config, plan,
                                           plan_)
-        && (cycleExact || std::isinf(cycleLimit)))
+        && (cycleExact || std::isinf(cycleLimit))
+        && !(obsCfg_ && obsCfg_->provenance))
         return runShardedParallel(driver, config, plan, cycleLimit);
 
     pipe.validate();
@@ -172,6 +175,7 @@ Engine::runShardedTimed(AppDriver& driver,
         }
     }
     Tracer* tracer = obs ? obs->tracerPtr() : nullptr;
+    ProvenanceTracker* prov = obs ? obs->provenancePtr() : nullptr;
     if (tracer) {
         icx.setTraceHook([tracer](int src, int dst, double bytes,
                                   Tick submit, Tick arrival) {
@@ -267,10 +271,10 @@ Engine::runShardedTimed(AppDriver& driver,
     for (int i = 0; i < n; ++i) {
         ShardContext& sc = shardCtxs[static_cast<std::size_t>(i)];
         sc.forward = [&icx, &runners, &plan, &pending, &sim, i,
-                      deliverySeq, inTransit, fo,
-                      tracer](int stage, int bytes,
-                              std::function<void(QueueBase&)>
-                                  deliver) {
+                      deliverySeq, inTransit, fo, tracer,
+                      prov](int stage, int bytes, std::uint64_t provId,
+                            std::function<void(QueueBase&)>
+                                deliver) {
             int home = fo->armed ? fo->curHome(stage, plan)
                                  : plan.homeDevice(stage);
             VP_ASSERT(home >= 0, "remote forward of an unpinned stage");
@@ -282,11 +286,15 @@ Engine::runShardedTimed(AppDriver& driver,
                 ++fo->linkDeadLettered[
                     static_cast<std::size_t>(stage)];
                 pending.sub(1);
+                if (prov && provId)
+                    prov->noteDeadLetter(provId, sim.now());
                 if (tracer)
                     tracer->instant(TraceKind::DeadLetter, 0,
                                     sim.now(), stage, 1);
                 return;
             }
+            if (prov && provId)
+                prov->noteForward(provId, stage, i, home, sim.now());
             ++(*inTransit)[static_cast<std::size_t>(stage)];
             icx.transfer(
                 i, home, static_cast<double>(bytes),
@@ -537,7 +545,8 @@ Engine::runShardedTimed(AppDriver& driver,
                 adaptOn = true;
     }
 
-    GroupCoordinator::seedAll(driver, pipe, runners, plan, pending);
+    GroupCoordinator::seedAll(driver, pipe, runners, plan, pending,
+                              prov);
     for (auto& r : runners)
         r->start(driver);
 
@@ -713,6 +722,8 @@ Engine::runShardedTimed(AppDriver& driver,
             tracer->span(TraceKind::RunSpan, 0, 0.0, sim.now(),
                          tracer->intern(result.configName));
         }
+        if (obs->provenance)
+            obs->provenance->finalize(obs->metrics);
         result.obs = obs;
     };
     auto attachTraceTail = [&](std::string& why) {

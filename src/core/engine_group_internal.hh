@@ -36,12 +36,14 @@ class GroupCoordinator
     static void
     seedAll(AppDriver& driver, Pipeline& pipe,
             std::vector<std::unique_ptr<RunnerBase>>& runners,
-            const ShardPlan& plan, PendingCounter& pending)
+            const ShardPlan& plan, PendingCounter& pending,
+            ProvenanceTracker* prov = nullptr)
     {
         int n = static_cast<int>(runners.size());
         for (int f = 0; f < driver.flowCount(); ++f) {
             Seeder seeder;
             seeder.pipe_ = &pipe;
+            seeder.prov_ = prov;
             seeder.noteSeeded_ = [&pending](int stage, int items) {
                 (void)stage;
                 pending.add(items);

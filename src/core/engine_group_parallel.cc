@@ -530,7 +530,7 @@ Engine::runShardedParallel(AppDriver& driver,
                     return remoteWorkAtBarrier(i, relevant);
                 return probeRemote(i, relevant);
             };
-            sc.forward = [](int, int,
+            sc.forward = [](int, int, std::uint64_t,
                             std::function<void(QueueBase&)>) {
                 VP_ASSERT(false,
                           "cross-device forward under a "
@@ -551,8 +551,10 @@ Engine::runShardedParallel(AppDriver& driver,
                         return true;
                 return false;
             };
+            // The parallel loop never runs with provenance armed
+            // (gated in runShardedTimed); the id is dropped.
             sc.forward = [&outbox, &outboxSeq, &sims, &plan,
-                          i](int stage, int bytes,
+                          i](int stage, int bytes, std::uint64_t,
                              std::function<void(QueueBase&)>
                                  deliver) {
                 VP_ASSERT(plan.homeDevice(stage) >= 0,

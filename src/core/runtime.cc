@@ -42,6 +42,9 @@ RunnerBase::RunnerBase(Simulator& sim, Device& dev, Host& host,
             // growth gives ~12% bucket resolution across the range.
             obs_->stageBatchCycles.emplace_back(16.0, 1.25);
         }
+        prov_ = obs_->provenancePtr();
+        if (prov_)
+            prov_->bindStageNames(obs_->stageNames);
     }
 
     bool anyBoundedQueue = false;
@@ -90,9 +93,10 @@ RunnerBase::makeQueues(QueueSet& qs)
                     return shard_->remoteFull && shard_->remoteFull(s);
                 };
             qs.push_back(st.makeRemoteStub(
-                [this, s](int bytes,
+                [this, s](int bytes, std::uint64_t provId,
                           std::function<void(QueueBase&)> deliver) {
-                    shard_->forward(s, bytes, std::move(deliver));
+                    shard_->forward(s, bytes, provId,
+                                    std::move(deliver));
                 },
                 std::move(probe)));
         } else {
@@ -102,6 +106,9 @@ RunnerBase::makeQueues(QueueSet& qs)
         }
         if (instrumentBatches_)
             qs.back()->enableRetryMeta();
+        if (prov_)
+            qs.back()->setProvenance(prov_, &sim_, s,
+                                     shard_ ? shard_->deviceIndex : 0);
         if (tracer_) {
             std::string qname = st.name;
             if (shard_ && shard_->numDevices > 1)
@@ -131,6 +138,7 @@ RunnerBase::seedFlow(AppDriver& driver, QueueSet& qs, int flow)
         (void)stage;
         pendingPtr_->add(n);
     };
+    seeder.prov_ = prov_;
     driver.seedFlow(seeder, flow);
 }
 
@@ -344,6 +352,17 @@ RunnerBase::processBatch(BlockContext& ctx, QueueSet& qs, int s,
     VP_ASSERT(br.items > 0, "processBatch on an empty queue for stage `"
               << st.name << "`");
 
+    // Copy: the queue's popped-id scratch is overwritten by the
+    // next pop. Service runs from the pop until the commit below.
+    std::vector<std::uint64_t> provIds;
+    if (prov_) {
+        provIds = q.poppedIds();
+        for (std::uint64_t id : provIds)
+            if (id)
+                prov_->notePop(id, ctx.smId(),
+                               trackBase_ + ctx.smId(), bstart);
+    }
+
     inFlight_[s] += br.items;
     stageStats_[s].items += br.items;
     stageStats_[s].batches += 1;
@@ -374,10 +393,12 @@ RunnerBase::processBatch(BlockContext& ctx, QueueSet& qs, int s,
 
     cp->delay(pop_cost, [this, cp, qsp, s, w, bstart,
                          outputs = std::move(outputs), items,
+                         provIds = std::move(provIds),
                          next = std::move(next)]() mutable {
         Tick exec_start = sim_.now();
         cp->exec(w, [this, cp, qsp, s, outputs = std::move(outputs),
                      items, exec_start, bstart,
+                     provIds = std::move(provIds),
                      next = std::move(next)]() mutable {
             stageStats_[s].execCycles += sim_.now() - exec_start;
             const DeviceConfig& dcfg2 = dev_.config();
@@ -399,14 +420,29 @@ RunnerBase::processBatch(BlockContext& ctx, QueueSet& qs, int s,
             }
 
             auto commit = [this, cp, qsp, s, bstart,
-                           outputs = std::move(outputs),
-                           items, next = std::move(next)]() mutable {
+                           outputs = std::move(outputs), items,
+                           provIds = std::move(provIds),
+                           next = std::move(next)]() mutable {
                 pendingPtr_->add(
                     static_cast<std::int64_t>(outputs.size()));
-                for (StagedOutput& o : outputs)
+                for (StagedOutput& o : outputs) {
+                    // Mint the output's own id only now that the
+                    // batch is committing: aborted batches leave no
+                    // orphan lineage records.
+                    if (prov_ && o.provParent) {
+                        std::uint64_t cid =
+                            prov_->mintChild(o.provParent);
+                        if (cid)
+                            (*qsp)[o.stage]->stampNextPushId(cid);
+                    }
                     o.push(*(*qsp)[o.stage]);
+                }
                 inFlight_[s] -= items;
                 pendingPtr_->sub(items);
+                if (prov_)
+                    for (std::uint64_t id : provIds)
+                        if (id)
+                            prov_->noteComplete(id, sim_.now());
                 if (obs_)
                     noteBatchDone(s, cp->smId(), bstart, items);
                 next();
@@ -454,6 +490,19 @@ RunnerBase::processBatchFI(BlockContext& ctx, QueueSet& qs, int s,
     BatchResult br = st.runBatchFI(ectx, q, cap, failItems,
                                    recoveryCfg_.maxRetries,
                                    wantCapture, fb);
+    if (prov_) {
+        // Every popped item enters service at the pop. Retried items
+        // stay in service until redelivery re-queues them (their
+        // enqueue closes the hop, backoff included); dead-lettered
+        // ones terminate at fault-detection time.
+        for (std::uint64_t id : q.poppedIds())
+            if (id)
+                prov_->notePop(id, ctx.smId(),
+                               trackBase_ + ctx.smId(), bstart);
+        for (std::uint64_t id : fb.deadIds)
+            prov_->noteDeadLetter(id, sim_.now());
+    }
+
     int faulted = fb.retried + fb.deadLettered;
     faultStats_.taskFaults += faulted;
     if (tracer_ && faulted > 0)
@@ -517,20 +566,23 @@ RunnerBase::processBatchFI(BlockContext& ctx, QueueSet& qs, int s,
 
     if (captureForReplay_) {
         inFlightBatches_[&ctx] = InFlightBatch{
-            s, &q, std::move(fb.capture), br.items};
+            s, &q, std::move(fb.capture), br.items, fb.execIds};
     }
 
     std::vector<StagedOutput> outputs = std::move(ectx.outputs());
     int items = br.items;
+    std::vector<std::uint64_t> provIds = std::move(fb.execIds);
     BlockContext* cp = &ctx;
     QueueSet* qsp = pushInto ? pushInto : &qs;
 
     cp->delay(pop_cost + detect, [this, cp, qsp, s, w, bstart,
                                   outputs = std::move(outputs), items,
+                                  provIds = std::move(provIds),
                                   next = std::move(next)]() mutable {
         Tick exec_start = sim_.now();
         cp->exec(w, [this, cp, qsp, s, outputs = std::move(outputs),
                      items, exec_start, bstart,
+                     provIds = std::move(provIds),
                      next = std::move(next)]() mutable {
             stageStats_[s].execCycles += sim_.now() - exec_start;
             const DeviceConfig& dcfg2 = dev_.config();
@@ -563,10 +615,25 @@ RunnerBase::processBatchFI(BlockContext& ctx, QueueSet& qs, int s,
                         break;
                       case PushFault::Drop:
                         ++dropped;
+                        // The output dies before it was ever queued:
+                        // record a stillborn child so lineage
+                        // conservation still accounts for it.
+                        if (prov_ && o.provParent) {
+                            std::uint64_t cid =
+                                prov_->mintChild(o.provParent);
+                            if (cid)
+                                prov_->noteDropped(cid, sim_.now());
+                        }
                         break;
                       case PushFault::Corrupt:
                         ++corrupted;
                         stageStats_[o.stage].deadLettered += 1;
+                        if (prov_ && o.provParent) {
+                            std::uint64_t cid =
+                                prov_->mintChild(o.provParent);
+                            if (cid)
+                                prov_->noteDeadLetter(cid, sim_.now());
+                        }
                         break;
                     }
                 }
@@ -583,11 +650,13 @@ RunnerBase::processBatchFI(BlockContext& ctx, QueueSet& qs, int s,
             struct CommitState
             {
                 std::vector<StagedOutput> outputs;
+                std::vector<std::uint64_t> provIds;
                 EventFn next;
                 std::function<void()> tryCommit;
             };
             auto st = std::make_shared<CommitState>();
             st->outputs = std::move(outputs);
+            st->provIds = std::move(provIds);
             st->next = std::move(next);
             st->tryCommit = [this, cp, qsp, s, items, bstart,
                              stw = std::weak_ptr<CommitState>(st)]() {
@@ -609,11 +678,24 @@ RunnerBase::processBatchFI(BlockContext& ctx, QueueSet& qs, int s,
                 }
                 pendingPtr_->add(static_cast<std::int64_t>(
                     self->outputs.size()));
-                for (StagedOutput& o : self->outputs)
+                for (StagedOutput& o : self->outputs) {
+                    // Mint the output's own id only at commit time:
+                    // aborted batches leave no orphan records.
+                    if (prov_ && o.provParent) {
+                        std::uint64_t cid =
+                            prov_->mintChild(o.provParent);
+                        if (cid)
+                            (*qsp)[o.stage]->stampNextPushId(cid);
+                    }
                     o.push(*(*qsp)[o.stage]);
+                }
                 inFlight_[s] -= items;
                 pendingPtr_->sub(items);
                 inFlightBatches_.erase(cp);
+                if (prov_)
+                    for (std::uint64_t id : self->provIds)
+                        if (id)
+                            prov_->noteComplete(id, sim_.now());
                 if (obs_)
                     noteBatchDone(s, cp->smId(), bstart, items);
                 self->next();
@@ -649,9 +731,15 @@ RunnerBase::blockAborted(BlockContext& ctx)
                                         b.items, 1);
         } else {
             // Non-retryable: the in-flight items die with the block.
+            // (Retryable batches need no hook here — the capture's
+            // redelivery re-stamps their ids on re-enqueue.)
             pendingPtr_->sub(b.items);
             stageStats_[b.stage].deadLettered += b.items;
             faultStats_.deadLettered += b.items;
+            if (prov_)
+                for (std::uint64_t id : b.provIds)
+                    if (id)
+                        prov_->noteDeadLetter(id, sim_.now());
             if (tracer_)
                 tracer_->instant(
                     TraceKind::DeadLetter,

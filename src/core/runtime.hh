@@ -66,10 +66,13 @@ struct ShardContext
     std::function<bool(StageMask)> remoteWork;
     /**
      * Forward one item of a pinned stage toward its home device:
-     * (stage, payload bytes, deliver closure). The coordinator pays
-     * the interconnect cost and delivers at arrival time.
+     * (stage, payload bytes, provenance id, deliver closure). The
+     * coordinator pays the interconnect cost and delivers at arrival
+     * time; the id (0 when untracked) lets it record the transfer on
+     * the item's provenance lineage.
      */
-    std::function<void(int, int, std::function<void(QueueBase&)>)>
+    std::function<void(int, int, std::uint64_t,
+                       std::function<void(QueueBase&)>)>
         forward;
     /**
      * Credit probe for bounded stages pinned remotely: true when the
@@ -130,13 +133,19 @@ class Seeder
         if (route_) {
             // Sharded seeding: the group coordinator routes each
             // item to a device queue by (stage, ordinal).
-            for (auto& it : items)
-                typedQueue<T>(route_(idx, ordinal_++))
-                    .push(std::move(it));
+            for (auto& it : items) {
+                QueueBase& q = route_(idx, ordinal_++);
+                if (prov_)
+                    q.stampNextPushId(prov_->mintSeed());
+                typedQueue<T>(q).push(std::move(it));
+            }
         } else {
             auto& q = typedQueue<T>(*(*queues_)[idx]);
-            for (auto& it : items)
+            for (auto& it : items) {
+                if (prov_)
+                    q.stampNextPushId(prov_->mintSeed());
                 q.push(std::move(it));
+            }
         }
         noteSeeded_(idx, n);
     }
@@ -160,6 +169,8 @@ class Seeder
     /** Per-item device routing for sharded seeding (else null). */
     std::function<QueueBase&(int, int)> route_;
     int ordinal_ = 0;
+    /** Stamps each seed with a fresh provenance id when armed. */
+    ProvenanceTracker* prov_ = nullptr;
 };
 
 /**
@@ -475,6 +486,9 @@ class RunnerBase
         /** Pre-execution copies; empty for non-retryable stages. */
         std::function<void(QueueBase&)> capture;
         int items = 0;
+        /** Provenance ids of the executed items (dead-lettered when
+         *  a non-retryable abort destroys the batch). */
+        std::vector<std::uint64_t> provIds;
     };
     std::map<BlockContext*, InFlightBatch> inFlightBatches_;
 
@@ -486,6 +500,8 @@ class RunnerBase
     ObsData* obs_ = nullptr;
     /** The run tracer; null when tracing is off. */
     Tracer* tracer_ = nullptr;
+    /** The run's provenance tracker; null when not armed. */
+    ProvenanceTracker* prov_ = nullptr;
 
     /** Record one finished stage batch (trace span + histogram). */
     void

@@ -74,6 +74,11 @@ struct FaultBatch
      * contract as redeliver); only set when capture was requested.
      */
     std::function<void(QueueBase&)> capture;
+    /** Provenance ids of the executed items (empty when the batch's
+     *  queue carries no provenance metadata). */
+    std::vector<std::uint64_t> execIds;
+    /** Provenance ids of the items that dead-lettered here. */
+    std::vector<std::uint64_t> deadIds;
 };
 
 /** Type-erased base of all pipeline stages. */
@@ -175,6 +180,11 @@ struct StagedOutput
 {
     int stage;
     std::function<void(QueueBase&)> push;
+    /** Provenance id of the popped item whose task produced this
+     *  output (0 = untracked); the runtime mints the output's own id
+     *  from it at commit time, so aborted batches leave no orphan
+     *  lineage records. */
+    std::uint64_t provParent = 0;
 };
 
 /**
@@ -211,6 +221,14 @@ class ExecContext
 
     /** Threads per task of the batch's entry stage. */
     int entryThreads() const { return entryThreads_; }
+
+    /** Provenance id of the item the current task is executing
+     *  (0 = untracked). Set by runBatch before each execute();
+     *  outputs enqueued by the task inherit it as their lineage
+     *  parent — including through inline (RTC) chains, which run
+     *  inside the same task. */
+    void setProvParent(std::uint64_t id) { provParent_ = id; }
+    std::uint64_t provParent() const { return provParent_; }
 
     /**
      * Send @p item to stage @p S (the paper's
@@ -272,6 +290,7 @@ class ExecContext
     StageMask inlineMask_;
     int smId_;
     int entryThreads_ = 1;
+    std::uint64_t provParent_ = 0;
     int inlineDepth_ = 0;
     TaskCost taskCost_;
     std::vector<StagedOutput> outputs_;

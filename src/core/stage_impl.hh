@@ -46,7 +46,8 @@ ExecContext::enqueue(typename S::DataItemType item)
         idx,
         [item = std::move(item)](QueueBase& q) mutable {
             typedQueue<T>(q).push(std::move(item));
-        }});
+        },
+        provParent_});
 }
 
 template <typename T>
@@ -56,10 +57,19 @@ Stage<T>::runBatch(ExecContext& ctx, QueueBase& q, int maxItems)
     auto& tq = typedQueue<T>(q);
     std::vector<T> items;
     tq.popBatch(items, static_cast<std::size_t>(maxItems));
+    // Copy: the next pop overwrites the queue's scratch vector.
+    std::vector<std::uint64_t> ids;
+    if (tq.provenanceEnabled()) {
+        ids = tq.poppedIds();
+        ids.resize(items.size(), 0);
+    }
 
     BatchResult r;
     r.items = static_cast<int>(items.size());
-    for (T& item : items) {
+    for (std::size_t i = 0; i < items.size(); ++i) {
+        T& item = items[i];
+        if (!ids.empty())
+            ctx.setProvParent(ids[i]);
         ctx.beginTask(cost(item));
         execute(ctx, item);
         TaskCost c = ctx.endTask();
@@ -67,6 +77,7 @@ Stage<T>::runBatch(ExecContext& ctx, QueueBase& q, int maxItems)
                                   c.computeInsts + c.memInsts);
         r.total += c;
     }
+    ctx.setProvParent(0);
     return r;
 }
 
@@ -79,41 +90,57 @@ Stage<T>::runBatchFI(ExecContext& ctx, QueueBase& q, int maxItems,
     auto& tq = typedQueue<T>(q);
     std::vector<T> items;
     tq.popBatch(items, static_cast<std::size_t>(maxItems));
-    // Copy: the next pop overwrites the queue's scratch vector.
+    // Copy: the next pop overwrites the queue's scratch vectors.
     std::vector<std::uint32_t> tries = tq.poppedTries();
     tries.resize(items.size(), 0);
+    std::vector<std::uint64_t> ids = tq.poppedIds();
+    ids.resize(items.size(), 0);
 
     // The first failItems items of the batch take the transient
     // faults — a fixed, deterministic assignment.
-    std::vector<std::pair<T, std::uint32_t>> retry;
+    struct RetryItem
+    {
+        T item;
+        std::uint32_t tries;
+        std::uint64_t id;
+    };
+    std::vector<RetryItem> retry;
     std::size_t nf = std::min<std::size_t>(
         failItems < 0 ? 0 : static_cast<std::size_t>(failItems),
         items.size());
     for (std::size_t i = 0; i < nf; ++i) {
         if (tries[i] >= maxRetries) {
             ++fb.deadLettered;
+            if (ids[i])
+                fb.deadIds.push_back(ids[i]);
             continue;
         }
-        retry.emplace_back(std::move(items[i]), tries[i] + 1);
+        retry.push_back({std::move(items[i]), tries[i] + 1, ids[i]});
         fb.maxTries = std::max(fb.maxTries, tries[i] + 1);
     }
     if (!retry.empty()) {
         fb.retried = static_cast<int>(retry.size());
         fb.redeliver = [batch = std::move(retry)](QueueBase& dst) {
             auto& dq = typedQueue<T>(dst);
-            for (const auto& [item, t] : batch) {
-                dq.stampNextPushTries(t);
-                dq.push(item);
+            for (const RetryItem& e : batch) {
+                dq.stampNextPushTries(e.tries);
+                if (e.id)
+                    dq.stampNextPushId(e.id);
+                dq.push(e.item);
             }
         };
     }
 
     BatchResult r;
-    std::vector<std::pair<T, std::uint32_t>> cap;
+    std::vector<RetryItem> cap;
     for (std::size_t i = nf; i < items.size(); ++i) {
         if (wantCapture)
-            cap.emplace_back(items[i], tries[i] + 1);
+            cap.push_back({items[i], tries[i] + 1, ids[i]});
         T& item = items[i];
+        if (tq.provenanceEnabled()) {
+            ctx.setProvParent(ids[i]);
+            fb.execIds.push_back(ids[i]);
+        }
         ctx.beginTask(cost(item));
         execute(ctx, item);
         TaskCost c = ctx.endTask();
@@ -122,13 +149,16 @@ Stage<T>::runBatchFI(ExecContext& ctx, QueueBase& q, int maxItems,
         r.total += c;
         ++r.items;
     }
+    ctx.setProvParent(0);
     fb.executed = r.items;
     if (!cap.empty()) {
         fb.capture = [batch = std::move(cap)](QueueBase& dst) {
             auto& dq = typedQueue<T>(dst);
-            for (const auto& [item, t] : batch) {
-                dq.stampNextPushTries(t);
-                dq.push(item);
+            for (const RetryItem& e : batch) {
+                dq.stampNextPushTries(e.tries);
+                if (e.id)
+                    dq.stampNextPushId(e.id);
+                dq.push(e.item);
             }
         };
     }

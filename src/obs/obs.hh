@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "obs/metrics.hh"
+#include "obs/provenance.hh"
 #include "obs/trace.hh"
 
 namespace vp {
@@ -38,6 +39,15 @@ struct ObsConfig
     Tick sampleIntervalCycles = 0.0;
     /** Trace-tail length attached to stall/timeout diagnostics. */
     std::size_t diagnosticTailEvents = 32;
+    /**
+     * Track per-item provenance (lineage, latency decomposition,
+     * critical path). Passive like the tracer: no simulation events,
+     * bit-identical runs; off by default.
+     */
+    bool provenance = false;
+    /** Track every k-th seed item (1 = all); children inherit their
+     *  parent's tracking so sampled lineages stay complete. */
+    std::uint64_t provenanceSampleEvery = 1;
 };
 
 /** Everything observed during one run. */
@@ -48,6 +58,9 @@ struct ObsData
           tracer(sim, cfg.trace ? cfg.traceCapacity : 0),
           sampler(cfg.sampleIntervalCycles)
     {
+        if (cfg.provenance)
+            provenance = std::make_unique<ProvenanceTracker>(
+                cfg.provenanceSampleEvery);
     }
 
     ObsConfig config;
@@ -59,8 +72,14 @@ struct ObsData
     /** Stage names parallel to stageBatchCycles. */
     std::vector<std::string> stageNames;
 
+    /** Item provenance tracker; null when not armed. */
+    std::unique_ptr<ProvenanceTracker> provenance;
+
     /** The tracer as a hook pointer; null when tracing is off. */
     Tracer* tracerPtr() { return tracer.enabled() ? &tracer : nullptr; }
+
+    /** The provenance tracker as a hook pointer; null when off. */
+    ProvenanceTracker* provenancePtr() { return provenance.get(); }
 };
 
 } // namespace vp

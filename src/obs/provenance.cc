@@ -1,0 +1,376 @@
+#include "obs/provenance.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+namespace vp {
+
+const char*
+itemFateName(ItemFate f)
+{
+    switch (f) {
+    case ItemFate::Open: return "open";
+    case ItemFate::Completed: return "completed";
+    case ItemFate::DeadLettered: return "dead-lettered";
+    case ItemFate::Dropped: return "dropped";
+    }
+    return "?";
+}
+
+ProvenanceTracker::ProvenanceTracker(std::uint64_t sampleEvery)
+    : sampleEvery_(sampleEvery == 0 ? 1 : sampleEvery)
+{
+}
+
+std::uint64_t
+ProvenanceTracker::mintSeed()
+{
+    ++seedsSeen_;
+    if (sampleEvery_ > 1 && (seedsSeen_ - 1) % sampleEvery_ != 0)
+        return 0;
+    ++seedsTracked_;
+    records_.emplace_back();
+    return static_cast<std::uint64_t>(records_.size());
+}
+
+std::uint64_t
+ProvenanceTracker::mintChild(std::uint64_t parent)
+{
+    if (parent == 0 || parent > records_.size())
+        return 0;
+    records_.emplace_back();
+    records_.back().parent = parent;
+    return static_cast<std::uint64_t>(records_.size());
+}
+
+void
+ProvenanceTracker::bindStageNames(const std::vector<std::string>& names)
+{
+    if (stageNames_.empty())
+        stageNames_ = names;
+}
+
+ItemRecord*
+ProvenanceTracker::rec(std::uint64_t id)
+{
+    if (id == 0 || id > records_.size())
+        return nullptr;
+    return &records_[static_cast<std::size_t>(id - 1)];
+}
+
+const ItemRecord*
+ProvenanceTracker::record(std::uint64_t id) const
+{
+    if (id == 0 || id > records_.size())
+        return nullptr;
+    return &records_[static_cast<std::size_t>(id - 1)];
+}
+
+void
+ProvenanceTracker::closeHop(ItemRecord& r, Tick now)
+{
+    ProvHop h;
+    h.stage = r.stage;
+    h.device = r.device;
+    h.t0 = r.since;
+    h.t1 = now;
+    double d = now - r.since;
+    switch (r.state) {
+    case ItemRecord::State::None:
+        return;
+    case ItemRecord::State::Queued:
+        h.kind = HopKind::Wait;
+        r.waitCycles += d;
+        break;
+    case ItemRecord::State::InService:
+        h.kind = HopKind::Service;
+        h.sm = r.sm;
+        h.track = r.track;
+        r.serviceCycles += d;
+        break;
+    case ItemRecord::State::InTransfer:
+        h.kind = HopKind::Transfer;
+        h.fromDevice = r.fromDevice;
+        h.toDevice = r.toDevice;
+        r.transferCycles += d;
+        break;
+    }
+    r.hops.push_back(h);
+}
+
+void
+ProvenanceTracker::noteEnqueue(std::uint64_t id, int stage, int device,
+                               Tick now)
+{
+    ItemRecord* r = rec(id);
+    if (!r || r->fate != ItemFate::Open)
+        return;
+    if (r->state == ItemRecord::State::None)
+        r->birth = now;
+    else
+        closeHop(*r, now);
+    r->state = ItemRecord::State::Queued;
+    r->since = now;
+    r->stage = static_cast<std::int16_t>(stage);
+    r->device = static_cast<std::int16_t>(device);
+}
+
+void
+ProvenanceTracker::notePop(std::uint64_t id, int sm, int track, Tick now)
+{
+    ItemRecord* r = rec(id);
+    if (!r || r->fate != ItemFate::Open)
+        return;
+    if (r->state == ItemRecord::State::None)
+        r->birth = now;
+    else
+        closeHop(*r, now);
+    r->state = ItemRecord::State::InService;
+    r->since = now;
+    r->sm = static_cast<std::int16_t>(sm);
+    r->track = track;
+}
+
+void
+ProvenanceTracker::noteForward(std::uint64_t id, int stage,
+                               int fromDevice, int toDevice, Tick now)
+{
+    ItemRecord* r = rec(id);
+    if (!r || r->fate != ItemFate::Open)
+        return;
+    if (r->state == ItemRecord::State::None)
+        r->birth = now;
+    else
+        closeHop(*r, now);
+    r->state = ItemRecord::State::InTransfer;
+    r->since = now;
+    r->stage = static_cast<std::int16_t>(stage);
+    r->device = static_cast<std::int16_t>(toDevice);
+    r->fromDevice = static_cast<std::int16_t>(fromDevice);
+    r->toDevice = static_cast<std::int16_t>(toDevice);
+}
+
+void
+ProvenanceTracker::terminal(std::uint64_t id, Tick now, ItemFate fate)
+{
+    ItemRecord* r = rec(id);
+    if (!r || r->fate != ItemFate::Open)
+        return;
+    if (r->state == ItemRecord::State::None && r->hops.empty())
+        r->birth = now; // never observed in a queue (e.g. lost at a
+                        // failed link on the tick it was minted)
+    ItemRecord::State last = r->state;
+    closeHop(*r, now);
+    r->done = now;
+    r->fate = fate;
+    // Exact decomposition: the final hop's bucket is the remainder
+    // of e2e minus the other buckets, so accumulated rounding folds
+    // into the hop it belongs to and the invariant holds bit-exactly.
+    double e2e = r->done - r->birth;
+    switch (last) {
+    case ItemRecord::State::None:
+        break;
+    case ItemRecord::State::Queued:
+        r->waitCycles = e2e - r->serviceCycles - r->transferCycles;
+        break;
+    case ItemRecord::State::InService:
+        r->serviceCycles = e2e - r->waitCycles - r->transferCycles;
+        break;
+    case ItemRecord::State::InTransfer:
+        r->transferCycles = e2e - r->waitCycles - r->serviceCycles;
+        break;
+    }
+    r->state = ItemRecord::State::None;
+}
+
+void
+ProvenanceTracker::noteComplete(std::uint64_t id, Tick now)
+{
+    terminal(id, now, ItemFate::Completed);
+}
+
+void
+ProvenanceTracker::noteDeadLetter(std::uint64_t id, Tick now)
+{
+    terminal(id, now, ItemFate::DeadLettered);
+}
+
+void
+ProvenanceTracker::noteDropped(std::uint64_t id, Tick now)
+{
+    terminal(id, now, ItemFate::Dropped);
+}
+
+std::string
+ProvenanceTracker::stageName(int stage) const
+{
+    if (stage >= 0
+        && static_cast<std::size_t>(stage) < stageNames_.size())
+        return stageNames_[static_cast<std::size_t>(stage)];
+    return "stage" + std::to_string(stage);
+}
+
+void
+ProvenanceTracker::finalize(MetricsRegistry& m)
+{
+    if (finalized_)
+        return;
+    finalized_ = true;
+    for (const ItemRecord& r : records_) {
+        if (r.fate == ItemFate::Completed)
+            m.histogram("prov/e2e_cycles", 16.0, 1.25).add(r.e2e());
+        for (const ProvHop& h : r.hops) {
+            if (h.kind == HopKind::Transfer)
+                continue;
+            const char* kind =
+                h.kind == HopKind::Wait ? "prov/wait/" : "prov/service/";
+            m.histogram(kind + stageName(h.stage), 16.0, 1.25)
+                .add(h.t1 - h.t0);
+        }
+    }
+}
+
+std::uint64_t
+ProvenanceTracker::countByFate(ItemFate f) const
+{
+    std::uint64_t n = 0;
+    for (const ItemRecord& r : records_)
+        if (r.fate == f)
+            ++n;
+    return n;
+}
+
+double
+ProvenanceTracker::maxInvariantError() const
+{
+    double worst = 0.0;
+    for (const ItemRecord& r : records_) {
+        if (r.fate == ItemFate::Open)
+            continue;
+        double err = std::fabs(r.waitCycles + r.serviceCycles
+                               + r.transferCycles - r.e2e());
+        worst = std::max(worst, err);
+    }
+    return worst;
+}
+
+double
+ProvenanceTracker::transferCyclesTotal() const
+{
+    double total = 0.0;
+    for (const ItemRecord& r : records_)
+        total += r.transferCycles;
+    return total;
+}
+
+std::vector<StageDecomposition>
+ProvenanceTracker::stageDecomposition() const
+{
+    std::vector<StageDecomposition> out;
+    auto at = [&](int stage) -> StageDecomposition& {
+        for (StageDecomposition& d : out)
+            if (d.stage == stage)
+                return d;
+        out.emplace_back();
+        out.back().stage = stage;
+        out.back().name = stageName(stage);
+        return out.back();
+    };
+    for (const ItemRecord& r : records_) {
+        for (const ProvHop& h : r.hops) {
+            if (h.kind == HopKind::Transfer)
+                continue;
+            StageDecomposition& d = at(h.stage);
+            if (h.kind == HopKind::Wait) {
+                ++d.waits;
+                d.waitCycles += h.t1 - h.t0;
+            } else {
+                ++d.services;
+                d.serviceCycles += h.t1 - h.t0;
+            }
+        }
+    }
+    std::sort(out.begin(), out.end(),
+              [](const StageDecomposition& a,
+                 const StageDecomposition& b) {
+                  return a.stage < b.stage;
+              });
+    return out;
+}
+
+std::vector<PathSegment>
+ProvenanceTracker::criticalPath() const
+{
+    // Last-finishing completed item; ties break on the lower id so
+    // identical runs extract identical paths.
+    std::uint64_t lastId = 0;
+    for (std::size_t i = 0; i < records_.size(); ++i) {
+        const ItemRecord& r = records_[i];
+        if (r.fate != ItemFate::Completed)
+            continue;
+        if (lastId == 0 || r.done > records_[lastId - 1].done)
+            lastId = static_cast<std::uint64_t>(i + 1);
+    }
+    if (lastId == 0)
+        return {};
+
+    // Lineage chain, seed first.
+    std::vector<const ItemRecord*> chain;
+    for (std::uint64_t id = lastId; id != 0;) {
+        const ItemRecord* r = record(id);
+        if (!r)
+            break;
+        chain.push_back(r);
+        id = r->parent;
+    }
+    std::reverse(chain.begin(), chain.end());
+
+    std::vector<PathSegment> path;
+    for (const ItemRecord* r : chain) {
+        for (const ProvHop& h : r->hops) {
+            PathSegment s;
+            s.kind = h.kind;
+            s.t0 = h.t0;
+            s.t1 = h.t1;
+            s.cycles = h.t1 - h.t0;
+            switch (h.kind) {
+            case HopKind::Wait:
+                s.label = "wait:" + stageName(h.stage) + "@d"
+                    + std::to_string(h.device);
+                break;
+            case HopKind::Service:
+                s.label = "service:" + stageName(h.stage) + "@d"
+                    + std::to_string(h.device);
+                break;
+            case HopKind::Transfer:
+                s.label = "transfer:d" + std::to_string(h.fromDevice)
+                    + "->d" + std::to_string(h.toDevice);
+                break;
+            }
+            path.push_back(std::move(s));
+        }
+    }
+    return path;
+}
+
+std::vector<std::pair<std::string, double>>
+ProvenanceTracker::rankedCriticalSegments(std::size_t topN) const
+{
+    std::map<std::string, double> agg;
+    for (const PathSegment& s : criticalPath())
+        agg[s.label] += s.cycles;
+    std::vector<std::pair<std::string, double>> out(agg.begin(),
+                                                    agg.end());
+    std::sort(out.begin(), out.end(),
+              [](const auto& a, const auto& b) {
+                  if (a.second != b.second)
+                      return a.second > b.second;
+                  return a.first < b.first;
+              });
+    if (topN > 0 && out.size() > topN)
+        out.resize(topN);
+    return out;
+}
+
+} // namespace vp

@@ -155,8 +155,79 @@ writeReportJson(std::ostream& os, const RunResult& r)
         os << ",\n  \"trace\": {\"enabled\": "
            << (obs->tracer.enabled() ? "true" : "false")
            << ", \"recorded\": " << uint(obs->tracer.recorded())
-           << ", \"dropped\": " << uint(obs->tracer.dropped())
-           << "},\n";
+           << ", \"dropped\": " << uint(obs->tracer.dropped());
+        if (obs->tracer.dropped() > 0) {
+            // The ring overwrites oldest-first, so a non-zero drop
+            // count means the *early* history is gone. Say so loudly:
+            // a truncated trace silently skews any analysis that
+            // assumes it starts at cycle 0.
+            os << ", \"warning\": \"trace ring overflowed: the "
+               << uint(obs->tracer.dropped())
+               << " oldest events were overwritten and the exported "
+                  "trace is missing its earliest history; increase "
+                  "ObsConfig::traceCapacity\"";
+        }
+        os << "},\n";
+
+        if (obs->provenance) {
+            const ProvenanceTracker& pv = *obs->provenance;
+            os << "  \"provenance\": {\n"
+               << "    \"seeds_seen\": " << uint(pv.seedsSeen())
+               << ", \"seeds_tracked\": " << uint(pv.seedsTracked())
+               << ", \"sample_every\": " << uint(pv.sampleEvery())
+               << ",\n    \"items_tracked\": "
+               << uint(pv.records().size())
+               << ", \"completed\": "
+               << uint(pv.countByFate(ItemFate::Completed))
+               << ", \"dead_lettered\": "
+               << uint(pv.countByFate(ItemFate::DeadLettered))
+               << ", \"dropped\": "
+               << uint(pv.countByFate(ItemFate::Dropped))
+               << ", \"open\": "
+               << uint(pv.countByFate(ItemFate::Open))
+               << ",\n    \"transfer_cycles\": "
+               << num(pv.transferCyclesTotal())
+               << ", \"decomposition_error\": "
+               << num(pv.maxInvariantError()) << ",\n";
+
+            os << "    \"stage_decomposition\": [\n";
+            auto decomp = pv.stageDecomposition();
+            for (std::size_t i = 0; i < decomp.size(); ++i) {
+                const StageDecomposition& d = decomp[i];
+                os << "      {\"stage\": \"" << esc(d.name)
+                   << "\", \"waits\": " << uint(d.waits)
+                   << ", \"wait_cycles\": " << num(d.waitCycles)
+                   << ", \"services\": " << uint(d.services)
+                   << ", \"service_cycles\": " << num(d.serviceCycles)
+                   << "}" << (i + 1 < decomp.size() ? "," : "")
+                   << "\n";
+            }
+            os << "    ],\n";
+
+            auto path = pv.criticalPath();
+            double pathCycles = 0.0;
+            for (const PathSegment& seg : path)
+                pathCycles += seg.cycles;
+            os << "    \"critical_path\": {\"cycles\": "
+               << num(pathCycles) << ", \"segments\": [\n";
+            for (std::size_t i = 0; i < path.size(); ++i) {
+                const PathSegment& seg = path[i];
+                os << "      {\"label\": \"" << esc(seg.label)
+                   << "\", \"t0\": " << num(seg.t0)
+                   << ", \"t1\": " << num(seg.t1)
+                   << ", \"cycles\": " << num(seg.cycles) << "}"
+                   << (i + 1 < path.size() ? "," : "") << "\n";
+            }
+            os << "    ], \"ranked\": [\n";
+            auto ranked = pv.rankedCriticalSegments();
+            for (std::size_t i = 0; i < ranked.size(); ++i) {
+                os << "      {\"label\": \"" << esc(ranked[i].first)
+                   << "\", \"cycles\": " << num(ranked[i].second)
+                   << "}" << (i + 1 < ranked.size() ? "," : "")
+                   << "\n";
+            }
+            os << "    ]}\n  },\n";
+        }
 
         os << "  \"metrics\": {\n    \"counters\": {";
         bool first = true;

@@ -7,6 +7,8 @@
 #include <sstream>
 #include <utility>
 
+#include "obs/provenance.hh"
+
 namespace vp {
 
 const char*
@@ -302,6 +304,50 @@ writeMeta(std::ostream& os, int pid, const char* processName,
 void
 exportTraceJson(std::ostream& os, const Tracer& t)
 {
+    exportTraceJson(os, t, nullptr);
+}
+
+namespace {
+
+/** First (or last) Service hop of @p r bound to a real SM track. */
+const ProvHop*
+serviceHop(const ItemRecord& r, bool last)
+{
+    const ProvHop* found = nullptr;
+    for (const ProvHop& h : r.hops) {
+        if (h.kind != HopKind::Service || h.track < 0)
+            continue;
+        found = &h;
+        if (!last)
+            break;
+    }
+    return found;
+}
+
+/** Legacy Perfetto flow event ("s" start / "f" finish). */
+void
+writeFlowEvent(std::ostream& os, const char* ph, std::uint64_t id,
+               Tick ts, int tid, bool& first)
+{
+    char buf[256];
+    int n = std::snprintf(
+        buf, sizeof buf,
+        "%s    {\"name\": \"item\", \"cat\": \"flow\", "
+        "\"ph\": \"%s\", \"id\": %llu, \"ts\": %.3f, "
+        "\"pid\": %d, \"tid\": %d%s}",
+        first ? "" : ",\n", ph,
+        static_cast<unsigned long long>(id), ts, PidSms, tid,
+        ph[0] == 'f' ? ", \"bp\": \"e\"" : "");
+    os.write(buf, n);
+    first = false;
+}
+
+} // namespace
+
+void
+exportTraceJson(std::ostream& os, const Tracer& t,
+                const ProvenanceTracker* prov)
+{
     std::vector<TraceEvent> evs = t.snapshot();
 
     // Complete (X) spans are recorded when they *finish* but carry
@@ -360,6 +406,30 @@ exportTraceJson(std::ostream& os, const Tracer& t)
     writeMeta(os, PidInterconnect, "interconnect", first);
     for (const TraceEvent& e : out)
         writeEvent(os, e, t.strings(), first);
+
+    // Lineage flows: one arrow per tracked parent→child edge, from
+    // the batch slice that produced the child to the batch slice
+    // that consumed it. Emitted at export time from the tracker's
+    // records — the ring holds no flow events, so tracing cost is
+    // unchanged when provenance is off.
+    if (prov) {
+        const std::vector<ItemRecord>& recs = prov->records();
+        for (std::size_t i = 0; i < recs.size(); ++i) {
+            const ItemRecord& child = recs[i];
+            if (!child.parent)
+                continue;
+            const ItemRecord* parent = prov->record(child.parent);
+            if (!parent)
+                continue;
+            const ProvHop* from = serviceHop(*parent, true);
+            const ProvHop* to = serviceHop(child, false);
+            if (!from || !to)
+                continue;
+            std::uint64_t id = static_cast<std::uint64_t>(i) + 1;
+            writeFlowEvent(os, "s", id, from->t0, from->track, first);
+            writeFlowEvent(os, "f", id, to->t0, to->track, first);
+        }
+    }
     os << "\n  ]\n}\n";
 }
 

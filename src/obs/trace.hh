@@ -28,6 +28,8 @@
 
 namespace vp {
 
+class ProvenanceTracker;
+
 /** What a trace event describes (drives export naming/grouping). */
 enum class TraceKind : std::uint8_t
 {
@@ -265,6 +267,17 @@ class Tracer
  * timestamp. `scripts/trace_lint.py` validates both properties.
  */
 void exportTraceJson(std::ostream& os, const Tracer& t);
+
+/**
+ * Flow-aware export: additionally emits one Perfetto flow (legacy
+ * s/f pair, id = the child item's provenance id) per parent→child
+ * lineage edge of @p prov, binding the arrow from the parent's
+ * serving batch slice to the child's. Items without a service hop on
+ * either end (never popped, or served on an untracked SM) emit no
+ * flow. @p prov may be null, which degrades to the plain export.
+ */
+void exportTraceJson(std::ostream& os, const Tracer& t,
+                     const ProvenanceTracker* prov);
 
 } // namespace vp
 

@@ -31,11 +31,12 @@ namespace vp {
 
 /**
  * Forwards one pushed item toward its home device: arguments are the
- * payload bytes and a closure that pushes the item into whatever
- * queue the coordinator delivers it to.
+ * payload bytes, the item's provenance id (0 when untracked) and a
+ * closure that pushes the item into whatever queue the coordinator
+ * delivers it to.
  */
-using RemoteForward =
-    std::function<void(int, std::function<void(QueueBase&)>)>;
+using RemoteForward = std::function<void(
+    int, std::uint64_t, std::function<void(QueueBase&)>)>;
 
 /**
  * Answers "is the home queue of this stage out of credit?" — true
@@ -80,8 +81,14 @@ class RemoteStubQueue : public WorkQueue<T>
             WorkQueue<T>::push(std::move(v));
             return;
         }
-        forward_(this->itemBytes(),
-                 [v = std::move(v)](QueueBase& dst) mutable {
+        // The delivery closure re-stamps the id so the landing
+        // queue's enqueue bookkeeping sees the same item, wherever
+        // failover ends up delivering it.
+        std::uint64_t id = this->takeStampedId();
+        forward_(this->itemBytes(), id,
+                 [id, v = std::move(v)](QueueBase& dst) mutable {
+                     if (id)
+                         dst.stampNextPushId(id);
                      typedQueue<T>(dst).push(std::move(v));
                  });
     }

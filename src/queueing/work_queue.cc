@@ -78,6 +78,13 @@ QueueBase::recordPush(std::size_t depthAfter)
         tries_.push_back(nextTries_);
         nextTries_ = 0;
     }
+    if (prov_) {
+        ids_.push_back(nextId_);
+        if (nextId_)
+            prov_->noteEnqueue(nextId_, provStage_, provDevice_,
+                               provSim_->now());
+        nextId_ = 0;
+    }
 }
 
 void
@@ -97,6 +104,13 @@ QueueBase::recordPop(std::size_t depthAfter)
         if (!tries_.empty()) {
             poppedTries_.push_back(tries_.front());
             tries_.pop_front();
+        }
+    }
+    if (prov_) {
+        poppedIds_.clear();
+        if (!ids_.empty()) {
+            poppedIds_.push_back(ids_.front());
+            ids_.pop_front();
         }
     }
 }
@@ -122,6 +136,14 @@ QueueBase::recordPops(std::uint64_t n, std::size_t depthAfter)
             tries_.pop_front();
         }
     }
+    if (prov_) {
+        poppedIds_.clear();
+        std::uint64_t take = std::min<std::uint64_t>(n, ids_.size());
+        for (std::uint64_t i = 0; i < take; ++i) {
+            poppedIds_.push_back(ids_.front());
+            ids_.pop_front();
+        }
+    }
 }
 
 void
@@ -131,6 +153,18 @@ QueueBase::enableRetryMeta()
         return;
     metaEnabled_ = true;
     tries_.assign(size(), 0);
+}
+
+void
+QueueBase::setProvenance(ProvenanceTracker* prov, const Simulator* sim,
+                         int stage, int device)
+{
+    prov_ = prov;
+    provSim_ = sim;
+    provStage_ = stage;
+    provDevice_ = device;
+    if (prov_)
+        ids_.assign(size(), 0);
 }
 
 std::uint32_t

@@ -22,6 +22,7 @@
 
 #include "common/error.hh"
 #include "gpu/device_config.hh"
+#include "obs/provenance.hh"
 #include "obs/trace.hh"
 #include "sim/simulator.hh"
 
@@ -216,6 +217,49 @@ class QueueBase
 
     /** @} */
 
+    /** @name Item provenance (observability support) @{
+     *
+     * When attached, the queue carries a per-item provenance id in a
+     * parallel deque, maintained inside the existing push/pop stat
+     * hooks, and reports every enqueue of a tracked item to the
+     * tracker with the current simulated time. Purely host-side
+     * recording; detached (the default), the only cost on the hot
+     * path is one branch per bookkeeping call.
+     */
+
+    /**
+     * Attach the run's provenance tracker (null detaches; never
+     * owned). @p stage / @p device identify this queue to the
+     * tracker; existing items get id 0 (untracked).
+     */
+    void setProvenance(ProvenanceTracker* prov, const Simulator* sim,
+                       int stage, int device);
+
+    /** True while a tracker is attached. */
+    bool provenanceEnabled() const { return prov_ != nullptr; }
+
+    /** Stamp the NEXT pushed item with provenance @p id (one-shot). */
+    void stampNextPushId(std::uint64_t id) { nextId_ = id; }
+
+    /** Consume a pending stamp without pushing (remote-stub diverts
+     *  the item onto the interconnect instead of buffering it). */
+    std::uint64_t
+    takeStampedId()
+    {
+        std::uint64_t id = nextId_;
+        nextId_ = 0;
+        return id;
+    }
+
+    /** Provenance ids of the items removed by the last pop/popBatch
+     *  (scratch — copy before the next pop). */
+    const std::vector<std::uint64_t>& poppedIds() const
+    {
+        return poppedIds_;
+    }
+
+    /** @} */
+
   protected:
     void recordPush(std::size_t depthAfter);
     void recordPop(std::size_t depthAfter);
@@ -223,8 +267,13 @@ class QueueBase
     /** Record @p n pops in one bookkeeping step (batch pop). */
     void recordPops(std::uint64_t n, std::size_t depthAfter);
 
-    /** Keep retry metadata in sync with a clear() of the payload. */
-    void metaCleared() { tries_.clear(); }
+    /** Keep item metadata in sync with a clear() of the payload. */
+    void
+    metaCleared()
+    {
+        tries_.clear();
+        ids_.clear();
+    }
 
   private:
     std::string name_;
@@ -260,6 +309,15 @@ class QueueBase
     std::deque<std::uint32_t> tries_;
     /** Retry counts of the last pop/popBatch (scratch, reused). */
     std::vector<std::uint32_t> poppedTries_;
+    ProvenanceTracker* prov_ = nullptr;
+    const Simulator* provSim_ = nullptr;
+    int provStage_ = -1;
+    int provDevice_ = 0;
+    std::uint64_t nextId_ = 0;
+    /** Per-item provenance ids, parallel to the payload FIFO. */
+    std::deque<std::uint64_t> ids_;
+    /** Provenance ids of the last pop/popBatch (scratch, reused). */
+    std::vector<std::uint64_t> poppedIds_;
 };
 
 /** FIFO of data items of type T. */
@@ -318,8 +376,13 @@ class WorkQueue : public QueueBase
         WorkQueue<T>& t = typedQueue<T>(dst);
         std::size_t n = items_.size();
         T v;
-        while (pop(v))
+        while (pop(v)) {
+            // Carry each item's provenance id to its new home so
+            // failover evacuation keeps lineages intact.
+            if (provenanceEnabled() && !poppedIds().empty())
+                t.stampNextPushId(poppedIds().front());
             t.push(std::move(v));
+        }
         return n;
     }
 

@@ -281,7 +281,8 @@ TEST(Backpressure, RemoteStubReportsHomeQueueFull)
     int calls = 0;
     bool full = false;
     RemoteStubQueue<ToyItem> stub(
-        "stub", [](int, std::function<void(QueueBase&)>) {});
+        "stub",
+        [](int, std::uint64_t, std::function<void(QueueBase&)>) {});
     EXPECT_FALSE(stub.full()); // unwired: permissive, as before
     stub.setFullProbe([&calls, &full] {
         ++calls;
