@@ -32,6 +32,7 @@
 #include "core/versapipe.hh"
 #include "gpu/device.hh"
 #include "gpu/host.hh"
+#include "serve/serving_engine.hh"
 #include "sim/simulator.hh"
 #include "tuner/offline_tuner.hh"
 
@@ -788,6 +789,153 @@ benchAdaptive(bool smoke)
     return row;
 }
 
+struct ServingRow
+{
+    std::string app;
+    std::uint64_t epochs = 0;
+    std::uint64_t offered = 0;
+    std::uint64_t admitted = 0;
+    std::uint64_t shed = 0;
+    std::uint64_t completed = 0;
+    std::uint64_t outstanding = 0;
+    /** Simulated end-to-end time of the serving run. */
+    double cycles = 0.0;
+    std::uint64_t events = 0;
+    /** Completed requests per million simulated cycles. */
+    double throughputPerMCycle = 0.0;
+    /** Host wall time of the serving run and the wall-relative
+     *  request rate it sustained. */
+    double seconds = 0.0;
+    double requestsPerSec = 0.0;
+    std::vector<TenantServeStats> tenants;
+    /** offered == admitted + shed and admitted == completed +
+     *  outstanding, per tenant and in total. */
+    bool conserved = false;
+    /** A rerun reproduces cycles, events and every serving stat. */
+    bool deterministic = false;
+    /** ServingEngine with a disabled ServeConfig produces an event-
+     *  and cycle-identical run to a plain engine. */
+    bool disabledIdentical = false;
+};
+
+/**
+ * Pipeline-as-a-service: a fixed offered load (three open-loop
+ * tenants at different priorities and token-bucket quotas, the
+ * lowest deliberately over its quota so shedding is exercised)
+ * served by the pyramid app under the Megakernel model — request k
+ * seeds image flow k mod images. Reports sustained throughput and
+ * per-tenant p99, and gates the serving layer's core contracts:
+ * per-tenant conservation, bit-identical reruns, and the disabled
+ * config degenerating to the plain one-shot run.
+ */
+ServingRow
+benchServing(const std::string& app, bool smoke)
+{
+    DeviceConfig dev = DeviceConfig::byName("gtx1080");
+
+    ServeConfig sc;
+    sc.seed = 2026;
+    sc.epochCycles = 5000.0;
+    sc.horizonCycles = smoke ? 150000.0 : 600000.0;
+    sc.overload = OverloadPolicy::Shed;
+    auto tenant = [](const char* name, int prio, double rate,
+                     double burst, double mean) {
+        TenantConfig t;
+        t.name = name;
+        t.priority = prio;
+        t.tokensPerCycle = rate;
+        t.burstTokens = burst;
+        ClientConfig c;
+        c.kind = ArrivalKind::OpenLoop;
+        c.meanInterarrivalCycles = mean;
+        t.clients.push_back(c);
+        return t;
+    };
+    sc.tenants.push_back(tenant("gold", 2, 0.004, 8.0, 12000.0));
+    sc.tenants.push_back(tenant("silver", 1, 0.002, 4.0, 15000.0));
+    // Bronze offers ~1 request / 9k cycles against a 1 / 20k-cycle
+    // quota: the token bucket must shed the excess.
+    sc.tenants.push_back(tenant("bronze", 0, 0.00005, 1.0, 9000.0));
+
+    auto serveOnce = [&](double* secs) {
+        auto driver = makeApp(app, AppScale::Small);
+        FlowServingWorkload wl(*driver);
+        Engine eng(dev);
+        ServingEngine serve(eng, sc);
+        auto t0 = Clock::now();
+        RunResult r =
+            serve.run(wl, makeMegakernelConfig(driver->pipeline()));
+        if (secs)
+            *secs = secondsSince(t0);
+        return r;
+    };
+
+    ServingRow row;
+    row.app = app;
+    RunResult r1 = serveOnce(&row.seconds);
+    RunResult r2 = serveOnce(nullptr);
+
+    const ServingRunStats& s = *r1.serving;
+    row.epochs = s.epochs;
+    row.offered = s.offered;
+    row.admitted = s.admitted;
+    row.shed = s.shed;
+    row.completed = s.completed;
+    row.outstanding = s.outstanding;
+    row.cycles = r1.cycles;
+    row.events = r1.simEvents;
+    row.throughputPerMCycle = s.throughputPerMCycle;
+    row.requestsPerSec = row.seconds > 0.0
+        ? static_cast<double>(s.completed) / row.seconds
+        : 0.0;
+    row.tenants = s.tenants;
+
+    row.conserved = s.offered == s.admitted + s.shed
+        && s.admitted == s.completed + s.outstanding;
+    for (const TenantServeStats& t : s.tenants)
+        row.conserved = row.conserved
+            && t.offered == t.admitted + t.shed
+            && t.admitted == t.completed + t.outstanding;
+
+    auto tenantsEqual = [](const std::vector<TenantServeStats>& a,
+                           const std::vector<TenantServeStats>& b) {
+        if (a.size() != b.size())
+            return false;
+        for (std::size_t i = 0; i < a.size(); ++i)
+            if (a[i].offered != b[i].offered
+                || a[i].admitted != b[i].admitted
+                || a[i].shed != b[i].shed
+                || a[i].completed != b[i].completed
+                || a[i].p50Cycles != b[i].p50Cycles
+                || a[i].p99Cycles != b[i].p99Cycles)
+                return false;
+        return true;
+    };
+    row.deterministic = r1.cycles == r2.cycles
+        && r1.simEvents == r2.simEvents && r2.serving
+        && s.offered == r2.serving->offered
+        && s.completed == r2.serving->completed
+        && tenantsEqual(s.tenants, r2.serving->tenants);
+
+    // Disabled parity: a default ServeConfig run must be the plain
+    // one-shot run, event for event.
+    {
+        auto d1 = makeApp(app, AppScale::Small);
+        Engine plain(dev);
+        RunResult a = plain.run(*d1,
+                                makeMegakernelConfig(d1->pipeline()));
+        auto d2 = makeApp(app, AppScale::Small);
+        FlowServingWorkload wl(*d2);
+        Engine eng(dev);
+        ServingEngine off(eng, ServeConfig{});
+        RunResult b =
+            off.run(wl, makeMegakernelConfig(d2->pipeline()));
+        row.disabledIdentical = a.simEvents == b.simEvents
+            && a.cycles == b.cycles && !b.serving;
+    }
+    return row;
+}
+
 TunerRow
 benchTunerParallel(const std::string& app, int threads)
 {
@@ -1001,6 +1149,53 @@ main(int argc, char** argv)
         return 1;
     }
 
+    vp::bench::header("serving layer (pyramid, 3 tenants, open loop)");
+    ServingRow sv = benchServing("pyramid", smoke);
+    std::printf("  %llu epochs  offered=%llu admitted=%llu "
+                "shed=%llu completed=%llu\n"
+                "  %12.0f cycles  %8.3fs host  %8.1f req/s  "
+                "%.2f req/Mcycle\n",
+                static_cast<unsigned long long>(sv.epochs),
+                static_cast<unsigned long long>(sv.offered),
+                static_cast<unsigned long long>(sv.admitted),
+                static_cast<unsigned long long>(sv.shed),
+                static_cast<unsigned long long>(sv.completed),
+                sv.cycles, sv.seconds, sv.requestsPerSec,
+                sv.throughputPerMCycle);
+    for (const TenantServeStats& t : sv.tenants)
+        std::printf("  %-8s offered=%-4llu shed=%-4llu "
+                    "p50=%-8.0f p99=%-8.0f cycles\n",
+                    t.name.c_str(),
+                    static_cast<unsigned long long>(t.offered),
+                    static_cast<unsigned long long>(t.shed),
+                    t.p50Cycles, t.p99Cycles);
+    std::printf("  work %s  reruns %s  disabled config %s\n",
+                sv.conserved ? "conserved" : "NOT CONSERVED",
+                sv.deterministic ? "bit-identical" : "DIVERGED",
+                sv.disabledIdentical ? "identical" : "DIVERGED");
+    if (!sv.conserved) {
+        std::fprintf(stderr,
+                     "ERROR: serving run lost or duplicated "
+                     "requests\n");
+        return 1;
+    }
+    if (!sv.deterministic) {
+        std::fprintf(stderr, "ERROR: serving reruns diverged\n");
+        return 1;
+    }
+    if (!sv.disabledIdentical) {
+        std::fprintf(stderr,
+                     "ERROR: disabled ServeConfig changed the event "
+                     "trace\n");
+        return 1;
+    }
+    if (sv.shed == 0) {
+        std::fprintf(stderr,
+                     "ERROR: the over-quota tenant shed nothing — "
+                     "admission control is not engaging\n");
+        return 1;
+    }
+
     vp::bench::header("auto-tuner wall clock (pyramid, small)");
     TunerRow serial = benchTunerSerial("pyramid");
     TunerRow par = benchTunerParallel("pyramid", smoke ? 2 : 4);
@@ -1121,6 +1316,50 @@ main(int argc, char** argv)
                      ad.deterministic ? "true" : "false",
                      ad.disabledIdentical ? "true" : "false",
                      ad.disabledRatio);
+        std::fprintf(json,
+                     "  \"serving\": {\"app\": \"%s\", "
+                     "\"epochs\": %llu, \"offered\": %llu, "
+                     "\"admitted\": %llu, \"shed\": %llu, "
+                     "\"completed\": %llu, \"outstanding\": %llu, "
+                     "\"sim_cycles\": %.1f, \"events\": %llu, "
+                     "\"throughput_per_mcycle\": %.4f, "
+                     "\"serve_seconds\": %.6f, "
+                     "\"requests_per_sec\": %.1f, "
+                     "\"work_conserved\": %s, "
+                     "\"reruns_identical\": %s, "
+                     "\"disabled_events_identical\": %s, "
+                     "\"tenants\": [",
+                     sv.app.c_str(),
+                     static_cast<unsigned long long>(sv.epochs),
+                     static_cast<unsigned long long>(sv.offered),
+                     static_cast<unsigned long long>(sv.admitted),
+                     static_cast<unsigned long long>(sv.shed),
+                     static_cast<unsigned long long>(sv.completed),
+                     static_cast<unsigned long long>(sv.outstanding),
+                     sv.cycles,
+                     static_cast<unsigned long long>(sv.events),
+                     sv.throughputPerMCycle, sv.seconds,
+                     sv.requestsPerSec,
+                     sv.conserved ? "true" : "false",
+                     sv.deterministic ? "true" : "false",
+                     sv.disabledIdentical ? "true" : "false");
+        for (std::size_t i = 0; i < sv.tenants.size(); ++i) {
+            const TenantServeStats& t = sv.tenants[i];
+            std::fprintf(json,
+                         "{\"name\": \"%s\", \"offered\": %llu, "
+                         "\"admitted\": %llu, \"shed\": %llu, "
+                         "\"completed\": %llu, "
+                         "\"p50_cycles\": %.2f, "
+                         "\"p99_cycles\": %.2f}%s",
+                         t.name.c_str(),
+                         static_cast<unsigned long long>(t.offered),
+                         static_cast<unsigned long long>(t.admitted),
+                         static_cast<unsigned long long>(t.shed),
+                         static_cast<unsigned long long>(t.completed),
+                         t.p50Cycles, t.p99Cycles,
+                         i + 1 < sv.tenants.size() ? ", " : "");
+        }
+        std::fprintf(json, "]},\n");
         std::fprintf(json,
                      "  \"tuner\": {\"app\": \"%s\", "
                      "\"serial_seconds\": %.6f, "

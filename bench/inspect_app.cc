@@ -15,6 +15,9 @@
  *                    [--csv=out.csv] [--sample=N]
  *                    [--latency] [--critical-path[=N]] [--flow]
  *                    [--prov-sample=K]
+ *                    [--serve] [--tenants=N] [--rate=R]
+ *                    [--epoch=C] [--horizon=C]
+ *                    [--overload=shed|queue]
  *
  * The provenance flags arm per-item lineage tracking on the
  * instrumented run (docs/MODEL.md, "Item provenance & critical
@@ -50,6 +53,19 @@
  * Degraded outcome with a failover summary. Both flags require
  * --devices=N with N > 1.
  *
+ * --serve runs the FIRST app as a pipeline service instead of a
+ * one-shot batch (docs/MODEL.md, "Serving layer & SLO semantics"):
+ * --tenants open-loop tenants (descending priority, staggered
+ * token-bucket quotas) each offer --rate requests per kilocycle
+ * until --horizon, batched into pipeline seeds every --epoch cycles
+ * by the token-bucket admission controller; request k re-seeds the
+ * app's flow k mod flowCount. Prints per-tenant admission and
+ * end-to-end latency percentiles with SLO verdicts. Serving needs a
+ * persistent-blocks configuration, so the run uses the megakernel
+ * config (or --config=versapipe when that maps to a Groups top);
+ * --devices=N serves sharded. --report includes the "serving"
+ * section.
+ *
  * The export flags instrument the selected configuration (default:
  * versapipe) of the FIRST app shown. --trace writes a
  * chrome://tracing / Perfetto trace_event file, --report a full JSON
@@ -63,6 +79,7 @@
 
 #include "bench_util.hh"
 #include "obs/report.hh"
+#include "serve/serving_engine.hh"
 
 using namespace vp;
 using namespace vp::bench;
@@ -99,6 +116,15 @@ struct ObsOptions
     bool flow = false;
     /** Track every K-th seed lineage (1 = all). */
     std::uint64_t provSample = 1;
+    /** Serving mode (--serve): continuous request ingest instead of
+     *  the one-shot batch runs. */
+    bool serve = false;
+    int serveTenants = 2;
+    /** Offered load per tenant, requests per kilocycle. */
+    double serveRate = 0.25;
+    Tick serveEpoch = 2000.0;
+    Tick serveHorizon = 60000.0;
+    OverloadPolicy serveOverload = OverloadPolicy::Shed;
 
     bool provWanted() const
     {
@@ -310,6 +336,126 @@ exportObs(const RunResult& r, const DeviceConfig& dev,
             showCriticalPath(obs, dev, r.cycles, opts.criticalPath);
     }
     std::cout << "\n";
+}
+
+/**
+ * --serve: run one app as a pipeline service. N open-loop tenants in
+ * descending priority, each offering --rate requests per kilocycle;
+ * token-bucket quotas stagger from 1.5x the offered load (tenant 0)
+ * down to 0.5x (the last tenant), so the tail tenant visibly sheds
+ * under the default Shed policy. The loose default SLO — p99 within
+ * ten horizons — keeps the verdict column live without CLI knobs
+ * while only tripping on a service that is badly behind its load.
+ */
+void
+serveApp(const std::string& name, const DeviceConfig& dev,
+         const ObsOptions& opts)
+{
+    std::string where = dev.name;
+    if (opts.devices > 1)
+        where += " x" + std::to_string(opts.devices)
+            + " shard=" + opts.shard;
+    header(name + " served on " + where);
+
+    auto app = makeApp(name);
+    PipelineConfig cfg = makeMegakernelConfig(app->pipeline());
+    std::string label = "megakernel";
+    if (opts.config == "versapipe") {
+        PipelineConfig v = versapipeConfig(name, dev);
+        if (v.top == PipelineConfig::Top::Groups) {
+            cfg = v;
+            label = "versapipe";
+        }
+    }
+
+    ServeConfig sc;
+    sc.seed = 42;
+    sc.epochCycles = opts.serveEpoch;
+    sc.horizonCycles = opts.serveHorizon;
+    sc.overload = opts.serveOverload;
+    if (sc.overload == OverloadPolicy::Queue)
+        sc.queueCapacity = 64;
+    double perCycle = opts.serveRate / 1000.0;
+    for (int t = 0; t < opts.serveTenants; ++t) {
+        TenantConfig tc;
+        tc.name = "t" + std::to_string(t);
+        tc.priority = opts.serveTenants - 1 - t;
+        double quota = opts.serveTenants > 1
+            ? 1.5 - static_cast<double>(t) / (opts.serveTenants - 1)
+            : 1.5;
+        tc.tokensPerCycle = perCycle * quota;
+        tc.burstTokens = 4.0;
+        tc.sloP99Cycles = 10.0 * opts.serveHorizon;
+        ClientConfig cc;
+        cc.kind = ArrivalKind::OpenLoop;
+        cc.meanInterarrivalCycles = 1000.0 / opts.serveRate;
+        tc.clients.push_back(cc);
+        sc.tenants.push_back(tc);
+    }
+
+    FlowServingWorkload wl(*app);
+    RunResult r;
+    if (opts.devices > 1) {
+        Engine engine(
+            DeviceGroupConfig::homogeneous(dev, opts.devices));
+        if (opts.wanted()) {
+            ObsConfig oc;
+            oc.sampleIntervalCycles = opts.sampleCycles;
+            engine.setObservability(oc);
+        }
+        Pipeline& pipe = app->pipeline();
+        ShardPlan plan = opts.shard == "rr"
+            ? ShardPlan::pinnedRoundRobin(cfg, pipe, opts.devices)
+            : ShardPlan::parse(opts.shard, pipe, opts.devices);
+        ServingEngine serve(engine, sc);
+        r = serve.runSharded(wl, cfg, plan);
+    } else {
+        Engine engine(dev);
+        if (opts.wanted()) {
+            ObsConfig oc;
+            oc.sampleIntervalCycles = opts.sampleCycles;
+            engine.setObservability(oc);
+        }
+        ServingEngine serve(engine, sc);
+        r = serve.run(wl, cfg);
+    }
+    VP_REQUIRE(r.completed && r.serving,
+               name << ": serving run failed under " << r.configName
+                    << "\n" << r.failureReason);
+
+    const ServingRunStats& s = *r.serving;
+    std::cout << label << ": " << TextTable::num(r.ms, 3) << " ms  ["
+              << r.configName << "]\n";
+    std::cout << "serving: " << s.epochs << " epochs of "
+              << TextTable::num(s.epochCycles, 0) << " cycles, "
+              << s.offered << " offered / " << s.admitted
+              << " admitted / " << s.shed << " shed / " << s.completed
+              << " completed (" << s.outstanding << " open), "
+              << TextTable::num(s.throughputPerMCycle, 2)
+              << " req/Mcycle\n";
+    TextTable t({"tenant", "prio", "offered", "admitted", "shed",
+                 "completed", "p50 ms", "p99 ms", "slo p99"});
+    for (std::size_t i = 0; i < s.tenants.size(); ++i) {
+        const TenantServeStats& ts = s.tenants[i];
+        std::string verdict = ts.sloP99Cycles <= 0.0 ? "-"
+            : (ts.sloP99Ok ? "ok" : "VIOLATED");
+        if (ts.sloP99Cycles > 0.0 && ts.deadlineMisses > 0)
+            verdict += " (" + std::to_string(ts.deadlineMisses)
+                + " late)";
+        t.addRow({ts.name,
+                  std::to_string(sc.tenants[i].priority),
+                  std::to_string(ts.offered),
+                  std::to_string(ts.admitted),
+                  std::to_string(ts.shed),
+                  std::to_string(ts.completed),
+                  TextTable::num(dev.cyclesToMs(ts.p50Cycles), 4),
+                  TextTable::num(dev.cyclesToMs(ts.p99Cycles), 4),
+                  verdict});
+    }
+    std::cout << t.render();
+    std::cout << "\n";
+    if (opts.wanted())
+        exportObs(r, dev, opts);
 }
 
 void
@@ -536,6 +682,30 @@ main(int argc, char** argv)
                 static_cast<std::uint64_t>(std::stoull(v));
             VP_REQUIRE(opts.provSample >= 1,
                        "--prov-sample wants K >= 1");
+        } else if (arg == "--serve") {
+            opts.serve = true;
+        } else if (flagValue(arg, "--tenants", i, v)) {
+            opts.serveTenants = std::stoi(v);
+            VP_REQUIRE(opts.serveTenants >= 1,
+                       "--tenants wants a positive count");
+        } else if (flagValue(arg, "--rate", i, v)) {
+            opts.serveRate = std::stod(v);
+            VP_REQUIRE(opts.serveRate > 0.0,
+                       "--rate wants requests/kcycle > 0");
+        } else if (flagValue(arg, "--epoch", i, v)) {
+            opts.serveEpoch = std::stod(v);
+            VP_REQUIRE(opts.serveEpoch > 0.0,
+                       "--epoch wants a positive cycle count");
+        } else if (flagValue(arg, "--horizon", i, v)) {
+            opts.serveHorizon = std::stod(v);
+            VP_REQUIRE(opts.serveHorizon > 0.0,
+                       "--horizon wants a positive cycle count");
+        } else if (flagValue(arg, "--overload", i, v)) {
+            VP_REQUIRE(v == "shed" || v == "queue",
+                       "--overload wants shed|queue, got `" << v
+                       << "`");
+            opts.serveOverload = v == "queue" ? OverloadPolicy::Queue
+                                              : OverloadPolicy::Shed;
         } else if (arg == "--adaptive") {
             opts.adaptive = true;
         } else if (arg.rfind("--adaptive=", 0) == 0) {
@@ -554,6 +724,15 @@ main(int argc, char** argv)
     VP_REQUIRE(!opts.chaos() || opts.devices > 1,
                "--kill-device/--fail-link script multi-device "
                "failover; add --devices=N with N > 1");
+    if (opts.serve) {
+        // Serving mode replaces the batch sweeps; default to one
+        // representative app rather than the whole registry.
+        if (apps.empty())
+            apps = {"pyramid"};
+        for (const std::string& name : apps)
+            serveApp(name, dev, opts);
+        return 0;
+    }
     if (apps.empty())
         apps = appNames();
     bool first = true;

@@ -8,7 +8,9 @@ cd "$(dirname "$0")/.."
 jobs="$(nproc 2>/dev/null || echo 4)"
 
 cmake --preset default
-cmake --build build -j"$jobs" --target test_golden
+cmake --build build -j"$jobs" --target test_golden --target test_serving
 GOLDEN_REGEN=1 ./build/tests/test_golden
+GOLDEN_REGEN=1 ./build/tests/test_serving \
+    --gtest_filter='Serving.GoldenStreamingReport'
 
 git --no-pager diff --stat -- tests/golden || true

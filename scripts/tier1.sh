@@ -17,9 +17,19 @@ ctest --test-dir build --output-on-failure -j"$jobs"
 # (ctest entry `trace_export`, scripts/check_trace.sh).
 ctest --test-dir build -L obs --output-on-failure
 
+# Serving layer (continuous ingest, admission control, SLO tracking):
+# the streaming test tier plus the serving lane of the property
+# tests (ctest label `serving`, also part of the full suite above).
+ctest --test-dir build -L serving --output-on-failure
+
 cmake --preset asan-ubsan
 cmake --build build-sanitize -j"$jobs"
 ctest --test-dir build-sanitize -L sanitize --output-on-failure -j"$jobs"
+
+# The serving suite again under ASan+UBSan: the serve loop stacks
+# closures on the runtime hot path (epoch seeding, wake relaunches,
+# provenance-driven completion), exactly what the sanitizers watch.
+ctest --test-dir build-sanitize -L serving --output-on-failure
 
 # Reduced chaos smoke under the sanitizers: a handful of randomized
 # device/link failover scenarios with memory and UB checking. The

@@ -6,6 +6,7 @@
 #include <string>
 
 #include "common/logging.hh"
+#include "core/serve_hook.hh"
 
 namespace vp {
 
@@ -139,6 +140,43 @@ Engine::runTimed(AppDriver& driver, const PipelineConfig& config,
 
     runner->start(driver);
 
+    // Serving mode: the attached session ingests requests at epoch
+    // boundaries through a run-lifetime Seeder and re-wakes retired
+    // kernels; provenance lineage closure reports request completion
+    // back to it (core/serve_hook.hh).
+    bool serveOn = serve_ != nullptr;
+    Tick serveEpoch = 0.0;
+    bool serveActive = false;
+    Seeder serveSeeder;
+    if (serveOn) {
+        VP_CHECK(config.top == PipelineConfig::Top::Groups,
+                 ErrorCode::Config,
+                 "serving requires a Groups configuration");
+        VP_CHECK(obs && obs->provenance
+                     && obs->provenance->sampleEvery() == 1,
+                 ErrorCode::Config,
+                 "serving requires provenance tracking with "
+                 "sampleEvery=1 (ServingEngine arms it)");
+        VP_CHECK(!plan_ || plan_->smEvents.empty(), ErrorCode::Config,
+                 "serving cannot combine with scripted SM fault "
+                 "events (their drain-cancellation trigger assumes "
+                 "the one-shot drain)");
+        serveEpoch = serve_->epochCycles();
+        VP_CHECK(serveEpoch > 0.0, ErrorCode::Config,
+                 "serve session must use a positive epoch period");
+        serveSeeder = runner->serveSeeder();
+        ServeBinding sb;
+        sb.sim = &sim;
+        sb.seeder = &serveSeeder;
+        sb.obs = obs.get();
+        sb.wake = [r = runner.get()] { r->serveWake(); };
+        sb.queueTraffic = [r = runner.get()] {
+            return r->drainProgress();
+        };
+        serve_->begin(sb);
+        serveActive = true;
+    }
+
     Tracer* tracer = obs ? obs->tracerPtr() : nullptr;
 
     bool watchdogOn = faulted && rc.watchdogIntervalCycles > 0.0;
@@ -148,7 +186,8 @@ Engine::runTimed(AppDriver& driver, const PipelineConfig& config,
     bool drained;
     std::optional<RunOutcome> failure;
     std::string reason;
-    if (!watchdogOn && !timeoutOn && !samplerOn && !adaptOn) {
+    if (!watchdogOn && !timeoutOn && !samplerOn && !adaptOn
+        && !serveOn) {
         drained = sim.runUntil(cycleLimit, eventLimit_);
     } else {
         // Slice the run at watchdog checkpoints and sampler
@@ -164,9 +203,10 @@ Engine::runTimed(AppDriver& driver, const PipelineConfig& config,
             watchdogOn ? rc.watchdogIntervalCycles : kInf;
         Tick sampNext = samplerOn ? obs->sampler.interval() : kInf;
         Tick adaptNext = adaptOn ? adaptiveCfg_->epochCycles : kInf;
+        Tick serveNext = serveActive ? serveEpoch : kInf;
         for (;;) {
             Tick target =
-                std::min({checkpoint, sampNext, adaptNext,
+                std::min({checkpoint, sampNext, adaptNext, serveNext,
                           cycleLimit});
             if (timeoutOn)
                 target = std::min(target, rc.drainTimeoutCycles);
@@ -174,8 +214,20 @@ Engine::runTimed(AppDriver& driver, const PipelineConfig& config,
                 ? eventLimit_ - sim.eventsRun()
                 : 0;
             drained = sim.runUntil(target, budget);
-            if (drained)
+            if (drained) {
+                if (serveActive) {
+                    // The pipeline idled dry between bursts: hop the
+                    // clock to the next epoch boundary (legal — no
+                    // pending events) and let the session refill it.
+                    if (sim.now() < serveNext)
+                        sim.advanceTo(serveNext);
+                    serveActive = serve_->epoch(serveNext);
+                    serveNext = serveActive ? serveNext + serveEpoch
+                                            : kInf;
+                    continue;
+                }
                 break;
+            }
             if (sim.eventsRun() >= eventLimit_ || target >= cycleLimit)
                 break;
             if (samplerOn && target >= sampNext) {
@@ -185,6 +237,15 @@ Engine::runTimed(AppDriver& driver, const PipelineConfig& config,
             if (adaptOn && target >= adaptNext) {
                 runner->adaptEpoch();
                 adaptNext += adaptiveCfg_->epochCycles;
+            }
+            if (serveActive && target >= serveNext) {
+                // runUntil already delivered every event at or
+                // before the boundary, so the hop is zero-event.
+                if (sim.now() < serveNext)
+                    sim.advanceTo(serveNext);
+                serveActive = serve_->epoch(serveNext);
+                serveNext = serveActive ? serveNext + serveEpoch
+                                        : kInf;
             }
             if (timeoutOn && target >= rc.drainTimeoutCycles) {
                 failure = RunOutcome::DrainTimeout;
@@ -231,6 +292,8 @@ Engine::runTimed(AppDriver& driver, const PipelineConfig& config,
     // tail of the trace ring is the flight recorder: append it to the
     // diagnostic so post-mortems need no separate export step.
     auto finishObs = [&](RunResult& result) {
+        if (serve_)
+            serve_->finish(result, sim.now());
         if (!obs)
             return;
         if (tracer) {
@@ -288,7 +351,10 @@ Engine::runTimed(AppDriver& driver, const PipelineConfig& config,
     }
 
     RunResult result = runner->collect();
-    result.completed = driver.verify();
+    // A serving run has no one-shot verify(): the pipeline was
+    // re-seeded continuously, so per-request conservation — checked
+    // by the session — replaces the app's whole-workload check.
+    result.completed = serve_ ? true : driver.verify();
     if (result.completed) {
         result.outcome = RunOutcome::Completed;
     } else if (result.faults.deadLettered > 0

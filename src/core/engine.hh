@@ -22,6 +22,8 @@
 
 namespace vp {
 
+class ServeSession;
+
 /** Executes pipeline applications on a simulated device. */
 class Engine
 {
@@ -169,6 +171,27 @@ class Engine
 
     /** @} */
 
+    /** @name Serving (continuous request ingest) @{ */
+
+    /**
+     * Attach a serving session (core/serve_hook.hh): subsequent runs
+     * ingest its requests on zero-sim-event epoch boundaries instead
+     * of ending at the first drain. Non-owning — the session must
+     * outlive the runs and is normally managed by vp_serve's
+     * ServingEngine, which also arms the provenance tracker serving
+     * depends on. Serve-mode runs require a Groups configuration and
+     * reject scripted fault events.
+     */
+    void setServeSession(ServeSession* s) { serve_ = s; }
+
+    /** Detach the serving session. */
+    void clearServeSession() { serve_ = nullptr; }
+
+    /** The attached serving session, if any. */
+    ServeSession* serveSession() const { return serve_; }
+
+    /** @} */
+
     /**
      * Run @p driver under @p config to completion.
      * Fatal when the run livelocks or leaves work pending.
@@ -227,6 +250,7 @@ class Engine
     std::optional<ObsConfig> obsCfg_;
     std::optional<AdaptiveConfig> adaptiveCfg_;
     std::optional<DeviceGroupConfig> group_;
+    ServeSession* serve_ = nullptr;
 };
 
 } // namespace vp

@@ -24,6 +24,7 @@
 
 #include "common/logging.hh"
 #include "core/engine_group_internal.hh"
+#include "core/serve_hook.hh"
 #include "gpu/device_group.hh"
 
 namespace vp {
@@ -123,10 +124,13 @@ Engine::runShardedTimed(AppDriver& driver,
     bool cycleExact = !plan.anyPinned();
     // Provenance recording is single-threaded host state (one
     // tracker, one id sequence); armed runs stay on the serial loop.
+    // Serving runs stay serial too: the session's epoch boundaries
+    // and the provenance tracker they ride are single-threaded host
+    // state (and serving always arms provenance anyway).
     if (groupdetail::hostParallelEligible(gcfg, n, pipe, config, plan,
                                           plan_)
         && (cycleExact || std::isinf(cycleLimit))
-        && !(obsCfg_ && obsCfg_->provenance))
+        && !(obsCfg_ && obsCfg_->provenance) && !serve_)
         return runShardedParallel(driver, config, plan, cycleLimit);
 
     pipe.validate();
@@ -550,6 +554,64 @@ Engine::runShardedTimed(AppDriver& driver,
     for (auto& r : runners)
         r->start(driver);
 
+    // Serving mode (core/serve_hook.hh): the session seeds admitted
+    // requests at epoch boundaries through one run-lifetime routed
+    // seeder — the same (stage, ordinal) placement as seedAll, with
+    // the ordinal rolling across epochs so sharded serving placement
+    // is a pure function of the admission order.
+    bool serveOn = serve_ != nullptr;
+    Tick serveEpoch = 0.0;
+    bool serveActive = false;
+    Seeder serveSeeder;
+    if (serveOn) {
+        VP_CHECK(obs && prov && prov->sampleEvery() == 1,
+                 ErrorCode::Config,
+                 "serving requires provenance tracking with "
+                 "sampleEvery=1 (ServingEngine arms it)");
+        VP_CHECK(!plan_
+                     || (plan_->smEvents.empty()
+                         && !plan_->anyDeviceFaults()
+                         && !plan_->anyLinkFaults()),
+                 ErrorCode::Config,
+                 "serving cannot combine with scripted fault events "
+                 "(their drain-cancellation trigger assumes the "
+                 "one-shot drain)");
+        serveEpoch = serve_->epochCycles();
+        VP_CHECK(serveEpoch > 0.0, ErrorCode::Config,
+                 "serve session must use a positive epoch period");
+        serveSeeder.pipe_ = &pipe;
+        serveSeeder.prov_ = prov;
+        serveSeeder.noteSeeded_ = [&pending](int stage, int items) {
+            (void)stage;
+            pending.add(items);
+        };
+        serveSeeder.route_ = [&runners, &plan,
+                              n](int stage, int ordinal) -> QueueBase& {
+            int home = plan.homeDevice(stage);
+            int dev = home >= 0 ? home
+                                : shardSeedDevice(stage, ordinal, n);
+            return runners[static_cast<std::size_t>(dev)]
+                ->deliveryQueue(stage,
+                                static_cast<std::uint64_t>(ordinal));
+        };
+        ServeBinding sb;
+        sb.sim = &sim;
+        sb.seeder = &serveSeeder;
+        sb.obs = obs.get();
+        sb.wake = [&runners] {
+            for (auto& r : runners)
+                r->serveWake();
+        };
+        sb.queueTraffic = [&runners, &icx] {
+            std::uint64_t p = icx.stats().delivered;
+            for (const auto& r : runners)
+                p += r->drainProgress();
+            return p;
+        };
+        serve_->begin(sb);
+        serveActive = true;
+    }
+
     auto groupProgress = [&runners, &icx] {
         std::uint64_t p = icx.stats().delivered;
         for (const auto& r : runners)
@@ -572,7 +634,8 @@ Engine::runShardedTimed(AppDriver& driver,
     bool drained;
     std::optional<RunOutcome> failure;
     std::string reason;
-    if (!watchdogOn && !timeoutOn && !samplerOn && !adaptOn) {
+    if (!watchdogOn && !timeoutOn && !samplerOn && !adaptOn
+        && !serveOn) {
         drained = sim.runUntil(cycleLimit, eventLimit_);
     } else {
         // Same supervision slicing as the single-device engine
@@ -585,9 +648,10 @@ Engine::runShardedTimed(AppDriver& driver,
             watchdogOn ? rc.watchdogIntervalCycles : kInf;
         Tick sampNext = samplerOn ? obs->sampler.interval() : kInf;
         Tick adaptNext = adaptOn ? adaptiveCfg_->epochCycles : kInf;
+        Tick serveNext = serveActive ? serveEpoch : kInf;
         for (;;) {
             Tick target =
-                std::min({checkpoint, sampNext, adaptNext,
+                std::min({checkpoint, sampNext, adaptNext, serveNext,
                           cycleLimit});
             if (timeoutOn)
                 target = std::min(target, rc.drainTimeoutCycles);
@@ -595,8 +659,20 @@ Engine::runShardedTimed(AppDriver& driver,
                 ? eventLimit_ - sim.eventsRun()
                 : 0;
             drained = sim.runUntil(target, budget);
-            if (drained)
+            if (drained) {
+                if (serveActive) {
+                    // The group idled dry between bursts: hop the
+                    // clock to the next epoch boundary (legal — no
+                    // pending events) and let the session refill it.
+                    if (sim.now() < serveNext)
+                        sim.advanceTo(serveNext);
+                    serveActive = serve_->epoch(serveNext);
+                    serveNext = serveActive ? serveNext + serveEpoch
+                                            : kInf;
+                    continue;
+                }
                 break;
+            }
             if (sim.eventsRun() >= eventLimit_ || target >= cycleLimit)
                 break;
             if (samplerOn && target >= sampNext) {
@@ -607,6 +683,15 @@ Engine::runShardedTimed(AppDriver& driver,
                 for (auto& r : runners)
                     r->adaptEpoch();
                 adaptNext += adaptiveCfg_->epochCycles;
+            }
+            if (serveActive && target >= serveNext) {
+                // runUntil already delivered every event at or
+                // before the boundary, so the hop is zero-event.
+                if (sim.now() < serveNext)
+                    sim.advanceTo(serveNext);
+                serveActive = serve_->epoch(serveNext);
+                serveNext = serveActive ? serveNext + serveEpoch
+                                        : kInf;
             }
             if (timeoutOn && target >= rc.drainTimeoutCycles) {
                 failure = RunOutcome::DrainTimeout;
@@ -716,6 +801,8 @@ Engine::runShardedTimed(AppDriver& driver,
     };
 
     auto finishObs = [&](RunResult& result) {
+        if (serve_)
+            serve_->finish(result, sim.now());
         if (!obs)
             return;
         if (tracer) {
@@ -770,7 +857,9 @@ Engine::runShardedTimed(AppDriver& driver,
     }
 
     RunResult result = collectMerged();
-    result.completed = driver.verify();
+    // Serving runs: per-request conservation (checked by the
+    // session) replaces the app's one-shot whole-workload verify.
+    result.completed = serve_ ? true : driver.verify();
     // Surviving a device kill or link failure is by definition a
     // degraded run, even when every item still made it through: the
     // group no longer matches its configuration.

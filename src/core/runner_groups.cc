@@ -223,8 +223,12 @@ GroupsRunner::launchSpec(int specIdx, const std::vector<int>& sms,
         });
     kernel->setAllowedSms(sms);
     ++liveKernels_;
-    kernel->notifyOnComplete([this] {
+    if (specLiveKernels_.size() < specs_.size())
+        specLiveKernels_.resize(specs_.size(), 0);
+    ++specLiveKernels_[static_cast<std::size_t>(specIdx)];
+    kernel->notifyOnComplete([this, specIdx] {
         --liveKernels_;
+        --specLiveKernels_[static_cast<std::size_t>(specIdx)];
         onKernelComplete();
     });
     Stream* stream = dev_.createStream();
@@ -239,6 +243,26 @@ GroupsRunner::launchSpec(int specIdx, const std::vector<int>& sms,
             for (int s : stages)
                 bindStageKernel(s, kp->id());
     });
+}
+
+void
+GroupsRunner::serveWake()
+{
+    // Epoch seeding may have landed work for a stage group whose
+    // persistent blocks all retired while the pipeline idled between
+    // request bursts: relaunch exactly those specs. Groups with live
+    // kernels keep their resident blocks — they poll and pick the
+    // new work up — so a wake costs nothing while the pipeline is
+    // busy.
+    if (specLiveKernels_.size() < specs_.size())
+        specLiveKernels_.resize(specs_.size(), 0);
+    for (std::size_t i = 0; i < specs_.size(); ++i) {
+        if (specLiveKernels_[i] > 0)
+            continue;
+        if (!anyFutureWork(specs_[i].stages))
+            continue;
+        launchSpec(static_cast<int>(i), specs_[i].sms, false);
+    }
 }
 
 void

@@ -142,6 +142,23 @@ RunnerBase::seedFlow(AppDriver& driver, QueueSet& qs, int flow)
     driver.seedFlow(seeder, flow);
 }
 
+Seeder
+RunnerBase::serveSeeder()
+{
+    // Same wiring as seedFlow's one-shot seeder, but returned to the
+    // engine so the serving session can inject items at every epoch
+    // boundary of a run.
+    Seeder seeder;
+    seeder.pipe_ = &pipe_;
+    seeder.queues_ = &queues_;
+    seeder.noteSeeded_ = [this](int stage, int n) {
+        (void)stage;
+        pendingPtr_->add(n);
+    };
+    seeder.prov_ = prov_;
+    return seeder;
+}
+
 bool
 RunnerBase::localWork(StageMask relevant) const
 {

@@ -163,6 +163,7 @@ class Seeder
   private:
     friend class RunnerBase;
     friend class GroupCoordinator;
+    friend class Engine; // builds the sharded serving seeder
     Pipeline* pipe_ = nullptr;
     QueueSet* queues_ = nullptr;
     std::function<void(int, int)> noteSeeded_;
@@ -330,6 +331,27 @@ class RunnerBase
      * runner) builds and launches the adopted groups' specs.
      */
     virtual void adoptStages(const std::vector<int>& stages);
+
+    /** @} */
+
+    /** @name Serving (continuous request ingest) @{ */
+
+    /**
+     * Seeder for serving-mode epoch injection: pushes land in this
+     * runner's queues and count on the pending counter exactly like
+     * initial seeding, and each item is stamped with a fresh
+     * provenance id when the run tracks provenance. The caller keeps
+     * the seeder alive across epochs.
+     */
+    Seeder serveSeeder();
+
+    /**
+     * Serving-mode wake-up after epoch seeding: relaunch kernels for
+     * stage groups whose persistent blocks retired while the
+     * pipeline sat idle between request bursts. Default no-op — only
+     * GroupsRunner serves.
+     */
+    virtual void serveWake() {}
 
     /** @} */
 
@@ -539,6 +561,8 @@ class GroupsRunner : public RunnerBase
 
     void adoptStages(const std::vector<int>& stages) override;
 
+    void serveWake() override;
+
   protected:
     void onBlockAborted(BlockContext& ctx) override;
     void onSmFailed(int sm) override;
@@ -592,6 +616,9 @@ class GroupsRunner : public RunnerBase
     /** Live block -> spec index, for eviction bookkeeping. */
     std::map<BlockContext*, int> blockSpec_;
     int liveKernels_ = 0;
+    /** Live kernels per spec index (serving wake-up bookkeeping:
+     *  only specs with no live kernel need a relaunch). */
+    std::vector<int> specLiveKernels_;
     int refillBudget_ = 64;
 
     /** @name Online load balancing @{ */

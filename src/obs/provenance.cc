@@ -31,7 +31,10 @@ ProvenanceTracker::mintSeed()
         return 0;
     ++seedsTracked_;
     records_.emplace_back();
-    return static_cast<std::uint64_t>(records_.size());
+    auto id = static_cast<std::uint64_t>(records_.size());
+    rootOf_.push_back(id); // a seed roots its own lineage
+    openByRoot_.push_back(1);
+    return id;
 }
 
 std::uint64_t
@@ -39,8 +42,13 @@ ProvenanceTracker::mintChild(std::uint64_t parent)
 {
     if (parent == 0 || parent > records_.size())
         return 0;
+    std::uint64_t root = rootOf_[static_cast<std::size_t>(parent - 1)];
     records_.emplace_back();
     records_.back().parent = parent;
+    rootOf_.push_back(root);
+    openByRoot_.push_back(0);
+    if (root != 0)
+        ++openByRoot_[static_cast<std::size_t>(root - 1)];
     return static_cast<std::uint64_t>(records_.size());
 }
 
@@ -182,6 +190,10 @@ ProvenanceTracker::terminal(std::uint64_t id, Tick now, ItemFate fate)
         break;
     }
     r->state = ItemRecord::State::None;
+    std::uint64_t root = rootOf_[static_cast<std::size_t>(id - 1)];
+    if (root != 0
+        && --openByRoot_[static_cast<std::size_t>(root - 1)] == 0)
+        closedRoots_.push_back({root, now});
 }
 
 void
@@ -239,6 +251,28 @@ ProvenanceTracker::countByFate(ItemFate f) const
         if (r.fate == f)
             ++n;
     return n;
+}
+
+std::uint64_t
+ProvenanceTracker::rootOf(std::uint64_t id) const
+{
+    if (id == 0 || id > rootOf_.size())
+        return 0;
+    return rootOf_[static_cast<std::size_t>(id - 1)];
+}
+
+std::uint64_t
+ProvenanceTracker::openOfRoot(std::uint64_t root) const
+{
+    if (root == 0 || root > openByRoot_.size())
+        return 0;
+    return openByRoot_[static_cast<std::size_t>(root - 1)];
+}
+
+std::vector<ProvenanceTracker::ClosedRoot>
+ProvenanceTracker::drainClosedRoots()
+{
+    return std::exchange(closedRoots_, {});
 }
 
 double

@@ -164,6 +164,13 @@ struct StageDecomposition
  * reports enqueues, the runtime reports pops/commits/terminals, and
  * the sharded engine reports transfers. All methods are O(1) per
  * observation (amortized) and never touch the simulator.
+ *
+ * Every record also knows the *root* (seed ancestor) of its lineage,
+ * and the tracker counts how many items of each lineage are still
+ * Open. The tick the count hits zero the lineage is "closed" and
+ * appended to a drain list — the serving layer maps closed roots
+ * back to requests to stamp end-to-end latency without ever walking
+ * the record table.
  */
 class ProvenanceTracker
 {
@@ -214,6 +221,28 @@ class ProvenanceTracker
 
     std::uint64_t countByFate(ItemFate f) const;
 
+    /** Seed (root) ancestor id of @p id's lineage; 0 for 0 / out of
+     *  range. A seed is its own root. */
+    std::uint64_t rootOf(std::uint64_t id) const;
+
+    /** Tracked items of @p root's lineage still Open. */
+    std::uint64_t openOfRoot(std::uint64_t root) const;
+
+    /** One lineage whose items all reached terminal fates. */
+    struct ClosedRoot
+    {
+        std::uint64_t root = 0;
+        /** Time the last open item of the lineage went terminal. */
+        Tick closedAt = 0.0;
+    };
+
+    /**
+     * Lineages that closed since the previous drain, in close order
+     * (terminal hooks run at simulated event times, so the order is
+     * deterministic). Moves the list out.
+     */
+    std::vector<ClosedRoot> drainClosedRoots();
+
     /** Largest |wait+service+transfer - e2e| over terminal items
      *  (the decomposition invariant; must be exactly 0). */
     double maxInvariantError() const;
@@ -250,6 +279,12 @@ class ProvenanceTracker
     std::uint64_t seedsSeen_ = 0;
     std::uint64_t seedsTracked_ = 0;
     std::vector<ItemRecord> records_;
+    /** Root id per record, parallel to records_. */
+    std::vector<std::uint64_t> rootOf_;
+    /** Open items per lineage, keyed by root id - 1 (slots of
+     *  non-root ids stay 0). */
+    std::vector<std::uint32_t> openByRoot_;
+    std::vector<ClosedRoot> closedRoots_;
     std::vector<std::string> stageNames_;
     bool finalized_ = false;
 };

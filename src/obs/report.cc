@@ -127,6 +127,55 @@ writeReportJson(std::ostream& os, const RunResult& r)
        << ", \"watchdog_fired\": "
        << (r.faults.watchdogFired ? "true" : "false") << "},\n";
 
+    if (r.serving) {
+        const ServingRunStats& sv = *r.serving;
+        os << "  \"serving\": {\n"
+           << "    \"epochs\": " << uint(sv.epochs)
+           << ", \"epoch_cycles\": " << num(sv.epochCycles)
+           << ",\n    \"offered\": " << uint(sv.offered)
+           << ", \"admitted\": " << uint(sv.admitted)
+           << ", \"shed\": " << uint(sv.shed)
+           << ", \"completed\": " << uint(sv.completed)
+           << ", \"outstanding\": " << uint(sv.outstanding)
+           << ",\n    \"throughput_per_mcycle\": "
+           << num(sv.throughputPerMCycle) << ",\n";
+        os << "    \"tenants\": [\n";
+        for (std::size_t i = 0; i < sv.tenants.size(); ++i) {
+            const TenantServeStats& t = sv.tenants[i];
+            os << "      {\"name\": \"" << esc(t.name)
+               << "\", \"offered\": " << uint(t.offered)
+               << ", \"admitted\": " << uint(t.admitted)
+               << ", \"shed\": " << uint(t.shed)
+               << ", \"completed\": " << uint(t.completed)
+               << ", \"outstanding\": " << uint(t.outstanding)
+               << ",\n       \"p50_cycles\": " << num(t.p50Cycles)
+               << ", \"p99_cycles\": " << num(t.p99Cycles)
+               << ", \"mean_cycles\": " << num(t.meanCycles)
+               << ", \"max_cycles\": " << num(t.maxCycles)
+               << ",\n       \"slo_p50_cycles\": "
+               << num(t.sloP50Cycles)
+               << ", \"slo_p99_cycles\": " << num(t.sloP99Cycles)
+               << ", \"slo_p50_ok\": " << (t.sloP50Ok ? "true" : "false")
+               << ", \"slo_p99_ok\": " << (t.sloP99Ok ? "true" : "false")
+               << ", \"deadline_misses\": " << uint(t.deadlineMisses)
+               << "}" << (i + 1 < sv.tenants.size() ? "," : "")
+               << "\n";
+        }
+        os << "    ],\n    \"epoch_log\": [\n";
+        for (std::size_t i = 0; i < sv.epochLog.size(); ++i) {
+            const ServeEpochStats& e = sv.epochLog[i];
+            os << "      {\"at\": " << num(e.at)
+               << ", \"arrivals\": " << uint(e.arrivals)
+               << ", \"admitted\": " << uint(e.admitted)
+               << ", \"shed\": " << uint(e.shed)
+               << ", \"completed\": " << uint(e.completed)
+               << ", \"queue_traffic\": " << uint(e.queueTraffic)
+               << "}" << (i + 1 < sv.epochLog.size() ? "," : "")
+               << "\n";
+        }
+        os << "    ]\n  },\n";
+    }
+
     os << "  \"stages\": [\n";
     for (std::size_t i = 0; i < r.stages.size(); ++i) {
         const StageRunStats& s = r.stages[i];

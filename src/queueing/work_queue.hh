@@ -41,6 +41,27 @@ struct QueueStats
 };
 
 /**
+ * Interval statistics between two snapshots of the same queue:
+ * counters subtract; maxDepth is the interval's upper bound (the
+ * high-water mark is monotone, so @p now's value bounds the
+ * interval). This is how epoch accounting slices a long-lived run —
+ * snapshot at each boundary and delta, never resetStats() mid-run,
+ * which would also clear the contention window and re-baseline the
+ * depth EWMA.
+ */
+inline QueueStats
+queueStatsDelta(const QueueStats& now, const QueueStats& prev)
+{
+    QueueStats d;
+    d.pushes = now.pushes - prev.pushes;
+    d.pops = now.pops - prev.pops;
+    d.maxDepth = now.maxDepth;
+    d.opCycles = now.opCycles - prev.opCycles;
+    d.contentionCycles = now.contentionCycles - prev.contentionCycles;
+    return d;
+}
+
+/**
  * Type-erased base of all work queues, carrying the cost model and
  * statistics; typed payload access lives in WorkQueue<T>.
  */
@@ -109,6 +130,11 @@ class QueueBase
      * window: the recent-access ring is part of the per-run cost
      * accounting, so a queue reused across runs must not charge
      * phantom contention from the previous run's accesses.
+     *
+     * Run-boundary only. Inside a run — e.g. between serving epochs —
+     * use stats() snapshots and queueStatsDelta() instead: a mid-run
+     * reset would drop the contention window (perturbing access
+     * costs, hence the event stream) and re-baseline the depth EWMA.
      */
     void
     resetStats()
@@ -117,7 +143,10 @@ class QueueBase
         recent_.clear();
         recentHead_ = 0;
         recentCount_ = 0;
-        depthEwma_ = 0.0;
+        // Re-baseline the smoothed depth to the *surviving* contents:
+        // zeroing it on a non-empty queue would feed the adaptive
+        // controller a phantom under-load signal on reuse.
+        depthEwma_ = ewmaEnabled_ ? static_cast<double>(size()) : 0.0;
     }
 
     /**

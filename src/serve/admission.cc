@@ -1,0 +1,107 @@
+#include "serve/admission.hh"
+
+#include <algorithm>
+
+namespace vp {
+
+AdmissionController::AdmissionController(const ServeConfig& cfg)
+    : cfg_(cfg)
+{
+    cfg_.validate();
+    auto n = cfg_.tenants.size();
+    buckets_.resize(n);
+    rooms_.resize(n);
+    // Buckets start full: a serving run may admit an initial burst,
+    // exactly like a freshly provisioned quota.
+    for (std::size_t t = 0; t < n; ++t)
+        buckets_[t].tokens = cfg_.tenants[t].burstTokens;
+    for (std::size_t t = 0; t < n; ++t)
+        order_.push_back(static_cast<int>(t));
+    std::stable_sort(order_.begin(), order_.end(),
+                     [&](int a, int b) {
+                         return cfg_.tenants[static_cast<std::size_t>(
+                                    a)].priority
+                             > cfg_.tenants[static_cast<std::size_t>(
+                                   b)].priority;
+                     });
+}
+
+void
+AdmissionController::offer(const std::vector<Request>& arrivals)
+{
+    for (const Request& q : arrivals)
+        rooms_[static_cast<std::size_t>(q.tenant)].push_back(q);
+}
+
+AdmissionController::Decision
+AdmissionController::admitAt(Tick now)
+{
+    Decision d;
+    // Refill first, for every tenant — time passes for idle buckets
+    // too, whether or not they have arrivals this epoch.
+    for (std::size_t t = 0; t < buckets_.size(); ++t) {
+        Bucket& b = buckets_[t];
+        const TenantConfig& tc = cfg_.tenants[t];
+        if (now > b.refilledAt) {
+            b.tokens = std::min(
+                tc.burstTokens,
+                b.tokens + tc.tokensPerCycle * (now - b.refilledAt));
+            b.refilledAt = now;
+        }
+    }
+    // Drain the rooms priority-major; the global cap (when set)
+    // spends on high-priority tenants first, which is what makes the
+    // ordering observable even when every bucket has credit.
+    std::uint64_t budget = cfg_.maxAdmitPerEpoch;
+    for (int t : order_) {
+        auto& room = rooms_[static_cast<std::size_t>(t)];
+        Bucket& b = buckets_[static_cast<std::size_t>(t)];
+        while (!room.empty() && b.tokens >= 1.0
+               && (cfg_.maxAdmitPerEpoch == 0 || budget > 0)) {
+            b.tokens -= 1.0;
+            if (budget > 0)
+                --budget;
+            d.admitted.push_back(room.front());
+            room.pop_front();
+        }
+    }
+    // Overload policy for whatever is still waiting.
+    for (int t : order_) {
+        auto& room = rooms_[static_cast<std::size_t>(t)];
+        if (cfg_.overload == OverloadPolicy::Shed) {
+            for (const Request& q : room)
+                d.shed.push_back(q);
+            room.clear();
+        } else if (cfg_.queueCapacity > 0) {
+            // Bounded waiting room: the newest arrivals overflow.
+            while (room.size() > cfg_.queueCapacity) {
+                d.shed.push_back(room.back());
+                room.pop_back();
+            }
+        }
+    }
+    return d;
+}
+
+double
+AdmissionController::tokens(int tenant) const
+{
+    return buckets_[static_cast<std::size_t>(tenant)].tokens;
+}
+
+std::size_t
+AdmissionController::waiting(int tenant) const
+{
+    return rooms_[static_cast<std::size_t>(tenant)].size();
+}
+
+std::size_t
+AdmissionController::waitingTotal() const
+{
+    std::size_t n = 0;
+    for (const auto& room : rooms_)
+        n += room.size();
+    return n;
+}
+
+} // namespace vp

@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Token-bucket admission control with per-tenant quotas and
+ * priorities.
+ *
+ * Each tenant owns one bucket: capacity burstTokens, refill rate
+ * tokensPerCycle, one token per admitted request. Arrivals wait in a
+ * per-tenant room until the next epoch boundary, where admitAt()
+ * refills the buckets and drains the rooms in (priority desc,
+ * tenant index asc) order, FIFO within a tenant. Whatever credit
+ * cannot cover is handled by the overload policy: Shed rejects it
+ * immediately; Queue keeps up to queueCapacity requests waiting per
+ * tenant and sheds the newest overflow.
+ *
+ * The bucket is the quota-isolation mechanism: a flooding tenant
+ * exhausts its own tokens and its surplus is shed (or queued), while
+ * every other tenant's bucket — and therefore its admission rate —
+ * is untouched.
+ */
+
+#ifndef VP_SERVE_ADMISSION_HH
+#define VP_SERVE_ADMISSION_HH
+
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+#include "serve/serve.hh"
+
+namespace vp {
+
+/** Epoch-boundary token-bucket admission controller. */
+class AdmissionController
+{
+  public:
+    explicit AdmissionController(const ServeConfig& cfg);
+
+    /** Park @p arrivals in their tenants' waiting rooms. */
+    void offer(const std::vector<Request>& arrivals);
+
+    /** Epoch-boundary outcome. */
+    struct Decision
+    {
+        /** In admission order (priority-major, FIFO within tenant). */
+        std::vector<Request> admitted;
+        /** In shed order. */
+        std::vector<Request> shed;
+    };
+
+    /**
+     * Refill every bucket up to @p now and admit what credit (and
+     * the global per-epoch cap) allows; apply the overload policy to
+     * the remainder.
+     */
+    Decision admitAt(Tick now);
+
+    /** Current token balance of @p tenant. */
+    double tokens(int tenant) const;
+
+    /** Requests of @p tenant still waiting for admission. */
+    std::size_t waiting(int tenant) const;
+
+    /** Waiting requests across every tenant. */
+    std::size_t waitingTotal() const;
+
+  private:
+    struct Bucket
+    {
+        double tokens = 0.0;
+        Tick refilledAt = 0.0;
+    };
+
+    const ServeConfig cfg_;
+    /** Tenant indices in admission order (priority desc, index asc). */
+    std::vector<int> order_;
+    std::vector<Bucket> buckets_;
+    std::vector<std::deque<Request>> rooms_;
+};
+
+} // namespace vp
+
+#endif // VP_SERVE_ADMISSION_HH

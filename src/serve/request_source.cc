@@ -1,0 +1,128 @@
+#include "serve/request_source.hh"
+
+#include <cmath>
+#include <limits>
+
+namespace vp {
+
+namespace {
+constexpr Tick kNever = std::numeric_limits<Tick>::infinity();
+} // namespace
+
+RequestSource::RequestSource(const ServeConfig& cfg)
+    : cfg_(cfg)
+{
+    cfg_.validate();
+    std::uint64_t ordinal = 0;
+    for (std::size_t t = 0; t < cfg_.tenants.size(); ++t) {
+        const TenantConfig& tc = cfg_.tenants[t];
+        for (std::size_t c = 0; c < tc.clients.size(); ++c) {
+            Client cl;
+            cl.tenant = static_cast<int>(t);
+            cl.index = static_cast<int>(c);
+            cl.cfg = tc.clients[c];
+            // One PCG32 stream per client: the sequence selector is
+            // the global client ordinal, so adding a tenant never
+            // perturbs the streams of the ones before it.
+            cl.rng = Rng(cfg_.seed, 0x5e221ce5ULL + ordinal);
+            ++ordinal;
+            // First arrival: open-loop draws an interarrival gap
+            // from t=0; closed-loop staggers clients by one think
+            // draw (no completion exists yet to react to).
+            double gap = cl.cfg.kind == ArrivalKind::OpenLoop
+                ? expDraw(cl.rng, cl.cfg.meanInterarrivalCycles)
+                : expDraw(cl.rng, cl.cfg.thinkCycles);
+            cl.next = gap;
+            if (retired(cl, cl.next))
+                cl.next = kNever;
+            clients_.push_back(std::move(cl));
+        }
+    }
+}
+
+double
+RequestSource::expDraw(Rng& rng, double mean)
+{
+    if (mean <= 0.0)
+        return 0.0;
+    // Inverse-CDF exponential; nextDouble() < 1 keeps log() finite.
+    return -mean * std::log(1.0 - rng.nextDouble());
+}
+
+bool
+RequestSource::retired(const Client& c, Tick at) const
+{
+    if (c.cfg.maxRequests > 0 && c.issued >= c.cfg.maxRequests)
+        return true;
+    return cfg_.horizonCycles > 0.0 && at > cfg_.horizonCycles;
+}
+
+void
+RequestSource::scheduleNext(Client& c, Tick at)
+{
+    if (c.cfg.kind == ArrivalKind::ClosedLoop) {
+        // Nothing to schedule until the outstanding request finishes.
+        c.waiting = true;
+        c.next = kNever;
+        return;
+    }
+    Tick next = at + expDraw(c.rng, c.cfg.meanInterarrivalCycles);
+    c.next = retired(c, next) ? kNever : next;
+}
+
+void
+RequestSource::poll(Tick now, std::vector<Request>& out)
+{
+    // Deterministic time-ordered merge: repeatedly emit the earliest
+    // due arrival (ties break on the lower client ordinal), so ids
+    // are dense in arrival order regardless of the epoch length.
+    for (;;) {
+        std::size_t best = clients_.size();
+        for (std::size_t i = 0; i < clients_.size(); ++i) {
+            if (clients_[i].next > now)
+                continue;
+            if (best == clients_.size()
+                || clients_[i].next < clients_[best].next)
+                best = i;
+        }
+        if (best == clients_.size())
+            return;
+        Client& c = clients_[best];
+        Request q;
+        q.tenant = c.tenant;
+        q.client = c.index;
+        q.id = nextId_++;
+        q.arrival = c.next;
+        out.push_back(q);
+        ++c.issued;
+        scheduleNext(c, q.arrival);
+    }
+}
+
+void
+RequestSource::noteRequestDone(int tenant, int client, Tick t)
+{
+    for (Client& c : clients_) {
+        if (c.tenant != tenant || c.index != client || !c.waiting)
+            continue;
+        c.waiting = false;
+        if (retired(c, t)) {
+            c.next = kNever;
+            return;
+        }
+        Tick next = t + expDraw(c.rng, c.cfg.thinkCycles);
+        c.next = retired(c, next) ? kNever : next;
+        return;
+    }
+}
+
+bool
+RequestSource::exhausted() const
+{
+    for (const Client& c : clients_)
+        if (c.waiting || c.next != kNever)
+            return false;
+    return true;
+}
+
+} // namespace vp

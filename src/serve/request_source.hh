@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Deterministic request generation for serving runs.
+ *
+ * Every client owns a PCG32 stream derived from (ServeConfig::seed,
+ * client ordinal), so the full arrival sequence is a pure function
+ * of the seed and the times fed into poll()/noteRequestDone() — two
+ * identical serving runs generate identical requests with identical
+ * ids, which is what makes serving replay bit-exact.
+ */
+
+#ifndef VP_SERVE_REQUEST_SOURCE_HH
+#define VP_SERVE_REQUEST_SOURCE_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.hh"
+#include "serve/serve.hh"
+
+namespace vp {
+
+/** Generates the merged arrival stream of every configured client. */
+class RequestSource
+{
+  public:
+    explicit RequestSource(const ServeConfig& cfg);
+
+    /**
+     * Append every arrival with time <= @p now to @p out, in
+     * (time, client ordinal) order, assigning dense ids in that
+     * order. Clients may contribute several arrivals per call
+     * (open-loop bursts between epochs).
+     */
+    void poll(Tick now, std::vector<Request>& out);
+
+    /**
+     * A request of (tenant, client) finished at @p t — completed or
+     * shed. Closed-loop clients draw their think time and schedule
+     * the next arrival; open-loop clients ignore it.
+     */
+    void noteRequestDone(int tenant, int client, Tick t);
+
+    /** No arrivals are due now or can ever become due: every client
+     *  is past its horizon/request budget and none is waiting on a
+     *  completion. */
+    bool exhausted() const;
+
+    /** Requests generated so far. */
+    std::uint64_t generated() const { return nextId_; }
+
+  private:
+    struct Client
+    {
+        int tenant = 0;
+        int index = 0; //!< client index within the tenant
+        ClientConfig cfg;
+        Rng rng;
+        /** Next arrival time; infinity when retired or (closed-loop)
+         *  waiting on a completion. */
+        Tick next = 0.0;
+        /** Closed-loop: a request is outstanding. */
+        bool waiting = false;
+        std::uint64_t issued = 0;
+    };
+
+    /** Exponential draw around @p mean (inverse-CDF of nextDouble,
+     *  bit-stable across platforms). */
+    static double expDraw(Rng& rng, double mean);
+
+    /** True when the client may not issue any further request. */
+    bool retired(const Client& c, Tick at) const;
+
+    /** Advance @p c past an issued arrival at @p at. */
+    void scheduleNext(Client& c, Tick at);
+
+    const ServeConfig cfg_;
+    std::vector<Client> clients_;
+    std::uint64_t nextId_ = 0;
+};
+
+} // namespace vp
+
+#endif // VP_SERVE_REQUEST_SOURCE_HH

@@ -1,0 +1,184 @@
+/**
+ * @file
+ * Serving-layer configuration: tenants, clients and the admission
+ * policy of a pipeline-as-a-service run.
+ *
+ * A ServeConfig describes N simulated clients split over tenants.
+ * Clients generate requests with deterministic seeded generators —
+ * open-loop (Poisson-like exponential interarrival, an offered load
+ * independent of service latency) or closed-loop (each client waits
+ * for its previous request to finish, thinks, then issues the next)
+ * — so every arrival time is a pure function of (seed, clock) and a
+ * serving run replays bit-identically.
+ *
+ * Requests pass a token-bucket admission controller (per-tenant
+ * rate + burst, priority-ordered draining) before they may seed
+ * pipeline work; what the bucket cannot cover is shed immediately or
+ * parked in a bounded per-tenant queue, per the overload policy.
+ * Admission happens ahead of the queueing layer's backpressure
+ * credits: an admitted request still honours bounded stage queues
+ * when it seeds.
+ */
+
+#ifndef VP_SERVE_SERVE_HH
+#define VP_SERVE_SERVE_HH
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/error.hh"
+#include "sim/simulator.hh"
+
+namespace vp {
+
+/** How a client schedules its next request. */
+enum class ArrivalKind
+{
+    /** Exponential interarrival around meanInterarrivalCycles,
+     *  independent of completions (offered load is fixed). */
+    OpenLoop,
+    /** Next request issues one think time after the previous one
+     *  finishes (completion or shed). */
+    ClosedLoop,
+};
+
+/** One simulated client of a tenant. */
+struct ClientConfig
+{
+    ArrivalKind kind = ArrivalKind::OpenLoop;
+    /** Open-loop: mean interarrival gap, cycles. */
+    double meanInterarrivalCycles = 1000.0;
+    /** Closed-loop: mean think time between requests, cycles. */
+    double thinkCycles = 1000.0;
+    /** Stop after this many requests (0 = bounded by the horizon
+     *  only). */
+    std::uint64_t maxRequests = 0;
+};
+
+/** One tenant: an admission quota shared by its clients. */
+struct TenantConfig
+{
+    std::string name;
+    /** Higher priorities admit first at each epoch boundary. */
+    int priority = 0;
+    /** Token-bucket refill rate, tokens (requests) per cycle. */
+    double tokensPerCycle = 0.01;
+    /** Token-bucket capacity: the largest admissible burst. */
+    double burstTokens = 8.0;
+    /** p50 / p99 end-to-end latency SLO targets, cycles (0 = no
+     *  target; verdicts then stay vacuously true). */
+    double sloP50Cycles = 0.0;
+    double sloP99Cycles = 0.0;
+    std::vector<ClientConfig> clients;
+};
+
+/** What happens to arrivals the token bucket cannot cover. */
+enum class OverloadPolicy
+{
+    /** Reject immediately (a fast 429-style response). */
+    Shed,
+    /** Park in a bounded per-tenant FIFO; overflow sheds the
+     *  newest arrival. */
+    Queue,
+};
+
+/** Full serving-run description. Default-constructed = disabled. */
+struct ServeConfig
+{
+    /** Master seed for every client generator. */
+    std::uint64_t seed = 1;
+    /** Epoch period: arrivals batch into pipeline seeds on these
+     *  zero-sim-event boundaries. */
+    double epochCycles = 1000.0;
+    /** Stop generating arrivals past this time (0 = unbounded; every
+     *  generator then needs maxRequests). */
+    double horizonCycles = 0.0;
+    OverloadPolicy overload = OverloadPolicy::Shed;
+    /** Per-tenant waiting-room bound under OverloadPolicy::Queue
+     *  (0 = unbounded). */
+    std::size_t queueCapacity = 0;
+    /** Group-wide admission cap per epoch (0 = unlimited). Makes
+     *  priority ordering observable even when every bucket has
+     *  credit. */
+    std::uint64_t maxAdmitPerEpoch = 0;
+    std::vector<TenantConfig> tenants;
+
+    /** A config with no tenants disables serving entirely. */
+    bool enabled() const { return !tenants.empty(); }
+
+    void
+    validate() const
+    {
+        VP_CHECK(epochCycles > 0.0, ErrorCode::Config,
+                 "ServeConfig.epochCycles must be > 0");
+        VP_CHECK(horizonCycles >= 0.0, ErrorCode::Config,
+                 "ServeConfig.horizonCycles must be >= 0");
+        for (const TenantConfig& t : tenants) {
+            VP_CHECK(!t.clients.empty(), ErrorCode::Config,
+                     "tenant `" << t.name << "` has no clients");
+            VP_CHECK(t.tokensPerCycle >= 0.0, ErrorCode::Config,
+                     "tenant `" << t.name
+                                << "` has a negative token rate");
+            VP_CHECK(t.burstTokens >= 1.0, ErrorCode::Config,
+                     "tenant `" << t.name
+                                << "` needs burstTokens >= 1 to ever "
+                                   "admit a request");
+            for (const ClientConfig& c : t.clients) {
+                if (c.kind == ArrivalKind::OpenLoop) {
+                    VP_CHECK(c.meanInterarrivalCycles > 0.0,
+                             ErrorCode::Config,
+                             "open-loop client of tenant `" << t.name
+                                 << "` needs a positive mean "
+                                    "interarrival");
+                } else {
+                    VP_CHECK(c.thinkCycles >= 0.0, ErrorCode::Config,
+                             "closed-loop client of tenant `" << t.name
+                                 << "` has a negative think time");
+                }
+                VP_CHECK(horizonCycles > 0.0 || c.maxRequests > 0,
+                         ErrorCode::Config,
+                         "client of tenant `" << t.name
+                             << "` is unbounded: set horizonCycles "
+                                "or maxRequests");
+            }
+        }
+    }
+};
+
+/** One generated request. */
+struct Request
+{
+    /** Tenant index into ServeConfig::tenants. */
+    int tenant = 0;
+    /** Client index within the tenant. */
+    int client = 0;
+    /** Global arrival ordinal (dense, in arrival order). */
+    std::uint64_t id = 0;
+    /** Generation time, cycles. */
+    Tick arrival = 0.0;
+};
+
+/**
+ * Exact nearest-rank percentile of @p sorted (ascending):
+ * the smallest element with at least ceil(q * n) values <= it.
+ * 0 for an empty sample. The serving layer uses it for SLO verdicts
+ * so tests can hand-compute the expected value.
+ */
+inline double
+nearestRank(const std::vector<double>& sorted, double q)
+{
+    if (sorted.empty())
+        return 0.0;
+    auto n = static_cast<double>(sorted.size());
+    auto rank = static_cast<std::size_t>(std::ceil(q * n));
+    rank = std::max<std::size_t>(rank, 1);
+    rank = std::min(rank, sorted.size());
+    return sorted[rank - 1];
+}
+
+} // namespace vp
+
+#endif // VP_SERVE_SERVE_HH

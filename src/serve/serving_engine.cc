@@ -1,0 +1,325 @@
+#include "serve/serving_engine.hh"
+
+#include <algorithm>
+#include <memory>
+#include <unordered_map>
+#include <utility>
+
+#include "core/serve_hook.hh"
+#include "obs/obs.hh"
+#include "serve/admission.hh"
+#include "serve/request_source.hh"
+
+namespace vp {
+
+TenantServeStats
+summarizeTenantLatencies(const TenantConfig& tc,
+                         std::vector<double> lats)
+{
+    TenantServeStats ts;
+    ts.name = tc.name;
+    ts.sloP50Cycles = tc.sloP50Cycles;
+    ts.sloP99Cycles = tc.sloP99Cycles;
+    ts.completed = lats.size();
+    std::sort(lats.begin(), lats.end());
+    if (!lats.empty()) {
+        ts.p50Cycles = nearestRank(lats, 0.50);
+        ts.p99Cycles = nearestRank(lats, 0.99);
+        double sum = 0.0;
+        for (double v : lats)
+            sum += v;
+        ts.meanCycles = sum / static_cast<double>(lats.size());
+        ts.maxCycles = lats.back();
+    }
+    if (tc.sloP50Cycles > 0.0)
+        ts.sloP50Ok = ts.p50Cycles <= tc.sloP50Cycles;
+    if (tc.sloP99Cycles > 0.0) {
+        ts.sloP99Ok = ts.p99Cycles <= tc.sloP99Cycles;
+        for (double v : lats)
+            if (v > tc.sloP99Cycles)
+                ++ts.deadlineMisses;
+    }
+    return ts;
+}
+
+namespace {
+
+/**
+ * The concrete serving session: generators + admission + per-request
+ * lineage accounting, driven by the engine at epoch boundaries.
+ */
+class ServeSessionImpl final : public ServeSession
+{
+  public:
+    ServeSessionImpl(const ServeConfig& cfg, ServingWorkload& wl)
+        : cfg_(cfg), wl_(wl), source_(cfg), admission_(cfg)
+    {
+        tenants_.resize(cfg_.tenants.size());
+    }
+
+    Tick epochCycles() const override { return cfg_.epochCycles; }
+
+    void
+    begin(const ServeBinding& b) override
+    {
+        b_ = b;
+        prov_ = b.obs->provenancePtr();
+        lastTraffic_ = b_.queueTraffic ? b_.queueTraffic() : 0;
+    }
+
+    bool
+    epoch(Tick now) override
+    {
+        ServeEpochStats ep;
+        ep.at = now;
+
+        arrivals_.clear();
+        source_.poll(now, arrivals_);
+        for (const Request& q : arrivals_)
+            ++acc(q).offered;
+        ep.arrivals = arrivals_.size();
+
+        admission_.offer(arrivals_);
+        AdmissionController::Decision d = admission_.admitAt(now);
+        for (const Request& q : d.shed) {
+            ++acc(q).shed;
+            // A shed is an immediate (rejection) response: the
+            // closed-loop client thinks and comes back; open-loop
+            // clients ignore the signal.
+            source_.noteRequestDone(q.tenant, q.client, now);
+        }
+        bool seeded = false;
+        for (const Request& q : d.admitted) {
+            ++acc(q).admitted;
+            std::size_t before = prov_->records().size();
+            wl_.seedRequest(*b_.seeder, q);
+            std::size_t after = prov_->records().size();
+            // The pipeline is paused during seeding, so every record
+            // minted here is a seed — a root of this request.
+            if (after == before) {
+                // Nothing seeded: the request is trivially done.
+                acc(q).latencies.push_back(0.0);
+                ++acc(q).completed;
+                source_.noteRequestDone(q.tenant, q.client, now);
+                continue;
+            }
+            requests_.push_back(OpenRequest{
+                q.tenant, q.client, now,
+                static_cast<int>(after - before)});
+            for (std::size_t id = before + 1; id <= after; ++id)
+                rootToReq_[id] = requests_.size() - 1;
+            ++outstanding_;
+            seeded = true;
+        }
+        ep.admitted = d.admitted.size();
+        ep.shed = d.shed.size();
+        if (seeded && b_.wake)
+            b_.wake();
+
+        ep.completed = drainCompletions();
+
+        if (b_.queueTraffic) {
+            std::uint64_t t = b_.queueTraffic();
+            ep.queueTraffic = t - lastTraffic_;
+            lastTraffic_ = t;
+        }
+        epochLog_.push_back(ep);
+        ++epochs_;
+
+        return !source_.exhausted() || admission_.waitingTotal() > 0
+            || outstanding_ > 0;
+    }
+
+    void
+    finish(RunResult& r, Tick end) override
+    {
+        // Lineages may close between the last epoch boundary and the
+        // final drain.
+        drainCompletions();
+
+        auto stats = std::make_shared<ServingRunStats>();
+        stats->epochs = epochs_;
+        stats->epochCycles = cfg_.epochCycles;
+        stats->epochLog = epochLog_;
+        stats->outstanding = outstanding_;
+        for (std::size_t t = 0; t < cfg_.tenants.size(); ++t) {
+            const TenantConfig& tc = cfg_.tenants[t];
+            TenantAcc& a = tenants_[t];
+            TenantServeStats ts =
+                summarizeTenantLatencies(tc, a.latencies);
+            ts.name = tenantName(static_cast<int>(t));
+            ts.offered = a.offered;
+            ts.admitted = a.admitted;
+            ts.shed = a.shed;
+            ts.completed = a.completed;
+            ts.outstanding = a.admitted - a.completed;
+            stats->offered += ts.offered;
+            stats->admitted += ts.admitted;
+            stats->shed += ts.shed;
+            stats->completed += ts.completed;
+            stats->tenants.push_back(std::move(ts));
+        }
+        if (end > 0.0)
+            stats->throughputPerMCycle =
+                static_cast<double>(stats->completed) * 1e6 / end;
+
+        if (b_.obs) {
+            for (std::size_t t = 0; t < tenants_.size(); ++t) {
+                Histogram& h = b_.obs->metrics.histogram(
+                    "serve/e2e/" + tenantName(static_cast<int>(t)),
+                    16.0, 1.25);
+                for (double v : tenants_[t].latencies)
+                    h.add(v);
+            }
+        }
+        r.serving = std::move(stats);
+    }
+
+  private:
+    struct OpenRequest
+    {
+        int tenant = 0;
+        int client = 0;
+        Tick admitted = 0.0;
+        /** Lineages still open; done when it reaches 0. */
+        int openRoots = 0;
+    };
+
+    struct TenantAcc
+    {
+        std::uint64_t offered = 0;
+        std::uint64_t admitted = 0;
+        std::uint64_t shed = 0;
+        std::uint64_t completed = 0;
+        std::vector<double> latencies;
+    };
+
+    TenantAcc& acc(const Request& q)
+    {
+        return tenants_[static_cast<std::size_t>(q.tenant)];
+    }
+
+    std::string
+    tenantName(int t) const
+    {
+        const std::string& n =
+            cfg_.tenants[static_cast<std::size_t>(t)].name;
+        return n.empty() ? "tenant" + std::to_string(t) : n;
+    }
+
+    /** Fold closed lineages into request completions. @return the
+     *  requests that finished. */
+    std::uint64_t
+    drainCompletions()
+    {
+        std::uint64_t finished = 0;
+        for (const ProvenanceTracker::ClosedRoot& cr :
+             prov_->drainClosedRoots()) {
+            auto it = rootToReq_.find(cr.root);
+            if (it == rootToReq_.end())
+                continue;
+            OpenRequest& rq = requests_[it->second];
+            if (--rq.openRoots > 0)
+                continue;
+            // Closed roots drain in close order, so this root's
+            // close time is the request's last-terminal time.
+            double lat = cr.closedAt - rq.admitted;
+            TenantAcc& a =
+                tenants_[static_cast<std::size_t>(rq.tenant)];
+            a.latencies.push_back(lat);
+            ++a.completed;
+            --outstanding_;
+            ++finished;
+            source_.noteRequestDone(rq.tenant, rq.client,
+                                    cr.closedAt);
+        }
+        return finished;
+    }
+
+    const ServeConfig cfg_;
+    ServingWorkload& wl_;
+    RequestSource source_;
+    AdmissionController admission_;
+
+    ServeBinding b_;
+    ProvenanceTracker* prov_ = nullptr;
+
+    std::vector<TenantAcc> tenants_;
+    std::vector<OpenRequest> requests_;
+    /** Lineage root id -> index into requests_. */
+    std::unordered_map<std::uint64_t, std::size_t> rootToReq_;
+    std::uint64_t outstanding_ = 0;
+
+    std::vector<Request> arrivals_;
+    std::vector<ServeEpochStats> epochLog_;
+    std::uint64_t epochs_ = 0;
+    std::uint64_t lastTraffic_ = 0;
+};
+
+} // namespace
+
+ServingEngine::ServingEngine(Engine& engine, ServeConfig cfg)
+    : engine_(engine), cfg_(std::move(cfg))
+{
+    if (cfg_.enabled())
+        cfg_.validate();
+}
+
+RunResult
+ServingEngine::run(ServingWorkload& wl, const PipelineConfig& config)
+{
+    return dispatch(wl, config, nullptr);
+}
+
+RunResult
+ServingEngine::runSharded(ServingWorkload& wl,
+                          const PipelineConfig& config,
+                          const ShardPlan& plan)
+{
+    return dispatch(wl, config, &plan);
+}
+
+RunResult
+ServingEngine::dispatch(ServingWorkload& wl,
+                        const PipelineConfig& config,
+                        const ShardPlan* plan)
+{
+    // Disabled serving is the identity: the plain one-shot run, with
+    // nothing armed and nothing attached — event-for-event identical
+    // to an engine that never saw a ServeConfig.
+    if (!cfg_.enabled()) {
+        return plan
+            ? engine_.runSharded(wl.driver(), config, *plan)
+            : engine_.run(wl.driver(), config);
+    }
+
+    // Serving rides provenance lineage closure for completion
+    // detection; arm it at full sampling, preserving whatever else
+    // the caller configured. RAII so the borrowed engine is restored
+    // on every path.
+    struct Restore
+    {
+        Engine& e;
+        std::optional<ObsConfig> saved;
+        ~Restore()
+        {
+            e.clearServeSession();
+            if (saved)
+                e.setObservability(*saved);
+            else
+                e.clearObservability();
+        }
+    } restore{engine_, engine_.observability()};
+
+    ObsConfig oc = restore.saved.value_or(ObsConfig{});
+    oc.provenance = true;
+    oc.provenanceSampleEvery = 1;
+    engine_.setObservability(oc);
+
+    ServeSessionImpl session(cfg_, wl);
+    engine_.setServeSession(&session);
+    return plan ? engine_.runSharded(wl.driver(), config, *plan)
+                : engine_.run(wl.driver(), config);
+}
+
+} // namespace vp

@@ -1,0 +1,122 @@
+/**
+ * @file
+ * ServingEngine: a long-lived engine run fed by continuous request
+ * ingest.
+ *
+ * The engine's run loop already pauses on zero-sim-event boundaries
+ * for the watchdog, the metrics sampler and the adaptive controller;
+ * serving rides the same slicing. At every epoch boundary the
+ * session polls the deterministic client generators, pushes the
+ * arrivals through the token-bucket admission controller, seeds the
+ * admitted requests into the live pipeline, and re-wakes any kernels
+ * that retired while the pipeline idled between bursts.
+ *
+ * Completion detection rides provenance: ServingEngine arms the
+ * tracker (sampleEvery = 1), the seeder stamps every seeded item
+ * with a fresh lineage id, and a request is complete when all of its
+ * lineages close. End-to-end latency (admission -> last terminal)
+ * lands in per-tenant "serve/e2e/<tenant>" histograms and in
+ * RunResult::serving with exact nearest-rank p50/p99 SLO verdicts.
+ */
+
+#ifndef VP_SERVE_SERVING_ENGINE_HH
+#define VP_SERVE_SERVING_ENGINE_HH
+
+#include <vector>
+
+#include "core/engine.hh"
+#include "serve/serve.hh"
+
+namespace vp {
+
+/** Turns admitted requests into pipeline seed items. */
+class ServingWorkload
+{
+  public:
+    virtual ~ServingWorkload() = default;
+
+    /** The application run under serving (pipeline, reset, stages). */
+    virtual AppDriver& driver() = 0;
+
+    /**
+     * Seed the pipeline items of one admitted request. Every
+     * insert<>() the implementation makes is stamped with a fresh
+     * provenance lineage of the request; the request completes when
+     * all of them close. Seeding nothing completes the request
+     * immediately with zero latency.
+     */
+    virtual void seedRequest(Seeder& seeder, const Request& req) = 0;
+};
+
+/**
+ * Generic workload over any AppDriver: request k re-seeds the
+ * driver's flow (k mod flowCount). This is what `inspect_app
+ * --serve` and the serving bench use to serve the registry apps.
+ */
+class FlowServingWorkload : public ServingWorkload
+{
+  public:
+    explicit FlowServingWorkload(AppDriver& d)
+        : driver_(d)
+    {
+    }
+
+    AppDriver& driver() override { return driver_; }
+
+    void
+    seedRequest(Seeder& seeder, const Request& req) override
+    {
+        int flows = driver_.flowCount();
+        int flow = flows > 0
+            ? static_cast<int>(req.id % static_cast<std::uint64_t>(
+                                   flows))
+            : 0;
+        driver_.seedFlow(seeder, flow);
+    }
+
+  private:
+    AppDriver& driver_;
+};
+
+/**
+ * Summarize one tenant's completed-request latencies into its
+ * TenantServeStats (percentiles, SLO verdicts, deadline misses).
+ * Exposed so tests can hand-compute the expected verdicts.
+ */
+TenantServeStats summarizeTenantLatencies(const TenantConfig& tc,
+                                          std::vector<double> lats);
+
+/**
+ * Runs an Engine in serving mode. A disabled config (no tenants)
+ * degenerates to the plain one-shot run — event-for-event identical
+ * to an engine that never heard of serving.
+ */
+class ServingEngine
+{
+  public:
+    /** @p engine is borrowed and reconfigured around each run (its
+     *  observability config is saved and restored). */
+    ServingEngine(Engine& engine, ServeConfig cfg);
+
+    /** Serve @p wl on a single device. */
+    RunResult run(ServingWorkload& wl, const PipelineConfig& config);
+
+    /** Serve @p wl sharded over the engine's device group. */
+    RunResult runSharded(ServingWorkload& wl,
+                         const PipelineConfig& config,
+                         const ShardPlan& plan);
+
+    const ServeConfig& config() const { return cfg_; }
+
+  private:
+    RunResult dispatch(ServingWorkload& wl,
+                       const PipelineConfig& config,
+                       const ShardPlan* plan);
+
+    Engine& engine_;
+    ServeConfig cfg_;
+};
+
+} // namespace vp
+
+#endif // VP_SERVE_SERVING_ENGINE_HH

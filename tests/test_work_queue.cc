@@ -174,13 +174,21 @@ TEST(WorkQueue, RunResetRunMatchesTwoFreshRuns)
     EXPECT_DOUBLE_EQ(second, first);
 }
 
-TEST(WorkQueue, ResetStatsResetsDepthEwma)
+TEST(WorkQueue, ResetStatsRebaselinesDepthEwma)
 {
+    // A run-boundary reset re-baselines the EWMA to the live depth:
+    // a queue still holding items must not claim an empty history,
+    // and an emptied queue starts the next run from zero.
     WorkQueue<int> q("q");
     q.enableDepthEwma(0.5);
     q.push(1);
     q.push(2);
     EXPECT_GT(q.depthEwma(), 0.0);
+    q.resetStats();
+    EXPECT_DOUBLE_EQ(q.depthEwma(), 2.0);
+    int out = 0;
+    q.pop(out);
+    q.pop(out);
     q.resetStats();
     EXPECT_DOUBLE_EQ(q.depthEwma(), 0.0);
 }
