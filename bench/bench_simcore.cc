@@ -27,6 +27,7 @@
 #include <vector>
 
 #include "apps/registry.hh"
+#include "apps/vidstream/vidstream_app.hh"
 #include "bench_util.hh"
 #include "core/engine.hh"
 #include "core/versapipe.hh"
@@ -936,6 +937,114 @@ benchServing(const std::string& app, bool smoke)
     return row;
 }
 
+struct VidstreamRow
+{
+    std::uint64_t offered = 0;
+    std::uint64_t admitted = 0;
+    std::uint64_t shed = 0;
+    /** Frames fully processed (one request = one frame). */
+    std::uint64_t frames = 0;
+    double cycles = 0.0;
+    std::uint64_t events = 0;
+    /** Sustained frame rate in simulated time (frames/Mcycle). */
+    double framesPerMCycle = 0.0;
+    /** Host wall time and the wall-relative frame rate. */
+    double seconds = 0.0;
+    double framesPerSec = 0.0;
+    /** Per-frame deadline verdicts over all cameras. */
+    std::uint64_t deadlineMisses = 0;
+    double deadlineHitRate = 1.0;
+    std::vector<TenantServeStats> tenants;
+    bool conserved = false;
+    /** Rerun reproduces cycles, events and deadline accounting. */
+    bool deterministic = false;
+};
+
+/**
+ * Streaming video analytics: the vidstream app under the serving
+ * layer, one open-loop tenant per camera issuing frames on a frame
+ * clock, every tenant carrying the same per-frame deadline. Reports
+ * sustained FPS (simulated and wall-relative) and the per-frame
+ * deadline hit-rate, and gates conservation plus bit-identical
+ * reruns of the full deadline accounting.
+ */
+VidstreamRow
+benchVidstream(bool smoke)
+{
+    DeviceConfig dev = DeviceConfig::byName("gtx1080");
+    vidstream::VsParams p = vidstream::VsParams::small();
+
+    ServeConfig sc;
+    sc.seed = 20260808;
+    sc.epochCycles = 4000.0;
+    sc.horizonCycles = smoke ? 400000.0 : 1600000.0;
+    for (int cam = 0; cam < p.cameras; ++cam) {
+        TenantConfig tc;
+        tc.name = "cam" + std::to_string(cam);
+        tc.tokensPerCycle = 0.001;
+        tc.burstTokens = 4.0;
+        tc.deadlineCycles = 60000.0; // the per-frame budget
+        ClientConfig cl;
+        cl.kind = ArrivalKind::OpenLoop;
+        cl.meanInterarrivalCycles = 40000.0; // the frame clock
+        tc.clients.push_back(cl);
+        sc.tenants.push_back(tc);
+    }
+
+    auto serveOnce = [&](double* secs) {
+        vidstream::VidstreamApp app(p);
+        vidstream::VsFrameWorkload wl(app);
+        Engine eng(dev);
+        ServingEngine serve(eng, sc);
+        auto t0 = Clock::now();
+        RunResult r =
+            serve.run(wl, makeMegakernelConfig(app.pipeline()));
+        if (secs)
+            *secs = secondsSince(t0);
+        return r;
+    };
+
+    VidstreamRow row;
+    RunResult r1 = serveOnce(&row.seconds);
+    RunResult r2 = serveOnce(nullptr);
+
+    const ServingRunStats& s = *r1.serving;
+    row.offered = s.offered;
+    row.admitted = s.admitted;
+    row.shed = s.shed;
+    row.frames = s.completed;
+    row.cycles = r1.cycles;
+    row.events = r1.simEvents;
+    row.framesPerMCycle = s.throughputPerMCycle;
+    row.framesPerSec = row.seconds > 0.0
+        ? static_cast<double>(s.completed) / row.seconds
+        : 0.0;
+    row.deadlineMisses = s.deadlineMisses;
+    row.deadlineHitRate = s.deadlineHitRate;
+    row.tenants = s.tenants;
+
+    row.conserved = s.offered == s.admitted + s.shed
+        && s.admitted == s.completed + s.outstanding;
+    for (const TenantServeStats& t : s.tenants)
+        row.conserved = row.conserved
+            && t.offered == t.admitted + t.shed
+            && t.admitted == t.completed + t.outstanding;
+
+    row.deterministic = r1.cycles == r2.cycles
+        && r1.simEvents == r2.simEvents && r2.serving
+        && s.completed == r2.serving->completed
+        && s.deadlineMisses == r2.serving->deadlineMisses
+        && s.deadlineHitRate == r2.serving->deadlineHitRate;
+    if (row.deterministic)
+        for (std::size_t i = 0; i < s.tenants.size(); ++i)
+            row.deterministic = row.deterministic
+                && s.tenants[i].deadlineMisses
+                    == r2.serving->tenants[i].deadlineMisses
+                && s.tenants[i].p99Cycles
+                    == r2.serving->tenants[i].p99Cycles;
+    return row;
+}
+
 TunerRow
 benchTunerParallel(const std::string& app, int threads)
 {
@@ -1196,6 +1305,50 @@ main(int argc, char** argv)
         return 1;
     }
 
+    vp::bench::header(
+        "streaming video analytics (vidstream, frame deadlines)");
+    VidstreamRow vs = benchVidstream(smoke);
+    std::printf("  offered=%llu admitted=%llu shed=%llu "
+                "frames=%llu\n"
+                "  %12.0f cycles  %8.3fs host  %8.1f fps(wall)  "
+                "%.2f frames/Mcycle\n"
+                "  deadline misses=%llu  hit-rate=%.4f\n",
+                static_cast<unsigned long long>(vs.offered),
+                static_cast<unsigned long long>(vs.admitted),
+                static_cast<unsigned long long>(vs.shed),
+                static_cast<unsigned long long>(vs.frames),
+                vs.cycles, vs.seconds, vs.framesPerSec,
+                vs.framesPerMCycle,
+                static_cast<unsigned long long>(vs.deadlineMisses),
+                vs.deadlineHitRate);
+    for (const TenantServeStats& t : vs.tenants)
+        std::printf("  %-8s frames=%-4llu misses=%-4llu "
+                    "hit-rate=%.4f  p99=%-8.0f cycles\n",
+                    t.name.c_str(),
+                    static_cast<unsigned long long>(t.completed),
+                    static_cast<unsigned long long>(t.deadlineMisses),
+                    t.deadlineHitRate, t.p99Cycles);
+    std::printf("  work %s  reruns %s\n",
+                vs.conserved ? "conserved" : "NOT CONSERVED",
+                vs.deterministic ? "bit-identical" : "DIVERGED");
+    if (!vs.conserved) {
+        std::fprintf(stderr,
+                     "ERROR: vidstream serving lost or duplicated "
+                     "frames\n");
+        return 1;
+    }
+    if (!vs.deterministic) {
+        std::fprintf(stderr,
+                     "ERROR: vidstream deadline accounting diverged "
+                     "across reruns\n");
+        return 1;
+    }
+    if (vs.frames == 0) {
+        std::fprintf(stderr,
+                     "ERROR: vidstream completed no frames\n");
+        return 1;
+    }
+
     vp::bench::header("auto-tuner wall clock (pyramid, small)");
     TunerRow serial = benchTunerSerial("pyramid");
     TunerRow par = benchTunerParallel("pyramid", smoke ? 2 : 4);
@@ -1358,6 +1511,47 @@ main(int argc, char** argv)
                          static_cast<unsigned long long>(t.completed),
                          t.p50Cycles, t.p99Cycles,
                          i + 1 < sv.tenants.size() ? ", " : "");
+        }
+        std::fprintf(json, "]},\n");
+        std::fprintf(json,
+                     "  \"vidstream\": {\"app\": \"vidstream\", "
+                     "\"offered\": %llu, \"admitted\": %llu, "
+                     "\"shed\": %llu, \"frames\": %llu, "
+                     "\"sim_cycles\": %.1f, \"events\": %llu, "
+                     "\"frames_per_mcycle\": %.4f, "
+                     "\"serve_seconds\": %.6f, "
+                     "\"frames_per_sec\": %.1f, "
+                     "\"deadline_misses\": %llu, "
+                     "\"deadline_hit_rate\": %.6f, "
+                     "\"work_conserved\": %s, "
+                     "\"reruns_identical\": %s, "
+                     "\"tenants\": [",
+                     static_cast<unsigned long long>(vs.offered),
+                     static_cast<unsigned long long>(vs.admitted),
+                     static_cast<unsigned long long>(vs.shed),
+                     static_cast<unsigned long long>(vs.frames),
+                     vs.cycles,
+                     static_cast<unsigned long long>(vs.events),
+                     vs.framesPerMCycle, vs.seconds,
+                     vs.framesPerSec,
+                     static_cast<unsigned long long>(
+                         vs.deadlineMisses),
+                     vs.deadlineHitRate,
+                     vs.conserved ? "true" : "false",
+                     vs.deterministic ? "true" : "false");
+        for (std::size_t i = 0; i < vs.tenants.size(); ++i) {
+            const TenantServeStats& t = vs.tenants[i];
+            std::fprintf(
+                json,
+                "{\"name\": \"%s\", \"frames\": %llu, "
+                "\"deadline_misses\": %llu, "
+                "\"deadline_hit_rate\": %.6f, "
+                "\"p50_cycles\": %.2f, \"p99_cycles\": %.2f}%s",
+                t.name.c_str(),
+                static_cast<unsigned long long>(t.completed),
+                static_cast<unsigned long long>(t.deadlineMisses),
+                t.deadlineHitRate, t.p50Cycles, t.p99Cycles,
+                i + 1 < vs.tenants.size() ? ", " : "");
         }
         std::fprintf(json, "]},\n");
         std::fprintf(json,

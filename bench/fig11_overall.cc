@@ -47,7 +47,7 @@ runDevice(const std::string& device_name)
                      "paper mega x", "paper versa x", "versa config"});
     double geo_mega = 1.0, geo_versa = 1.0;
     int count = 0;
-    for (const std::string& name : appNames()) {
+    for (const std::string& name : paperAppNames()) {
         auto app = makeApp(name);
         PipelineConfig base_cfg = baselineConfig(*app, dev);
         PipelineConfig mega_cfg = makeMegakernelConfig(

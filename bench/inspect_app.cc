@@ -17,7 +17,7 @@
  *                    [--prov-sample=K]
  *                    [--serve] [--tenants=N] [--rate=R]
  *                    [--epoch=C] [--horizon=C]
- *                    [--overload=shed|queue]
+ *                    [--overload=shed|queue] [--deadline=C]
  *
  * The provenance flags arm per-item lineage tracking on the
  * instrumented run (docs/MODEL.md, "Item provenance & critical
@@ -64,7 +64,13 @@
  * persistent-blocks configuration, so the run uses the megakernel
  * config (or --config=versapipe when that maps to a Groups top);
  * --devices=N serves sharded. --report includes the "serving"
- * section.
+ * section. --deadline=C arms a per-request completion deadline of C
+ * cycles on every tenant: the table gains a deadline hit-rate
+ * column (a request finishing exactly at the deadline is a hit) and
+ * the summary line reports the run-wide miss count. Serving
+ * vidstream swaps the flow workload for its frame clock — request k
+ * of tenant t is the next frame of camera t, so the hit-rate is the
+ * per-frame deadline metric of the camera's stream.
  *
  * The export flags instrument the selected configuration (default:
  * versapipe) of the FIRST app shown. --trace writes a
@@ -79,6 +85,7 @@
 
 #include "bench_util.hh"
 #include "obs/report.hh"
+#include "apps/vidstream/vidstream_app.hh"
 #include "serve/serving_engine.hh"
 
 using namespace vp;
@@ -125,6 +132,8 @@ struct ObsOptions
     Tick serveEpoch = 2000.0;
     Tick serveHorizon = 60000.0;
     OverloadPolicy serveOverload = OverloadPolicy::Shed;
+    /** Per-request deadline, cycles (0 = none). */
+    double serveDeadline = 0.0;
 
     bool provWanted() const
     {
@@ -386,6 +395,7 @@ serveApp(const std::string& name, const DeviceConfig& dev,
         tc.tokensPerCycle = perCycle * quota;
         tc.burstTokens = 4.0;
         tc.sloP99Cycles = 10.0 * opts.serveHorizon;
+        tc.deadlineCycles = opts.serveDeadline;
         ClientConfig cc;
         cc.kind = ArrivalKind::OpenLoop;
         cc.meanInterarrivalCycles = 1000.0 / opts.serveRate;
@@ -393,7 +403,14 @@ serveApp(const std::string& name, const DeviceConfig& dev,
         sc.tenants.push_back(tc);
     }
 
-    FlowServingWorkload wl(*app);
+    // vidstream serves on its frame clock (tenant = camera); every
+    // other app re-seeds flow k mod flowCount.
+    std::unique_ptr<ServingWorkload> wlOwned;
+    if (auto* vs = dynamic_cast<vidstream::VidstreamApp*>(app.get()))
+        wlOwned = std::make_unique<vidstream::VsFrameWorkload>(*vs);
+    else
+        wlOwned = std::make_unique<FlowServingWorkload>(*app);
+    ServingWorkload& wl = *wlOwned;
     RunResult r;
     if (opts.devices > 1) {
         Engine engine(
@@ -433,24 +450,43 @@ serveApp(const std::string& name, const DeviceConfig& dev,
               << " completed (" << s.outstanding << " open), "
               << TextTable::num(s.throughputPerMCycle, 2)
               << " req/Mcycle\n";
-    TextTable t({"tenant", "prio", "offered", "admitted", "shed",
-                 "completed", "p50 ms", "p99 ms", "slo p99"});
+    const bool deadlines = opts.serveDeadline > 0.0;
+    if (deadlines)
+        std::cout << "deadlines: "
+                  << TextTable::num(opts.serveDeadline, 0)
+                  << " cycles/request, " << s.deadlineMisses
+                  << " missed, hit-rate "
+                  << TextTable::num(100.0 * s.deadlineHitRate, 2)
+                  << "%\n";
+    std::vector<std::string> cols = {
+        "tenant", "prio", "offered", "admitted", "shed",
+        "completed", "p50 ms", "p99 ms", "slo p99"};
+    if (deadlines)
+        cols.push_back("deadline");
+    TextTable t(cols);
     for (std::size_t i = 0; i < s.tenants.size(); ++i) {
         const TenantServeStats& ts = s.tenants[i];
         std::string verdict = ts.sloP99Cycles <= 0.0 ? "-"
             : (ts.sloP99Ok ? "ok" : "VIOLATED");
-        if (ts.sloP99Cycles > 0.0 && ts.deadlineMisses > 0)
+        if (!deadlines && ts.sloP99Cycles > 0.0
+            && ts.deadlineMisses > 0)
             verdict += " (" + std::to_string(ts.deadlineMisses)
                 + " late)";
-        t.addRow({ts.name,
-                  std::to_string(sc.tenants[i].priority),
-                  std::to_string(ts.offered),
-                  std::to_string(ts.admitted),
-                  std::to_string(ts.shed),
-                  std::to_string(ts.completed),
-                  TextTable::num(dev.cyclesToMs(ts.p50Cycles), 4),
-                  TextTable::num(dev.cyclesToMs(ts.p99Cycles), 4),
-                  verdict});
+        std::vector<std::string> row = {
+            ts.name,
+            std::to_string(sc.tenants[i].priority),
+            std::to_string(ts.offered),
+            std::to_string(ts.admitted),
+            std::to_string(ts.shed),
+            std::to_string(ts.completed),
+            TextTable::num(dev.cyclesToMs(ts.p50Cycles), 4),
+            TextTable::num(dev.cyclesToMs(ts.p99Cycles), 4),
+            verdict};
+        if (deadlines)
+            row.push_back(
+                TextTable::num(100.0 * ts.deadlineHitRate, 2) + "% ("
+                + std::to_string(ts.deadlineMisses) + " late)");
+        t.addRow(row);
     }
     std::cout << t.render();
     std::cout << "\n";
@@ -700,6 +736,10 @@ main(int argc, char** argv)
             opts.serveHorizon = std::stod(v);
             VP_REQUIRE(opts.serveHorizon > 0.0,
                        "--horizon wants a positive cycle count");
+        } else if (flagValue(arg, "--deadline", i, v)) {
+            opts.serveDeadline = std::stod(v);
+            VP_REQUIRE(opts.serveDeadline > 0.0,
+                       "--deadline wants a positive cycle count");
         } else if (flagValue(arg, "--overload", i, v)) {
             VP_REQUIRE(v == "shed" || v == "queue",
                        "--overload wants shed|queue, got `" << v

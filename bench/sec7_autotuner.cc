@@ -25,7 +25,7 @@ main(int argc, char** argv)
     TextTable table({"app", "evaluated", "timed out", "best config",
                      "best ms", "best single-group ms",
                      "hybrid gain"});
-    for (const std::string& name : appNames()) {
+    for (const std::string& name : paperAppNames()) {
         auto app = makeApp(name, AppScale::Small);
         Engine engine(dev);
         TunerOptions opts;

@@ -78,7 +78,7 @@ main(int argc, char** argv)
         << "concurrent blocks; LDPC megakernel 60 regs -> 4 "
         << "blocks/SM.\n\n";
 
-    for (const std::string& name : appNames())
+    for (const std::string& name : paperAppNames())
         stageTable(name, dev);
 
     // KBK kernel-call structure (paper: Reyes 16 calls; CFD 7 per

@@ -25,7 +25,7 @@ main(int argc, char** argv)
     TextTable table({"app", "versa ms", "longest stage ms",
                      "queue ops ms", "contention ms", "itemSz",
                      "queue ms per 1k items"});
-    for (const std::string& name : appNames()) {
+    for (const std::string& name : paperAppNames()) {
         auto app = makeApp(name);
         PipelineConfig cfg = versapipeConfig(name, dev);
         RunResult r = runOn(*app, dev, cfg);

@@ -72,7 +72,7 @@ main()
 
     TextTable table({"program", "kbk/rtc ms", "mega ms", "versa ms",
                      "longest ms", "itemSz", "paper(k/m/v/l)"});
-    for (const std::string& name : appNames()) {
+    for (const std::string& name : paperAppNames()) {
         auto app = makeTable2App(name);
         PipelineConfig base_cfg = baselineConfig(*app, dev);
         PipelineConfig mega_cfg = makeMegakernelConfig(

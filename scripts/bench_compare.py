@@ -30,7 +30,8 @@ import os
 import sys
 
 # Keys whose values depend on the host machine, never on the model.
-TIMING_SUFFIXES = ("seconds", "events_per_sec", "requests_per_sec")
+TIMING_SUFFIXES = ("seconds", "events_per_sec", "requests_per_sec",
+                   "frames_per_sec")
 INFO_KEYS = {
     "overhead_ratio",
     "disabled_overhead_ratio",

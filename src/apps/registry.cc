@@ -6,12 +6,20 @@
 #include "apps/pyramid/pyramid_app.hh"
 #include "apps/raster/raster_app.hh"
 #include "apps/reyes/reyes_app.hh"
+#include "apps/vidstream/vidstream_app.hh"
 #include "common/error.hh"
 
 namespace vp {
 
 std::vector<std::string>
 appNames()
+{
+    return {"pyramid", "facedetect", "reyes", "cfd", "raster",
+            "ldpc", "vidstream"};
+}
+
+std::vector<std::string>
+paperAppNames()
 {
     return {"pyramid", "facedetect", "reyes", "cfd", "raster",
             "ldpc"};
@@ -48,6 +56,11 @@ makeApp(const std::string& name, AppScale scale)
     if (name == "ldpc") {
         return std::make_unique<ldpc::LdpcApp>(
             small ? ldpc::LdpcParams::small() : ldpc::LdpcParams{});
+    }
+    if (name == "vidstream") {
+        return std::make_unique<vidstream::VidstreamApp>(
+            small ? vidstream::VsParams::small()
+                  : vidstream::VsParams{});
     }
     VP_FATAL("unknown application `" << name << "`");
 }

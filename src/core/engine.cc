@@ -152,11 +152,10 @@ Engine::runTimed(AppDriver& driver, const PipelineConfig& config,
         VP_CHECK(config.top == PipelineConfig::Top::Groups,
                  ErrorCode::Config,
                  "serving requires a Groups configuration");
-        VP_CHECK(obs && obs->provenance
-                     && obs->provenance->sampleEvery() == 1,
-                 ErrorCode::Config,
-                 "serving requires provenance tracking with "
-                 "sampleEvery=1 (ServingEngine arms it)");
+        VP_CHECK(obs && obs->provenance, ErrorCode::Config,
+                 "serving requires an armed provenance tracker "
+                 "(ServingEngine arms it; request roots are "
+                 "force-tracked regardless of the sampling stride)");
         VP_CHECK(!plan_ || plan_->smEvents.empty(), ErrorCode::Config,
                  "serving cannot combine with scripted SM fault "
                  "events (their drain-cancellation trigger assumes "

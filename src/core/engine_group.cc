@@ -564,10 +564,10 @@ Engine::runShardedTimed(AppDriver& driver,
     bool serveActive = false;
     Seeder serveSeeder;
     if (serveOn) {
-        VP_CHECK(obs && prov && prov->sampleEvery() == 1,
-                 ErrorCode::Config,
-                 "serving requires provenance tracking with "
-                 "sampleEvery=1 (ServingEngine arms it)");
+        VP_CHECK(obs && prov, ErrorCode::Config,
+                 "serving requires an armed provenance tracker "
+                 "(ServingEngine arms it; request roots are "
+                 "force-tracked regardless of the sampling stride)");
         VP_CHECK(!plan_
                      || (plan_->smEvents.empty()
                          && !plan_->anyDeviceFaults()

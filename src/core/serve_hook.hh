@@ -56,9 +56,10 @@ struct ServeBinding
  * The engine does not own the session (attach with
  * Engine::setServeSession); it must outlive the run. Serving
  * requires a Groups configuration, an armed provenance tracker
- * (sampleEvery = 1 — lineage closure is how request completion is
- * detected) and no scripted fault events (their drain-notification
- * triggers assume the one-shot drain).
+ * (lineage closure is how request completion is detected; request
+ * roots are force-tracked, so a sampling stride > 1 only thins the
+ * pre-seeded app items) and no scripted fault events (their
+ * drain-notification triggers assume the one-shot drain).
  */
 class ServeSession
 {

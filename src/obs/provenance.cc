@@ -27,7 +27,8 @@ std::uint64_t
 ProvenanceTracker::mintSeed()
 {
     ++seedsSeen_;
-    if (sampleEvery_ > 1 && (seedsSeen_ - 1) % sampleEvery_ != 0)
+    if (!alwaysTrack_ && sampleEvery_ > 1
+        && (seedsSeen_ - 1) % sampleEvery_ != 0)
         return 0;
     ++seedsTracked_;
     records_.emplace_back();

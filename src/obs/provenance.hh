@@ -183,6 +183,18 @@ class ProvenanceTracker
     /** Id for the next seed item; 0 when sampled out. */
     std::uint64_t mintSeed();
 
+    /**
+     * While on, mintSeed tracks every seed regardless of the
+     * sampling stride. The serving layer flips this around request
+     * seeding: request roots must always be tracked (lineage closure
+     * is how completion is detected) while pre-seeded app items keep
+     * honoring the caller's stride. Forced seeds still advance
+     * seedsSeen(), so the stride phase stays a pure function of the
+     * seed sequence.
+     */
+    void setAlwaysTrack(bool on) { alwaysTrack_ = on; }
+    bool alwaysTrack() const { return alwaysTrack_; }
+
     /** Id for an output of the batch that popped @p parent; 0 when
      *  the parent itself is untracked. */
     std::uint64_t mintChild(std::uint64_t parent);
@@ -276,6 +288,7 @@ class ProvenanceTracker
     void terminal(std::uint64_t id, Tick now, ItemFate fate);
 
     std::uint64_t sampleEvery_;
+    bool alwaysTrack_ = false;
     std::uint64_t seedsSeen_ = 0;
     std::uint64_t seedsTracked_ = 0;
     std::vector<ItemRecord> records_;

@@ -139,6 +139,17 @@ writeReportJson(std::ostream& os, const RunResult& r)
            << ", \"outstanding\": " << uint(sv.outstanding)
            << ",\n    \"throughput_per_mcycle\": "
            << num(sv.throughputPerMCycle) << ",\n";
+        // Deadline keys appear only when a tenant configured one, so
+        // no-deadline reports stay byte-identical to earlier builds.
+        bool anyDeadline = false;
+        for (const TenantServeStats& t : sv.tenants)
+            anyDeadline = anyDeadline || t.deadlineCycles > 0.0;
+        if (anyDeadline) {
+            os << "    \"deadline_misses\": "
+               << uint(sv.deadlineMisses)
+               << ", \"deadline_hit_rate\": "
+               << num(sv.deadlineHitRate) << ",\n";
+        }
         os << "    \"tenants\": [\n";
         for (std::size_t i = 0; i < sv.tenants.size(); ++i) {
             const TenantServeStats& t = sv.tenants[i];
@@ -157,8 +168,14 @@ writeReportJson(std::ostream& os, const RunResult& r)
                << ", \"slo_p99_cycles\": " << num(t.sloP99Cycles)
                << ", \"slo_p50_ok\": " << (t.sloP50Ok ? "true" : "false")
                << ", \"slo_p99_ok\": " << (t.sloP99Ok ? "true" : "false")
-               << ", \"deadline_misses\": " << uint(t.deadlineMisses)
-               << "}" << (i + 1 < sv.tenants.size() ? "," : "")
+               << ", \"deadline_misses\": " << uint(t.deadlineMisses);
+            if (t.deadlineCycles > 0.0) {
+                os << ",\n       \"deadline_cycles\": "
+                   << num(t.deadlineCycles)
+                   << ", \"deadline_hit_rate\": "
+                   << num(t.deadlineHitRate);
+            }
+            os << "}" << (i + 1 < sv.tenants.size() ? "," : "")
                << "\n";
         }
         os << "    ],\n    \"epoch_log\": [\n";

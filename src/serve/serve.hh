@@ -72,6 +72,15 @@ struct TenantConfig
      *  target; verdicts then stay vacuously true). */
     double sloP50Cycles = 0.0;
     double sloP99Cycles = 0.0;
+    /**
+     * Per-request completion deadline, cycles (0 = none). A request
+     * completing after more than this many cycles is a deadline miss,
+     * accounted the moment its lineage closes; finishing exactly at
+     * the deadline is a hit, matching the `p99 <= target` SLO
+     * convention. Frame-clock workloads (vidstream) set this to the
+     * frame budget so the hit-rate is the per-frame deadline metric.
+     */
+    double deadlineCycles = 0.0;
     std::vector<ClientConfig> clients;
 };
 
@@ -126,6 +135,9 @@ struct ServeConfig
                      "tenant `" << t.name
                                 << "` needs burstTokens >= 1 to ever "
                                    "admit a request");
+            VP_CHECK(t.deadlineCycles >= 0.0, ErrorCode::Config,
+                     "tenant `" << t.name
+                                << "` has a negative deadline");
             for (const ClientConfig& c : t.clients) {
                 if (c.kind == ArrivalKind::OpenLoop) {
                     VP_CHECK(c.meanInterarrivalCycles > 0.0,

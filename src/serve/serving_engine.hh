@@ -12,11 +12,15 @@
  * that retired while the pipeline idled between bursts.
  *
  * Completion detection rides provenance: ServingEngine arms the
- * tracker (sampleEvery = 1), the seeder stamps every seeded item
- * with a fresh lineage id, and a request is complete when all of its
- * lineages close. End-to-end latency (admission -> last terminal)
- * lands in per-tenant "serve/e2e/<tenant>" histograms and in
- * RunResult::serving with exact nearest-rank p50/p99 SLO verdicts.
+ * tracker (honoring a caller-configured sampling stride for the
+ * pre-seeded app items; request roots are always tracked), the
+ * seeder stamps every seeded item with a fresh lineage id, and a
+ * request is complete when all of its lineages close. End-to-end
+ * latency (admission -> last terminal) lands in per-tenant
+ * "serve/e2e/<tenant>" histograms and in RunResult::serving with
+ * exact nearest-rank p50/p99 SLO verdicts and, for tenants with a
+ * per-request deadlineCycles, a deadline hit-rate accounted the
+ * moment each lineage closes.
  */
 
 #ifndef VP_SERVE_SERVING_ENGINE_HH

@@ -9,6 +9,7 @@
 
 #include <gtest/gtest.h>
 
+#include "apps/registry.hh"
 #include "core/shard.hh"
 #include "toy_apps.hh"
 
@@ -193,6 +194,32 @@ TEST(AdaptiveEngine, AdaptiveRerunsAreBitIdentical)
     EXPECT_EQ(r1.simEvents, r2.simEvents);
     EXPECT_EQ(r1.polls, r2.polls);
     EXPECT_EQ(r1.retreats, r2.retreats);
+    EXPECT_GT(r1.extra.get("adaptiveEpochs"), 0.0);
+    EXPECT_EQ(r1.extra.get("adaptiveEpochs"),
+              r2.extra.get("adaptiveEpochs"));
+    EXPECT_EQ(r1.extra.get("adaptiveMoves"),
+              r2.extra.get("adaptiveMoves"));
+}
+
+TEST(AdaptiveEngine, VidstreamDriftingFanOutRerunsAreBitIdentical)
+{
+    // vidstream's face-count random walk makes the per-stage load
+    // genuinely non-stationary — exactly what the controller chases.
+    // Adaptation must engage and still rerun bit-identically.
+    DeviceConfig dev = DeviceConfig::byName("gtx1080");
+    auto app = makeApp("vidstream", AppScale::Small);
+    PipelineConfig cfg = makeFineConfig(app->pipeline(), dev);
+    AdaptiveConfig ac = on();
+    ac.epochCycles = 5000.0;
+    Engine engine(dev);
+    engine.setAdaptive(ac);
+    RunResult r1 = engine.run(*app, cfg);
+    RunResult r2 = engine.run(*app, cfg);
+    ASSERT_TRUE(r1.completed) << r1.failureReason;
+    ASSERT_TRUE(r2.completed) << r2.failureReason;
+    EXPECT_EQ(r1.cycles, r2.cycles);
+    EXPECT_EQ(r1.simEvents, r2.simEvents);
+    EXPECT_EQ(r1.polls, r2.polls);
     EXPECT_GT(r1.extra.get("adaptiveEpochs"), 0.0);
     EXPECT_EQ(r1.extra.get("adaptiveEpochs"),
               r2.extra.get("adaptiveEpochs"));

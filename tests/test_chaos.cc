@@ -128,8 +128,12 @@ TEST(Chaos, RandomFaultPlansDrainConserveAndReplay)
         Rng rng(static_cast<std::uint64_t>(seed),
                 0x5eedc0de5eedc0deULL);
 
-        const char* appName =
-            rng.nextBool(0.5) ? "raster" : "pyramid";
+        // Three-way app pick keeps old seeds' first draw meaningful:
+        // raster keeps its half, the other half splits between the
+        // batch pyramid and the fan-out-drifting vidstream.
+        const char* appName = rng.nextBool(0.5)
+            ? "raster"
+            : (rng.nextBool(0.5) ? "pyramid" : "vidstream");
         auto app = makeApp(appName, AppScale::Small);
         Pipeline& pipe = app->pipeline();
 

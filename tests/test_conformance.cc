@@ -208,4 +208,4 @@ TEST_P(Conformance, HostParallelShardsMatchSerial)
 INSTANTIATE_TEST_SUITE_P(Apps, Conformance,
                          ::testing::Values("pyramid", "facedetect",
                                            "reyes", "cfd", "raster",
-                                           "ldpc"));
+                                           "ldpc", "vidstream"));

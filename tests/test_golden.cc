@@ -162,4 +162,4 @@ TEST_P(Golden, MatchesCorpusHostParallel)
 INSTANTIATE_TEST_SUITE_P(Apps, Golden,
                          ::testing::Values("pyramid", "facedetect",
                                            "reyes", "cfd", "raster",
-                                           "ldpc"));
+                                           "ldpc", "vidstream"));

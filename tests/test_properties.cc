@@ -25,6 +25,7 @@
 #include "queueing/work_queue.hh"
 #include "serve/admission.hh"
 #include "serve/request_source.hh"
+#include "serve/serving_engine.hh"
 #include "sim/interconnect.hh"
 #include "sim/simulator.hh"
 
@@ -361,6 +362,8 @@ randomServePlan(Rng& rng)
         tc.priority = static_cast<int>(rng.nextBelow(4));
         tc.tokensPerCycle = rng.nextRange(0.0005, 0.02);
         tc.burstTokens = 1.0 + rng.nextBelow(8);
+        if (rng.nextBool(0.5))
+            tc.deadlineCycles = 500.0 + rng.nextBelow(20000);
         const int clients = 1 + static_cast<int>(rng.nextBelow(2));
         for (int c = 0; c < clients; ++c) {
             ClientConfig cl;
@@ -486,5 +489,51 @@ TEST(Properties, RandomServingPlansConserveAndReplay)
         // identical transcript, decision for decision.
         EXPECT_TRUE(ep == playServePlan(sc))
             << "serving plan replay diverged";
+    }
+}
+
+TEST(Properties, DeadlineAccountingMatchesReferenceCount)
+{
+    // summarizeTenantLatencies vs. a naive reference: for random
+    // latency samples and a random deadline, the miss count is the
+    // number of strictly-late completions (exactly-at-deadline hits),
+    // the hit-rate is its exact complement, and when no deadline is
+    // set the p99 target keeps the miss line while the hit-rate
+    // stays vacuous.
+    for (std::uint64_t seed = 1; seed <= kSeeds; ++seed) {
+        SCOPED_TRACE("seed=" + std::to_string(seed));
+        Rng rng(seed, 31);
+        const int n = 1 + static_cast<int>(rng.nextBelow(40));
+        std::vector<double> lats;
+        for (int i = 0; i < n; ++i)
+            lats.push_back(100.0 * (1 + rng.nextBelow(50)));
+        // Half the draws land exactly on a sample value, pinning the
+        // boundary semantics under random data too.
+        const double line = rng.nextBool(0.5)
+            ? lats[rng.nextBelow(static_cast<std::uint32_t>(n))]
+            : 50.0 + 100.0 * rng.nextBelow(50);
+
+        std::uint64_t late = 0;
+        for (double v : lats)
+            if (v > line)
+                ++late;
+
+        TenantConfig withDeadline;
+        withDeadline.name = "p";
+        withDeadline.deadlineCycles = line;
+        TenantServeStats ts =
+            summarizeTenantLatencies(withDeadline, lats);
+        EXPECT_EQ(ts.deadlineMisses, late);
+        EXPECT_DOUBLE_EQ(ts.deadlineHitRate,
+                         static_cast<double>(
+                             static_cast<std::uint64_t>(n) - late)
+                             / static_cast<double>(n));
+
+        TenantConfig sloOnly;
+        sloOnly.name = "p";
+        sloOnly.sloP99Cycles = line;
+        TenantServeStats to = summarizeTenantLatencies(sloOnly, lats);
+        EXPECT_EQ(to.deadlineMisses, late);
+        EXPECT_DOUBLE_EQ(to.deadlineHitRate, 1.0);
     }
 }

@@ -449,3 +449,43 @@ TEST(Provenance, SamplingTracksEveryKthSeedLineage)
     EXPECT_EQ(base.simEvents, r.simEvents);
     EXPECT_DOUBLE_EQ(base.cycles, r.cycles);
 }
+
+TEST(Provenance, SamplingPhaseResetsBetweenRuns)
+{
+    // Run-reset-run equality: the tracker (and its seedsSeen_
+    // counter, which drives the sampling phase) lives in the per-run
+    // ObsData, so run 2 on a reused engine must sample exactly the
+    // seeds run 1 did — no stride-phase leakage across runs — and
+    // both must equal a fresh engine's first run.
+    LinearApp app(2, 64);
+    Engine reused(DeviceConfig::k20c());
+    reused.setObservability(provConfig(/*sampleEvery=*/3));
+    PipelineConfig cfg = makeMegakernelConfig(app.pipeline());
+    RunResult r1 = reused.run(app, cfg);
+    RunResult r2 = reused.run(app, cfg);
+    ASSERT_TRUE(r1.completed);
+    ASSERT_TRUE(r2.completed);
+
+    LinearApp freshApp(2, 64);
+    Engine fresh(DeviceConfig::k20c());
+    fresh.setObservability(provConfig(/*sampleEvery=*/3));
+    RunResult rf =
+        fresh.run(freshApp, makeMegakernelConfig(freshApp.pipeline()));
+    ASSERT_TRUE(rf.completed);
+
+    const ProvenanceTracker& a = *r1.obs->provenance;
+    const ProvenanceTracker& b = *r2.obs->provenance;
+    const ProvenanceTracker& c = *rf.obs->provenance;
+    EXPECT_EQ(b.seedsSeen(), a.seedsSeen());
+    EXPECT_EQ(b.seedsTracked(), a.seedsTracked());
+    EXPECT_EQ(b.records().size(), a.records().size());
+    EXPECT_EQ(c.seedsSeen(), b.seedsSeen());
+    EXPECT_EQ(c.seedsTracked(), b.seedsTracked());
+    EXPECT_EQ(c.records().size(), b.records().size());
+    // The phase restarts at seed 1 each run: every run sees the
+    // app's full seed count and samples every 3rd from the start.
+    EXPECT_EQ(b.seedsSeen(),
+              static_cast<std::uint64_t>(app.totalItems()));
+    EXPECT_EQ(b.seedsTracked(), (b.seedsSeen() + 2) / 3);
+    expectProvenanceConserved(r2);
+}

@@ -16,6 +16,7 @@
 #include <fstream>
 #include <sstream>
 
+#include "apps/vidstream/vidstream_app.hh"
 #include "core/engine.hh"
 #include "core/shard.hh"
 #include "obs/report.hh"
@@ -380,6 +381,64 @@ TEST(RequestSource, ClosedLoopReplayIsBitIdentical)
     EXPECT_TRUE(b.exhausted());
 }
 
+TEST(RequestSource, QueueOverflowShedsReArmClosedLoopClients)
+{
+    // The wedge repro: a closed-loop client whose request is
+    // displaced by Queue-policy overflow ("sheds the newest") must be
+    // released via noteRequestDone like any other shed, or it waits
+    // forever, exhausted() never turns true, and the serve loop spins
+    // on zero-event epochs. This mirrors ServeSessionImpl::epoch(),
+    // which completes every element of the admission delta's shed
+    // list back to the source; the loop bound turns a wedge into a
+    // test failure instead of a hang.
+    ServeConfig sc;
+    sc.seed = 11;
+    sc.epochCycles = 500.0;
+    sc.overload = OverloadPolicy::Queue;
+    sc.queueCapacity = 1; // overflow displaces on every burst
+    TenantConfig tc = tenantOf("cl", /*rate=*/0.002, /*burst=*/1.0);
+    tc.clients.clear();
+    for (int c = 0; c < 4; ++c) {
+        ClientConfig cl;
+        cl.kind = ArrivalKind::ClosedLoop;
+        cl.thinkCycles = 100.0;
+        cl.maxRequests = 3;
+        tc.clients.push_back(cl);
+    }
+    sc.tenants.push_back(tc);
+
+    RequestSource src(sc);
+    AdmissionController ac(sc);
+    std::vector<Request> arrivals;
+    std::uint64_t admitted = 0, shed = 0;
+    int rounds = 0;
+    for (int round = 1; round <= 200; ++round) {
+        rounds = round;
+        Tick now = round * sc.epochCycles;
+        arrivals.clear();
+        src.poll(now, arrivals);
+        if (arrivals.empty() && src.exhausted()
+            && ac.waitingTotal() == 0)
+            break;
+        ac.offer(arrivals);
+        auto d = ac.admitAt(now);
+        admitted += d.admitted.size();
+        shed += d.shed.size();
+        // Admitted requests "serve" instantly; displaced ones must
+        // also release their client or the loop never drains.
+        for (const Request& q : d.admitted)
+            src.noteRequestDone(q.tenant, q.client, now);
+        for (const Request& q : d.shed)
+            src.noteRequestDone(q.tenant, q.client, now);
+    }
+    EXPECT_TRUE(src.exhausted())
+        << "closed-loop clients wedged; still waiting after "
+        << rounds << " rounds";
+    EXPECT_GT(shed, 0u) << "scenario never overflowed the queue";
+    // 4 clients x 3 requests, each admitted or displaced exactly once.
+    EXPECT_EQ(admitted + shed, 12u);
+}
+
 // ----------------------- SLO arithmetic ------------------------- //
 
 TEST(Slo, VerdictsMatchHandComputedPercentiles)
@@ -414,6 +473,58 @@ TEST(Slo, VerdictsMatchHandComputedPercentiles)
     TenantServeStats te = summarizeTenantLatencies(tc, {});
     EXPECT_DOUBLE_EQ(te.p50Cycles, 0.0);
     EXPECT_EQ(te.completed, 0u);
+}
+
+TEST(Slo, DeadlineBoundaryCountsConsistently)
+{
+    // The off-by-one pin: a request completing exactly at
+    // deadlineCycles is a hit in *both* accountings — the miss
+    // counter (strict >) and the SLO verdict (p99 <= target) — so
+    // the two can never disagree about the boundary value.
+    std::vector<double> lats = {80.0, 100.0, 120.0};
+    TenantConfig tc;
+    tc.name = "dl";
+    tc.deadlineCycles = 100.0;
+    TenantServeStats ts = summarizeTenantLatencies(tc, lats);
+    EXPECT_EQ(ts.deadlineMisses, 1u); // only 120; exactly-100 hits
+    EXPECT_DOUBLE_EQ(ts.deadlineHitRate, 2.0 / 3.0);
+    EXPECT_DOUBLE_EQ(ts.deadlineCycles, 100.0);
+
+    // When both a deadline and a p99 target are set, the deadline
+    // owns the miss line; the verdict still judges the percentile.
+    TenantConfig both = tc;
+    both.sloP99Cycles = 100.0;
+    TenantServeStats tb = summarizeTenantLatencies(both, lats);
+    EXPECT_FALSE(tb.sloP99Ok); // p99 = 120 > 100
+    EXPECT_EQ(tb.deadlineMisses, 1u);
+
+    TenantConfig slack = tc;
+    slack.deadlineCycles = 200.0;
+    slack.sloP99Cycles = 90.0; // would count 2 misses if it ruled
+    TenantServeStats tsl = summarizeTenantLatencies(slack, lats);
+    EXPECT_EQ(tsl.deadlineMisses, 0u);
+    EXPECT_DOUBLE_EQ(tsl.deadlineHitRate, 1.0);
+    EXPECT_FALSE(tsl.sloP99Ok);
+
+    // Boundary agreement: p99 lands exactly on the shared line ->
+    // the verdict passes and the miss counter stays at zero.
+    TenantConfig edge;
+    edge.name = "edge";
+    edge.sloP99Cycles = 120.0;
+    edge.deadlineCycles = 120.0;
+    TenantServeStats te = summarizeTenantLatencies(edge, lats);
+    EXPECT_TRUE(te.sloP99Ok);
+    EXPECT_EQ(te.deadlineMisses, 0u);
+    EXPECT_DOUBLE_EQ(te.deadlineHitRate, 1.0);
+
+    // No deadline -> the hit-rate stays at its vacuous default even
+    // when the p99 line counts misses.
+    TenantConfig sloOnly;
+    sloOnly.sloP99Cycles = 100.0;
+    TenantServeStats to = summarizeTenantLatencies(sloOnly, lats);
+    EXPECT_EQ(to.deadlineMisses, 1u);
+    EXPECT_DOUBLE_EQ(to.deadlineHitRate, 1.0);
+    EXPECT_DOUBLE_EQ(to.deadlineCycles, 0.0);
 }
 
 // --------------------- engine integration ----------------------- //
@@ -627,6 +738,183 @@ TEST(Serving, ShardedDisabledConfigMatchesSeedRun)
     EXPECT_EQ(base.simEvents, r.simEvents);
     EXPECT_DOUBLE_EQ(base.cycles, r.cycles);
     EXPECT_EQ(stageItems(base), stageItems(r));
+}
+
+TEST(Serving, QueueOverflowClosedLoopServeCompletes)
+{
+    // Engine-level wedge repro: closed-loop clients behind a
+    // capacity-1 waiting room and a starved bucket. Under Queue
+    // policy every shed *is* an overflow displacement, so shed > 0
+    // proves the repro fired; the run completing at all proves the
+    // displaced clients were re-armed (a wedged client would hang
+    // the serve loop, since closed-loop generators bound the run).
+    ServeConfig sc = closedLoopConfig();
+    sc.overload = OverloadPolicy::Queue;
+    sc.queueCapacity = 1;
+    sc.tenants[0].tokensPerCycle = 0.0005;
+    sc.tenants[0].burstTokens = 1.0;
+    ServeLinearApp app(2, 8);
+    Engine engine(DeviceConfig::byName("gtx1080"));
+    ServingEngine serve(engine, sc);
+    FlowServingWorkload wl(app);
+    RunResult r = serve.run(wl, makeMegakernelConfig(app.pipeline()));
+    ASSERT_TRUE(r.completed) << r.failureReason;
+    expectServeConserved(r);
+    ASSERT_TRUE(r.serving);
+    EXPECT_GT(r.serving->shed, 0u);
+    EXPECT_GT(r.serving->completed, 0u);
+    EXPECT_EQ(r.serving->offered, 18u);
+    EXPECT_EQ(r.serving->completed + r.serving->shed, 18u);
+    EXPECT_EQ(r.serving->outstanding, 0u);
+}
+
+TEST(Serving, UserSampledProvenanceIsHonored)
+{
+    // The sampling-stride regression: ServingEngine used to overwrite
+    // a user-armed ObsConfig::provenanceSampleEvery with 1. It must
+    // honor the stride (request roots are force-tracked regardless,
+    // so completion detection still sees every lineage) and restore
+    // the engine's observability afterwards.
+    auto serveWith = [](std::uint64_t sampleEvery) {
+        ServeLinearApp app(2, 8);
+        Engine engine(DeviceConfig::byName("gtx1080"));
+        if (sampleEvery > 0) {
+            ObsConfig oc;
+            oc.trace = false;
+            oc.sampleIntervalCycles = 0.0;
+            oc.provenance = false; // the serve arms provenance itself
+            oc.provenanceSampleEvery = sampleEvery;
+            engine.setObservability(oc);
+        }
+        ServingEngine serve(engine, openLoopConfig());
+        FlowServingWorkload wl(app);
+        RunResult r =
+            serve.run(wl, makeMegakernelConfig(app.pipeline()));
+        EXPECT_TRUE(r.completed) << r.failureReason;
+        // The engine's own config came back exactly as armed.
+        if (sampleEvery > 0) {
+            EXPECT_TRUE(engine.observability().has_value());
+            if (engine.observability()) {
+                EXPECT_EQ(
+                    engine.observability()->provenanceSampleEvery,
+                    sampleEvery);
+                EXPECT_FALSE(engine.observability()->provenance);
+            }
+        } else {
+            EXPECT_FALSE(engine.observability().has_value());
+        }
+        return r;
+    };
+
+    RunResult dflt = serveWith(0);    // no user obs at all
+    RunResult full = serveWith(1);    // explicit track-everything
+    RunResult sampled = serveWith(4); // the formerly clobbered case
+
+    // The run tracker carries the caller's stride, not a forced 1.
+    ASSERT_TRUE(sampled.obs && sampled.obs->provenance);
+    EXPECT_EQ(sampled.obs->provenance->sampleEvery(), 4u);
+    ASSERT_TRUE(full.obs && full.obs->provenance);
+    EXPECT_EQ(full.obs->provenance->sampleEvery(), 1u);
+    ASSERT_TRUE(dflt.obs && dflt.obs->provenance);
+    EXPECT_EQ(dflt.obs->provenance->sampleEvery(), 1u);
+
+    // The stride genuinely thinned the pre-seeded app items (the
+    // clobbered-to-1 bug tracked every seed), yet request roots stay
+    // force-tracked, so both runs saw the same seed stream and every
+    // tracked lineage still closed.
+    EXPECT_EQ(sampled.obs->provenance->seedsSeen(),
+              full.obs->provenance->seedsSeen());
+    EXPECT_EQ(full.obs->provenance->seedsTracked(),
+              full.obs->provenance->seedsSeen());
+    EXPECT_LT(sampled.obs->provenance->seedsTracked(),
+              sampled.obs->provenance->seedsSeen());
+    EXPECT_EQ(sampled.obs->provenance->countByFate(ItemFate::Open),
+              0u);
+    // ...and provenance stays passive: all three serves are
+    // event-for-event and stat-for-stat identical.
+    expectServeEqual(dflt, full);
+    expectServeEqual(full, sampled);
+    expectServeConserved(sampled);
+}
+
+// ------------------- vidstream frame serving --------------------- //
+
+TEST(Serving, VidstreamFrameClockDeadlinesRerunBitIdentical)
+{
+    // The streaming scenario end-to-end: one open-loop tenant per
+    // camera issuing frames on a frame clock, per-frame deadlines on
+    // every tenant. Even cameras get an impossible 1-cycle budget
+    // (every completion misses), odd cameras an unbounded one (every
+    // completion hits), so the expected verdicts are exact regardless
+    // of the simulated latencies; a rerun must reproduce the
+    // deadline accounting bit for bit.
+    vidstream::VsParams p = vidstream::VsParams::small();
+    ServeConfig sc;
+    sc.seed = 2026;
+    sc.epochCycles = 2000.0;
+    sc.horizonCycles = 60000.0;
+    for (int cam = 0; cam < p.cameras; ++cam) {
+        TenantConfig tc;
+        tc.name = "cam" + std::to_string(cam);
+        tc.tokensPerCycle = 0.01;
+        tc.burstTokens = 4.0;
+        tc.deadlineCycles = (cam % 2 == 0) ? 1.0 : 1e12;
+        ClientConfig cl;
+        cl.kind = ArrivalKind::OpenLoop;
+        cl.meanInterarrivalCycles = 4000.0; // the frame clock
+        tc.clients.push_back(cl);
+        sc.tenants.push_back(tc);
+    }
+
+    RunResult first, second;
+    for (RunResult* out : {&first, &second}) {
+        vidstream::VidstreamApp app(p);
+        Engine engine(DeviceConfig::byName("gtx1080"));
+        ServingEngine serve(engine, sc);
+        vidstream::VsFrameWorkload wl(app);
+        *out = serve.run(wl, makeMegakernelConfig(app.pipeline()));
+        ASSERT_TRUE(out->completed) << out->failureReason;
+    }
+    expectServeEqual(first, second);
+    expectServeConserved(first);
+    ASSERT_TRUE(first.serving);
+    const ServingRunStats& sv = *first.serving;
+    EXPECT_GT(sv.completed, 0u);
+    EXPECT_EQ(sv.outstanding, 0u);
+    ASSERT_EQ(sv.tenants.size(), static_cast<std::size_t>(p.cameras));
+
+    std::uint64_t misses = 0, completed = 0;
+    for (std::size_t t = 0; t < sv.tenants.size(); ++t) {
+        const TenantServeStats& ts = sv.tenants[t];
+        ASSERT_GT(ts.completed, 0u) << ts.name;
+        if (t % 2 == 0) {
+            // 1-cycle budget: every frame misses.
+            EXPECT_EQ(ts.deadlineMisses, ts.completed) << ts.name;
+            EXPECT_DOUBLE_EQ(ts.deadlineHitRate, 0.0) << ts.name;
+        } else {
+            EXPECT_EQ(ts.deadlineMisses, 0u) << ts.name;
+            EXPECT_DOUBLE_EQ(ts.deadlineHitRate, 1.0) << ts.name;
+        }
+        misses += ts.deadlineMisses;
+        completed += ts.completed;
+    }
+    // Run totals tile the per-tenant accounting exactly.
+    EXPECT_EQ(sv.deadlineMisses, misses);
+    EXPECT_DOUBLE_EQ(
+        sv.deadlineHitRate,
+        static_cast<double>(completed - misses)
+            / static_cast<double>(completed));
+
+    // And the rerun reproduced every deadline verdict.
+    for (std::size_t t = 0; t < sv.tenants.size(); ++t) {
+        EXPECT_EQ(second.serving->tenants[t].deadlineMisses,
+                  sv.tenants[t].deadlineMisses);
+        EXPECT_DOUBLE_EQ(second.serving->tenants[t].deadlineHitRate,
+                         sv.tenants[t].deadlineHitRate);
+    }
+    EXPECT_EQ(second.serving->deadlineMisses, sv.deadlineMisses);
+    EXPECT_DOUBLE_EQ(second.serving->deadlineHitRate,
+                     sv.deadlineHitRate);
 }
 
 // ----------------- epoch stats: snapshot deltas ------------------ //
